@@ -1,0 +1,120 @@
+// A2 — ablation: selective (GapNak) retransmission vs whole-TPDU
+// retransmission. §3 relays Kent & Mogul's complaint that "if a single
+// fragment is lost, then an entire TPDU is retransmitted"; the chunk
+// architecture dissolves it — virtual reassembly knows the exact
+// missing runs, so the receiver can ask for precisely those elements,
+// cut to size by Appendix-C splits. Sweeps loss rate and reports resent
+// payload and completion time for both policies.
+#include <cinttypes>
+
+#include "bench_util.hpp"
+
+namespace chunknet::bench {
+namespace {
+
+constexpr std::size_t kStreamBytes = 256 * 1024;
+
+struct RunResult {
+  std::uint64_t retx_payload{0};
+  std::uint64_t naks{0};
+  double completion_ms{0};
+  bool complete{false};
+};
+
+RunResult run(double loss, bool selective) {
+  LinkConfig cfg;
+  cfg.mtu = 1500;
+  cfg.rate_bps = 622e6;
+  cfg.prop_delay = 2 * kMillisecond;
+  cfg.loss_rate = loss;
+
+  Simulator sim;
+  ReceiverConfig rc;
+  rc.connection_id = 7;
+  rc.element_size = 4;
+  rc.app_buffer_bytes = kStreamBytes;
+  rc.gap_nak_delay = selective ? 15 * kMillisecond : 0;
+  std::unique_ptr<Link> reverse;
+  rc.send_control = [&sim, &reverse](Chunk ctrl) {
+    SimPacket sp;
+    sp.bytes = encode_packet(std::vector<Chunk>{std::move(ctrl)}, 1500);
+    sp.id = sim.next_packet_id();
+    sp.created_at = sim.now();
+    reverse->send(std::move(sp));
+  };
+  auto receiver = std::make_unique<ChunkTransportReceiver>(sim, std::move(rc));
+  Rng rng(4242);
+  auto forward = std::make_unique<Link>(sim, cfg, *receiver, rng);
+
+  SenderConfig sc;
+  sc.framer.connection_id = 7;
+  sc.framer.element_size = 4;
+  sc.framer.tpdu_elements = 4096;
+  sc.framer.xpdu_elements = 1024;
+  sc.framer.max_chunk_elements = 64;
+  sc.mtu = cfg.mtu;
+  sc.retransmit_timeout = selective ? 200 * kMillisecond : 40 * kMillisecond;
+  sc.selective_retransmit = selective;
+  Link* fwd = forward.get();
+  sc.send_packet = [&sim, fwd](std::vector<std::uint8_t> bytes) {
+    SimPacket sp;
+    sp.bytes = std::move(bytes);
+    sp.id = sim.next_packet_id();
+    sp.created_at = sim.now();
+    fwd->send(std::move(sp));
+  };
+  auto sender = std::make_unique<ChunkTransportSender>(sim, std::move(sc));
+  LinkConfig rev;
+  rev.prop_delay = 2 * kMillisecond;
+  reverse = std::make_unique<Link>(sim, rev, *sender, rng);
+
+  sender->send_stream(pattern_stream(kStreamBytes));
+  sim.run(120 * kSecond);
+
+  RunResult r;
+  r.retx_payload = sender->stats().retx_payload_bytes;
+  r.naks = sender->stats().gap_naks_honoured;
+  r.complete = receiver->stream_complete(kStreamBytes / 4);
+  r.completion_ms = static_cast<double>(sim.now()) / 1e6;
+  return r;
+}
+
+void sweep() {
+  print_heading("A2", "selective vs whole-TPDU retransmission "
+                      "(256 KiB stream, 16 KiB TPDUs, MTU 1500)");
+  TextTable t({"loss", "policy", "resent payload B", "gap NAKs",
+               "done @ms", "complete"});
+  bool selective_always_leaner = true;
+  for (const double loss : {0.01, 0.03, 0.05, 0.10}) {
+    const RunResult whole = run(loss, false);
+    const RunResult sel = run(loss, true);
+    t.add_row({TextTable::num(loss, 2), "whole-TPDU",
+               TextTable::num(whole.retx_payload), TextTable::num(whole.naks),
+               TextTable::num(whole.completion_ms, 1),
+               whole.complete ? "yes" : "NO"});
+    t.add_row({TextTable::num(loss, 2), "selective",
+               TextTable::num(sel.retx_payload), TextTable::num(sel.naks),
+               TextTable::num(sel.completion_ms, 1),
+               sel.complete ? "yes" : "NO"});
+    if (!sel.complete || !whole.complete ||
+        sel.retx_payload >= whole.retx_payload) {
+      selective_always_leaner = false;
+    }
+  }
+  std::printf("%s", t.render().c_str());
+  print_claim(selective_always_leaner,
+              "selective retransmission resends strictly less payload at "
+              "every loss rate (and both policies always complete)");
+  std::printf("note: the paper's own §3 remedy — 'a good transport "
+              "protocol implementation should reduce its TPDU size to "
+              "match the observed network error rate' — composes with "
+              "this: GapNak removes the penalty without shrinking TPDUs.\n");
+}
+
+}  // namespace
+}  // namespace chunknet::bench
+
+int main() {
+  chunknet::bench::sweep();
+  return 0;
+}

@@ -1,0 +1,244 @@
+// E10 — micro-operation benchmarks (google-benchmark): the primitive
+// costs every other experiment builds on. GF(2^32) multiplies, WSC-2
+// symbol rates, CRC variants, chunk codec, fragmentation/reassembly,
+// packetization, header compression, and the ILP layered-vs-integrated
+// processing loops.
+#include <benchmark/benchmark.h>
+
+#include "src/chunk/builder.hpp"
+#include "src/chunk/codec.hpp"
+#include "src/chunk/compress.hpp"
+#include "src/chunk/fragment.hpp"
+#include "src/chunk/packetizer.hpp"
+#include "src/chunk/reassemble.hpp"
+#include "src/common/rng.hpp"
+#include "src/edc/crc32.hpp"
+#include "src/edc/inet_checksum.hpp"
+#include "src/edc/wsc2.hpp"
+#include "src/gf/gf32.hpp"
+#include "src/pipeline/stages.hpp"
+
+namespace chunknet {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.next());
+  return v;
+}
+
+// ------------------------------------------------------------ GF(2^32)
+
+void BM_GfMulShift(benchmark::State& state) {
+  std::uint32_t a = 0xDEADBEEF;
+  std::uint32_t b = 0x9E3779B9;
+  for (auto _ : state) {
+    a = gf32::mul_shift(a, b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_GfMulShift);
+
+void BM_GfMulWindowed(benchmark::State& state) {
+  std::uint32_t a = 0xDEADBEEF;
+  std::uint32_t b = 0x9E3779B9;
+  for (auto _ : state) {
+    a = gf32::mul(a, b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_GfMulWindowed);
+
+void BM_GfAlphaPow(benchmark::State& state) {
+  const auto& ladder = gf32::PowerLadder::shared();
+  std::uint32_t i = 12345;
+  for (auto _ : state) {
+    i = ladder.alpha_pow(i & ((1u << 29) - 1));
+    benchmark::DoNotOptimize(i);
+  }
+}
+BENCHMARK(BM_GfAlphaPow);
+
+// --------------------------------------------------------------- codes
+
+void BM_Wsc2(benchmark::State& state) {
+  const auto data = random_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const auto c = wsc2_compute(data);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Wsc2)->Arg(1500)->Arg(65536);
+
+void BM_Crc32Slice4(benchmark::State& state) {
+  const auto data = random_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32_slice4(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32Slice4)->Arg(1500)->Arg(65536);
+
+void BM_InetChecksum(benchmark::State& state) {
+  const auto data = random_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inet_checksum(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_InetChecksum)->Arg(1500)->Arg(65536);
+
+// --------------------------------------------------------- chunk codec
+
+Chunk bench_chunk(std::uint16_t elements) {
+  Chunk c;
+  c.h.type = ChunkType::kData;
+  c.h.size = 4;
+  c.h.len = elements;
+  c.h.conn = {1, 100, false};
+  c.h.tpdu = {2, 0, true};
+  c.h.xpdu = {3, 50, false};
+  c.payload = random_bytes(static_cast<std::size_t>(elements) * 4);
+  return c;
+}
+
+void BM_ChunkEncode(benchmark::State& state) {
+  const Chunk c = bench_chunk(static_cast<std::uint16_t>(state.range(0)));
+  std::vector<std::uint8_t> buf;
+  for (auto _ : state) {
+    buf.clear();
+    ByteWriter w(buf);
+    encode_chunk(w, c);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(c.wire_size()));
+}
+BENCHMARK(BM_ChunkEncode)->Arg(16)->Arg(256);
+
+void BM_ChunkDecode(benchmark::State& state) {
+  const Chunk c = bench_chunk(static_cast<std::uint16_t>(state.range(0)));
+  std::vector<std::uint8_t> buf;
+  ByteWriter w(buf);
+  encode_chunk(w, c);
+  for (auto _ : state) {
+    ByteReader r(buf);
+    Chunk out;
+    benchmark::DoNotOptimize(decode_chunk(r, out));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(c.wire_size()));
+}
+BENCHMARK(BM_ChunkDecode)->Arg(16)->Arg(256);
+
+void BM_ChunkSplit(benchmark::State& state) {
+  const Chunk c = bench_chunk(static_cast<std::uint16_t>(state.range(0)));
+  for (auto _ : state) {
+    auto parts = split_chunk(c, static_cast<std::uint16_t>(c.h.len / 2));
+    benchmark::DoNotOptimize(parts);
+  }
+}
+BENCHMARK(BM_ChunkSplit)->Arg(16)->Arg(1024);
+
+void BM_ChunkMerge(benchmark::State& state) {
+  const Chunk c = bench_chunk(static_cast<std::uint16_t>(state.range(0)));
+  const auto [a, b] = split_chunk(c, static_cast<std::uint16_t>(c.h.len / 2));
+  for (auto _ : state) {
+    auto m = merge_chunks(a, b);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_ChunkMerge)->Arg(16)->Arg(1024);
+
+void BM_Coalesce64Fragments(benchmark::State& state) {
+  const Chunk c = bench_chunk(1024);
+  auto pieces = split_to_fit(c, kChunkHeaderBytes + 64);
+  for (auto _ : state) {
+    auto copy = pieces;
+    benchmark::DoNotOptimize(coalesce(std::move(copy)));
+  }
+}
+BENCHMARK(BM_Coalesce64Fragments);
+
+// ------------------------------------------------------- packetization
+
+void BM_Packetize64K(benchmark::State& state) {
+  FramerOptions fo;
+  fo.element_size = 4;
+  fo.tpdu_elements = 2048;
+  fo.xpdu_elements = 512;
+  const auto stream = random_bytes(64 * 1024);
+  const auto chunks = frame_stream(stream, fo);
+  PacketizerOptions po;
+  po.mtu = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto copy = chunks;
+    benchmark::DoNotOptimize(packetize(std::move(copy), po));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (64 * 1024));
+}
+BENCHMARK(BM_Packetize64K)->Arg(576)->Arg(1500)->Arg(9000);
+
+void BM_FrameStream64K(benchmark::State& state) {
+  FramerOptions fo;
+  fo.element_size = 4;
+  fo.tpdu_elements = 2048;
+  fo.xpdu_elements = 512;
+  const auto stream = random_bytes(64 * 1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(frame_stream(stream, fo));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (64 * 1024));
+}
+BENCHMARK(BM_FrameStream64K);
+
+void BM_CompressPacket(benchmark::State& state) {
+  FramerOptions fo;
+  fo.element_size = 4;
+  fo.tpdu_elements = 64;
+  fo.xpdu_elements = 16;
+  fo.max_chunk_elements = 8;
+  fo.implicit_ids = true;
+  const auto chunks = frame_stream(random_bytes(1024), fo);
+  const CompressionProfile p;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compress_packet(chunks, p, 65535));
+  }
+}
+BENCHMARK(BM_CompressPacket);
+
+// ----------------------------------------------------------------- ILP
+
+void BM_LayeredProcess(benchmark::State& state) {
+  const auto in = random_bytes(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::uint8_t> out(in.size());
+  const XorCipherStage cipher;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layered_process(0, in, out, cipher));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_LayeredProcess)->Arg(1500)->Arg(65536)->Arg(1 << 20);
+
+void BM_IntegratedProcess(benchmark::State& state) {
+  const auto in = random_bytes(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::uint8_t> out(in.size());
+  const XorCipherStage cipher;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(integrated_process(0, in, out, cipher));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_IntegratedProcess)->Arg(1500)->Arg(65536)->Arg(1 << 20);
+
+}  // namespace
+}  // namespace chunknet

@@ -1,0 +1,180 @@
+// E6 — the headline claim (§1, §3.3): processing data as it arrives
+// beats reordering/reassembly buffering in both latency and effective
+// throughput. Sweeps loss rate and multipath skew across the three
+// chunk delivery modes and the IP-fragmentation baseline, reporting
+// per-element delivery latency and memory-bus traffic, then converts
+// bus traffic into the RISC-workstation throughput bound of §1.
+#include <cinttypes>
+
+#include "bench_util.hpp"
+#include "src/baselines/ip_transport.hpp"
+#include "src/common/stats.hpp"
+
+namespace chunknet::bench {
+namespace {
+
+constexpr std::size_t kStreamBytes = 256 * 1024;
+
+struct RunResult {
+  double p50_ms{0};
+  double p99_ms{0};
+  double bus_per_byte{0};
+  std::uint64_t retransmissions{0};
+  bool complete{false};
+};
+
+RunResult run_chunk_mode(DeliveryMode mode, double loss, int lanes,
+                         SimTime skew) {
+  LinkConfig cfg;
+  cfg.mtu = 1500;
+  cfg.rate_bps = 622e6;
+  cfg.prop_delay = 2 * kMillisecond;
+  cfg.loss_rate = loss;
+  cfg.lanes = lanes;
+  cfg.lane_skew = skew;
+  TransportHarness h(cfg, mode, kStreamBytes);
+  const auto stream = pattern_stream(kStreamBytes);
+  h.sender->send_stream(stream);
+  h.sim.run(60 * kSecond);
+
+  RunResult r;
+  r.complete = h.receiver->stream_complete(kStreamBytes / 4);
+  Percentiles p;
+  for (const double ns : h.receiver->stats().delivery_latency_ns) p.add(ns);
+  r.p50_ms = p.median() / 1e6;
+  r.p99_ms = p.p99() / 1e6;
+  r.bus_per_byte = static_cast<double>(h.receiver->stats().bus_bytes) /
+                   static_cast<double>(kStreamBytes);
+  r.retransmissions = h.sender->stats().retransmissions;
+  return r;
+}
+
+RunResult run_ip(double loss, int lanes, SimTime skew) {
+  LinkConfig cfg;
+  cfg.mtu = 1500;
+  cfg.rate_bps = 622e6;
+  cfg.prop_delay = 2 * kMillisecond;
+  cfg.loss_rate = loss;
+  cfg.lanes = lanes;
+  cfg.lane_skew = skew;
+
+  Simulator sim;
+  Rng rng(1993);
+  std::unique_ptr<IpFragTransportReceiver> receiver;
+  std::unique_ptr<IpFragTransportSender> sender;
+  std::unique_ptr<Link> forward;
+  std::unique_ptr<Link> reverse;
+
+  IpReceiverConfig rc;
+  rc.app_buffer_bytes = kStreamBytes;
+  rc.reassembly_pool_bytes = 1 << 20;
+  rc.send_control = [&](std::vector<std::uint8_t> body) {
+    SimPacket sp;
+    sp.bytes = std::move(body);
+    sp.id = sim.next_packet_id();
+    sp.created_at = sim.now();
+    reverse->send(std::move(sp));
+  };
+  receiver = std::make_unique<IpFragTransportReceiver>(sim, std::move(rc));
+  forward = std::make_unique<Link>(sim, cfg, *receiver, rng);
+
+  IpSenderConfig sc;
+  sc.tpdu_bytes = 2048;  // same PDU size as the chunk transport's TPDUs
+  sc.mtu = cfg.mtu;
+  sc.retransmit_timeout = 20 * kMillisecond;
+  sc.send_packet = [&](std::vector<std::uint8_t> bytes) {
+    SimPacket sp;
+    sp.bytes = std::move(bytes);
+    sp.id = sim.next_packet_id();
+    sp.created_at = sim.now();
+    forward->send(std::move(sp));
+  };
+  sender = std::make_unique<IpFragTransportSender>(sim, std::move(sc));
+  LinkConfig rev;
+  rev.prop_delay = 1 * kMillisecond;
+  reverse = std::make_unique<Link>(sim, rev, *sender, rng);
+
+  sender->send_stream(pattern_stream(kStreamBytes));
+  sim.run(60 * kSecond);
+
+  RunResult r;
+  r.complete = receiver->bytes_delivered() == kStreamBytes;
+  Percentiles p;
+  for (const double ns : receiver->stats().delivery_latency_ns) p.add(ns);
+  r.p50_ms = p.median() / 1e6;
+  r.p99_ms = p.p99() / 1e6;
+  r.bus_per_byte = static_cast<double>(receiver->stats().bus_bytes) /
+                   static_cast<double>(kStreamBytes);
+  r.retransmissions = sender->stats().retransmissions;
+  return r;
+}
+
+void sweep(const char* id, const char* title, double loss, int lanes,
+           SimTime skew) {
+  print_heading(id, title);
+  TextTable t({"receiver", "p50 latency ms", "p99 latency ms",
+               "bus bytes/byte", "retx", "complete"});
+  RunResult rows[4];
+  rows[0] = run_chunk_mode(DeliveryMode::kImmediate, loss, lanes, skew);
+  rows[1] = run_chunk_mode(DeliveryMode::kReorder, loss, lanes, skew);
+  rows[2] = run_chunk_mode(DeliveryMode::kReassemble, loss, lanes, skew);
+  rows[3] = run_ip(loss, lanes, skew);
+  const char* names[] = {"chunks/immediate", "chunks/reorder",
+                         "chunks/reassemble", "IP-frag baseline"};
+  for (int i = 0; i < 4; ++i) {
+    t.add_row({names[i], TextTable::num(rows[i].p50_ms, 3),
+               TextTable::num(rows[i].p99_ms, 3),
+               TextTable::num(rows[i].bus_per_byte, 3),
+               TextTable::num(rows[i].retransmissions),
+               rows[i].complete ? "yes" : "NO"});
+  }
+  std::printf("%s", t.render().c_str());
+
+  // On a perfectly clean, in-order path all receivers see the same
+  // arrivals and IP's smaller headers win on pure wire time; the
+  // paper's latency claim is about what happens once loss or disorder
+  // forces buffering. Compare chunk modes always; include the IP
+  // baseline only when the network actually disorders or loses.
+  const bool disordered = loss > 0.0 || lanes > 1 || skew > 0;
+  bool latency_ok = rows[0].p99_ms <= rows[1].p99_ms + 1e-9 &&
+                    rows[0].p99_ms <= rows[2].p99_ms + 1e-9;
+  if (disordered) latency_ok &= rows[0].p99_ms <= rows[3].p99_ms + 1e-9;
+  print_claim(latency_ok,
+              disordered
+                  ? "immediate processing has the lowest tail latency"
+                  : "immediate processing never waits longer than the "
+                    "buffering modes (clean network: all equal)");
+  print_claim(rows[0].bus_per_byte <= rows[1].bus_per_byte &&
+                  rows[0].bus_per_byte < rows[3].bus_per_byte,
+              "immediate processing moves each byte across the bus once; "
+              "buffering receivers move (most) bytes twice");
+
+  // §1's throughput bound: if the memory bus sustains B bytes/s, a
+  // receiver that crosses it k times per byte delivers at most B/k.
+  const double bus_gbps = 1.0;  // a 1 GB/s workstation bus
+  std::printf("implied ceiling on application throughput with a %.0f GB/s "
+              "bus:\n",
+              bus_gbps);
+  for (int i = 0; i < 4; ++i) {
+    std::printf("  %-18s %.2f GB/s\n", names[i],
+                bus_gbps / rows[i].bus_per_byte);
+  }
+}
+
+}  // namespace
+}  // namespace chunknet::bench
+
+int main() {
+  chunknet::bench::sweep("E6a",
+                         "clean single-path network (baseline sanity)",
+                         0.0, 1, 0);
+  chunknet::bench::sweep(
+      "E6b", "8 parallel lanes, 400 us skew (AURORA-style striping, §1)",
+      0.0, 8, 400 * chunknet::kMicrosecond);
+  chunknet::bench::sweep("E6c", "2% loss, single path (retransmission gaps)",
+                         0.02, 1, 0);
+  chunknet::bench::sweep(
+      "E6d", "2% loss + 8-lane skew (loss and disorder together)", 0.02, 8,
+      400 * chunknet::kMicrosecond);
+  return 0;
+}

@@ -1,0 +1,160 @@
+// E8 — §3.2: demultiplexing cost. "Because of multipath routing, a
+// mixture of complete PDUs and fragments of PDUs could arrive at the
+// receiver. The receiver must examine the received packet to
+// demultiplex the packets to the appropriate protocol… Chunks are
+// processed identically regardless of whether network fragmentation
+// has occurred." Measures per-unit receive dispatch cost for the IP
+// mixed-arrival path vs the uniform chunk path.
+#include <cinttypes>
+
+#include "bench_util.hpp"
+#include "src/baselines/ip_transport.hpp"
+#include "src/chunk/builder.hpp"
+#include "src/chunk/codec.hpp"
+#include "src/chunk/packetizer.hpp"
+#include "src/edc/crc32.hpp"
+#include "src/edc/wsc2.hpp"
+#include "src/reassembly/ip_reassembly.hpp"
+#include "src/reassembly/virtual_reassembly.hpp"
+
+namespace chunknet::bench {
+namespace {
+
+constexpr std::size_t kStreamBytes = 256 * 1024;
+
+void demux_cost() {
+  print_heading("E8", "receive-path dispatch: mixed IP arrivals vs "
+                      "uniform chunk arrivals (2 KiB PDUs, MTU 1500)");
+
+  // --- IP arrivals: a mixture of whole datagrams (fit in one packet)
+  // and fragmented datagrams (must take the reassembly branch).
+  const auto stream = pattern_stream(kStreamBytes, 21);
+  std::vector<std::vector<std::uint8_t>> ip_units;
+  {
+    std::uint32_t id = 1;
+    Rng rng(5);
+    std::size_t pos = 0;
+    while (pos < kStreamBytes) {
+      // Alternate between small PDUs (whole) and large PDUs (fragments)
+      const std::size_t dgram = rng.chance(0.5) ? 1024 : 4096;
+      const std::size_t n = std::min(dgram, kStreamBytes - pos);
+      const std::size_t per = 1500 - kIpFragHeaderBytes;
+      std::size_t off = 0;
+      while (off < n) {
+        const std::size_t k = std::min(per, n - off);
+        ip_units.push_back(encode_ip_fragment(
+            id, static_cast<std::uint32_t>(off),
+            static_cast<std::uint32_t>(pos), off + k < n,
+            std::span<const std::uint8_t>(stream).subspan(pos + off, k)));
+        off += k;
+      }
+      ++id;
+      pos += n;
+    }
+  }
+
+  // --- chunk arrivals for the same stream and MTU.
+  std::vector<std::vector<std::uint8_t>> chunk_units;
+  {
+    FramerOptions fo;
+    fo.element_size = 4;
+    fo.tpdu_elements = 512;
+    fo.xpdu_elements = 128;
+    auto chunks = frame_stream(stream, fo);
+    PacketizerOptions po;
+    po.mtu = 1500;
+    chunk_units = packetize(std::move(chunks), po).packets;
+  }
+
+  // IP receive path: parse; branch on "complete datagram vs fragment";
+  // fragments go through the pool; completed PDUs are CRC-verified and
+  // then placed (the error-detection work conventional stacks do).
+  volatile std::uint64_t guard = 0;
+  std::vector<std::uint8_t> app_ip(kStreamBytes);
+  const double ip_ns = time_ns_per_iter(
+      [&] {
+        IpReassemblyBuffer pool(1 << 20);
+        std::uint64_t placed = 0;
+        for (const auto& u : ip_units) {
+          const auto f = decode_ip_fragment(u);
+          if (!f.ok) continue;
+          if (f.offset == 0 && !f.more_fragments) {
+            // complete PDU in one packet: fast path (verify + place)
+            guard = guard + crc32(f.body);
+            std::copy(f.body.begin(), f.body.end(),
+                      app_ip.begin() + f.stream_base);
+            placed += f.body.size();
+            continue;
+          }
+          // fragment path: buffer, check completion, verify, place
+          IpFragment frag;
+          frag.datagram_id = f.dgram_id;
+          frag.offset = f.offset;
+          frag.data.assign(f.body.begin(), f.body.end());
+          frag.more_fragments = f.more_fragments;
+          if (pool.offer(frag) == IpReassemblyOutcome::kCompleted) {
+            auto dg = pool.take_completed(f.dgram_id);
+            guard = guard + crc32(*dg);
+            std::copy(dg->begin(), dg->end(), app_ip.begin() + f.stream_base);
+            placed += dg->size();
+          }
+        }
+        guard = guard + placed;
+      },
+      20);
+
+  // Chunk receive path: one uniform loop — parse chunks, track,
+  // checksum incrementally (WSC-2), place.
+  std::vector<std::uint8_t> app_ck(kStreamBytes);
+  const double chunk_ns = time_ns_per_iter(
+      [&] {
+        VirtualReassembler vr;
+        Wsc2Accumulator acc;
+        std::uint64_t placed = 0;
+        for (const auto& u : chunk_units) {
+          const auto parsed = decode_packet(u);
+          for (const Chunk& c : parsed.chunks) {
+            if (c.h.type != ChunkType::kData) continue;
+            if (vr.add_chunk(c) != PieceVerdict::kAccept) continue;
+            acc.add_words(c.h.conn.sn, c.payload);
+            const std::size_t off =
+                static_cast<std::size_t>(c.h.conn.sn) * c.h.size;
+            std::copy(c.payload.begin(), c.payload.end(),
+                      app_ck.begin() + off);
+            placed += c.payload.size();
+          }
+        }
+        guard = guard + (placed ^ acc.value().p0);
+      },
+      20);
+
+  TextTable t({"receive path", "units", "ns/unit", "code paths"});
+  t.add_row({"IP mixed (whole|fragment branch)",
+             TextTable::num(static_cast<std::uint64_t>(ip_units.size())),
+             TextTable::num(ip_ns / static_cast<double>(ip_units.size()), 1),
+             "2 (+pool bookkeeping)"});
+  t.add_row({"chunks (uniform)",
+             TextTable::num(static_cast<std::uint64_t>(chunk_units.size())),
+             TextTable::num(chunk_ns / static_cast<double>(chunk_units.size()),
+                            1),
+             "1"});
+  std::printf("%s", t.render().c_str());
+  print_claim(app_ip == app_ck && app_ck == stream,
+              "both paths deliver the identical stream");
+  print_claim(true, "the chunk path is one uniform loop: no per-packet "
+                    "fragment-vs-PDU branch, no pool (§3.2)");
+  std::printf("note: each path pays its own stack's error detection "
+              "(IP: CRC-32 at datagram completion; chunks: incremental "
+              "WSC-2 per chunk) plus its own bookkeeping (pool vs "
+              "interval tracker). The structural claim is the code-path "
+              "column: the chunk loop has no fragment-vs-PDU branch and "
+              "needs no reassembly pool.\n");
+}
+
+}  // namespace
+}  // namespace chunknet::bench
+
+int main() {
+  chunknet::bench::demux_cost();
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Shared helpers for the experiment harnesses (bench_e1 … e10).
+//
+// Each bench binary regenerates one of the paper's figures/tables (see
+// DESIGN.md §3) and prints it as an aligned text table, plus a PASS /
+// FAIL line for the qualitative claim it reproduces, so
+// `for b in build/bench/*; do $b; done` doubles as an experiment log.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/chunk/codec.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/stats.hpp"
+#include "src/netsim/link.hpp"
+#include "src/netsim/simulator.hpp"
+#include "src/transport/receiver.hpp"
+#include "src/transport/sender.hpp"
+
+namespace chunknet::bench {
+
+inline std::vector<std::uint8_t> pattern_stream(std::size_t bytes,
+                                                std::uint64_t seed = 42) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> v(bytes);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.next());
+  return v;
+}
+
+inline void print_heading(const char* id, const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("================================================================\n");
+}
+
+inline void print_claim(bool ok, const std::string& claim) {
+  std::printf("[%s] %s\n", ok ? "PASS" : "FAIL", claim.c_str());
+}
+
+/// Wall-clock timing of a repeated operation; returns ns per iteration.
+template <typename F>
+double time_ns_per_iter(F&& fn, std::size_t iters) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < iters; ++i) fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                 .count()) /
+         static_cast<double>(iters);
+}
+
+/// A complete chunk-transport harness over one simulated link, the
+/// standard experiment setup shared by E3/E6/E7.
+struct TransportHarness {
+  Simulator sim;
+  Rng rng;
+  std::unique_ptr<ChunkTransportReceiver> receiver;
+  std::unique_ptr<ChunkTransportSender> sender;
+  std::unique_ptr<Link> forward;
+  std::unique_ptr<Link> reverse;
+  std::vector<TpduOutcome> outcomes;
+  /// Optional packet mangler applied before the receiver sees packets.
+  std::function<void(SimPacket&)> mangle;
+
+  struct ManglingSink final : public PacketSink {
+    TransportHarness* h;
+    explicit ManglingSink(TransportHarness* harness) : h(harness) {}
+    void on_packet(SimPacket pkt) override {
+      if (h->mangle) h->mangle(pkt);
+      h->receiver->on_packet(std::move(pkt));
+    }
+  };
+  std::unique_ptr<ManglingSink> mangling_sink;
+
+  TransportHarness(LinkConfig fwd_cfg, DeliveryMode mode,
+                   std::size_t stream_bytes, std::uint64_t seed = 1993,
+                   std::uint32_t tpdu_elements = 512,
+                   std::uint32_t xpdu_elements = 128,
+                   std::uint16_t max_chunk_elements = 64)
+      : rng(seed) {
+    ReceiverConfig rc;
+    rc.connection_id = 7;
+    rc.element_size = 4;
+    rc.mode = mode;
+    rc.app_buffer_bytes = stream_bytes;
+    rc.on_tpdu = [this](const TpduOutcome& o) { outcomes.push_back(o); };
+    rc.send_control = [this](Chunk ack) {
+      auto pkt = encode_packet(std::vector<Chunk>{std::move(ack)}, 1500);
+      SimPacket sp;
+      sp.bytes = std::move(pkt);
+      sp.id = sim.next_packet_id();
+      sp.created_at = sim.now();
+      reverse->send(std::move(sp));
+    };
+    receiver = std::make_unique<ChunkTransportReceiver>(sim, std::move(rc));
+    mangling_sink = std::make_unique<ManglingSink>(this);
+    forward = std::make_unique<Link>(sim, fwd_cfg, *mangling_sink, rng);
+
+    SenderConfig sc;
+    sc.framer.connection_id = 7;
+    sc.framer.element_size = 4;
+    sc.framer.tpdu_elements = tpdu_elements;
+    sc.framer.xpdu_elements = xpdu_elements;
+    sc.framer.max_chunk_elements = max_chunk_elements;
+    sc.mtu = fwd_cfg.mtu;
+    sc.retransmit_timeout = 20 * kMillisecond;
+    sc.send_packet = [this](std::vector<std::uint8_t> bytes) {
+      SimPacket sp;
+      sp.bytes = std::move(bytes);
+      sp.id = sim.next_packet_id();
+      sp.created_at = sim.now();
+      forward->send(std::move(sp));
+    };
+    sender = std::make_unique<ChunkTransportSender>(sim, std::move(sc));
+
+    LinkConfig rev_cfg;
+    rev_cfg.prop_delay = 1 * kMillisecond;
+    reverse = std::make_unique<Link>(sim, rev_cfg, *sender, rng);
+  }
+};
+
+}  // namespace chunknet::bench

@@ -1,0 +1,169 @@
+// video_stream — the paper's video example (§1): "Although the video
+// frames themselves must be presented in the correct order, data of an
+// individual frame can be placed in the frame buffer as they arrive
+// without reordering."
+//
+// Video frames are external PDUs (Application Layer Frames): each frame
+// is one X-PDU, so every chunk says which frame it belongs to (X.ID)
+// and where it lands inside it (X.SN). The receiver writes pixels into
+// per-frame buffers as chunks arrive — in any order — and a frame is
+// displayable the moment its own X-PDU completes, independent of other
+// frames. A lost chunk spoils only its frame, which is simply skipped
+// at display time (ALF in action: the frame is the unit of loss).
+//
+// Build & run:   ./build/examples/video_stream
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "src/chunk/builder.hpp"
+#include "src/chunk/codec.hpp"
+#include "src/chunk/packetizer.hpp"
+#include "src/common/rng.hpp"
+#include "src/netsim/link.hpp"
+#include "src/netsim/simulator.hpp"
+#include "src/reassembly/virtual_reassembly.hpp"
+
+using namespace chunknet;
+
+namespace {
+
+constexpr std::uint32_t kFrames = 24;
+constexpr std::uint32_t kFrameBytes = 8 * 1024;  // a small QCIF-ish frame
+constexpr std::uint32_t kFrameElements = kFrameBytes / 4;
+
+/// The display side: per-frame pixel buffers filled by X.SN placement,
+/// with an X-level virtual reassembler deciding displayability.
+struct FrameStore final : public PacketSink {
+  Simulator& sim;
+  std::map<std::uint32_t, std::vector<std::uint8_t>> frames;  // by X.ID
+  VirtualReassembler x_reassembly;
+  std::map<std::uint32_t, SimTime> completed_at;
+  std::uint64_t chunks_placed{0};
+
+  explicit FrameStore(Simulator& s) : sim(s) {}
+
+  void on_packet(SimPacket pkt) override {
+    const ParsedPacket parsed = decode_packet(pkt.bytes);
+    if (!parsed.ok) return;
+    for (const Chunk& c : parsed.chunks) {
+      if (c.h.type != ChunkType::kData) continue;
+      // Frame-level virtual reassembly keys on the X tuple.
+      const PduKey key{c.h.conn.id, c.h.xpdu.id};
+      if (x_reassembly.add(key, c.h.xpdu.sn, c.h.len, c.h.xpdu.st) !=
+          PieceVerdict::kAccept) {
+        continue;
+      }
+      auto& buf = frames[c.h.xpdu.id];
+      if (buf.empty()) buf.resize(kFrameBytes);
+      std::copy(c.payload.begin(), c.payload.end(),
+                buf.begin() + static_cast<std::size_t>(c.h.xpdu.sn) * 4);
+      ++chunks_placed;
+      if (x_reassembly.complete(key) && !completed_at.count(c.h.xpdu.id)) {
+        completed_at[c.h.xpdu.id] = sim.now();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+int main() {
+  Simulator sim;
+  Rng rng(6);
+
+  // Generated "video": frame f is filled with a deterministic pattern.
+  std::vector<std::uint8_t> stream(kFrames * kFrameBytes);
+  for (std::uint32_t f = 0; f < kFrames; ++f) {
+    for (std::uint32_t i = 0; i < kFrameBytes; ++i) {
+      stream[f * kFrameBytes + i] =
+          static_cast<std::uint8_t>((f * 37 + i) & 0xFF);
+    }
+  }
+
+  // One X-PDU per frame; TPDUs span 4 frames (error control is coarser
+  // than display framing — Figure 1's independent framings).
+  FramerOptions fo;
+  fo.connection_id = 0x71DE0;
+  fo.element_size = 4;
+  fo.tpdu_elements = 4 * kFrameElements;
+  fo.xpdu_elements = kFrameElements;
+  fo.first_xpdu_id = 1;  // frame number = X.ID
+  fo.max_chunk_elements = 256;
+  auto chunks = frame_stream(stream, fo);
+
+  PacketizerOptions po;
+  po.mtu = 1500;
+  auto packed = packetize(std::move(chunks), po);
+
+  // A lossy, disordering path (no retransmission — it's live video).
+  FrameStore display(sim);
+  LinkConfig path;
+  path.rate_bps = 50e6;
+  path.prop_delay = 10 * kMillisecond;
+  path.mtu = 1500;
+  path.lanes = 4;
+  path.lane_skew = 800 * kMicrosecond;
+  path.loss_rate = 0.01;
+  Link link(sim, path, display, rng);
+
+  std::printf("streaming %u frames of %u KiB as ALF external PDUs "
+              "(1%% loss, 4-lane skew, no retransmission)...\n\n",
+              kFrames, kFrameBytes / 1024);
+  for (auto& pkt : packed.packets) {
+    SimPacket sp;
+    sp.bytes = std::move(pkt);
+    sp.id = sim.next_packet_id();
+    sp.created_at = sim.now();
+    link.send(std::move(sp));
+  }
+  sim.run();
+
+  // Display pass: frames presented in order; incomplete frames skipped.
+  std::uint32_t displayable = 0;
+  std::uint32_t skipped = 0;
+  std::printf("frame  complete  content  finished-at(ms)\n");
+  std::printf("-----  --------  -------  ---------------\n");
+  for (std::uint32_t f = 1; f <= kFrames; ++f) {
+    const bool done = display.completed_at.count(f) > 0;
+    bool exact = false;
+    if (done) {
+      const auto& buf = display.frames[f];
+      exact = std::equal(
+          buf.begin(), buf.end(),
+          stream.begin() + static_cast<std::size_t>(f - 1) * kFrameBytes);
+      ++displayable;
+    } else {
+      ++skipped;
+    }
+    std::string finished = "-";
+    if (done) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.3f",
+                    static_cast<double>(display.completed_at[f]) / 1e6);
+      finished = buf;
+    }
+    std::printf("%5u  %-8s  %-7s  %s\n", f, done ? "yes" : "SKIP",
+                done ? (exact ? "exact" : "BAD") : "-", finished.c_str());
+  }
+
+  std::printf("\n%u/%u frames displayable; %u skipped (frame = unit of "
+              "loss, no head-of-line blocking across frames)\n",
+              displayable, kFrames, skipped);
+  std::printf("chunks placed on arrival, zero reordering buffers: %llu\n",
+              static_cast<unsigned long long>(display.chunks_placed));
+
+  // Out-of-order completion is expected: a frame whose packets took the
+  // fast lanes can finish before an earlier frame still in flight.
+  bool out_of_order_completion = false;
+  SimTime prev = 0;
+  for (std::uint32_t f = 1; f <= kFrames; ++f) {
+    if (!display.completed_at.count(f)) continue;
+    if (display.completed_at[f] < prev) out_of_order_completion = true;
+    prev = display.completed_at[f];
+  }
+  std::printf("frames completed out of presentation order: %s "
+              "(presentation order is restored at display, §1)\n",
+              out_of_order_completion ? "yes" : "no");
+  return displayable > 0 ? 0 : 1;
+}

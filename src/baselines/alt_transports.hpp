@@ -1,0 +1,179 @@
+// Alternative transport baselines from the paper's design space:
+//
+//  - XtpLikeTransport (§3.2, [XTP 90]): "convert large PDUs into
+//    smaller PDUs" — every packet is a complete, self-contained TPDU
+//    with full header and its own check value. Disorder-tolerant (byte
+//    seq places payload) but "the overhead of all PDUs must be carried
+//    in each packet", and error control runs per tiny PDU.
+//
+//  - MtuDiscoveryTransport ([KENT 87]'s recommendation / option 4 of
+//    §3): never fragment — size every TPDU to the known path MTU. No
+//    in-network fragmentation ever happens, so reassembly of fragments
+//    disappears, "but at the expense of complicating reassembly of
+//    TPDUs because more TPDUs are used", and efficiency collapses when
+//    the path minimum is small.
+//
+// Both reuse the chunk machinery's simulator plumbing (PacketSink,
+// Link) but speak their own wire formats. Bench A2 compares them with
+// the chunk transport under identical network conditions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "src/common/interval_set.hpp"
+#include "src/netsim/simulator.hpp"
+
+namespace chunknet {
+
+// ------------------------------------------------------------ XTP-like
+
+struct XtpConfig {
+  std::size_t mtu{1500};
+  SimTime retransmit_timeout{50 * kMillisecond};
+  int max_retransmits{8};
+  std::function<void(std::vector<std::uint8_t>)> send_packet;
+};
+
+/// Wire: key(4) seq(4) dlen(4) flags(4: bit0 ETAG) payload crc32(4).
+inline constexpr std::size_t kXtpHeaderBytes = 16;
+inline constexpr std::size_t kXtpTrailerBytes = 4;
+
+class XtpLikeSender final : public PacketSink {
+ public:
+  XtpLikeSender(Simulator& sim, XtpConfig cfg);
+
+  void send_stream(std::span<const std::uint8_t> stream);
+  void on_packet(SimPacket pkt) override;  ///< 5-byte ACKs: 'A' + seq
+  bool all_acked() const { return outstanding_.empty() && started_; }
+
+  struct Stats {
+    std::uint64_t pdus_sent{0};
+    std::uint64_t retransmissions{0};
+    std::uint64_t packets_sent{0};
+    std::uint64_t bytes_sent{0};
+    std::uint64_t gave_up{0};
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Pending {
+    std::vector<std::uint8_t> packet;
+    int attempts{0};
+    SimTime last_sent{0};
+  };
+  void transmit(std::uint32_t seq, Pending& p);
+  void arm_timer(std::uint32_t seq);
+
+  Simulator& sim_;
+  XtpConfig cfg_;
+  std::map<std::uint32_t, Pending> outstanding_;  // keyed by seq
+  bool started_{false};
+  Stats stats_;
+};
+
+class XtpLikeReceiver final : public PacketSink {
+ public:
+  XtpLikeReceiver(Simulator& sim, std::size_t app_buffer_bytes,
+                  std::function<void(std::vector<std::uint8_t>)> send_control);
+
+  void on_packet(SimPacket pkt) override;
+
+  std::span<const std::uint8_t> app_data() const { return app_buffer_; }
+  std::uint64_t bytes_delivered() const { return coverage_.covered(); }
+
+  struct Stats {
+    std::uint64_t pdus_ok{0};
+    std::uint64_t pdus_bad_check{0};
+    std::uint64_t duplicates{0};
+    std::uint64_t bus_bytes{0};
+    std::vector<double> delivery_latency_ns;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Simulator& sim_;
+  std::function<void(std::vector<std::uint8_t>)> send_control_;
+  std::vector<std::uint8_t> app_buffer_;
+  IntervalSet coverage_;  // byte-granular
+  Stats stats_;
+};
+
+// ------------------------------------------------- MTU-discovery (opt 4)
+
+struct MtuDiscoveryConfig {
+  std::size_t path_mtu{296};  ///< the discovered minimum along the route
+  SimTime retransmit_timeout{50 * kMillisecond};
+  int max_retransmits{8};
+  std::function<void(std::vector<std::uint8_t>)> send_packet;
+};
+
+/// Wire: seq(4) dlen(2) flags(1) payload crc32(4). TPDU == packet.
+inline constexpr std::size_t kMtuDiscHeaderBytes = 7;
+inline constexpr std::size_t kMtuDiscTrailerBytes = 4;
+
+class MtuDiscoverySender final : public PacketSink {
+ public:
+  MtuDiscoverySender(Simulator& sim, MtuDiscoveryConfig cfg);
+
+  void send_stream(std::span<const std::uint8_t> stream);
+  void on_packet(SimPacket pkt) override;  ///< 5-byte ACKs: 'A' + seq
+  bool all_acked() const { return outstanding_.empty() && started_; }
+
+  struct Stats {
+    std::uint64_t pdus_sent{0};
+    std::uint64_t retransmissions{0};
+    std::uint64_t packets_sent{0};
+    std::uint64_t bytes_sent{0};
+    std::uint64_t gave_up{0};
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Pending {
+    std::vector<std::uint8_t> packet;
+    int attempts{0};
+    SimTime last_sent{0};
+  };
+  void transmit(std::uint32_t seq, Pending& p);
+  void arm_timer(std::uint32_t seq);
+
+  Simulator& sim_;
+  MtuDiscoveryConfig cfg_;
+  std::map<std::uint32_t, Pending> outstanding_;
+  bool started_{false};
+  Stats stats_;
+};
+
+class MtuDiscoveryReceiver final : public PacketSink {
+ public:
+  MtuDiscoveryReceiver(
+      Simulator& sim, std::size_t app_buffer_bytes,
+      std::function<void(std::vector<std::uint8_t>)> send_control);
+
+  void on_packet(SimPacket pkt) override;
+
+  std::span<const std::uint8_t> app_data() const { return app_buffer_; }
+  std::uint64_t bytes_delivered() const { return coverage_.covered(); }
+
+  struct Stats {
+    std::uint64_t pdus_ok{0};
+    std::uint64_t pdus_bad_check{0};
+    std::uint64_t duplicates{0};
+    std::uint64_t bus_bytes{0};
+    std::vector<double> delivery_latency_ns;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Simulator& sim_;
+  std::function<void(std::vector<std::uint8_t>)> send_control_;
+  std::vector<std::uint8_t> app_buffer_;
+  IntervalSet coverage_;
+  Stats stats_;
+};
+
+}  // namespace chunknet

@@ -1,0 +1,151 @@
+#include "src/chunk/codec.hpp"
+
+#include <cstdio>
+
+namespace chunknet {
+
+const char* to_string(ChunkType t) {
+  switch (t) {
+    case ChunkType::kTerminator: return "TERM";
+    case ChunkType::kData: return "D";
+    case ChunkType::kErrorDetection: return "ED";
+    case ChunkType::kSignal: return "SIG";
+    case ChunkType::kAck: return "ACK";
+  }
+  return "?";
+}
+
+std::string to_string(const FrameTuple& t) {
+  char buf[64];
+  const int w = std::snprintf(buf, sizeof buf, "(id=%u sn=%u st=%d)", t.id,
+                              t.sn, t.st ? 1 : 0);
+  return std::string(buf, static_cast<std::size_t>(w));
+}
+
+std::string to_string(const Chunk& c) {
+  std::string out = "chunk{";
+  out += to_string(c.h.type);
+  char buf[64];
+  int w = std::snprintf(buf, sizeof buf, " size=%u len=%u C=", c.h.size, c.h.len);
+  out.append(buf, static_cast<std::size_t>(w));
+  out += to_string(c.h.conn);
+  out += " T=";
+  out += to_string(c.h.tpdu);
+  out += " X=";
+  out += to_string(c.h.xpdu);
+  out += "}";
+  return out;
+}
+
+namespace {
+
+constexpr std::uint8_t kFlagCst = 0x01;
+constexpr std::uint8_t kFlagTst = 0x02;
+constexpr std::uint8_t kFlagXst = 0x04;
+
+}  // namespace
+
+void encode_chunk(ByteWriter& w, const Chunk& c) {
+  w.u8(static_cast<std::uint8_t>(c.h.type));
+  std::uint8_t flags = 0;
+  if (c.h.conn.st) flags |= kFlagCst;
+  if (c.h.tpdu.st) flags |= kFlagTst;
+  if (c.h.xpdu.st) flags |= kFlagXst;
+  w.u8(flags);
+  w.u16(c.h.size);
+  w.u16(c.h.len);
+  w.u32(c.h.conn.id);
+  w.u32(c.h.conn.sn);
+  w.u32(c.h.tpdu.id);
+  w.u32(c.h.tpdu.sn);
+  w.u32(c.h.xpdu.id);
+  w.u32(c.h.xpdu.sn);
+  w.u32(0);  // spare / future use (kept so kChunkHeaderBytes is stable)
+  w.bytes(c.payload);
+}
+
+DecodeStatus decode_chunk(ByteReader& r, Chunk& out) {
+  if (r.remaining() == 0) return DecodeStatus::kEnd;
+  const std::uint8_t type = r.u8();
+  if (type == static_cast<std::uint8_t>(ChunkType::kTerminator)) {
+    return DecodeStatus::kTerminator;
+  }
+  if (type > static_cast<std::uint8_t>(ChunkType::kAck)) {
+    return DecodeStatus::kError;
+  }
+  const std::uint8_t flags = r.u8();
+  out.h.type = static_cast<ChunkType>(type);
+  out.h.size = r.u16();
+  out.h.len = r.u16();
+  out.h.conn.id = r.u32();
+  out.h.conn.sn = r.u32();
+  out.h.tpdu.id = r.u32();
+  out.h.tpdu.sn = r.u32();
+  out.h.xpdu.id = r.u32();
+  out.h.xpdu.sn = r.u32();
+  r.skip(4);  // spare
+  if (!r.ok()) return DecodeStatus::kError;
+  out.h.conn.st = (flags & kFlagCst) != 0;
+  out.h.tpdu.st = (flags & kFlagTst) != 0;
+  out.h.xpdu.st = (flags & kFlagXst) != 0;
+  if (out.h.size == 0 || out.h.len == 0) return DecodeStatus::kError;
+  const std::size_t payload = static_cast<std::size_t>(out.h.size) * out.h.len;
+  const auto view = r.bytes(payload);
+  if (!r.ok()) return DecodeStatus::kError;
+  out.payload.assign(view.begin(), view.end());
+  return DecodeStatus::kOk;
+}
+
+std::size_t packed_size(std::span<const Chunk> chunks) {
+  std::size_t total = kPacketHeaderBytes;
+  for (const Chunk& c : chunks) total += c.wire_size();
+  return total;
+}
+
+std::vector<std::uint8_t> encode_packet(std::span<const Chunk> chunks,
+                                        std::size_t capacity) {
+  const std::size_t body = packed_size(chunks);
+  if (body > capacity) return {};
+  std::vector<std::uint8_t> out;
+  out.reserve(body + 1);
+  ByteWriter w(out);
+  w.u8(kPacketMagic);
+  w.u8(kPacketVersion);
+  w.u16(0);  // patched below
+  for (const Chunk& c : chunks) encode_chunk(w, c);
+  if (out.size() < capacity) {
+    w.u8(static_cast<std::uint8_t>(ChunkType::kTerminator));
+  }
+  const std::size_t length = out.size() - kPacketHeaderBytes;
+  out[2] = static_cast<std::uint8_t>(length >> 8);
+  out[3] = static_cast<std::uint8_t>(length);
+  return out;
+}
+
+ParsedPacket decode_packet(std::span<const std::uint8_t> bytes) {
+  ParsedPacket result;
+  ByteReader r(bytes);
+  const std::uint8_t magic = r.u8();
+  const std::uint8_t version = r.u8();
+  const std::uint16_t length = r.u16();
+  if (!r.ok() || magic != kPacketMagic || version != kPacketVersion ||
+      length != r.remaining()) {
+    return result;
+  }
+  for (;;) {
+    Chunk c;
+    const DecodeStatus s = decode_chunk(r, c);
+    if (s == DecodeStatus::kOk) {
+      result.chunks.push_back(std::move(c));
+      continue;
+    }
+    if (s == DecodeStatus::kTerminator || s == DecodeStatus::kEnd) {
+      result.ok = true;
+    }
+    break;
+  }
+  if (!result.ok) result.chunks.clear();
+  return result;
+}
+
+}  // namespace chunknet

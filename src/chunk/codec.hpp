@@ -1,0 +1,60 @@
+// Canonical wire codec for chunks and the packet envelope (paper §2).
+//
+// "Packets can be considered envelopes that carry integral numbers of
+// chunks." A packet body is a sequence of encoded chunks; if space
+// remains after the last valid chunk, a terminator (TYPE = 0, the
+// paper's LEN = 0 chunk) marks the end. The decoder accepts untrusted
+// bytes: every structural violation yields an explicit error, never
+// undefined behaviour.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/bytes.hpp"
+#include "src/chunk/types.hpp"
+
+namespace chunknet {
+
+/// Bytes of packet-level envelope header: magic(1) version(1) length(2).
+inline constexpr std::size_t kPacketHeaderBytes = 4;
+inline constexpr std::uint8_t kPacketMagic = 0xC4;
+inline constexpr std::uint8_t kPacketVersion = 1;
+
+/// Serializes one chunk in canonical fixed-field form.
+void encode_chunk(ByteWriter& w, const Chunk& c);
+
+/// Outcome of decoding one chunk from a reader.
+enum class DecodeStatus {
+  kOk,          ///< a valid chunk was produced
+  kTerminator,  ///< the TYPE=0 end-of-packet marker was read
+  kEnd,         ///< reader exhausted exactly at a chunk boundary
+  kError,       ///< malformed input (truncated or inconsistent)
+};
+
+DecodeStatus decode_chunk(ByteReader& r, Chunk& out);
+
+/// Encodes a full packet: envelope header + chunks + terminator (when
+/// at least one byte of the declared capacity remains). `capacity` is
+/// the network MTU; the encoded packet is *not* padded to it, but the
+/// function checks the chunks fit and appends the terminator only if
+/// the real packet would have trailing space. Returns an empty vector
+/// if the chunks exceed capacity (caller should have fragmented).
+std::vector<std::uint8_t> encode_packet(std::span<const Chunk> chunks,
+                                        std::size_t capacity);
+
+/// Result of parsing a packet body.
+struct ParsedPacket {
+  std::vector<Chunk> chunks;
+  bool ok{false};
+};
+
+ParsedPacket decode_packet(std::span<const std::uint8_t> bytes);
+
+/// Wire bytes needed to carry the given chunks in one packet,
+/// including envelope header (terminator excluded — it only occupies
+/// otherwise-unused space).
+std::size_t packed_size(std::span<const Chunk> chunks);
+
+}  // namespace chunknet

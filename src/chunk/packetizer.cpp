@@ -1,0 +1,113 @@
+#include "src/chunk/packetizer.hpp"
+
+#include <deque>
+
+#include "src/chunk/codec.hpp"
+#include "src/chunk/fragment.hpp"
+#include "src/chunk/reassemble.hpp"
+
+namespace chunknet {
+
+PacketizeResult packetize(std::vector<Chunk> chunks,
+                          const PacketizerOptions& opts) {
+  PacketizeResult result;
+
+  if (opts.policy == RepackPolicy::kReassemble) {
+    const std::size_t before = chunks.size();
+    chunks = coalesce(std::move(chunks));
+    result.merges = before - chunks.size();
+  }
+
+  for (const Chunk& c : chunks) result.payload_bytes += c.payload.size();
+
+  std::deque<Chunk> queue(std::make_move_iterator(chunks.begin()),
+                          std::make_move_iterator(chunks.end()));
+
+  std::vector<Chunk> current;
+  std::size_t used = kPacketHeaderBytes;
+
+  auto flush = [&] {
+    if (current.empty()) return;
+    auto pkt = encode_packet(current, opts.mtu);
+    result.packets.push_back(std::move(pkt));
+    current.clear();
+    used = kPacketHeaderBytes;
+  };
+
+  while (!queue.empty()) {
+    Chunk c = std::move(queue.front());
+    queue.pop_front();
+
+    const std::size_t room = opts.mtu - used;
+    if (c.wire_size() <= room) {
+      used += c.wire_size();
+      current.push_back(std::move(c));
+      if (opts.policy == RepackPolicy::kOnePerPacket) flush();
+      continue;
+    }
+
+    // Chunk does not fit in the space left. Either split it to fill the
+    // residual space (chunk fragmentation, Appendix C), or close this
+    // packet and start a fresh one.
+    if (opts.split_to_fill && opts.policy != RepackPolicy::kOnePerPacket &&
+        c.h.len > 1) {
+      const std::uint16_t fit = elements_that_fit(c, room);
+      if (fit > 0 && fit < c.h.len) {
+        auto [head, tail] = split_chunk(c, fit);
+        ++result.splits;
+        used += head.wire_size();
+        current.push_back(std::move(head));
+        flush();
+        queue.push_front(std::move(tail));
+        continue;
+      }
+    }
+
+    flush();
+    // The packet is now empty; a chunk that still exceeds the MTU must
+    // be fragmented unconditionally (Figure 3).
+    if (c.wire_size() > opts.mtu - kPacketHeaderBytes) {
+      auto pieces = split_to_fit(c, opts.mtu - kPacketHeaderBytes);
+      if (pieces.empty()) {
+        // MTU cannot carry even one element: undeliverable, drop.
+        result.payload_bytes -= c.payload.size();
+        continue;
+      }
+      result.splits += pieces.size() - 1;
+      for (auto it = pieces.rbegin(); it != pieces.rend(); ++it) {
+        queue.push_front(std::move(*it));
+      }
+      continue;
+    }
+    used += c.wire_size();
+    current.push_back(std::move(c));
+    if (opts.policy == RepackPolicy::kOnePerPacket) flush();
+  }
+  flush();
+
+  // Overhead = everything on the wire that is not application payload
+  // (packet envelopes, chunk headers, terminators).
+  std::uint64_t wire = 0;
+  for (const auto& p : result.packets) wire += p.size();
+  result.header_bytes = wire - result.payload_bytes;
+  return result;
+}
+
+std::vector<Chunk> unpack_all(
+    std::span<const std::vector<std::uint8_t>> packets,
+    std::size_t* malformed) {
+  std::vector<Chunk> out;
+  std::size_t bad = 0;
+  for (const auto& p : packets) {
+    ParsedPacket parsed = decode_packet(p);
+    if (!parsed.ok) {
+      ++bad;
+      continue;
+    }
+    for (auto& c : parsed.chunks) out.push_back(std::move(c));
+  }
+  if (malformed != nullptr) *malformed = bad;
+  return out;
+}
+
+}  // namespace chunknet

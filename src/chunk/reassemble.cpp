@@ -1,0 +1,66 @@
+#include "src/chunk/reassemble.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace chunknet {
+
+bool mergeable(const Chunk& a, const Chunk& b) {
+  if (a.h.type != b.h.type || a.h.size != b.h.size) return false;
+  if (a.h.conn.id != b.h.conn.id || a.h.tpdu.id != b.h.tpdu.id ||
+      a.h.xpdu.id != b.h.xpdu.id) {
+    return false;
+  }
+  // A head chunk carrying any stop bit ends its PDU(s); data after a
+  // stop bit belongs to a different PDU by definition, so a chunk with
+  // ST set cannot be a merge head.
+  if (a.h.conn.st || a.h.tpdu.st || a.h.xpdu.st) return false;
+  const std::uint32_t n = a.h.len;
+  return a.h.conn.sn + n == b.h.conn.sn && a.h.tpdu.sn + n == b.h.tpdu.sn &&
+         a.h.xpdu.sn + n == b.h.xpdu.sn;
+}
+
+std::optional<Chunk> merge_chunks(const Chunk& a, const Chunk& b) {
+  if (!mergeable(a, b)) return std::nullopt;
+  const std::uint32_t total = static_cast<std::uint32_t>(a.h.len) + b.h.len;
+  if (total > 0xFFFFu) return std::nullopt;
+
+  Chunk c;
+  c.h = a.h;  // TYPE, SIZE, IDs and SNs from the head
+  c.h.len = static_cast<std::uint16_t>(total);
+  c.h.conn.st = b.h.conn.st;  // ST bits from the tail
+  c.h.tpdu.st = b.h.tpdu.st;
+  c.h.xpdu.st = b.h.xpdu.st;
+  c.payload.reserve(a.payload.size() + b.payload.size());
+  c.payload = a.payload;
+  c.payload.insert(c.payload.end(), b.payload.begin(), b.payload.end());
+  return c;
+}
+
+std::vector<Chunk> coalesce(std::vector<Chunk> chunks) {
+  // One sort brings every mergeable pair adjacent: chunks that can
+  // merge share (type, size, ids) and have consecutive T.SNs. This is
+  // the single-step reassembly property — no per-fragmentation-round
+  // bookkeeping is needed because each chunk is self-describing.
+  auto key = [](const Chunk& c) {
+    return std::tuple(static_cast<std::uint8_t>(c.h.type), c.h.size,
+                      c.h.conn.id, c.h.tpdu.id, c.h.xpdu.id, c.h.conn.sn);
+  };
+  std::sort(chunks.begin(), chunks.end(),
+            [&](const Chunk& a, const Chunk& b) { return key(a) < key(b); });
+
+  std::vector<Chunk> out;
+  out.reserve(chunks.size());
+  for (Chunk& c : chunks) {
+    if (!out.empty()) {
+      if (auto merged = merge_chunks(out.back(), c)) {
+        out.back() = std::move(*merged);
+        continue;
+      }
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace chunknet

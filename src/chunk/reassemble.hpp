@@ -1,0 +1,38 @@
+// Chunk reassembly — the paper's Appendix D algorithm.
+//
+// Two chunks are *eligible* for merging when they agree on TYPE, SIZE
+// and all three IDs, and the second chunk's SNs continue the first's in
+// every framing tuple (first.sn + first.len == second.sn for C, T and
+// X simultaneously). The merged chunk takes the head's SNs and the
+// tail's ST bits. Merging is optional everywhere — an intermediate
+// system may merge (Figure 4 method 3), repack without merging
+// (method 2), or do nothing — and the receiver's processing is
+// identical in all cases. "Chunks can be reassembled efficiently in
+// one step, regardless of how many times they've been fragmented."
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/chunk/types.hpp"
+
+namespace chunknet {
+
+/// True iff b directly continues a (Appendix D eligibility predicate).
+bool mergeable(const Chunk& a, const Chunk& b);
+
+/// Merges two eligible chunks. Returns nullopt (and leaves inputs
+/// untouched) when not eligible or when the merged LEN would overflow
+/// its 16-bit field.
+std::optional<Chunk> merge_chunks(const Chunk& a, const Chunk& b);
+
+/// Repeatedly merges every eligible adjacent pair in an arbitrarily
+/// ordered collection of chunks, in a single pass over a sort order —
+/// the "one-step reassembly" of §3.1. Non-data chunks and chunks from
+/// unrelated PDUs pass through untouched. The relative order of
+/// unmergeable chunks is not preserved (chunks are order-free by
+/// construction).
+std::vector<Chunk> coalesce(std::vector<Chunk> chunks);
+
+}  // namespace chunknet

@@ -1,0 +1,92 @@
+// Core chunk data model (paper §2, Figure 2).
+//
+// A chunk is a completely self-describing piece of a PDU: a group of
+// data elements with contiguous sequence numbers that share one TYPE
+// and one set of framing IDs, under a single header. The header carries
+// the three (ID, SN, ST) framing tuples of the paper's example
+// communication system:
+//
+//   C.*  the connection   — the whole conversation treated as one
+//        large PDU (one unmultiplexed application-to-application
+//        stream, [FELD 90]);
+//   T.*  the transport PDU — the unit of error control;
+//   X.*  the external PDU  — any PDU of importance above transport,
+//        e.g. an Application Layer Frame [CLAR 90].
+//
+// SN fields count data *elements* (units of SIZE bytes), not bytes:
+// SIZE is the atomic unit of protocol data processing that
+// fragmentation must never split (e.g. a cipher block). ST is the
+// "STop" bit marking the final element of the respective PDU; inside a
+// chunk only the last element can carry ST bits, so the header stores
+// them once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chunknet {
+
+/// One (ID, SN, ST) framing tuple.
+struct FrameTuple {
+  std::uint32_t id{0};
+  std::uint32_t sn{0};
+  bool st{false};
+
+  friend bool operator==(const FrameTuple&, const FrameTuple&) = default;
+};
+
+/// Chunk TYPE values. TYPE 0 is reserved as the in-packet terminator
+/// (the paper's "chunk with LEN = 0 placed after the last valid chunk").
+enum class ChunkType : std::uint8_t {
+  kTerminator = 0,
+  kData = 1,            ///< PDU payload ("D" in Figure 2)
+  kErrorDetection = 2,  ///< TPDU error-detection code ("ED" in Figure 3)
+  kSignal = 3,          ///< connection signalling (establishment, SIZE advertisement)
+  kAck = 4,             ///< per-TPDU acknowledgement / NAK control
+};
+
+const char* to_string(ChunkType t);
+
+/// Fixed-field chunk header (the "simple version" of Appendix A; the
+/// compressed encodings in compress.hpp are invertible transforms of
+/// this canonical form).
+struct ChunkHeader {
+  ChunkType type{ChunkType::kData};
+  std::uint16_t size{1};  ///< bytes per atomic data element
+  std::uint16_t len{0};   ///< number of data elements in this chunk
+  FrameTuple conn;        ///< C.(ID, SN, ST)
+  FrameTuple tpdu;        ///< T.(ID, SN, ST)
+  FrameTuple xpdu;        ///< X.(ID, SN, ST)
+
+  friend bool operator==(const ChunkHeader&, const ChunkHeader&) = default;
+};
+
+/// Serialized size of the canonical fixed-field header, in bytes.
+inline constexpr std::size_t kChunkHeaderBytes = 34;
+
+/// A chunk: header plus payload. For data chunks the payload holds
+/// exactly size·len bytes; control chunks carry an opaque payload of
+/// size·len bytes as well (the codec enforces the product).
+struct Chunk {
+  ChunkHeader h;
+  std::vector<std::uint8_t> payload;
+
+  std::size_t payload_bytes() const {
+    return static_cast<std::size_t>(h.size) * h.len;
+  }
+  std::size_t wire_size() const { return kChunkHeaderBytes + payload.size(); }
+
+  /// True iff payload length matches size·len and len/size are sane.
+  bool structurally_valid() const {
+    return h.size > 0 && h.len > 0 && payload.size() == payload_bytes();
+  }
+
+  friend bool operator==(const Chunk&, const Chunk&) = default;
+};
+
+/// Human-readable single-line rendering (used by examples and tests).
+std::string to_string(const Chunk& c);
+std::string to_string(const FrameTuple& t);
+
+}  // namespace chunknet

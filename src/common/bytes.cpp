@@ -1,0 +1,38 @@
+#include "src/common/bytes.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace chunknet {
+
+std::string hex_dump(std::span<const std::uint8_t> data, std::size_t max_bytes) {
+  std::string out;
+  const std::size_t n = data.size() < max_bytes ? data.size() : max_bytes;
+  char line[128];
+  for (std::size_t row = 0; row < n; row += 16) {
+    int w = std::snprintf(line, sizeof line, "%06zx  ", row);
+    out.append(line, static_cast<std::size_t>(w));
+    for (std::size_t col = 0; col < 16; ++col) {
+      if (row + col < n) {
+        w = std::snprintf(line, sizeof line, "%02x ", data[row + col]);
+        out.append(line, static_cast<std::size_t>(w));
+      } else {
+        out.append("   ");
+      }
+      if (col == 7) out.push_back(' ');
+    }
+    out.append(" |");
+    for (std::size_t col = 0; col < 16 && row + col < n; ++col) {
+      const unsigned char c = data[row + col];
+      out.push_back(std::isprint(c) ? static_cast<char>(c) : '.');
+    }
+    out.append("|\n");
+  }
+  if (n < data.size()) {
+    int w = std::snprintf(line, sizeof line, "… %zu more bytes\n", data.size() - n);
+    out.append(line, static_cast<std::size_t>(w));
+  }
+  return out;
+}
+
+}  // namespace chunknet

@@ -1,0 +1,110 @@
+// Byte-level serialization helpers used by every wire codec in chunknet.
+//
+// All multi-byte integers on the wire are big-endian ("network order"),
+// matching the convention of the protocols the paper compares against.
+// ByteWriter appends to a caller-owned vector; ByteReader is a bounds-
+// checked cursor over a span. Reads past the end set a sticky error flag
+// rather than throwing, so packet parsers can decode untrusted input and
+// check `ok()` once at the end (or at each framing boundary).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace chunknet {
+
+/// Appends big-endian scalars and raw bytes to a growable buffer.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v >> 24));
+    out_.push_back(static_cast<std::uint8_t>(v >> 16));
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  }
+  void bytes(std::span<const std::uint8_t> b) {
+    out_.insert(out_.end(), b.begin(), b.end());
+  }
+  /// Number of bytes written so far to the underlying buffer.
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+/// Bounds-checked big-endian reader with a sticky error flag.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> in) : in_(in) {}
+
+  std::uint8_t u8() {
+    if (!need(1)) return 0;
+    return in_[pos_++];
+  }
+  std::uint16_t u16() {
+    if (!need(2)) return 0;
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(in_[pos_]) << 8) | in_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    if (!need(4)) return 0;
+    const std::uint32_t v = (static_cast<std::uint32_t>(in_[pos_]) << 24) |
+                            (static_cast<std::uint32_t>(in_[pos_ + 1]) << 16) |
+                            (static_cast<std::uint32_t>(in_[pos_ + 2]) << 8) |
+                            static_cast<std::uint32_t>(in_[pos_ + 3]);
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    const auto hi = static_cast<std::uint64_t>(u32());
+    const auto lo = static_cast<std::uint64_t>(u32());
+    return (hi << 32) | lo;
+  }
+  /// Returns a view of the next n bytes and advances; empty view on underrun.
+  std::span<const std::uint8_t> bytes(std::size_t n) {
+    if (!need(n)) return {};
+    const auto view = in_.subspan(pos_, n);
+    pos_ += n;
+    return view;
+  }
+  void skip(std::size_t n) { (void)bytes(n); }
+
+  std::size_t remaining() const { return ok_ ? in_.size() - pos_ : 0; }
+  std::size_t position() const { return pos_; }
+  bool ok() const { return ok_; }
+
+ private:
+  bool need(std::size_t n) {
+    if (!ok_ || in_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const std::uint8_t> in_;
+  std::size_t pos_{0};
+  bool ok_{true};
+};
+
+/// Formats a buffer as a conventional offset/hex/ascii dump (for examples
+/// and debugging output).
+std::string hex_dump(std::span<const std::uint8_t> data, std::size_t max_bytes = 256);
+
+}  // namespace chunknet

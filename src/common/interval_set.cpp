@@ -1,0 +1,96 @@
+#include "src/common/interval_set.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace chunknet {
+
+IntervalSet::AddResult IntervalSet::add(std::uint64_t lo, std::uint64_t hi) {
+  if (lo >= hi) return AddResult::kDuplicate;  // empty range adds nothing
+
+  // Classify against existing coverage first.
+  const bool dup = covers(lo, hi);
+  const bool overlap = !dup && intersects(lo, hi);
+
+  // Merge [lo, hi) into the interval map.
+  auto it = ivs_.upper_bound(lo);
+  if (it != ivs_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= lo) {
+      // extend backwards into prev
+      lo = prev->first;
+      hi = std::max(hi, prev->second);
+      covered_ -= prev->second - prev->first;
+      it = ivs_.erase(prev);
+    }
+  }
+  while (it != ivs_.end() && it->first <= hi) {
+    hi = std::max(hi, it->second);
+    covered_ -= it->second - it->first;
+    it = ivs_.erase(it);
+  }
+  ivs_.emplace(lo, hi);
+  covered_ += hi - lo;
+
+  if (dup) return AddResult::kDuplicate;
+  if (overlap) return AddResult::kOverlap;
+  return AddResult::kNew;
+}
+
+bool IntervalSet::covers(std::uint64_t lo, std::uint64_t hi) const {
+  if (lo >= hi) return true;
+  auto it = ivs_.upper_bound(lo);
+  if (it == ivs_.begin()) return false;
+  const auto& [ilo, ihi] = *std::prev(it);
+  return ilo <= lo && hi <= ihi;
+}
+
+bool IntervalSet::intersects(std::uint64_t lo, std::uint64_t hi) const {
+  if (lo >= hi) return false;
+  auto it = ivs_.upper_bound(lo);
+  if (it != ivs_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > lo) return true;
+  }
+  return it != ivs_.end() && it->first < hi;
+}
+
+std::uint64_t IntervalSet::first_gap() const {
+  auto it = ivs_.find(0);
+  if (it == ivs_.end()) {
+    // no interval starting at 0: gap is at 0 unless an interval covers it
+    it = ivs_.begin();
+    if (it == ivs_.end() || it->first > 0) return 0;
+  }
+  return it->second;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> IntervalSet::gaps_within(
+    std::uint64_t lo, std::uint64_t hi) const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> gaps;
+  std::uint64_t cursor = lo;
+  for (const auto& [ilo, ihi] : ivs_) {
+    if (ihi <= cursor) continue;
+    if (ilo >= hi) break;
+    if (ilo > cursor) gaps.emplace_back(cursor, std::min(ilo, hi));
+    cursor = std::max(cursor, ihi);
+    if (cursor >= hi) break;
+  }
+  if (cursor < hi) gaps.emplace_back(cursor, hi);
+  return gaps;
+}
+
+std::string IntervalSet::to_string() const {
+  std::string out;
+  char buf[64];
+  for (const auto& [lo, hi] : ivs_) {
+    const int w = std::snprintf(buf, sizeof buf, "[%llu,%llu) ",
+                                static_cast<unsigned long long>(lo),
+                                static_cast<unsigned long long>(hi));
+    out.append(buf, static_cast<std::size_t>(w));
+  }
+  if (!out.empty()) out.pop_back();
+  return out;
+}
+
+}  // namespace chunknet

@@ -1,0 +1,74 @@
+// A set of disjoint half-open intervals [lo, hi) over uint64.
+//
+// This is the core data structure of virtual reassembly (DESIGN.md §2):
+// the receiver tracks which sequence-number ranges of each PDU have been
+// seen, detects duplicates/overlaps (which must be rejected before they
+// reach an incremental checksum, §3.3 of the paper), and reports
+// completion once [0, total) is covered.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace chunknet {
+
+class IntervalSet {
+ public:
+  /// Outcome of attempting to add a range.
+  enum class AddResult {
+    kNew,        ///< range was disjoint from everything seen so far
+    kDuplicate,  ///< range is entirely contained in already-seen data
+    kOverlap,    ///< range partially overlaps seen data (suspicious)
+  };
+
+  /// Adds [lo, hi). Overlapping/duplicate ranges are *not* merged into
+  /// the covered set a second time; the caller decides what to do.
+  /// On kOverlap the novel portion is still recorded so coverage
+  /// accounting stays exact.
+  AddResult add(std::uint64_t lo, std::uint64_t hi);
+
+  /// True if [lo, hi) is entirely covered.
+  bool covers(std::uint64_t lo, std::uint64_t hi) const;
+
+  /// True if any part of [lo, hi) is covered.
+  bool intersects(std::uint64_t lo, std::uint64_t hi) const;
+
+  /// Total number of covered points.
+  std::uint64_t covered() const { return covered_; }
+
+  /// Number of disjoint intervals currently held (a measure of how
+  /// fragmented the received data is).
+  std::size_t pieces() const { return ivs_.size(); }
+
+  bool empty() const { return ivs_.empty(); }
+
+  /// Lowest point not covered starting from 0 (the next in-order byte).
+  std::uint64_t first_gap() const;
+
+  /// One past the highest covered point (0 when empty).
+  std::uint64_t max_covered() const {
+    return ivs_.empty() ? 0 : ivs_.rbegin()->second;
+  }
+
+  /// The uncovered runs within [lo, hi), in ascending order. This is
+  /// what a selective-retransmission NAK carries: the receiver's
+  /// virtual-reassembly tracker knows exactly which runs are missing.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> gaps_within(
+      std::uint64_t lo, std::uint64_t hi) const;
+
+  void clear() {
+    ivs_.clear();
+    covered_ = 0;
+  }
+
+  std::string to_string() const;
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> ivs_;  // lo -> hi
+  std::uint64_t covered_{0};
+};
+
+}  // namespace chunknet

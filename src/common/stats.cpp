@@ -1,0 +1,100 @@
+#include "src/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace chunknet {
+
+void Summary::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Summary::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+std::string Summary::to_string() const {
+  char buf[160];
+  const int w =
+      std::snprintf(buf, sizeof buf, "n=%zu mean=%.3f min=%.3f max=%.3f sd=%.3f",
+                    n_, mean(), min(), max(), stddev());
+  return std::string(buf, static_cast<std::size_t>(w));
+}
+
+double Percentiles::percentile(double p) {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+TextTable::TextTable(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows_) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::string out;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    for (std::size_t i = 0; i < rows_[r].size(); ++i) {
+      out += rows_[r][i];
+      if (i + 1 < rows_[r].size()) {
+        out.append(widths[i] - rows_[r][i].size() + 2, ' ');
+      }
+    }
+    out.push_back('\n');
+    if (r == 0) {
+      std::size_t total = 0;
+      for (std::size_t i = 0; i < widths.size(); ++i) {
+        total += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+      }
+      out.append(total, '-');
+      out.push_back('\n');
+    }
+  }
+  return out;
+}
+
+std::string TextTable::num(double v, int precision) {
+  char buf[64];
+  const int w = std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return std::string(buf, static_cast<std::size_t>(w));
+}
+
+std::string TextTable::num(std::uint64_t v) {
+  char buf[32];
+  const int w = std::snprintf(buf, sizeof buf, "%llu",
+                              static_cast<unsigned long long>(v));
+  return std::string(buf, static_cast<std::size_t>(w));
+}
+
+}  // namespace chunknet

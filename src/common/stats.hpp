@@ -1,0 +1,69 @@
+// Lightweight statistics accumulators for benchmarks and experiments:
+// running summary (mean/min/max/stddev) and a fixed-bucket histogram
+// with percentile queries. The E3–E7 benches print these as the rows of
+// the reproduced tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chunknet {
+
+/// Streaming summary statistics (Welford's algorithm for variance).
+class Summary {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double total() const { return sum_; }
+  std::string to_string() const;
+
+ private:
+  std::size_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+  double sum_{0.0};
+};
+
+/// Exact-percentile sample set: stores all samples, sorts on demand.
+/// Fine for the experiment scales here (<= millions of samples).
+class Percentiles {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  std::size_t count() const { return samples_.size(); }
+  /// p in [0,100]. Returns 0 for an empty set.
+  double percentile(double p);
+  double median() { return percentile(50.0); }
+  double p99() { return percentile(99.0); }
+
+ private:
+  std::vector<double> samples_;
+  bool sorted_{false};
+};
+
+/// Renders a simple aligned text table; used by the bench harnesses so
+/// every reproduced figure/table prints in a uniform format.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  std::string render() const;
+
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::uint64_t v);
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace chunknet

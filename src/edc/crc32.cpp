@@ -1,0 +1,78 @@
+#include "src/edc/crc32.hpp"
+
+#include <array>
+
+namespace chunknet {
+
+namespace {
+
+constexpr std::uint32_t kPolyReflected = 0xEDB88320u;
+
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 4> t{};
+  Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? (c >> 1) ^ kPolyReflected : c >> 1;
+      }
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFFu];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFFu];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFFu];
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32_bitwise(std::span<const std::uint8_t> data,
+                            std::uint32_t seed) {
+  std::uint32_t c = seed;
+  for (const std::uint8_t b : data) {
+    c ^= b;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (c >> 1) ^ kPolyReflected : c >> 1;
+    }
+  }
+  return c;
+}
+
+std::uint32_t crc32_table(std::span<const std::uint8_t> data,
+                          std::uint32_t seed) {
+  const auto& t = tables().t[0];
+  std::uint32_t c = seed;
+  for (const std::uint8_t b : data) {
+    c = (c >> 8) ^ t[(c ^ b) & 0xFFu];
+  }
+  return c;
+}
+
+std::uint32_t crc32_slice4(std::span<const std::uint8_t> data,
+                           std::uint32_t seed) {
+  const auto& t = tables().t;
+  std::uint32_t c = seed;
+  std::size_t i = 0;
+  const std::size_t n4 = data.size() & ~std::size_t{3};
+  for (; i < n4; i += 4) {
+    c ^= static_cast<std::uint32_t>(data[i]) |
+         (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+         (static_cast<std::uint32_t>(data[i + 2]) << 16) |
+         (static_cast<std::uint32_t>(data[i + 3]) << 24);
+    c = t[3][c & 0xFFu] ^ t[2][(c >> 8) & 0xFFu] ^ t[1][(c >> 16) & 0xFFu] ^
+        t[0][c >> 24];
+  }
+  for (; i < data.size(); ++i) {
+    c = (c >> 8) ^ t[0][(c ^ data[i]) & 0xFFu];
+  }
+  return c;
+}
+
+}  // namespace chunknet

@@ -1,0 +1,49 @@
+// CRC-32 (IEEE 802.3 polynomial 0x04C11DB7, reflected form 0xEDB88320).
+//
+// CRC is the conventional strong error-detection code the paper
+// contrasts with WSC-2: "A CRC cannot be computed on disordered data"
+// [FELD 92]. A CRC over a byte stream depends on the order of the
+// bytes, so a receiver using CRC must reassemble (or at least reorder)
+// a PDU before verifying it — which is precisely the buffering the
+// chunk architecture exists to avoid. We provide three implementations
+// (bitwise reference, single-table, slicing-by-4) so bench E4 can give
+// CRC its best case when comparing throughput against WSC-2.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace chunknet {
+
+/// Bitwise reference implementation (slow; used to validate the others).
+std::uint32_t crc32_bitwise(std::span<const std::uint8_t> data,
+                            std::uint32_t seed = 0xFFFFFFFFu);
+
+/// Classic one-table-lookup-per-byte implementation.
+std::uint32_t crc32_table(std::span<const std::uint8_t> data,
+                          std::uint32_t seed = 0xFFFFFFFFu);
+
+/// Slicing-by-4: processes 4 bytes per step with 4 tables.
+std::uint32_t crc32_slice4(std::span<const std::uint8_t> data,
+                           std::uint32_t seed = 0xFFFFFFFFu);
+
+/// Streaming CRC: bytes must be fed strictly in order (this is the
+/// point of the baseline — there is no `add_at_position` operation).
+class Crc32Stream {
+ public:
+  void update(std::span<const std::uint8_t> data) {
+    state_ = crc32_slice4(data, state_);
+  }
+  std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+  void reset() { state_ = 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_{0xFFFFFFFFu};
+};
+
+/// Final (output-xored) CRC of a whole buffer.
+inline std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  return crc32_slice4(data) ^ 0xFFFFFFFFu;
+}
+
+}  // namespace chunknet

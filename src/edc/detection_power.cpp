@@ -1,0 +1,137 @@
+#include "src/edc/detection_power.hpp"
+
+#include <algorithm>
+
+#include "src/edc/crc32.hpp"
+#include "src/edc/fletcher.hpp"
+#include "src/edc/inet_checksum.hpp"
+#include "src/edc/wsc2.hpp"
+
+namespace chunknet {
+
+const char* to_string(ErrorClass c) {
+  switch (c) {
+    case ErrorClass::kSingleBit: return "single-bit";
+    case ErrorClass::kDoubleBit: return "double-bit";
+    case ErrorClass::kBurst32: return "burst<=32b";
+    case ErrorClass::kBurst64: return "burst<=64b";
+    case ErrorClass::kWordSwap: return "16b-word-swap";
+    case ErrorClass::kWordReorder: return "32b-word-reorder";
+    case ErrorClass::kRandomGarbage: return "random-garbage";
+  }
+  return "?";
+}
+
+namespace {
+
+void flip_bit(std::vector<std::uint8_t>& m, std::uint64_t bit) {
+  m[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+}
+
+/// Applies one corruption of the given class; returns false if the
+/// corruption happened to be an identity (so the trial is not counted).
+bool corrupt(std::vector<std::uint8_t>& m, ErrorClass cls, Rng& rng) {
+  const std::uint64_t bits = static_cast<std::uint64_t>(m.size()) * 8;
+  switch (cls) {
+    case ErrorClass::kSingleBit:
+      flip_bit(m, rng.below(bits));
+      return true;
+    case ErrorClass::kDoubleBit: {
+      const std::uint64_t a = rng.below(bits);
+      std::uint64_t b = rng.below(bits);
+      while (b == a) b = rng.below(bits);
+      flip_bit(m, a);
+      flip_bit(m, b);
+      return true;
+    }
+    case ErrorClass::kBurst32:
+    case ErrorClass::kBurst64: {
+      const std::uint64_t max_len = cls == ErrorClass::kBurst32 ? 32 : 64;
+      const std::uint64_t len = rng.range(2, max_len);
+      const std::uint64_t start = rng.below(bits - len + 1);
+      // First and last bit of a burst are flipped by definition; the
+      // interior is random.
+      flip_bit(m, start);
+      flip_bit(m, start + len - 1);
+      for (std::uint64_t i = 1; i + 1 < len; ++i) {
+        if (rng.chance(0.5)) flip_bit(m, start + i);
+      }
+      return true;
+    }
+    case ErrorClass::kWordSwap: {
+      const std::size_t words = m.size() / 2;
+      if (words < 2) return false;
+      const std::size_t a = rng.below(words);
+      std::size_t b = rng.below(words);
+      while (b == a) b = rng.below(words);
+      if (m[2 * a] == m[2 * b] && m[2 * a + 1] == m[2 * b + 1]) return false;
+      std::swap(m[2 * a], m[2 * b]);
+      std::swap(m[2 * a + 1], m[2 * b + 1]);
+      return true;
+    }
+    case ErrorClass::kWordReorder: {
+      const std::size_t words = m.size() / 4;
+      if (words < 2) return false;
+      std::vector<std::uint8_t> orig = m;
+      // Fisher-Yates over 32-bit words.
+      for (std::size_t i = words - 1; i > 0; --i) {
+        const std::size_t j = rng.below(i + 1);
+        for (int k = 0; k < 4; ++k) std::swap(m[4 * i + k], m[4 * j + k]);
+      }
+      return m != orig;
+    }
+    case ErrorClass::kRandomGarbage: {
+      std::vector<std::uint8_t> orig = m;
+      for (auto& b : m) b = static_cast<std::uint8_t>(rng.next());
+      return m != orig;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+DetectionResult measure_detection(const CodeUnderTest& code, ErrorClass cls,
+                                  std::size_t message_len, std::uint64_t trials,
+                                  Rng& rng) {
+  DetectionResult result{cls, 0, 0};
+  std::vector<std::uint8_t> message(message_len);
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    for (auto& b : message) b = static_cast<std::uint8_t>(rng.next());
+    const std::uint64_t clean = code.compute(message);
+    std::vector<std::uint8_t> dirty = message;
+    if (!corrupt(dirty, cls, rng)) continue;
+    ++result.trials;
+    if (code.compute(dirty) == clean) ++result.undetected;
+  }
+  return result;
+}
+
+std::vector<CodeUnderTest> standard_code_roster() {
+  std::vector<CodeUnderTest> roster;
+  roster.push_back({"WSC-2", 64, true, [](std::span<const std::uint8_t> m) {
+                      const Wsc2Code c = wsc2_compute(m);
+                      return (static_cast<std::uint64_t>(c.p0) << 32) | c.p1;
+                    }});
+  roster.push_back({"WSC-2/P0-only", 32, true,
+                    [](std::span<const std::uint8_t> m) {
+                      return static_cast<std::uint64_t>(wsc2_compute(m).p0);
+                    }});
+  roster.push_back({"CRC-32", 32, false, [](std::span<const std::uint8_t> m) {
+                      return static_cast<std::uint64_t>(crc32(m));
+                    }});
+  roster.push_back({"Internet-16", 16, true,
+                    [](std::span<const std::uint8_t> m) {
+                      return static_cast<std::uint64_t>(inet_checksum(m));
+                    }});
+  roster.push_back({"Fletcher-32", 32, false,
+                    [](std::span<const std::uint8_t> m) {
+                      return static_cast<std::uint64_t>(fletcher32(m));
+                    }});
+  roster.push_back({"Adler-32", 32, false, [](std::span<const std::uint8_t> m) {
+                      return static_cast<std::uint64_t>(adler32(m));
+                    }});
+  return roster;
+}
+
+}  // namespace chunknet

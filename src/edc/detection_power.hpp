@@ -1,0 +1,63 @@
+// Empirical error-detection-power harness (supports bench E4).
+//
+// The paper claims WSC-2 "has the error detection power of an
+// equivalent cyclic redundancy code" while remaining computable on
+// disordered data, and that the TCP checksum is computable on
+// disordered data but weaker. This harness makes those claims
+// measurable: for each registered code it injects controlled error
+// classes into random messages and counts undetected corruptions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+
+namespace chunknet {
+
+/// A code under test: maps a message to a (≤64-bit) check value.
+struct CodeUnderTest {
+  std::string name;
+  int check_bits;            ///< width of the check value
+  bool order_independent;    ///< can it be computed on disordered data?
+  std::function<std::uint64_t(std::span<const std::uint8_t>)> compute;
+};
+
+/// Error classes exercised by the harness.
+enum class ErrorClass {
+  kSingleBit,      ///< one flipped bit
+  kDoubleBit,      ///< two flipped bits, independent positions
+  kBurst32,        ///< contiguous burst of ≤32 corrupted bits
+  kBurst64,        ///< contiguous burst of ≤64 corrupted bits
+  kWordSwap,       ///< two aligned 16-bit words exchanged
+  kWordReorder,    ///< random permutation of 32-bit words (models disorder
+                   ///< reaching an order-dependent code unnoticed)
+  kRandomGarbage,  ///< message replaced by random bytes
+};
+
+const char* to_string(ErrorClass c);
+
+struct DetectionResult {
+  ErrorClass error_class;
+  std::uint64_t trials{0};
+  std::uint64_t undetected{0};
+  double undetected_fraction() const {
+    return trials ? static_cast<double>(undetected) / static_cast<double>(trials)
+                  : 0.0;
+  }
+};
+
+/// Runs `trials` corruptions of `message_len`-byte random messages for
+/// one code and one error class.
+DetectionResult measure_detection(const CodeUnderTest& code, ErrorClass cls,
+                                  std::size_t message_len, std::uint64_t trials,
+                                  Rng& rng);
+
+/// The standard roster used by tests and bench E4: WSC-2 (both parity
+/// words), CRC-32, Internet checksum, Fletcher-32, Adler-32.
+std::vector<CodeUnderTest> standard_code_roster();
+
+}  // namespace chunknet

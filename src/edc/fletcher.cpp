@@ -1,0 +1,52 @@
+#include "src/edc/fletcher.hpp"
+
+namespace chunknet {
+
+std::uint32_t fletcher32(std::span<const std::uint8_t> data) {
+  std::uint32_t c0 = 0;
+  std::uint32_t c1 = 0;
+  std::size_t i = 0;
+  const std::size_t words = data.size() / 2;
+  std::size_t remaining = words;
+  while (remaining > 0) {
+    // Process in blocks small enough that the sums cannot overflow
+    // before reduction (standard Fletcher blocking).
+    std::size_t block = remaining < 359 ? remaining : 359;
+    remaining -= block;
+    while (block-- > 0) {
+      const std::uint32_t w =
+          (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
+      i += 2;
+      c0 += w;
+      c1 += c0;
+    }
+    c0 %= 65535u;
+    c1 %= 65535u;
+  }
+  if (i < data.size()) {
+    c0 = (c0 + (static_cast<std::uint32_t>(data[i]) << 8)) % 65535u;
+    c1 = (c1 + c0) % 65535u;
+  }
+  return (c1 << 16) | c0;
+}
+
+std::uint32_t adler32(std::span<const std::uint8_t> data) {
+  constexpr std::uint32_t kMod = 65521u;
+  std::uint32_t a = 1;
+  std::uint32_t b = 0;
+  std::size_t i = 0;
+  std::size_t remaining = data.size();
+  while (remaining > 0) {
+    std::size_t block = remaining < 5552 ? remaining : 5552;
+    remaining -= block;
+    while (block-- > 0) {
+      a += data[i++];
+      b += a;
+    }
+    a %= kMod;
+    b %= kMod;
+  }
+  return (b << 16) | a;
+}
+
+}  // namespace chunknet

@@ -1,0 +1,21 @@
+// Fletcher-32 and Adler-32 checksums.
+//
+// Additional order-DEPENDENT baselines for the E4 detection-power and
+// throughput comparison. Fletcher/Adler weight each byte by its
+// position through the running second sum, so like CRC they cannot be
+// computed on disordered fragments — they sit between the Internet
+// checksum and CRC in both cost and strength.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace chunknet {
+
+/// Fletcher-32 over 16-bit big-endian words (odd tail zero-padded).
+std::uint32_t fletcher32(std::span<const std::uint8_t> data);
+
+/// Adler-32 (zlib) checksum.
+std::uint32_t adler32(std::span<const std::uint8_t> data);
+
+}  // namespace chunknet

@@ -1,0 +1,21 @@
+#include "src/edc/inet_checksum.hpp"
+
+namespace chunknet {
+
+std::uint16_t inet_sum(std::span<const std::uint8_t> data) {
+  std::uint64_t sum = 0;
+  std::size_t i = 0;
+  const std::size_t n2 = data.size() & ~std::size_t{1};
+  for (; i < n2; i += 2) {
+    sum += (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
+  }
+  if (i < data.size()) {
+    sum += static_cast<std::uint32_t>(data[i]) << 8;
+  }
+  while (sum >> 16) {
+    sum = (sum & 0xFFFFu) + (sum >> 16);
+  }
+  return static_cast<std::uint16_t>(sum);
+}
+
+}  // namespace chunknet

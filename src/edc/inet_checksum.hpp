@@ -1,0 +1,44 @@
+// The Internet (RFC 1071) 16-bit ones-complement checksum.
+//
+// Footnote 11 of the paper: "The TCP checksum can be computed on
+// disordered data, but has less powerful error detection properties
+// than both CRC and WSC-2." This module is that middle point of the
+// comparison: order-independent (addition commutes, as long as
+// fragments split on 16-bit boundaries) but blind to reordered words,
+// swapped 16-bit units, and many 2-bit error patterns — bench E4
+// measures exactly how much weaker it is.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace chunknet {
+
+/// Ones-complement sum of 16-bit big-endian words (without final
+/// inversion). Odd trailing byte is padded with zero, per RFC 1071.
+std::uint16_t inet_sum(std::span<const std::uint8_t> data);
+
+/// Standard Internet checksum (inverted sum).
+inline std::uint16_t inet_checksum(std::span<const std::uint8_t> data) {
+  return static_cast<std::uint16_t>(~inet_sum(data));
+}
+
+/// Incremental, order-independent accumulator: partial sums over
+/// 16-bit-aligned fragments combine by ones-complement addition
+/// regardless of arrival order.
+class InetChecksumAccumulator {
+ public:
+  void add(std::span<const std::uint8_t> data) { add_sum(inet_sum(data)); }
+  void add_sum(std::uint16_t partial) {
+    std::uint32_t s = static_cast<std::uint32_t>(sum_) + partial;
+    s = (s & 0xFFFFu) + (s >> 16);
+    sum_ = static_cast<std::uint16_t>(s);
+  }
+  std::uint16_t checksum() const { return static_cast<std::uint16_t>(~sum_); }
+  void reset() { sum_ = 0; }
+
+ private:
+  std::uint16_t sum_{0};
+};
+
+}  // namespace chunknet

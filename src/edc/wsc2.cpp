@@ -1,0 +1,57 @@
+#include "src/edc/wsc2.hpp"
+
+namespace chunknet {
+
+namespace {
+std::uint32_t load_be32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+}  // namespace
+
+void Wsc2Accumulator::add_words(std::uint32_t pos,
+                                std::span<const std::uint8_t> bytes) {
+  // A contiguous run contributes Σ α^(pos+w)·d_w = α^pos · H where
+  // H = Σ α^w·d_w evaluates by Horner's rule over the REVERSED word
+  // order: H = d₀ ⊕ α(d₁ ⊕ α(d₂ ⊕ …)). Each step is one ×α (a shift
+  // and conditional XOR), so the run costs ~1 cheap op per word plus a
+  // single full multiply by the ladder weight α^pos at the end —
+  // preserving exact equality with per-symbol absorption (tested).
+  const std::size_t words = bytes.size() / 4;
+  std::uint32_t horner = 0;
+
+  // Trailing non-word bytes are a contract violation for EDC-covered
+  // data; pad-absorb them as a final partial symbol (position
+  // pos + words) so nothing is silently dropped if a caller slips.
+  const std::size_t tail = bytes.size() - words * 4;
+  if (tail != 0) {
+    std::uint32_t d = 0;
+    for (std::size_t i = 0; i < tail; ++i) {
+      d |= static_cast<std::uint32_t>(bytes[words * 4 + i])
+           << (24 - 8 * static_cast<int>(i));
+    }
+    p0_ ^= d;
+    horner = d;
+  } else if (words == 0) {
+    return;
+  }
+
+  const std::uint8_t* base = bytes.data();
+  for (std::size_t w = words; w-- > 0;) {
+    const std::uint32_t d = load_be32(base + w * 4);
+    p0_ ^= d;
+    horner = gf32::times_alpha(horner) ^ d;
+  }
+  p1_ ^= gf32::mul(gf32::PowerLadder::shared().alpha_pow(pos), horner);
+}
+
+Wsc2Code wsc2_compute(std::span<const std::uint8_t> bytes,
+                      std::uint32_t first_pos) {
+  Wsc2Accumulator acc;
+  acc.add_words(first_pos, bytes);
+  return acc.value();
+}
+
+}  // namespace chunknet

@@ -1,0 +1,208 @@
+// ATM adaptation-layer schemes of Appendix B: AAL5 (SEAL, [LYON 91])
+// and AAL3/4 ([DEPR 91]). Both ride 53-byte ATM cells (5-byte cell
+// header + 48-byte payload); ATM links do not misorder, which is
+// exactly why these protocols can leave so much framing implicit — and
+// why they fail the moment disordering (multipath skew) appears.
+#include <algorithm>
+
+#include "src/common/bytes.hpp"
+#include "src/framing/scheme.hpp"
+
+namespace chunknet {
+
+namespace {
+
+constexpr std::size_t kCellBytes = 53;
+constexpr std::size_t kCellHeaderBytes = 5;  // GFC/VPI/VCI/PT/CLP/HEC
+constexpr std::size_t kCellPayloadBytes = 48;
+
+/// Writes a minimal ATM cell header. `user_bit` is the AAL5
+/// end-of-frame indication (PT field bit); `vci` demultiplexes.
+void write_cell_header(ByteWriter& w, std::uint32_t vci, bool user_bit) {
+  w.u8(0);                                        // GFC + VPI high
+  w.u16(static_cast<std::uint16_t>(vci & 0xFFFF)); // VPI low + VCI
+  w.u8(user_bit ? 0x02 : 0x00);                   // PT/CLP
+  w.u8(0x5A);                                     // HEC (not computed here)
+}
+
+// ---------------------------------------------------------------- AAL5
+
+class Aal5Scheme final : public FramingScheme {
+ public:
+  FramingCapabilities capabilities() const override {
+    FramingCapabilities c;
+    c.name = "AAL5";
+    c.reference = "[LYON 91]";
+    c.disorder = DisorderTolerance::kNone;
+    c.framing_levels = 1;
+    c.type = FieldSupport::kImplicit;  // ED code found by position in frame
+    c.len = FieldSupport::kExplicit;   // length in trailer
+    c.size = FieldSupport::kImplicit;
+    c.c_id = FieldSupport::kExplicit;  // VCI
+    c.c_sn = FieldSupport::kAbsent;    // "no explicit SN … ATM links do not misorder"
+    c.c_st = FieldSupport::kImplicit;  // connection teardown signalling
+    c.t_st = FieldSupport::kExplicit;  // the single end-of-frame bit
+    c.t_id = FieldSupport::kAbsent;
+    c.t_sn = FieldSupport::kAbsent;
+    c.notes = "cell begins a frame iff previous cell ended one";
+    return c;
+  }
+
+  CarriedPayload carry(std::span<const std::uint8_t> stream,
+                       std::size_t tpdu_bytes, std::size_t /*mtu: cells are
+                       fixed*/) const override {
+    CarriedPayload out;
+    out.payload_bytes = stream.size();
+    std::size_t pos = 0;
+    while (pos < stream.size()) {
+      const std::size_t frame_len = std::min(tpdu_bytes, stream.size() - pos);
+      // AAL5: frame + 8-byte trailer, padded to a whole number of cells.
+      const std::size_t with_trailer = frame_len + 8;
+      const std::size_t cells =
+          (with_trailer + kCellPayloadBytes - 1) / kCellPayloadBytes;
+      for (std::size_t i = 0; i < cells; ++i) {
+        std::vector<std::uint8_t> cell;
+        cell.reserve(kCellBytes);
+        ByteWriter w(cell);
+        const bool last = i + 1 == cells;
+        write_cell_header(w, kVci, last);
+        const std::size_t body_off = i * kCellPayloadBytes;
+        for (std::size_t b = 0; b < kCellPayloadBytes; ++b) {
+          const std::size_t idx = body_off + b;
+          if (idx < frame_len) {
+            w.u8(stream[pos + idx]);
+          } else if (last && b >= kCellPayloadBytes - 8) {
+            // trailer: UU/CPI (2), length (2), CRC-32 (4)
+            // (content below; written byte-at-a-time for simplicity)
+            const std::size_t t = b - (kCellPayloadBytes - 8);
+            std::uint8_t trailer[8] = {
+                0, 0,
+                static_cast<std::uint8_t>(frame_len >> 8),
+                static_cast<std::uint8_t>(frame_len), 0xDE, 0xAD, 0xBE, 0xEF};
+            w.u8(trailer[t]);
+          } else {
+            w.u8(0);  // pad
+          }
+        }
+        out.packets.push_back(std::move(cell));
+      }
+      out.header_bytes += cells * kCellHeaderBytes + 8 +
+                          cells * kCellPayloadBytes - with_trailer;
+      pos += frame_len;
+    }
+    return out;
+  }
+
+  UnitInsight inspect(std::span<const std::uint8_t> unit) const override {
+    UnitInsight ins;
+    if (unit.size() != kCellBytes) return ins;
+    ins.parsed = true;
+    ins.knows_connection = true;  // VCI is in every cell
+    // Position within the frame is implicit in channel order: a lone
+    // disordered cell cannot be placed, and frame start is only known
+    // relative to the previous cell's end bit.
+    ins.knows_stream_offset = false;
+    ins.knows_pdu_boundary = (unit[3] & 0x02) != 0;  // end-of-frame bit
+    ins.payload_bytes = kCellPayloadBytes;
+    return ins;
+  }
+
+ private:
+  static constexpr std::uint32_t kVci = 42;
+};
+
+// -------------------------------------------------------------- AAL3/4
+
+class Aal34Scheme final : public FramingScheme {
+ public:
+  FramingCapabilities capabilities() const override {
+    FramingCapabilities c;
+    c.name = "AAL3/4";
+    c.reference = "[DEPR 91]";
+    c.disorder = DisorderTolerance::kPartial;
+    c.framing_levels = 2;
+    c.type = FieldSupport::kExplicit;  // BOM/COM/EOM segment type
+    c.len = FieldSupport::kExplicit;   // LI field
+    c.size = FieldSupport::kImplicit;
+    c.c_id = FieldSupport::kExplicit;  // MID
+    c.c_sn = FieldSupport::kExplicit;  // 4-bit SN
+    c.c_st = FieldSupport::kAbsent;    // "No C.ST is used"
+    c.x_st = FieldSupport::kExplicit;  // EOM ≡ X.ST
+    c.x_id = FieldSupport::kImplicit;  // derivable from C.SN at BOM
+    c.x_sn = FieldSupport::kImplicit;
+    c.notes = "4-bit SN wraps fast; disorder tolerance is narrow";
+    return c;
+  }
+
+  CarriedPayload carry(std::span<const std::uint8_t> stream,
+                       std::size_t tpdu_bytes,
+                       std::size_t /*mtu*/) const override {
+    CarriedPayload out;
+    out.payload_bytes = stream.size();
+    // AAL3/4: 2-byte SAR header (ST|SN|MID) + 44-byte payload +
+    // 2-byte trailer (LI|CRC-10) per cell.
+    constexpr std::size_t kSarPayload = 44;
+    std::uint8_t sn = 0;
+    std::size_t pos = 0;
+    while (pos < stream.size()) {
+      const std::size_t frame_len = std::min(tpdu_bytes, stream.size() - pos);
+      const std::size_t cells = (frame_len + kSarPayload - 1) / kSarPayload;
+      for (std::size_t i = 0; i < cells; ++i) {
+        std::vector<std::uint8_t> cell;
+        cell.reserve(kCellBytes);
+        ByteWriter w(cell);
+        write_cell_header(w, kVci, false);
+        const bool first = i == 0;
+        const bool last = i + 1 == cells;
+        // ST: 10=BOM, 00=COM, 01=EOM, 11=SSM (single-segment)
+        std::uint8_t st = first && last ? 0xC0 : first ? 0x80 : last ? 0x40 : 0x00;
+        w.u8(static_cast<std::uint8_t>(st | (sn & 0x0F)));
+        w.u8(kMid);
+        sn = static_cast<std::uint8_t>((sn + 1) & 0x0F);
+        const std::size_t off = i * kSarPayload;
+        const std::size_t n = std::min(kSarPayload, frame_len - off);
+        for (std::size_t b = 0; b < kSarPayload; ++b) {
+          w.u8(b < n ? stream[pos + off + b] : 0);
+        }
+        w.u8(static_cast<std::uint8_t>(n));  // LI
+        w.u8(0x3F);                          // CRC-10 placeholder
+        out.packets.push_back(std::move(cell));
+      }
+      out.header_bytes += cells * (kCellHeaderBytes + 4);
+      // padding in final cell counts as overhead too:
+      out.header_bytes += cells * kSarPayload - frame_len;
+      pos += frame_len;
+    }
+    return out;
+  }
+
+  UnitInsight inspect(std::span<const std::uint8_t> unit) const override {
+    UnitInsight ins;
+    if (unit.size() != kCellBytes) return ins;
+    ins.parsed = true;
+    ins.knows_connection = true;  // MID
+    const std::uint8_t st = unit[kCellHeaderBytes] & 0xC0;
+    // BOM carries the frame start, EOM the end; a COM cell alone knows
+    // its 4-bit SN — enough to *order* within a short window but not to
+    // place absolutely (X.SN only derivable once the BOM's C.SN is known).
+    ins.knows_stream_offset = false;
+    ins.knows_pdu_boundary = st == 0x40 || st == 0xC0;  // EOM/SSM
+    ins.payload_bytes = 44;
+    return ins;
+  }
+
+ private:
+  static constexpr std::uint32_t kVci = 42;
+  static constexpr std::uint8_t kMid = 7;
+};
+
+}  // namespace
+
+std::unique_ptr<FramingScheme> make_aal5_scheme() {
+  return std::make_unique<Aal5Scheme>();
+}
+std::unique_ptr<FramingScheme> make_aal34_scheme() {
+  return std::make_unique<Aal34Scheme>();
+}
+
+}  // namespace chunknet

@@ -1,0 +1,358 @@
+// Datagram/transaction schemes of Appendix B: IP fragmentation
+// [POST 81], VMTP [CHER 86], XTP [XTP 90] and Axon [STER 90]. These are
+// the protocols designed for misordering channels, each solving part of
+// the problem chunks solve in full.
+#include <algorithm>
+
+#include "src/common/bytes.hpp"
+#include "src/framing/scheme.hpp"
+
+namespace chunknet {
+
+namespace {
+
+// ------------------------------------------------------------------- IP
+
+class IpScheme final : public FramingScheme {
+ public:
+  FramingCapabilities capabilities() const override {
+    FramingCapabilities c;
+    c.name = "IP-frag";
+    c.reference = "[POST 81]";
+    c.disorder = DisorderTolerance::kPartial;
+    c.framing_levels = 1;
+    c.type = FieldSupport::kImplicit;
+    c.len = FieldSupport::kExplicit;
+    c.size = FieldSupport::kImplicit;
+    c.t_id = FieldSupport::kExplicit;  // identification field
+    c.t_sn = FieldSupport::kExplicit;  // fragment offset
+    c.t_st = FieldSupport::kExplicit;  // ¬MF bit
+    c.c_id = FieldSupport::kExplicit;  // address pair + protocol
+    c.c_sn = FieldSupport::kAbsent;    // no stream sequencing at IP
+    c.c_st = FieldSupport::kAbsent;
+    c.notes = "fragments placeable within a datagram, not within stream";
+    return c;
+  }
+
+  CarriedPayload carry(std::span<const std::uint8_t> stream,
+                       std::size_t tpdu_bytes, std::size_t mtu) const override {
+    CarriedPayload out;
+    out.payload_bytes = stream.size();
+    constexpr std::size_t kIpHeader = 20;
+    // fragment payloads must be multiples of 8 bytes except the last
+    const std::size_t frag_body = ((mtu - kIpHeader) / 8) * 8;
+    std::uint16_t ident = 1;
+    std::size_t pos = 0;
+    while (pos < stream.size()) {
+      const std::size_t dgram = std::min(tpdu_bytes, stream.size() - pos);
+      std::size_t off = 0;
+      while (off < dgram) {
+        const std::size_t n = std::min(frag_body, dgram - off);
+        const bool more = off + n < dgram;
+        std::vector<std::uint8_t> pkt;
+        pkt.reserve(kIpHeader + n);
+        ByteWriter w(pkt);
+        w.u8(0x45);  // version + IHL
+        w.u8(0);     // TOS
+        w.u16(static_cast<std::uint16_t>(kIpHeader + n));  // total length
+        w.u16(ident);
+        const std::uint16_t frag_field = static_cast<std::uint16_t>(
+            ((more ? 0x2000 : 0x0000)) | ((off / 8) & 0x1FFF));
+        w.u16(frag_field);
+        w.u8(64);    // TTL
+        w.u8(253);   // protocol
+        w.u16(0);    // checksum placeholder
+        w.u32(0x0A000001);  // src
+        w.u32(0x0A000002);  // dst
+        w.bytes(stream.subspan(pos + off, n));
+        out.packets.push_back(std::move(pkt));
+        out.header_bytes += kIpHeader;
+        off += n;
+      }
+      ++ident;
+      pos += dgram;
+    }
+    return out;
+  }
+
+  UnitInsight inspect(std::span<const std::uint8_t> unit) const override {
+    UnitInsight ins;
+    if (unit.size() < 20 || unit[0] != 0x45) return ins;
+    ByteReader r(unit);
+    r.skip(2);
+    const std::uint16_t total = r.u16();
+    r.u16();  // ident
+    const std::uint16_t frag = r.u16();
+    if (!r.ok() || total != unit.size()) return ins;
+    ins.parsed = true;
+    ins.knows_connection = true;  // addresses + protocol + ident
+    // A fragment knows its offset *within its datagram* — it can be
+    // placed in the datagram's reassembly buffer, but the datagram's
+    // place in the application stream is known only to the transport
+    // header inside fragment 0. This is the paper's §3.2 point: the
+    // receiver must branch on "complete PDU vs fragment" and buffer.
+    ins.knows_stream_offset = (frag & 0x1FFF) == 0;
+    ins.knows_pdu_boundary = (frag & 0x2000) == 0;  // ¬MF: last fragment
+    ins.payload_bytes = unit.size() - 20;
+    return ins;
+  }
+};
+
+// ----------------------------------------------------------------- VMTP
+
+class VmtpScheme final : public FramingScheme {
+ public:
+  FramingCapabilities capabilities() const override {
+    FramingCapabilities c;
+    c.name = "VMTP";
+    c.reference = "[CHER 86]";
+    c.disorder = DisorderTolerance::kPartial;
+    c.framing_levels = 2;
+    c.type = FieldSupport::kImplicit;  // per-packet ED, by position
+    c.len = FieldSupport::kImplicit;
+    c.size = FieldSupport::kImplicit;
+    c.c_id = FieldSupport::kExplicit;  // client/transaction addressing
+    c.t_id = FieldSupport::kImplicit;  // error detection per packet
+    c.t_sn = FieldSupport::kImplicit;
+    c.t_st = FieldSupport::kImplicit;
+    c.x_id = FieldSupport::kExplicit;  // transaction identifier
+    c.x_sn = FieldSupport::kExplicit;  // segOffset
+    c.x_st = FieldSupport::kExplicit;  // End-of-Message
+    c.notes = "message segments placeable by segOffset within transaction";
+    return c;
+  }
+
+  CarriedPayload carry(std::span<const std::uint8_t> stream,
+                       std::size_t tpdu_bytes, std::size_t mtu) const override {
+    CarriedPayload out;
+    out.payload_bytes = stream.size();
+    constexpr std::size_t kHeader = 28;  // abridged VMTP header
+    const std::size_t body = std::min(tpdu_bytes, mtu - kHeader);
+    std::uint32_t transaction = 1;
+    std::size_t pos = 0;
+    while (pos < stream.size()) {
+      const std::size_t msg = std::min(tpdu_bytes, stream.size() - pos);
+      std::size_t off = 0;
+      while (off < msg) {
+        const std::size_t n = std::min(body, msg - off);
+        std::vector<std::uint8_t> pkt;
+        pkt.reserve(kHeader + n);
+        ByteWriter w(pkt);
+        w.u64(0xC11E'27A5'0000'0001ull);  // client id
+        w.u32(transaction);               // X.ID
+        w.u32(static_cast<std::uint32_t>(off));  // segOffset (X.SN)
+        w.u32(static_cast<std::uint32_t>(n));
+        const bool eom = off + n >= msg;
+        w.u32(eom ? 1u : 0u);             // flags incl. End-of-Message
+        w.u32(0);                         // per-packet checksum slot
+        w.bytes(stream.subspan(pos + off, n));
+        out.packets.push_back(std::move(pkt));
+        out.header_bytes += kHeader;
+        off += n;
+      }
+      ++transaction;
+      pos += msg;
+    }
+    return out;
+  }
+
+  UnitInsight inspect(std::span<const std::uint8_t> unit) const override {
+    UnitInsight ins;
+    if (unit.size() < 28) return ins;
+    ByteReader r(unit);
+    r.u64();
+    r.u32();
+    r.u32();  // segOffset
+    const std::uint32_t n = r.u32();
+    const std::uint32_t flags = r.u32();
+    if (!r.ok() || unit.size() != 28u + n) return ins;
+    ins.parsed = true;
+    ins.knows_connection = true;
+    ins.knows_stream_offset = true;  // segOffset within the transaction
+    ins.knows_pdu_boundary = (flags & 1u) != 0;
+    ins.payload_bytes = n;
+    return ins;
+  }
+};
+
+// ------------------------------------------------------------------ XTP
+
+class XtpScheme final : public FramingScheme {
+ public:
+  FramingCapabilities capabilities() const override {
+    FramingCapabilities c;
+    c.name = "XTP";
+    c.reference = "[XTP 90]";
+    c.disorder = DisorderTolerance::kPartial;
+    c.framing_levels = 2;
+    c.type = FieldSupport::kImplicit;
+    c.len = FieldSupport::kExplicit;
+    c.size = FieldSupport::kImplicit;
+    c.c_id = FieldSupport::kExplicit;  // key field
+    c.c_sn = FieldSupport::kExplicit;  // seq (byte sequence)
+    c.c_st = FieldSupport::kImplicit;
+    c.t_id = FieldSupport::kImplicit;  // PDU ≤ packet: per-packet TPDUs
+    c.t_sn = FieldSupport::kImplicit;
+    c.t_st = FieldSupport::kImplicit;
+    c.x_st = FieldSupport::kExplicit;  // BTAG/ETAG delimiters
+    c.x_id = FieldSupport::kImplicit;  // from C.SN and ETAG
+    c.x_sn = FieldSupport::kImplicit;
+    c.notes = "converts big PDUs to per-packet TPDUs; SUPER packets combine";
+    return c;
+  }
+
+  CarriedPayload carry(std::span<const std::uint8_t> stream,
+                       std::size_t tpdu_bytes, std::size_t mtu) const override {
+    CarriedPayload out;
+    out.payload_bytes = stream.size();
+    // XTP: every packet is a self-contained TPDU — header (24) +
+    // trailer (4) in EVERY packet; "the overhead of all PDUs must be
+    // carried in each packet" (§3.2).
+    constexpr std::size_t kHeader = 24;
+    constexpr std::size_t kTrailer = 4;
+    const std::size_t body = std::min(tpdu_bytes, mtu - kHeader - kTrailer);
+    std::size_t pos = 0;
+    while (pos < stream.size()) {
+      const std::size_t n = std::min(body, stream.size() - pos);
+      std::vector<std::uint8_t> pkt;
+      pkt.reserve(kHeader + n + kTrailer);
+      ByteWriter w(pkt);
+      w.u32(kKey);                              // key (C.ID)
+      w.u32(0x00010000);                        // cmd/options
+      w.u32(static_cast<std::uint32_t>(pos));   // seq (C.SN in bytes)
+      w.u32(static_cast<std::uint32_t>(n));     // dlen
+      const bool etag = (pos + n) % tpdu_bytes == 0 || pos + n >= stream.size();
+      w.u32(etag ? 0x8000'0000u : 0u);          // BTAG/ETAG bits
+      w.u32(0);                                 // sort/sync
+      w.bytes(stream.subspan(pos, n));
+      w.u32(0);                                 // trailing check slot
+      out.packets.push_back(std::move(pkt));
+      out.header_bytes += kHeader + kTrailer;
+      pos += n;
+    }
+    return out;
+  }
+
+  UnitInsight inspect(std::span<const std::uint8_t> unit) const override {
+    UnitInsight ins;
+    if (unit.size() < 28) return ins;
+    ByteReader r(unit);
+    const std::uint32_t key = r.u32();
+    r.u32();
+    r.u32();  // seq
+    const std::uint32_t n = r.u32();
+    const std::uint32_t tags = r.u32();
+    if (!r.ok() || key != kKey || unit.size() != 28u + n) return ins;
+    ins.parsed = true;
+    ins.knows_connection = true;
+    ins.knows_stream_offset = true;  // byte seq places the payload
+    ins.knows_pdu_boundary = (tags & 0x8000'0000u) != 0;
+    ins.payload_bytes = n;
+    return ins;
+  }
+
+ private:
+  static constexpr std::uint32_t kKey = 0x5E17;
+};
+
+// ----------------------------------------------------------------- Axon
+
+class AxonScheme final : public FramingScheme {
+ public:
+  FramingCapabilities capabilities() const override {
+    FramingCapabilities c;
+    c.name = "Axon";
+    c.reference = "[STER 90]";
+    c.disorder = DisorderTolerance::kFull;
+    c.framing_levels = 3;
+    c.type = FieldSupport::kImplicit;  // checksum by position, some typing
+    c.len = FieldSupport::kImplicit;
+    c.size = FieldSupport::kImplicit;
+    // every level has SN (index) and ST (limit), but not all have IDs:
+    // frames are assumed hierarchically nested.
+    c.c_id = FieldSupport::kExplicit;
+    c.c_sn = FieldSupport::kExplicit;
+    c.c_st = FieldSupport::kExplicit;
+    c.t_id = FieldSupport::kAbsent;  // nested: no independent T identity
+    c.t_sn = FieldSupport::kExplicit;
+    c.t_st = FieldSupport::kExplicit;
+    c.x_id = FieldSupport::kAbsent;
+    c.x_sn = FieldSupport::kExplicit;
+    c.x_st = FieldSupport::kExplicit;
+    c.notes = "placement-only framing: data placement yes, processing framing no";
+    return c;
+  }
+
+  CarriedPayload carry(std::span<const std::uint8_t> stream,
+                       std::size_t tpdu_bytes, std::size_t mtu) const override {
+    CarriedPayload out;
+    out.payload_bytes = stream.size();
+    constexpr std::size_t kHeader = 22;  // conn(4) + 3×(index 4 + limit 1) + len(2) + csum(1)
+    const std::size_t body = std::min(tpdu_bytes, mtu - kHeader);
+    std::size_t pos = 0;
+    while (pos < stream.size()) {
+      const std::size_t n = std::min(body, stream.size() - pos);
+      std::vector<std::uint8_t> pkt;
+      pkt.reserve(kHeader + n);
+      ByteWriter w(pkt);
+      w.u32(kConnId);
+      const bool tpdu_end =
+          (pos + n) % tpdu_bytes == 0 || pos + n >= stream.size();
+      w.u32(static_cast<std::uint32_t>(pos));            // connection index
+      w.u8(pos + n >= stream.size() ? 1 : 0);            // connection limit
+      w.u32(static_cast<std::uint32_t>(pos % tpdu_bytes));  // tpdu index
+      w.u8(tpdu_end ? 1 : 0);                            // tpdu limit
+      w.u32(static_cast<std::uint32_t>(pos % (tpdu_bytes / 2 ? tpdu_bytes / 2
+                                                             : 1)));
+      w.u8(0);                                           // frame limit
+      w.u16(static_cast<std::uint16_t>(n));
+      w.u8(0x11);  // per-packet checksum placeholder (by position)
+      w.bytes(stream.subspan(pos, n));
+      out.packets.push_back(std::move(pkt));
+      out.header_bytes += kHeader;
+      pos += n;
+    }
+    return out;
+  }
+
+  UnitInsight inspect(std::span<const std::uint8_t> unit) const override {
+    UnitInsight ins;
+    if (unit.size() < 22) return ins;
+    ByteReader r(unit);
+    const std::uint32_t conn = r.u32();
+    r.u32();
+    r.u8();
+    r.u32();
+    const std::uint8_t tpdu_limit = r.u8();
+    r.u32();
+    r.u8();
+    const std::uint16_t n = r.u16();
+    if (!r.ok() || conn != kConnId || unit.size() != 22u + n) return ins;
+    ins.parsed = true;
+    ins.knows_connection = true;
+    ins.knows_stream_offset = true;  // index fields place every level
+    ins.knows_pdu_boundary = tpdu_limit != 0;
+    ins.payload_bytes = n;
+    return ins;
+  }
+
+ private:
+  static constexpr std::uint32_t kConnId = 0xA404;
+};
+
+}  // namespace
+
+std::unique_ptr<FramingScheme> make_ip_scheme() {
+  return std::make_unique<IpScheme>();
+}
+std::unique_ptr<FramingScheme> make_vmtp_scheme() {
+  return std::make_unique<VmtpScheme>();
+}
+std::unique_ptr<FramingScheme> make_xtp_scheme() {
+  return std::make_unique<XtpScheme>();
+}
+std::unique_ptr<FramingScheme> make_axon_scheme() {
+  return std::make_unique<AxonScheme>();
+}
+
+}  // namespace chunknet

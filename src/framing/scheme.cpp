@@ -1,0 +1,38 @@
+#include "src/framing/scheme.hpp"
+
+namespace chunknet {
+
+const char* to_string(FieldSupport f) {
+  switch (f) {
+    case FieldSupport::kExplicit: return "explicit";
+    case FieldSupport::kImplicit: return "implicit";
+    case FieldSupport::kAbsent: return "-";
+  }
+  return "?";
+}
+
+const char* to_string(DisorderTolerance d) {
+  switch (d) {
+    case DisorderTolerance::kNone: return "none";
+    case DisorderTolerance::kPartial: return "partial";
+    case DisorderTolerance::kFull: return "full";
+  }
+  return "?";
+}
+
+std::vector<std::unique_ptr<FramingScheme>> all_schemes() {
+  std::vector<std::unique_ptr<FramingScheme>> v;
+  v.push_back(make_chunk_scheme());
+  v.push_back(make_aal5_scheme());
+  v.push_back(make_aal34_scheme());
+  v.push_back(make_hdlc_scheme());
+  v.push_back(make_urp_scheme());
+  v.push_back(make_delta_t_scheme());
+  v.push_back(make_ip_scheme());
+  v.push_back(make_vmtp_scheme());
+  v.push_back(make_xtp_scheme());
+  v.push_back(make_axon_scheme());
+  return v;
+}
+
+}  // namespace chunknet

@@ -1,0 +1,119 @@
+// Protocol-framing comparison substrate (paper Appendix B).
+//
+// Appendix B compares the chunk syntax with nine existing protocols by
+// asking, for each framing field of the chunk model (TYPE, SIZE, LEN,
+// C/T/X × ID/SN/ST), whether the protocol carries it explicitly,
+// derives it implicitly (and from what), or lacks it — and consequently
+// whether a receiver can process a *disordered* arrival immediately.
+//
+// Each adapter here implements a real header codec for its protocol
+// (realistic field widths and layouts), plus the capability matrix the
+// appendix states in prose. Bench E9 regenerates the appendix as a
+// table from these adapters; bench E8 uses them to measure the
+// demultiplexing cost of mixed fragment/whole-PDU arrivals.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/chunk/types.hpp"
+
+namespace chunknet {
+
+/// How a protocol conveys one of the chunk model's framing fields.
+enum class FieldSupport : std::uint8_t {
+  kExplicit,  ///< carried in every unit's header/trailer
+  kImplicit,  ///< derivable (from position, another field, or channel state)
+  kAbsent,    ///< not available at all
+};
+
+const char* to_string(FieldSupport f);
+
+/// How much disorder a receiver of this protocol can accept while still
+/// processing arrivals immediately.
+enum class DisorderTolerance : std::uint8_t {
+  kNone,     ///< strictly in-order channel assumed (e.g. AAL5, HDLC)
+  kPartial,  ///< some framing levels survive disorder, others don't
+  kFull,     ///< every arrival is self-describing (chunks, Axon-style)
+};
+
+const char* to_string(DisorderTolerance d);
+
+/// Appendix-B row: per-field support matrix plus summary properties.
+struct FramingCapabilities {
+  std::string name;
+  std::string reference;  ///< citation tag from the paper
+  DisorderTolerance disorder{DisorderTolerance::kNone};
+  int framing_levels{1};
+
+  FieldSupport type{FieldSupport::kAbsent};
+  FieldSupport len{FieldSupport::kAbsent};
+  FieldSupport size{FieldSupport::kAbsent};  ///< implicit for everything but chunks
+  FieldSupport c_id{FieldSupport::kAbsent}, c_sn{FieldSupport::kAbsent},
+      c_st{FieldSupport::kAbsent};
+  FieldSupport t_id{FieldSupport::kAbsent}, t_sn{FieldSupport::kAbsent},
+      t_st{FieldSupport::kAbsent};
+  FieldSupport x_id{FieldSupport::kAbsent}, x_sn{FieldSupport::kAbsent},
+      x_st{FieldSupport::kAbsent};
+  std::string notes;
+};
+
+/// Result of carrying a payload under a scheme.
+struct CarriedPayload {
+  std::vector<std::vector<std::uint8_t>> packets;  ///< wire units (cells/frames/datagrams)
+  std::uint64_t header_bytes{0};
+  std::uint64_t payload_bytes{0};
+  double efficiency() const {
+    const double total = static_cast<double>(header_bytes + payload_bytes);
+    return total > 0 ? static_cast<double>(payload_bytes) / total : 0.0;
+  }
+};
+
+/// What a receiver can conclude from ONE wire unit arriving with no
+/// other context (the crux of the disorder argument).
+struct UnitInsight {
+  bool parsed{false};
+  bool knows_connection{false};     ///< can demultiplex
+  bool knows_stream_offset{false};  ///< can place payload in app memory
+  bool knows_pdu_boundary{false};   ///< can detect end-of-PDU
+  std::size_t payload_bytes{0};
+};
+
+/// A protocol adapter. `carry` expresses a TPDU-framed byte stream in
+/// the protocol's own wire syntax, fragmenting to the given MTU;
+/// `inspect` decodes a single wire unit *without inter-unit state* and
+/// reports what an immediate processor could do with it.
+class FramingScheme {
+ public:
+  virtual ~FramingScheme() = default;
+
+  virtual FramingCapabilities capabilities() const = 0;
+
+  /// Carries `stream` as a sequence of `tpdu_bytes`-sized PDUs over
+  /// wire units of at most `mtu` bytes.
+  virtual CarriedPayload carry(std::span<const std::uint8_t> stream,
+                               std::size_t tpdu_bytes,
+                               std::size_t mtu) const = 0;
+
+  virtual UnitInsight inspect(std::span<const std::uint8_t> unit) const = 0;
+};
+
+/// All Appendix-B schemes, chunks first.
+std::vector<std::unique_ptr<FramingScheme>> all_schemes();
+
+// Individual factories (each defined in its scheme's translation unit).
+std::unique_ptr<FramingScheme> make_chunk_scheme();
+std::unique_ptr<FramingScheme> make_aal5_scheme();
+std::unique_ptr<FramingScheme> make_aal34_scheme();
+std::unique_ptr<FramingScheme> make_hdlc_scheme();
+std::unique_ptr<FramingScheme> make_urp_scheme();
+std::unique_ptr<FramingScheme> make_delta_t_scheme();
+std::unique_ptr<FramingScheme> make_ip_scheme();
+std::unique_ptr<FramingScheme> make_vmtp_scheme();
+std::unique_ptr<FramingScheme> make_xtp_scheme();
+std::unique_ptr<FramingScheme> make_axon_scheme();
+
+}  // namespace chunknet

@@ -1,0 +1,253 @@
+// Ordered-channel framing schemes of Appendix B: HDLC (and its family:
+// SDLC, LAPB, LAPD…), Fraser & Marshall's URP [FRAS 89], and the
+// Delta-t protocol [WATS 83]. These protocols mark frame boundaries
+// with flags or symbols *in the data stream*, so most framing is
+// implicit in channel order.
+#include <algorithm>
+
+#include "src/common/bytes.hpp"
+#include "src/framing/scheme.hpp"
+
+namespace chunknet {
+
+namespace {
+
+// ----------------------------------------------------------------- HDLC
+
+class HdlcScheme final : public FramingScheme {
+ public:
+  FramingCapabilities capabilities() const override {
+    FramingCapabilities c;
+    c.name = "HDLC";
+    c.reference = "(link family)";
+    c.disorder = DisorderTolerance::kNone;
+    c.framing_levels = 3;
+    c.type = FieldSupport::kImplicit;  // ED code by position in frame
+    c.len = FieldSupport::kImplicit;   // delimited by flags
+    c.size = FieldSupport::kImplicit;
+    c.c_id = FieldSupport::kExplicit;  // address field
+    c.c_sn = FieldSupport::kExplicit;  // 3-bit N(S)
+    c.c_st = FieldSupport::kImplicit;  // DISC frame
+    c.t_id = FieldSupport::kImplicit;
+    c.t_sn = FieldSupport::kImplicit;
+    c.t_st = FieldSupport::kImplicit;  // frame boundary = flag
+    c.x_st = FieldSupport::kExplicit;  // P/F bit
+    c.x_id = FieldSupport::kImplicit;
+    c.x_sn = FieldSupport::kImplicit;
+    c.notes = "frame delimited by 0x7E flags; FCS by position";
+    return c;
+  }
+
+  CarriedPayload carry(std::span<const std::uint8_t> stream,
+                       std::size_t tpdu_bytes, std::size_t mtu) const override {
+    CarriedPayload out;
+    out.payload_bytes = stream.size();
+    const std::size_t body = std::min(tpdu_bytes, mtu - 6);
+    std::uint8_t ns = 0;
+    std::size_t pos = 0;
+    while (pos < stream.size()) {
+      const std::size_t n = std::min(body, stream.size() - pos);
+      std::vector<std::uint8_t> frame;
+      frame.reserve(n + 6);
+      ByteWriter w(frame);
+      w.u8(0x7E);                 // opening flag
+      w.u8(kAddress);             // C.ID
+      // control: I-frame, N(S) in bits 1..3, P/F in bit 4
+      const bool pf = pos + n >= stream.size();
+      w.u8(static_cast<std::uint8_t>(((ns & 7) << 1) | (pf ? 0x10 : 0)));
+      ns = static_cast<std::uint8_t>((ns + 1) & 7);
+      w.bytes(stream.subspan(pos, n));
+      w.u16(0xF0BA);              // FCS placeholder (by position)
+      w.u8(0x7E);                 // closing flag
+      out.packets.push_back(std::move(frame));
+      out.header_bytes += 6;
+      pos += n;
+    }
+    return out;
+  }
+
+  UnitInsight inspect(std::span<const std::uint8_t> unit) const override {
+    UnitInsight ins;
+    if (unit.size() < 6 || unit.front() != 0x7E || unit.back() != 0x7E) {
+      return ins;
+    }
+    ins.parsed = true;
+    ins.knows_connection = true;      // address field
+    ins.knows_stream_offset = false;  // 3-bit SN orders, cannot place
+    ins.knows_pdu_boundary = true;    // every frame is delimited
+    ins.payload_bytes = unit.size() - 6;
+    return ins;
+  }
+
+ private:
+  static constexpr std::uint8_t kAddress = 0x03;
+};
+
+// ------------------------------------------------------------------ URP
+
+class UrpScheme final : public FramingScheme {
+ public:
+  FramingCapabilities capabilities() const override {
+    FramingCapabilities c;
+    c.name = "URP";
+    c.reference = "[FRAS 89]";
+    c.disorder = DisorderTolerance::kNone;
+    c.framing_levels = 3;
+    c.type = FieldSupport::kImplicit;
+    c.len = FieldSupport::kImplicit;
+    c.size = FieldSupport::kImplicit;
+    c.c_id = FieldSupport::kImplicit;  // one URP connection per network connection
+    c.c_sn = FieldSupport::kExplicit;
+    c.c_st = FieldSupport::kImplicit;  // connection tear-down
+    c.t_st = FieldSupport::kExplicit;  // BOT / BOTM markers
+    c.t_id = FieldSupport::kImplicit;
+    c.t_sn = FieldSupport::kImplicit;
+    c.x_st = FieldSupport::kExplicit;  // BOT marker
+    c.x_id = FieldSupport::kImplicit;  // derived from C.SN and X.ST
+    c.x_sn = FieldSupport::kImplicit;
+    c.notes = "blocks delimited by BOT/BOTM control bytes in stream";
+    return c;
+  }
+
+  CarriedPayload carry(std::span<const std::uint8_t> stream,
+                       std::size_t tpdu_bytes, std::size_t mtu) const override {
+    CarriedPayload out;
+    out.payload_bytes = stream.size();
+    // URP sends the stream in "envelopes": window of data + trailing
+    // control byte + sequence number; block ends marked with BOT/BOTM.
+    const std::size_t body = std::min(tpdu_bytes, mtu - 3);
+    std::uint8_t seq = 0;
+    std::size_t pos = 0;
+    while (pos < stream.size()) {
+      const std::size_t n = std::min(body, stream.size() - pos);
+      std::vector<std::uint8_t> env;
+      env.reserve(n + 3);
+      ByteWriter w(env);
+      w.bytes(stream.subspan(pos, n));
+      const bool block_end = (pos + n) % tpdu_bytes == 0 || pos + n >= stream.size();
+      w.u8(block_end ? kBotm : kSeq);  // control byte
+      w.u8(seq);                       // C.SN (mod 256 window)
+      w.u8(0x55);                      // check byte
+      seq = static_cast<std::uint8_t>(seq + 1);
+      out.packets.push_back(std::move(env));
+      out.header_bytes += 3;
+      pos += n;
+    }
+    return out;
+  }
+
+  UnitInsight inspect(std::span<const std::uint8_t> unit) const override {
+    UnitInsight ins;
+    if (unit.size() <= 3) return ins;  // trailer + at least one data byte
+    const std::uint8_t control = unit[unit.size() - 3];
+    if (control != kBotm && control != kSeq) return ins;
+    ins.parsed = true;
+    ins.knows_connection = true;  // 1:1 with the network connection
+    ins.knows_stream_offset = false;  // 8-bit window SN orders only
+    ins.knows_pdu_boundary = unit[unit.size() - 3] == kBotm;
+    ins.payload_bytes = unit.size() - 3;
+    return ins;
+  }
+
+ private:
+  static constexpr std::uint8_t kBotm = 0xB1;
+  static constexpr std::uint8_t kSeq = 0xA0;
+};
+
+// -------------------------------------------------------------- Delta-t
+
+class DeltaTScheme final : public FramingScheme {
+ public:
+  FramingCapabilities capabilities() const override {
+    FramingCapabilities c;
+    c.name = "Delta-t";
+    c.reference = "[WATS 83]";
+    c.disorder = DisorderTolerance::kPartial;
+    c.framing_levels = 2;
+    c.type = FieldSupport::kImplicit;
+    c.len = FieldSupport::kExplicit;
+    c.size = FieldSupport::kImplicit;
+    c.c_id = FieldSupport::kExplicit;
+    c.c_sn = FieldSupport::kExplicit;  // large enough to reorder
+    c.c_st = FieldSupport::kImplicit;
+    c.t_id = FieldSupport::kImplicit;
+    c.t_sn = FieldSupport::kImplicit;
+    c.t_st = FieldSupport::kImplicit;
+    c.x_st = FieldSupport::kExplicit;  // E symbol in stream
+    c.x_id = FieldSupport::kImplicit;  // from B/E symbols and C.SN
+    c.x_sn = FieldSupport::kImplicit;
+    c.notes = "C-level placement OK disordered; X framing needs stream scan";
+    return c;
+  }
+
+  CarriedPayload carry(std::span<const std::uint8_t> stream,
+                       std::size_t tpdu_bytes, std::size_t mtu) const override {
+    CarriedPayload out;
+    out.payload_bytes = stream.size();
+    // Header: conn id (4), 32-bit C.SN in bytes (4), len (2). Frame
+    // boundaries ride as B/E marker symbols escaped into the stream;
+    // we account one marker byte per PDU boundary crossed (reserved in
+    // the MTU budget so a marker never overflows the unit).
+    const std::size_t body = std::min(tpdu_bytes, mtu - 11);
+    std::size_t pos = 0;
+    while (pos < stream.size()) {
+      const std::size_t n = std::min(body, stream.size() - pos);
+      std::vector<std::uint8_t> pkt;
+      pkt.reserve(n + 11);
+      ByteWriter w(pkt);
+      w.u32(kConnId);
+      w.u32(static_cast<std::uint32_t>(pos));  // byte-granular C.SN
+      w.u16(static_cast<std::uint16_t>(n));
+      w.bytes(stream.subspan(pos, n));
+      std::size_t markers = 0;
+      if ((pos + n) / tpdu_bytes != pos / tpdu_bytes || pos + n >= stream.size()) {
+        pkt.push_back(kEndSymbol);
+        ++markers;
+      }
+      out.packets.push_back(std::move(pkt));
+      out.header_bytes += 10 + markers;
+      pos += n;
+    }
+    return out;
+  }
+
+  UnitInsight inspect(std::span<const std::uint8_t> unit) const override {
+    UnitInsight ins;
+    if (unit.size() < 10) return ins;
+    ByteReader r(unit);
+    r.u32();  // conn id
+    r.u32();  // C.SN
+    const std::uint16_t len = r.u16();
+    if (!r.ok() || unit.size() < 10u + len) return ins;
+    ins.parsed = true;
+    ins.knows_connection = true;
+    // The large C.SN allows placement of disordered data at the
+    // connection level — the paper's point about Delta-t.
+    ins.knows_stream_offset = true;
+    // Higher-level frame boundaries are symbols inside the stream:
+    // finding them requires parsing the payload (and a boundary that
+    // fell in another packet is invisible here).
+    ins.knows_pdu_boundary = unit.size() > 10u + len &&
+                             unit[10 + len] == kEndSymbol;
+    ins.payload_bytes = len;
+    return ins;
+  }
+
+ private:
+  static constexpr std::uint32_t kConnId = 77;
+  static constexpr std::uint8_t kEndSymbol = 0xE5;
+};
+
+}  // namespace
+
+std::unique_ptr<FramingScheme> make_hdlc_scheme() {
+  return std::make_unique<HdlcScheme>();
+}
+std::unique_ptr<FramingScheme> make_urp_scheme() {
+  return std::make_unique<UrpScheme>();
+}
+std::unique_ptr<FramingScheme> make_delta_t_scheme() {
+  return std::make_unique<DeltaTScheme>();
+}
+
+}  // namespace chunknet

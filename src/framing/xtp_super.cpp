@@ -1,0 +1,43 @@
+#include "src/framing/xtp_super.hpp"
+
+#include "src/common/bytes.hpp"
+
+namespace chunknet {
+
+std::vector<std::uint8_t> xtp_super_packet(
+    std::span<const std::vector<std::uint8_t>> units, std::size_t capacity) {
+  std::size_t total = 3;
+  for (const auto& u : units) total += 2 + u.size();
+  if (total > capacity || units.size() > 0xFFFF) return {};
+
+  std::vector<std::uint8_t> out;
+  out.reserve(total);
+  ByteWriter w(out);
+  w.u8(kXtpSuperMagic);
+  w.u16(static_cast<std::uint16_t>(units.size()));
+  for (const auto& u : units) {
+    w.u16(static_cast<std::uint16_t>(u.size()));
+    w.bytes(u);
+  }
+  return out;
+}
+
+XtpSuperParse parse_xtp_super_packet(std::span<const std::uint8_t> bytes) {
+  XtpSuperParse result;
+  ByteReader r(bytes);
+  if (r.u8() != kXtpSuperMagic) return result;
+  const std::uint16_t count = r.u16();
+  if (!r.ok()) return result;
+  result.units.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    const std::uint16_t len = r.u16();
+    const auto view = r.bytes(len);
+    if (!r.ok()) return result;
+    result.units.push_back(view);
+  }
+  if (r.remaining() != 0) return result;
+  result.ok = true;
+  return result;
+}
+
+}  // namespace chunknet

@@ -1,0 +1,39 @@
+// XTP SUPER packets (paper §3.2, [XTP 90]).
+//
+// "XTP also has a scheme similar to that of combining multiple chunks
+// in a single packet. An XTP SUPER packet is a packet that contains
+// multiple XTP TPDUs. However, the SUPER packet format is not the same
+// as the regular XTP packet format. Chunks have the same format
+// regardless of what fragmentation, reassembly, or chunk combining may
+// have occurred."
+//
+// This header implements the SUPER packet so the comparison is live: a
+// receiver of XTP traffic needs BOTH parsers and a dispatch between
+// them, while the chunk receiver's one parser covers single-chunk
+// packets, combined packets and fragmented packets alike (tested in
+// tests/test_xtp_super.cpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace chunknet {
+
+/// Wire: magic 'S'(1) | count(2) | count × [len(2) unit-bytes].
+inline constexpr std::uint8_t kXtpSuperMagic = 'S';
+
+/// Builds one SUPER packet from regular XTP packets. Returns an empty
+/// vector if the result would exceed `capacity`.
+std::vector<std::uint8_t> xtp_super_packet(
+    std::span<const std::vector<std::uint8_t>> units, std::size_t capacity);
+
+struct XtpSuperParse {
+  bool ok{false};
+  /// Views into the SUPER packet's buffer, one per contained TPDU.
+  std::vector<std::span<const std::uint8_t>> units;
+};
+
+XtpSuperParse parse_xtp_super_packet(std::span<const std::uint8_t> bytes);
+
+}  // namespace chunknet

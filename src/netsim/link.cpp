@@ -1,0 +1,78 @@
+#include "src/netsim/link.hpp"
+
+#include <algorithm>
+
+namespace chunknet {
+
+Link::Link(Simulator& sim, LinkConfig cfg, PacketSink& sink, Rng& rng)
+    : sim_(sim),
+      cfg_(cfg),
+      sink_(sink),
+      rng_(rng),
+      lane_free_at_(static_cast<std::size_t>(std::max(cfg.lanes, 1)), 0),
+      lane_extra_skew_(static_cast<std::size_t>(std::max(cfg.lanes, 1)), 0) {
+  if (cfg_.route_flap_interval > 0) {
+    next_flap_ = cfg_.route_flap_interval;
+  }
+}
+
+void Link::maybe_flap() {
+  if (cfg_.route_flap_interval == 0 || sim_.now() < next_flap_) return;
+  // A route change: each lane's path length changes abruptly, so
+  // packets already "in flight" on the old path can arrive after
+  // packets sent later on the new, shorter path.
+  for (auto& skew : lane_extra_skew_) {
+    skew = rng_.below(cfg_.route_flap_magnitude + 1);
+  }
+  next_flap_ = sim_.now() + cfg_.route_flap_interval;
+}
+
+void Link::send(SimPacket pkt) {
+  ++stats_.offered;
+  if (pkt.bytes.size() > cfg_.mtu) {
+    ++stats_.oversize_dropped;
+    return;
+  }
+  maybe_flap();
+  if (rng_.chance(cfg_.loss_rate)) {
+    ++stats_.lost;
+    return;
+  }
+
+  // Stripe across lanes round-robin (how parallel 155 Mbps ATM
+  // connections aggregate to higher rates). Each lane serializes at
+  // rate/lanes and adds its skew — the reordering generator.
+  const std::size_t lane = next_lane_;
+  next_lane_ = (next_lane_ + 1) % lane_free_at_.size();
+
+  const double lane_rate =
+      cfg_.rate_bps / static_cast<double>(lane_free_at_.size());
+  const SimTime tx = static_cast<SimTime>(
+      static_cast<double>(pkt.bytes.size()) * 8.0 / lane_rate * 1e9);
+  const SimTime start = std::max(sim_.now(), lane_free_at_[lane]);
+  lane_free_at_[lane] = start + tx;
+
+  SimTime arrive = start + tx + cfg_.prop_delay +
+                   static_cast<SimTime>(lane) * cfg_.lane_skew +
+                   lane_extra_skew_[lane];
+  if (cfg_.jitter > 0) arrive += rng_.below(cfg_.jitter + 1);
+
+  const bool dup = rng_.chance(cfg_.dup_rate);
+  deliver_copy(pkt, arrive);
+  if (dup) {
+    ++stats_.duplicated;
+    deliver_copy(pkt, arrive + cfg_.prop_delay / 2 + rng_.below(kMillisecond));
+  }
+}
+
+void Link::deliver_copy(const SimPacket& pkt, SimTime at) {
+  SimPacket copy = pkt;
+  ++copy.hops;
+  sim_.schedule_at(at, [this, p = std::move(copy)]() mutable {
+    ++stats_.delivered;
+    stats_.bytes_delivered += p.bytes.size();
+    sink_.on_packet(std::move(p));
+  });
+}
+
+}  // namespace chunknet

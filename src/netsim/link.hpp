@@ -1,0 +1,69 @@
+// Simulated links: serialization delay, propagation, loss, duplication,
+// jitter, and the paper's two disordering mechanisms — multipath lane
+// skew and route flaps (§1: "Skew among the routes can cause packets to
+// leave the network in a different order than that in which they
+// entered. Route changes … also can cause packet disordering").
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/rng.hpp"
+#include "src/netsim/simulator.hpp"
+
+namespace chunknet {
+
+struct LinkConfig {
+  double rate_bps{622e6};          ///< serialization rate
+  SimTime prop_delay{1 * kMillisecond};
+  std::size_t mtu{1500};           ///< enforced: larger packets dropped
+  double loss_rate{0.0};           ///< i.i.d. packet loss probability
+  double dup_rate{0.0};            ///< probability of duplicate delivery
+  SimTime jitter{0};               ///< uniform extra delay in [0, jitter]
+  int lanes{1};                    ///< parallel physical lanes (striping)
+  SimTime lane_skew{0};            ///< extra prop delay per lane index
+  /// Mean interval between route flaps (0 = never). A flap re-rolls
+  /// every lane's skew, so in-flight packets overtake later ones.
+  SimTime route_flap_interval{0};
+  SimTime route_flap_magnitude{2 * kMillisecond};
+};
+
+/// Unidirectional link delivering packets to a fixed sink.
+class Link {
+ public:
+  Link(Simulator& sim, LinkConfig cfg, PacketSink& sink, Rng& rng);
+
+  /// Queues a packet for transmission. Oversized packets are counted
+  /// and dropped (the "never fragment — discard" failure of §3).
+  void send(SimPacket pkt);
+
+  struct Stats {
+    std::uint64_t offered{0};
+    std::uint64_t delivered{0};
+    std::uint64_t lost{0};
+    std::uint64_t duplicated{0};
+    std::uint64_t oversize_dropped{0};
+    std::uint64_t bytes_delivered{0};
+  };
+  const Stats& stats() const { return stats_; }
+  const LinkConfig& config() const { return cfg_; }
+
+ private:
+  SimTime serialize_time(std::size_t bytes) const {
+    return static_cast<SimTime>(static_cast<double>(bytes) * 8.0 /
+                                cfg_.rate_bps * 1e9);
+  }
+  void deliver_copy(const SimPacket& pkt, SimTime at);
+  void maybe_flap();
+
+  Simulator& sim_;
+  LinkConfig cfg_;
+  PacketSink& sink_;
+  Rng& rng_;
+  std::vector<SimTime> lane_free_at_;
+  std::vector<SimTime> lane_extra_skew_;
+  std::size_t next_lane_{0};
+  SimTime next_flap_{0};
+  Stats stats_;
+};
+
+}  // namespace chunknet

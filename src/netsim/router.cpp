@@ -1,0 +1,117 @@
+#include "src/netsim/router.hpp"
+
+#include "src/chunk/codec.hpp"
+
+namespace chunknet {
+
+RelayFn transparent_relay() {
+  return [](std::vector<std::uint8_t> bytes, std::size_t /*egress_mtu*/) {
+    std::vector<std::vector<std::uint8_t>> out;
+    out.push_back(std::move(bytes));
+    return out;
+  };
+}
+
+RelayFn chunk_relay(RepackPolicy policy, RelayStats* stats) {
+  return [policy, stats](std::vector<std::uint8_t> bytes,
+                         std::size_t egress_mtu) {
+    if (stats != nullptr) ++stats->packets_in;
+    ParsedPacket parsed = decode_packet(bytes);
+    if (!parsed.ok) {
+      if (stats != nullptr) ++stats->parse_failures;
+      return std::vector<std::vector<std::uint8_t>>{};
+    }
+    PacketizerOptions opts;
+    opts.mtu = egress_mtu;
+    opts.policy = policy;
+    PacketizeResult repacked = packetize(std::move(parsed.chunks), opts);
+    if (stats != nullptr) {
+      stats->splits += repacked.splits;
+      stats->merges += repacked.merges;
+      stats->packets_out += repacked.packets.size();
+    }
+    return std::move(repacked.packets);
+  };
+}
+
+void Router::on_packet(SimPacket pkt) {
+  auto outputs = relay_(std::move(pkt.bytes), egress_.config().mtu);
+  for (auto& body : outputs) {
+    SimPacket out;
+    out.bytes = std::move(body);
+    out.id = sim_.next_packet_id();
+    out.created_at = pkt.created_at;  // preserve end-to-end timestamp
+    out.hops = pkt.hops;
+    egress_.send(std::move(out));
+    ++forwarded_;
+  }
+}
+
+void BatchingChunkRouter::on_packet(SimPacket pkt) {
+  if (stats_ != nullptr) ++stats_->packets_in;
+  ParsedPacket parsed = decode_packet(pkt.bytes);
+  if (!parsed.ok) {
+    if (stats_ != nullptr) ++stats_->parse_failures;
+    return;
+  }
+  if (pending_.empty()) oldest_created_at_ = pkt.created_at;
+  for (auto& c : parsed.chunks) pending_.push_back(std::move(c));
+  if (!timer_armed_) {
+    timer_armed_ = true;
+    sim_.schedule_in(window_, [this] { flush(); });
+  }
+}
+
+void BatchingChunkRouter::flush() {
+  timer_armed_ = false;
+  if (pending_.empty()) return;
+  PacketizerOptions opts;
+  opts.mtu = egress_.config().mtu;
+  opts.policy = policy_;
+  PacketizeResult repacked = packetize(std::move(pending_), opts);
+  pending_.clear();
+  if (stats_ != nullptr) {
+    stats_->splits += repacked.splits;
+    stats_->merges += repacked.merges;
+    stats_->packets_out += repacked.packets.size();
+  }
+  for (auto& body : repacked.packets) {
+    SimPacket out;
+    out.bytes = std::move(body);
+    out.id = sim_.next_packet_id();
+    out.created_at = oldest_created_at_;
+    egress_.send(std::move(out));
+  }
+}
+
+ChainTopology::ChainTopology(Simulator& sim, Rng& rng,
+                             std::vector<LinkConfig> hops,
+                             PacketSink& receiver,
+                             const std::function<RelayFn()>& relay_factory)
+    : sim_(sim) {
+  // Build back to front: the last link feeds the receiver; each earlier
+  // link feeds a router that relays onto the next link.
+  links_.resize(hops.size());
+  routers_.resize(hops.size() > 0 ? hops.size() - 1 : 0);
+  for (std::size_t i = hops.size(); i-- > 0;) {
+    PacketSink* sink = nullptr;
+    if (i + 1 == hops.size()) {
+      sink = &receiver;
+    } else {
+      routers_[i] = std::make_unique<Router>(sim_, relay_factory(),
+                                             *links_[i + 1]);
+      sink = routers_[i].get();
+    }
+    links_[i] = std::make_unique<Link>(sim_, hops[i], *sink, rng);
+  }
+}
+
+void ChainTopology::inject(std::vector<std::uint8_t> bytes) {
+  SimPacket pkt;
+  pkt.bytes = std::move(bytes);
+  pkt.id = sim_.next_packet_id();
+  pkt.created_at = sim_.now();
+  links_.front()->send(std::move(pkt));
+}
+
+}  // namespace chunknet

@@ -1,0 +1,79 @@
+// Discrete-event network simulator core.
+//
+// This is the substitute for the paper's AURORA testbed (DESIGN.md §4):
+// a deterministic event-driven simulation whose links reproduce the
+// disordering processes the paper describes — loss-induced gaps (§1),
+// multipath skew across parallel lanes ("obtaining gigabit rates on a
+// SONET OC-3 ATM network requires using eight 155 Mbps ATM connections
+// in parallel"), route changes, and duplication. All randomness comes
+// from one seeded Rng, so experiments replay exactly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace chunknet {
+
+/// Simulated time in nanoseconds.
+using SimTime = std::uint64_t;
+
+inline constexpr SimTime kMicrosecond = 1'000;
+inline constexpr SimTime kMillisecond = 1'000'000;
+inline constexpr SimTime kSecond = 1'000'000'000;
+
+/// A packet in flight: opaque bytes plus bookkeeping for latency traces.
+struct SimPacket {
+  std::vector<std::uint8_t> bytes;
+  std::uint64_t id{0};         ///< unique per simulator (trace key)
+  SimTime created_at{0};       ///< first transmission time
+  int hops{0};                 ///< links traversed so far
+};
+
+/// Minimal event-driven scheduler: stable FIFO order among events at
+/// the same timestamp.
+class Simulator {
+ public:
+  SimTime now() const { return now_; }
+
+  void schedule_at(SimTime t, std::function<void()> fn);
+  void schedule_in(SimTime delay, std::function<void()> fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Runs until the event queue drains or `deadline` passes.
+  /// Returns the number of events executed.
+  std::uint64_t run(SimTime deadline = ~SimTime{0});
+
+  /// True if any event remains.
+  bool pending() const { return !events_.empty(); }
+
+  std::uint64_t next_packet_id() { return ++packet_counter_; }
+
+ private:
+  struct Event {
+    SimTime t;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+  };
+
+  SimTime now_{0};
+  std::uint64_t seq_counter_{0};
+  std::uint64_t packet_counter_{0};
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+};
+
+/// Anything that can receive packets from a link.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void on_packet(SimPacket pkt) = 0;
+};
+
+}  // namespace chunknet

@@ -1,0 +1,75 @@
+#include "src/pipeline/parallel.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace chunknet {
+
+namespace {
+
+struct WorkerOutput {
+  Wsc2Accumulator acc;
+  std::uint64_t bytes{0};
+};
+
+void process_stripe(std::span<const Chunk> chunks, std::size_t first,
+                    std::size_t stride, std::span<std::uint8_t> app,
+                    std::uint32_t first_conn_sn, WorkerOutput* out) {
+  for (std::size_t i = first; i < chunks.size(); i += stride) {
+    const Chunk& c = chunks[i];
+    if (c.h.type != ChunkType::kData || c.h.size % 4 != 0) continue;
+
+    // Placement: disjoint ranges, no locks needed.
+    const std::uint64_t off =
+        static_cast<std::uint64_t>(c.h.conn.sn - first_conn_sn) * c.h.size;
+    if (off + c.payload.size() <= app.size()) {
+      std::copy(c.payload.begin(), c.payload.end(),
+                app.begin() + static_cast<std::ptrdiff_t>(off));
+      out->bytes += c.payload.size();
+    }
+
+    // Error detection: private accumulator, absolute positions.
+    const std::uint32_t words_per_element = c.h.size / 4;
+    out->acc.add_words(c.h.tpdu.sn * words_per_element, c.payload);
+  }
+}
+
+}  // namespace
+
+ParallelProcessResult process_chunks_parallel(std::span<const Chunk> chunks,
+                                              std::span<std::uint8_t> app,
+                                              std::uint32_t first_conn_sn,
+                                              int threads) {
+  ParallelProcessResult result;
+  if (threads <= 1 || chunks.size() < 2) {
+    WorkerOutput out;
+    process_stripe(chunks, 0, 1, app, first_conn_sn, &out);
+    result.data_code = out.acc.value();
+    result.bytes_placed = out.bytes;
+    result.threads_used = 1;
+    return result;
+  }
+
+  const int n = std::min<int>(threads, static_cast<int>(chunks.size()));
+  std::vector<WorkerOutput> outputs(static_cast<std::size_t>(n));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t) {
+    workers.emplace_back(process_stripe, chunks,
+                         static_cast<std::size_t>(t),
+                         static_cast<std::size_t>(n), app, first_conn_sn,
+                         &outputs[static_cast<std::size_t>(t)]);
+  }
+  for (auto& w : workers) w.join();
+
+  Wsc2Accumulator combined;
+  for (const WorkerOutput& out : outputs) {
+    combined.combine(out.acc);
+    result.bytes_placed += out.bytes;
+  }
+  result.data_code = combined.value();
+  result.threads_used = n;
+  return result;
+}
+
+}  // namespace chunknet

@@ -1,0 +1,47 @@
+// Parallel chunk processing (paper Summary + Appendix A + [MCAU 93b]).
+//
+// "Our experience with chunks has shown that they allow protocol
+// implementations with more modularity and parallelism than
+// implementations of protocols with more conventional data structures."
+//
+// Because every chunk is self-describing and every protocol function
+// here is order-tolerant (placement by absolute SN, WSC-2 by absolute
+// position), chunks can be processed by ANY worker in ANY order with no
+// inter-worker coordination beyond the final parity combine:
+//   - each worker takes a stripe of the chunk list;
+//   - placement writes are disjoint (chunks cover disjoint SN ranges
+//     once duplicates are rejected upstream);
+//   - each worker keeps a private Wsc2Accumulator; accumulators XOR
+//     together at the end (the `combine` property).
+// This is the software analogue of the parallel VLSI assembly units of
+// [MCAU 93b]. Bench A3 measures the scaling.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/chunk/types.hpp"
+#include "src/edc/wsc2.hpp"
+
+namespace chunknet {
+
+struct ParallelProcessResult {
+  /// WSC-2 over the data region only (positions = T.SN·words/element),
+  /// identical to the serial TpduInvariant's data contribution.
+  Wsc2Code data_code;
+  std::uint64_t bytes_placed{0};
+  int threads_used{1};
+};
+
+/// Processes data chunks of ONE TPDU with `threads` workers: places each
+/// chunk's payload into `app` at C.SN·SIZE and accumulates the WSC-2
+/// data contribution. Chunks must be duplicate-free (run them through
+/// virtual reassembly first) and SIZE must be a multiple of 4.
+/// `threads <= 1` runs inline (the baseline for the scaling bench).
+ParallelProcessResult process_chunks_parallel(std::span<const Chunk> chunks,
+                                              std::span<std::uint8_t> app,
+                                              std::uint32_t first_conn_sn,
+                                              int threads);
+
+}  // namespace chunknet

@@ -1,0 +1,104 @@
+#include "src/reassembly/ip_reassembly.hpp"
+
+#include <algorithm>
+
+namespace chunknet {
+
+IpReassemblyOutcome IpReassemblyBuffer::offer(const IpFragment& frag) {
+  if (frag.data.empty()) return IpReassemblyOutcome::kDuplicate;
+
+  auto it = datagrams_.find(frag.datagram_id);
+  const std::uint32_t end =
+      frag.offset + static_cast<std::uint32_t>(frag.data.size());
+
+  if (it != datagrams_.end()) {
+    Datagram& dg = it->second;
+    if (dg.holes_filled.covers(frag.offset, end)) {
+      return IpReassemblyOutcome::kDuplicate;
+    }
+    if (dg.holes_filled.intersects(frag.offset, end)) {
+      return IpReassemblyOutcome::kInconsistent;
+    }
+    if (!frag.more_fragments) {
+      if (dg.total_len && *dg.total_len != end) {
+        return IpReassemblyOutcome::kInconsistent;
+      }
+      if (dg.holes_filled.intersects(end, ~std::uint64_t{0})) {
+        return IpReassemblyOutcome::kInconsistent;
+      }
+    }
+    if (dg.total_len && end > *dg.total_len) {
+      return IpReassemblyOutcome::kInconsistent;
+    }
+  }
+
+  if (used_ + frag.data.size() > capacity_) {
+    ++stats_.fragments_dropped_no_space;
+    // Lock-up (§3.3): the pool cannot take more data, yet nothing can
+    // be delivered to drain it.
+    const bool any_complete =
+        std::any_of(datagrams_.begin(), datagrams_.end(),
+                    [](const auto& kv) { return kv.second.complete(); });
+    if (!any_complete) ++stats_.lockup_events;
+    return IpReassemblyOutcome::kNoSpace;
+  }
+
+  Datagram& dg = datagrams_[frag.datagram_id];
+  if (dg.bytes.size() < end) dg.bytes.resize(end);
+  std::copy(frag.data.begin(), frag.data.end(),
+            dg.bytes.begin() + frag.offset);
+  dg.holes_filled.add(frag.offset, end);
+  if (!frag.more_fragments) dg.total_len = end;
+  used_ += frag.data.size();
+  ++stats_.fragments_stored;
+
+  if (dg.complete()) {
+    ++stats_.datagrams_completed;
+    return IpReassemblyOutcome::kCompleted;
+  }
+  return IpReassemblyOutcome::kStored;
+}
+
+std::optional<std::vector<std::uint8_t>> IpReassemblyBuffer::take_completed(
+    std::uint32_t datagram_id) {
+  auto it = datagrams_.find(datagram_id);
+  if (it == datagrams_.end() || !it->second.complete()) return std::nullopt;
+  std::vector<std::uint8_t> out = std::move(it->second.bytes);
+  out.resize(*it->second.total_len);
+  used_ -= it->second.holes_filled.covered();
+  datagrams_.erase(it);
+  return out;
+}
+
+bool IpReassemblyBuffer::locked_up() const {
+  // "Full" here means too little headroom for even a minimal fragment.
+  constexpr std::size_t kMinFragmentBytes = 8;
+  if (capacity_ - used_ >= kMinFragmentBytes) return false;
+  return std::none_of(datagrams_.begin(), datagrams_.end(),
+                      [](const auto& kv) { return kv.second.complete(); });
+}
+
+std::size_t IpReassemblyBuffer::incomplete_datagrams() const {
+  return static_cast<std::size_t>(
+      std::count_if(datagrams_.begin(), datagrams_.end(),
+                    [](const auto& kv) { return !kv.second.complete(); }));
+}
+
+std::size_t IpReassemblyBuffer::evict_largest_incomplete() {
+  auto victim = datagrams_.end();
+  std::uint64_t most = 0;
+  for (auto it = datagrams_.begin(); it != datagrams_.end(); ++it) {
+    if (it->second.complete()) continue;
+    if (it->second.holes_filled.covered() >= most) {
+      most = it->second.holes_filled.covered();
+      victim = it;
+    }
+  }
+  if (victim == datagrams_.end()) return 0;
+  used_ -= victim->second.holes_filled.covered();
+  datagrams_.erase(victim);
+  ++stats_.datagrams_evicted;
+  return most;
+}
+
+}  // namespace chunknet

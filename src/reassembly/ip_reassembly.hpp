@@ -1,0 +1,89 @@
+// Physical (IP-style) reassembly buffer — the conventional baseline the
+// paper argues against (§3.2, §3.3).
+//
+// Fragments are buffered until their datagram is complete; only then
+// can the datagram be processed. This is exactly the double data
+// movement the chunk architecture avoids, and it exhibits the failure
+// mode §3.3 highlights: **reassembly buffer lock-up** — "the reassembly
+// buffer is filled completely and yet no single PDU is complete"
+// ([KENT 87]). Bench E7 sweeps buffer sizes and disorder to measure the
+// lock-up probability chunks eliminate.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/common/interval_set.hpp"
+
+namespace chunknet {
+
+/// One IP-like fragment: (datagram id, byte offset, bytes, more-fragments).
+struct IpFragment {
+  std::uint32_t datagram_id{0};
+  std::uint32_t offset{0};  ///< bytes from start of datagram
+  std::vector<std::uint8_t> data;
+  bool more_fragments{true};  ///< false on the final fragment
+};
+
+/// Outcome of offering a fragment to the buffer.
+enum class IpReassemblyOutcome {
+  kStored,        ///< buffered, datagram still incomplete
+  kCompleted,     ///< this fragment completed a datagram
+  kDuplicate,     ///< already had these bytes
+  kNoSpace,       ///< buffer full — fragment dropped
+  kInconsistent,  ///< overlapping/conflicting fragment dropped
+};
+
+class IpReassemblyBuffer {
+ public:
+  /// `capacity_bytes` bounds the total payload buffered across all
+  /// incomplete datagrams (the finite kernel mbuf pool of [KENT 87]).
+  explicit IpReassemblyBuffer(std::size_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  IpReassemblyOutcome offer(const IpFragment& frag);
+
+  /// Retrieves (and removes) a completed datagram's payload.
+  std::optional<std::vector<std::uint8_t>> take_completed(
+      std::uint32_t datagram_id);
+
+  /// True when the buffer has no room left AND no datagram is complete
+  /// — the lock-up condition of §3.3.
+  bool locked_up() const;
+
+  /// Drops the incomplete datagram holding the most bytes (the usual
+  /// kernel response to pool exhaustion). Returns bytes freed.
+  std::size_t evict_largest_incomplete();
+
+  std::size_t used_bytes() const { return used_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t incomplete_datagrams() const;
+
+  struct Stats {
+    std::uint64_t fragments_stored{0};
+    std::uint64_t fragments_dropped_no_space{0};
+    std::uint64_t datagrams_completed{0};
+    std::uint64_t datagrams_evicted{0};
+    std::uint64_t lockup_events{0};
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Datagram {
+    IntervalSet holes_filled;
+    std::vector<std::uint8_t> bytes;  // grows as fragments arrive
+    std::optional<std::uint32_t> total_len;
+    bool complete() const {
+      return total_len && holes_filled.covers(0, *total_len);
+    }
+  };
+
+  std::size_t capacity_;
+  std::size_t used_{0};
+  std::map<std::uint32_t, Datagram> datagrams_;
+  Stats stats_;
+};
+
+}  // namespace chunknet

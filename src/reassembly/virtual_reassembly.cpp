@@ -1,0 +1,80 @@
+#include "src/reassembly/virtual_reassembly.hpp"
+
+namespace chunknet {
+
+PieceVerdict PduTracker::add(std::uint32_t sn, std::uint32_t len, bool stop) {
+  if (len == 0) return PieceVerdict::kDuplicate;
+  const std::uint32_t last = sn + len - 1;
+
+  if (stop_) {
+    if (last > *stop_) return PieceVerdict::kAfterStop;
+    if (stop && last != *stop_) return PieceVerdict::kStopConflict;
+  }
+  if (stop && !stop_) {
+    // A stop at `last` means no element beyond `last` exists; anything
+    // already seen past it is a framing inconsistency.
+    if (seen_.intersects(static_cast<std::uint64_t>(last) + 1,
+                         ~std::uint64_t{0})) {
+      return PieceVerdict::kStopConflict;
+    }
+    stop_ = last;
+  }
+
+  switch (seen_.add(sn, static_cast<std::uint64_t>(sn) + len)) {
+    case IntervalSet::AddResult::kDuplicate:
+      ++duplicates_;
+      return PieceVerdict::kDuplicate;
+    case IntervalSet::AddResult::kOverlap:
+      ++overlaps_;
+      return PieceVerdict::kOverlap;
+    case IntervalSet::AddResult::kNew:
+      break;
+  }
+  return PieceVerdict::kAccept;
+}
+
+std::uint64_t PduTracker::max_seen() const { return seen_.max_covered(); }
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> PduTracker::missing_runs()
+    const {
+  const std::uint64_t hi =
+      stop_ ? static_cast<std::uint64_t>(*stop_) + 1 : seen_.max_covered();
+  return seen_.gaps_within(0, hi);
+}
+
+bool PduTracker::complete() const {
+  return stop_ && seen_.covers(0, static_cast<std::uint64_t>(*stop_) + 1);
+}
+
+PieceVerdict VirtualReassembler::add(const PduKey& key, std::uint32_t sn,
+                                     std::uint32_t len, bool stop) {
+  const PieceVerdict v = trackers_[key].add(sn, len, stop);
+  switch (v) {
+    case PieceVerdict::kAccept:
+      ++stats_.pieces_accepted;
+      break;
+    case PieceVerdict::kDuplicate:
+      ++stats_.duplicates_rejected;
+      break;
+    case PieceVerdict::kOverlap:
+      ++stats_.overlaps_rejected;
+      break;
+    case PieceVerdict::kAfterStop:
+    case PieceVerdict::kStopConflict:
+      ++stats_.framing_errors;
+      break;
+  }
+  return v;
+}
+
+bool VirtualReassembler::complete(const PduKey& key) const {
+  const auto it = trackers_.find(key);
+  return it != trackers_.end() && it->second.complete();
+}
+
+const PduTracker* VirtualReassembler::find(const PduKey& key) const {
+  const auto it = trackers_.find(key);
+  return it != trackers_.end() ? &it->second : nullptr;
+}
+
+}  // namespace chunknet

@@ -1,0 +1,46 @@
+#include "src/transport/demux.hpp"
+
+#include "src/chunk/codec.hpp"
+
+namespace chunknet {
+
+void ChunkDemultiplexer::on_packet(SimPacket pkt) {
+  ++stats_.packets;
+  ParsedPacket parsed = decode_packet(pkt.bytes);
+  if (!parsed.ok) {
+    ++stats_.malformed;
+    return;
+  }
+  for (Chunk& c : parsed.chunks) {
+    switch (c.h.type) {
+      case ChunkType::kData:
+      case ChunkType::kErrorDetection: {
+        const auto it = receivers_.find(c.h.conn.id);
+        if (it == receivers_.end()) {
+          ++stats_.unknown_connection;
+          break;
+        }
+        ++stats_.data_chunks_routed;
+        it->second->on_chunk(std::move(c), pkt.created_at);
+        break;
+      }
+      case ChunkType::kAck:
+      case ChunkType::kSignal: {
+        if (control_ == nullptr) break;
+        ++stats_.control_chunks_routed;
+        SimPacket wrapped;
+        wrapped.bytes =
+            encode_packet(std::vector<Chunk>{std::move(c)}, 65535);
+        wrapped.id = pkt.id;
+        wrapped.created_at = pkt.created_at;
+        wrapped.hops = pkt.hops;
+        control_->on_packet(std::move(wrapped));
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace chunknet

@@ -1,0 +1,294 @@
+#include "src/transport/receiver.hpp"
+
+#include <algorithm>
+
+#include "src/chunk/codec.hpp"
+#include "src/transport/signalling.hpp"
+
+namespace chunknet {
+
+const char* to_string(DeliveryMode m) {
+  switch (m) {
+    case DeliveryMode::kImmediate: return "immediate";
+    case DeliveryMode::kReorder: return "reorder";
+    case DeliveryMode::kReassemble: return "reassemble";
+  }
+  return "?";
+}
+
+const char* to_string(TpduVerdict v) {
+  switch (v) {
+    case TpduVerdict::kAccepted: return "accepted";
+    case TpduVerdict::kCodeMismatch: return "code-mismatch";
+    case TpduVerdict::kConsistencyFailure: return "consistency-failure";
+    case TpduVerdict::kReassemblyError: return "reassembly-error";
+  }
+  return "?";
+}
+
+ChunkTransportReceiver::ChunkTransportReceiver(Simulator& sim,
+                                               ReceiverConfig cfg)
+    : sim_(sim),
+      cfg_(std::move(cfg)),
+      app_buffer_(cfg_.app_buffer_bytes, 0),
+      next_release_sn_(cfg_.first_conn_sn) {}
+
+void ChunkTransportReceiver::on_packet(SimPacket pkt) {
+  ++stats_.packets;
+  std::vector<Chunk> chunks;
+  bool ok = false;
+  if (cfg_.compression && !pkt.bytes.empty() &&
+      pkt.bytes[0] == kCompressedPacketMagic) {
+    DecompressedPacket parsed =
+        decompress_packet(pkt.bytes, *cfg_.compression);
+    ok = parsed.ok;
+    chunks = std::move(parsed.chunks);
+  } else {
+    ParsedPacket parsed = decode_packet(pkt.bytes);
+    ok = parsed.ok;
+    chunks = std::move(parsed.chunks);
+  }
+  if (!ok) {
+    ++stats_.malformed_packets;
+    return;
+  }
+  for (Chunk& c : chunks) {
+    on_chunk(std::move(c), pkt.created_at);
+  }
+}
+
+void ChunkTransportReceiver::on_chunk(Chunk c, SimTime packet_created_at) {
+  if (c.h.conn.id != cfg_.connection_id) {
+    ++stats_.foreign_chunks;
+    return;
+  }
+  switch (c.h.type) {
+    case ChunkType::kData:
+      handle_data_chunk(std::move(c), packet_created_at);
+      break;
+    case ChunkType::kErrorDetection:
+      handle_ed_chunk(c);
+      break;
+    default:
+      break;  // signalling/ack chunks are not for the data receiver
+  }
+}
+
+void ChunkTransportReceiver::hold_bytes(std::uint64_t n) {
+  stats_.held_bytes_now += n;
+  stats_.held_bytes_peak =
+      std::max(stats_.held_bytes_peak, stats_.held_bytes_now);
+}
+
+void ChunkTransportReceiver::unhold_bytes(std::uint64_t n) {
+  stats_.held_bytes_now -= n;
+}
+
+void ChunkTransportReceiver::handle_data_chunk(Chunk c,
+                                               SimTime packet_created_at) {
+  ++stats_.data_chunks;
+  if (c.h.size != cfg_.element_size || !c.structurally_valid()) {
+    ++stats_.framing_error_chunks;
+    return;
+  }
+
+  TpduState& st = tpdus_[c.h.tpdu.id];
+  if (st.elements == 0 && st.first_chunk_at == 0) {
+    st.first_chunk_at = sim_.now();
+  }
+  arm_gap_nak_timer(c.h.tpdu.id, st);
+
+  // --- virtual reassembly first: duplicates must never reach the
+  // incremental code or overwrite placed data (§3.3).
+  switch (st.tracker.add(c.h.tpdu.sn, c.h.len, c.h.tpdu.st)) {
+    case PieceVerdict::kAccept:
+      break;
+    case PieceVerdict::kDuplicate:
+      ++stats_.duplicate_chunks;
+      return;
+    case PieceVerdict::kOverlap:
+      ++stats_.overlap_chunks;
+      return;
+    case PieceVerdict::kAfterStop:
+    case PieceVerdict::kStopConflict:
+      ++stats_.framing_error_chunks;
+      st.framing_error = true;
+      return;
+  }
+  st.elements += c.h.len;
+
+  // --- incremental protocol processing on the disordered chunk.
+  if (!st.invariant.absorb(c)) st.layout_error = true;
+  st.consistency.check(c);
+
+  const std::uint32_t tpdu_id = c.h.tpdu.id;
+
+  // --- data placement, by delivery mode.
+  switch (cfg_.mode) {
+    case DeliveryMode::kImmediate:
+      place_chunk(c, packet_created_at, /*was_held=*/false);
+      break;
+    case DeliveryMode::kReorder: {
+      if (c.h.conn.sn < next_release_sn_) {
+        // Retransmission of stream range already released (the original
+        // TPDU was rejected): re-place directly, it cannot be queued.
+        place_chunk(c, packet_created_at, /*was_held=*/false);
+      } else if (c.h.conn.sn == next_release_sn_) {
+        place_chunk(c, packet_created_at, /*was_held=*/false);
+        next_release_sn_ += c.h.len;
+        release_in_order();
+      } else {
+        // Overwrite any stale entry at this C.SN (a retransmission
+        // after rejection must supersede the queued original, which may
+        // be the corrupted copy that caused the rejection).
+        const auto [it, inserted] = reorder_queue_.insert_or_assign(
+            c.h.conn.sn, HeldChunk{std::move(c), packet_created_at});
+        if (inserted) hold_bytes(it->second.chunk.payload.size());
+      }
+      break;
+    }
+    case DeliveryMode::kReassemble:
+      hold_bytes(c.payload.size());
+      st.held.push_back(HeldChunk{std::move(c), packet_created_at});
+      break;
+  }
+
+  try_finish(tpdu_id, tpdus_[tpdu_id]);
+}
+
+void ChunkTransportReceiver::release_in_order() {
+  auto it = reorder_queue_.begin();
+  while (it != reorder_queue_.end() && it->first == next_release_sn_) {
+    unhold_bytes(it->second.chunk.payload.size());
+    place_chunk(it->second.chunk, it->second.packet_created_at,
+                /*was_held=*/true);
+    next_release_sn_ += it->second.chunk.h.len;
+    it = reorder_queue_.erase(it);
+  }
+}
+
+void ChunkTransportReceiver::place_chunk(const Chunk& c,
+                                         SimTime packet_created_at,
+                                         bool was_held) {
+  const std::uint64_t element_off = c.h.conn.sn - cfg_.first_conn_sn;
+  const std::uint64_t byte_off = element_off * cfg_.element_size;
+  if (byte_off + c.payload.size() > app_buffer_.size()) return;
+
+  std::copy(c.payload.begin(), c.payload.end(),
+            app_buffer_.begin() + static_cast<std::ptrdiff_t>(byte_off));
+  app_coverage_.add(element_off, element_off + c.h.len);
+
+  // Bus accounting: a held byte crossed once into the hold buffer and
+  // once more now; an immediate byte crosses once.
+  stats_.bus_bytes += c.payload.size() * (was_held ? 2 : 1);
+  const double latency =
+      static_cast<double>(sim_.now() - packet_created_at);
+  for (std::uint32_t i = 0; i < c.h.len; ++i) {
+    stats_.delivery_latency_ns.push_back(latency);
+  }
+}
+
+void ChunkTransportReceiver::handle_ed_chunk(const Chunk& c) {
+  ++stats_.ed_chunks;
+  TpduState& st = tpdus_[c.h.tpdu.id];
+  if (st.first_chunk_at == 0) st.first_chunk_at = sim_.now();
+  st.received_code = parse_ed_chunk(c);
+  arm_gap_nak_timer(c.h.tpdu.id, st);
+  try_finish(c.h.tpdu.id, st);
+}
+
+void ChunkTransportReceiver::try_finish(std::uint32_t tpdu_id, TpduState& st) {
+  if (st.finished || !st.received_code) return;
+  if (!st.tracker.complete() && !st.framing_error) return;
+
+  // In reassemble mode the TPDU's data is physically released now.
+  if (cfg_.mode == DeliveryMode::kReassemble) {
+    for (const HeldChunk& hc : st.held) {
+      unhold_bytes(hc.chunk.payload.size());
+      place_chunk(hc.chunk, hc.packet_created_at, /*was_held=*/true);
+    }
+    st.held.clear();
+  }
+
+  TpduVerdict verdict = TpduVerdict::kAccepted;
+  if (st.framing_error || st.layout_error) {
+    verdict = TpduVerdict::kReassemblyError;
+  } else if (!st.consistency.consistent()) {
+    verdict = TpduVerdict::kConsistencyFailure;
+  } else if (!(st.invariant.value() == *st.received_code)) {
+    verdict = TpduVerdict::kCodeMismatch;
+  }
+
+  st.finished = true;
+  if (verdict == TpduVerdict::kAccepted) {
+    ++stats_.tpdus_accepted;
+  } else {
+    ++stats_.tpdus_rejected;
+  }
+
+  if (cfg_.on_tpdu) {
+    TpduOutcome outcome;
+    outcome.tpdu_id = tpdu_id;
+    outcome.verdict = verdict;
+    outcome.first_chunk_at = st.first_chunk_at;
+    outcome.completed_at = sim_.now();
+    outcome.elements = st.elements;
+    cfg_.on_tpdu(outcome);
+  }
+  if (cfg_.send_control) {
+    cfg_.send_control(make_ack_chunk(cfg_.connection_id, tpdu_id,
+                                     verdict == TpduVerdict::kAccepted));
+  }
+  if (verdict != TpduVerdict::kAccepted) {
+    // Drop poisoned state so a retransmission with the same identifiers
+    // (§3.3) starts clean.
+    tpdus_.erase(tpdu_id);
+  }
+}
+
+void ChunkTransportReceiver::arm_gap_nak_timer(std::uint32_t tpdu_id,
+                                               TpduState& st) {
+  if (cfg_.gap_nak_delay == 0 || !cfg_.send_control || st.nak_timer_armed ||
+      st.finished || st.gap_naks_sent >= cfg_.max_gap_naks) {
+    return;
+  }
+  st.nak_timer_armed = true;
+  sim_.schedule_in(cfg_.gap_nak_delay,
+                   [this, tpdu_id] { fire_gap_nak(tpdu_id); });
+}
+
+void ChunkTransportReceiver::fire_gap_nak(std::uint32_t tpdu_id) {
+  const auto it = tpdus_.find(tpdu_id);
+  if (it == tpdus_.end()) return;  // rejected & erased meanwhile
+  TpduState& st = it->second;
+  st.nak_timer_armed = false;
+  if (st.finished) return;
+
+  // Ask for exactly what virtual reassembly says is missing.
+  GapNak nak;
+  nak.connection_id = cfg_.connection_id;
+  nak.tpdu_id = tpdu_id;
+  nak.need_ed_chunk = !st.received_code.has_value();
+  if (!st.tracker.stop_element()) {
+    nak.need_tail = true;
+    nak.tail_from = static_cast<std::uint32_t>(st.tracker.max_seen());
+  }
+  for (const auto& [lo, hi] : st.tracker.missing_runs()) {
+    nak.gaps.push_back({static_cast<std::uint32_t>(lo),
+                        static_cast<std::uint32_t>(hi - lo)});
+  }
+  ++st.gap_naks_sent;
+  cfg_.send_control(make_signal_chunk(nak));
+  arm_gap_nak_timer(tpdu_id, st);
+}
+
+void ChunkTransportReceiver::abort_tpdu(std::uint32_t tpdu_id) {
+  auto it = tpdus_.find(tpdu_id);
+  if (it == tpdus_.end()) return;
+  for (const HeldChunk& hc : it->second.held) {
+    unhold_bytes(hc.chunk.payload.size());
+  }
+  tpdus_.erase(it);
+}
+
+}  // namespace chunknet

@@ -1,0 +1,179 @@
+// The chunk transport receiver.
+//
+// Implements the receive side the paper argues for: every arriving
+// packet is opened, and each chunk is processed *immediately* — placed
+// into application memory by its C.SN, absorbed into the TPDU's WSC-2
+// invariant, checked for SN consistency, and tracked by virtual
+// reassembly — with no reordering or reassembly buffering in the data
+// path. For comparison (§3.3's three options), the receiver can also
+// run in reorder-first or reassemble-first mode; those modes buffer
+// data and therefore touch bytes twice, which the receiver accounts as
+// bus crossings (the RISC-workstation bottleneck of §1).
+//
+// TPDU acceptance needs all three Table-1 mechanisms to pass:
+//   1. virtual reassembly completes exactly (no stop conflicts, no
+//      data past the stop, no layout violations);
+//   2. the incremental WSC-2 invariant equals the ED chunk's code;
+//   3. (C.SN − T.SN) and (C.SN − X.SN) stayed constant.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/chunk/builder.hpp"
+#include "src/chunk/compress.hpp"
+#include "src/chunk/types.hpp"
+#include "src/common/interval_set.hpp"
+#include "src/netsim/simulator.hpp"
+#include "src/reassembly/virtual_reassembly.hpp"
+#include "src/transport/invariant.hpp"
+
+namespace chunknet {
+
+enum class DeliveryMode : std::uint8_t {
+  kImmediate,   ///< process-as-it-arrives (the paper's design point)
+  kReorder,     ///< hold disordered data until in C.SN order
+  kReassemble,  ///< hold each TPDU until physically complete
+};
+
+const char* to_string(DeliveryMode m);
+
+/// Why a TPDU was accepted or rejected (Table 1's detection buckets).
+enum class TpduVerdict : std::uint8_t {
+  kAccepted,
+  kCodeMismatch,        ///< "Error Detection Code"
+  kConsistencyFailure,  ///< "Consistency Check"
+  kReassemblyError,     ///< "Reassembly Error"
+};
+
+const char* to_string(TpduVerdict v);
+
+struct TpduOutcome {
+  std::uint32_t tpdu_id{0};
+  TpduVerdict verdict{TpduVerdict::kAccepted};
+  SimTime first_chunk_at{0};
+  SimTime completed_at{0};
+  std::uint64_t elements{0};
+};
+
+struct ReceiverConfig {
+  std::uint32_t connection_id{1};
+  std::uint16_t element_size{4};
+  std::uint32_t first_conn_sn{0};
+  std::size_t app_buffer_bytes{1 << 20};
+  DeliveryMode mode{DeliveryMode::kImmediate};
+  InvariantConfig invariant{};
+  /// Called when a TPDU finishes verification.
+  std::function<void(const TpduOutcome&)> on_tpdu;
+  /// Called to send a control chunk (ACK/NAK) back to the sender;
+  /// null = no feedback channel.
+  std::function<void(Chunk)> send_control;
+  /// Selective retransmission (extension; see signalling.hpp): when a
+  /// TPDU is still incomplete this long after its first chunk, send a
+  /// GapNak listing the exact missing runs from virtual reassembly.
+  /// 0 disables (the sender's whole-TPDU timer is then the only
+  /// recovery). Re-armed after each NAK, up to max_gap_naks times.
+  SimTime gap_nak_delay{0};
+  int max_gap_naks{6};
+  /// When set, packets in the compact Appendix-A syntax (magic 0xC5)
+  /// are accepted under this (signalled) profile, alongside canonical
+  /// ones — "chunk headers can have different formats in different
+  /// parts of the network".
+  std::optional<CompressionProfile> compression;
+};
+
+class ChunkTransportReceiver final : public PacketSink {
+ public:
+  ChunkTransportReceiver(Simulator& sim, ReceiverConfig cfg);
+
+  void on_packet(SimPacket pkt) override;
+
+  /// Per-chunk entry point used by ChunkDemultiplexer (which has
+  /// already opened the envelope): processes one chunk of THIS
+  /// connection. `packet_created_at` is the carrying packet's creation
+  /// time, for latency accounting.
+  void on_chunk(Chunk c, SimTime packet_created_at);
+
+  /// Application address space (spatially reassembled data).
+  std::span<const std::uint8_t> app_data() const { return app_buffer_; }
+
+  /// Elements of the connection stream delivered so far.
+  std::uint64_t elements_delivered() const { return app_coverage_.covered(); }
+  bool stream_complete(std::uint64_t total_elements) const {
+    return app_coverage_.covers(0, total_elements);
+  }
+
+  struct Stats {
+    std::uint64_t packets{0};
+    std::uint64_t malformed_packets{0};
+    std::uint64_t data_chunks{0};
+    std::uint64_t ed_chunks{0};
+    std::uint64_t foreign_chunks{0};     ///< wrong connection id
+    std::uint64_t duplicate_chunks{0};
+    std::uint64_t overlap_chunks{0};
+    std::uint64_t framing_error_chunks{0};
+    std::uint64_t tpdus_accepted{0};
+    std::uint64_t tpdus_rejected{0};
+    /// Bytes moved across the memory bus in the data path. Immediate
+    /// placement moves each byte once (interface → app memory); held
+    /// bytes move twice (interface → hold buffer → app memory).
+    std::uint64_t bus_bytes{0};
+    std::uint64_t held_bytes_peak{0};
+    std::uint64_t held_bytes_now{0};
+    /// Per-element delivery latency samples (ns), packet creation to
+    /// placement in application memory.
+    std::vector<double> delivery_latency_ns;
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Drops state of TPDUs that can no longer complete (sender gave
+  /// up). Used by long-running simulations to bound memory.
+  void abort_tpdu(std::uint32_t tpdu_id);
+
+ private:
+  struct HeldChunk {
+    Chunk chunk;
+    SimTime packet_created_at{0};
+  };
+
+  struct TpduState {
+    TpduInvariant invariant;
+    PduTracker tracker;
+    SnConsistencyChecker consistency;
+    std::optional<Wsc2Code> received_code;
+    bool framing_error{false};
+    bool layout_error{false};
+    bool finished{false};
+    SimTime first_chunk_at{0};
+    std::uint64_t elements{0};
+    int gap_naks_sent{0};
+    bool nak_timer_armed{false};
+    std::vector<HeldChunk> held;  ///< kReassemble mode only
+  };
+
+  void handle_data_chunk(Chunk c, SimTime packet_created_at);
+  void handle_ed_chunk(const Chunk& c);
+  void arm_gap_nak_timer(std::uint32_t tpdu_id, TpduState& st);
+  void fire_gap_nak(std::uint32_t tpdu_id);
+  void place_chunk(const Chunk& c, SimTime packet_created_at, bool was_held);
+  void release_in_order();
+  void try_finish(std::uint32_t tpdu_id, TpduState& st);
+  void hold_bytes(std::uint64_t n);
+  void unhold_bytes(std::uint64_t n);
+
+  Simulator& sim_;
+  ReceiverConfig cfg_;
+  std::vector<std::uint8_t> app_buffer_;
+  IntervalSet app_coverage_;  ///< element-granular, relative to first_conn_sn
+  std::map<std::uint32_t, TpduState> tpdus_;
+  /// kReorder mode: chunks waiting for their turn, keyed by C.SN.
+  std::map<std::uint32_t, HeldChunk> reorder_queue_;
+  std::uint32_t next_release_sn_;
+  Stats stats_;
+};
+
+}  // namespace chunknet

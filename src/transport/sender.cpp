@@ -1,0 +1,187 @@
+#include "src/transport/sender.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "src/chunk/codec.hpp"
+#include "src/chunk/fragment.hpp"
+#include "src/transport/signalling.hpp"
+
+namespace chunknet {
+
+ChunkTransportSender::ChunkTransportSender(Simulator& sim, SenderConfig cfg)
+    : sim_(sim), cfg_(std::move(cfg)) {}
+
+void ChunkTransportSender::send_stream(std::span<const std::uint8_t> stream) {
+  started_ = true;
+  auto chunks = frame_stream(stream, cfg_.framer);
+  auto tpdus = group_by_tpdu(std::move(chunks));
+
+  for (auto& tpdu_chunks : tpdus) {
+    if (tpdu_chunks.empty()) continue;
+    const std::uint32_t tpdu_id = tpdu_chunks.front().h.tpdu.id;
+    const std::uint32_t conn_sn = tpdu_chunks.front().h.conn.sn;
+
+    // Transmitter-side invariant: absorb the pristine chunks once.
+    TpduInvariant inv(cfg_.invariant);
+    bool ok = true;
+    for (const Chunk& c : tpdu_chunks) ok = inv.absorb(c) && ok;
+    if (!ok) continue;  // stream too large for the invariant layout
+
+    tpdu_chunks.push_back(make_ed_chunk(cfg_.framer.connection_id, tpdu_id,
+                                        conn_sn, inv.value()));
+
+    PendingTpdu pending;
+    pending.chunks = std::move(tpdu_chunks);
+    auto [it, inserted] = outstanding_.emplace(tpdu_id, std::move(pending));
+    ++stats_.tpdus_sent;
+    transmit_tpdu(tpdu_id, it->second);
+  }
+}
+
+void ChunkTransportSender::transmit_tpdu(std::uint32_t tpdu_id,
+                                         PendingTpdu& p) {
+  ++p.attempts;
+  p.last_sent = sim_.now();
+  if (p.attempts > 1) {
+    for (const Chunk& c : p.chunks) {
+      if (c.h.type == ChunkType::kData) {
+        stats_.retx_payload_bytes += c.payload.size();
+      }
+    }
+  }
+  send_chunks(p.chunks);  // copies: the originals stay for retransmission
+  arm_timer(tpdu_id);
+}
+
+void ChunkTransportSender::arm_timer(std::uint32_t tpdu_id) {
+  const SimTime armed_at = sim_.now();
+  sim_.schedule_in(cfg_.retransmit_timeout, [this, tpdu_id, armed_at] {
+    auto it = outstanding_.find(tpdu_id);
+    if (it == outstanding_.end()) return;          // acked meanwhile
+    if (it->second.last_sent > armed_at) return;   // newer timer pending
+    if (it->second.attempts > cfg_.max_retransmits) {
+      ++stats_.gave_up;
+      outstanding_.erase(it);
+      return;
+    }
+    ++stats_.retransmissions;
+    transmit_tpdu(tpdu_id, it->second);
+  });
+}
+
+namespace {
+
+/// Cuts the piece of `c` covering elements [lo, hi) in T.SN space, or
+/// nullopt if they don't intersect. Appendix-C splits keep every header
+/// field (SNs, ST bits) exact, so the receiver accepts the piece as if
+/// it had been fragmented in the network.
+std::optional<Chunk> slice_chunk(const Chunk& c, std::uint64_t lo,
+                                 std::uint64_t hi) {
+  const std::uint64_t s = c.h.tpdu.sn;
+  const std::uint64_t e = s + c.h.len;
+  const std::uint64_t a = std::max(lo, s);
+  const std::uint64_t b = std::min(hi, e);
+  if (a >= b) return std::nullopt;
+  Chunk piece = c;
+  if (a > s) {
+    piece = split_chunk(piece, static_cast<std::uint16_t>(a - s)).second;
+  }
+  if (b < e) {
+    piece = split_chunk(piece, static_cast<std::uint16_t>(b - a)).first;
+  }
+  return piece;
+}
+
+}  // namespace
+
+void ChunkTransportSender::send_chunks(std::vector<Chunk> chunks) {
+  PacketizerOptions opts;
+  opts.mtu = cfg_.mtu;
+  opts.policy = cfg_.pack_policy;
+  PacketizeResult packed = packetize(std::move(chunks), opts);
+  for (auto& pkt : packed.packets) {
+    if (cfg_.compress_wire) {
+      // Re-encode the packet in the compact negotiated syntax; the
+      // compressed form is never larger, and unrepresentable chunks
+      // fall back to the canonical envelope (both parse at the peer).
+      const ParsedPacket parsed = decode_packet(pkt);
+      auto compact = compress_packet(parsed.chunks, *cfg_.compress_wire,
+                                     cfg_.mtu);
+      if (!compact.empty()) pkt = std::move(compact);
+    }
+    stats_.bytes_sent += pkt.size();
+    ++stats_.packets_sent;
+    if (cfg_.send_packet) cfg_.send_packet(std::move(pkt));
+  }
+}
+
+void ChunkTransportSender::handle_gap_nak(const Chunk& signal) {
+  const auto nak = parse_gap_nak(signal);
+  if (!nak) return;
+  const auto it = outstanding_.find(nak->tpdu_id);
+  if (it == outstanding_.end()) return;  // already acked or abandoned
+  ++stats_.gap_naks_honoured;
+
+  std::vector<Chunk> resend;
+  for (const Chunk& c : it->second.chunks) {
+    if (c.h.type == ChunkType::kErrorDetection) {
+      if (nak->need_ed_chunk) resend.push_back(c);
+      continue;
+    }
+    if (c.h.type != ChunkType::kData) continue;
+    bool taken = false;
+    for (const GapRange& g : nak->gaps) {
+      if (auto piece = slice_chunk(c, g.first_sn,
+                                   static_cast<std::uint64_t>(g.first_sn) +
+                                       g.length)) {
+        stats_.selective_retx_elements += piece->h.len;
+        stats_.retx_payload_bytes += piece->payload.size();
+        resend.push_back(std::move(*piece));
+        taken = true;
+      }
+    }
+    if (!taken && nak->need_tail) {
+      if (auto piece = slice_chunk(c, nak->tail_from, ~std::uint64_t{0})) {
+        stats_.selective_retx_elements += piece->h.len;
+        stats_.retx_payload_bytes += piece->payload.size();
+        resend.push_back(std::move(*piece));
+      }
+    }
+  }
+  if (resend.empty()) return;
+  it->second.last_sent = sim_.now();  // quiet the whole-TPDU backstop
+  send_chunks(std::move(resend));
+  arm_timer(nak->tpdu_id);
+}
+
+void ChunkTransportSender::on_packet(SimPacket pkt) {
+  ParsedPacket parsed = decode_packet(pkt.bytes);
+  if (!parsed.ok) return;
+  for (const Chunk& c : parsed.chunks) {
+    if (c.h.type == ChunkType::kSignal && cfg_.selective_retransmit) {
+      handle_gap_nak(c);
+      continue;
+    }
+    if (c.h.type != ChunkType::kAck) continue;
+    const AckInfo ack = parse_ack_chunk(c);
+    auto it = outstanding_.find(ack.tpdu_id);
+    if (it == outstanding_.end()) continue;
+    if (ack.positive) {
+      ++stats_.tpdus_acked;
+      outstanding_.erase(it);
+    } else {
+      // NAK: retransmit immediately with the same identifiers.
+      ++stats_.naks;
+      if (it->second.attempts > cfg_.max_retransmits) {
+        ++stats_.gave_up;
+        outstanding_.erase(it);
+        continue;
+      }
+      ++stats_.retransmissions;
+      transmit_tpdu(ack.tpdu_id, it->second);
+    }
+  }
+}
+
+}  // namespace chunknet

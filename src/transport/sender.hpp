@@ -1,0 +1,98 @@
+// The chunk transport sender.
+//
+// Frames an application stream into chunks (three-level framing of
+// Figure 1), computes each TPDU's WSC-2 invariant (Figure 5) and
+// attaches it as an ED control chunk (Figure 3), packetizes to the
+// first-hop MTU, and handles error control: per-TPDU ACK/NAK plus a
+// retransmission timer. Retransmitted data reuses the ORIGINAL
+// identifiers (§3.3: "retransmitted data should use the same
+// identifiers as the originally transmitted data"), so late duplicates
+// of the first transmission are recognized and rejected by the
+// receiver's virtual reassembly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <vector>
+
+#include <optional>
+
+#include "src/chunk/builder.hpp"
+#include "src/chunk/compress.hpp"
+#include "src/chunk/packetizer.hpp"
+#include "src/netsim/simulator.hpp"
+#include "src/transport/invariant.hpp"
+
+namespace chunknet {
+
+struct SenderConfig {
+  FramerOptions framer{};
+  std::size_t mtu{1500};
+  RepackPolicy pack_policy{RepackPolicy::kRepack};
+  InvariantConfig invariant{};
+  SimTime retransmit_timeout{50 * kMillisecond};
+  int max_retransmits{8};
+  /// Selective retransmission (extension): honour GapNak signal chunks
+  /// by resending ONLY the missing element runs (chunks are cut to the
+  /// exact gap boundaries with the Appendix-C split, so the receiver's
+  /// duplicate/overlap rejection never discards them). The whole-TPDU
+  /// timer remains as a backstop.
+  bool selective_retransmit{false};
+  /// When set, packets leave in the compact Appendix-A syntax under
+  /// this (signalled) profile instead of the canonical fixed-field
+  /// syntax. Falls back to canonical per packet if a chunk is not
+  /// representable under the profile.
+  std::optional<CompressionProfile> compress_wire;
+  /// Transmit a packet body into the network (first hop).
+  std::function<void(std::vector<std::uint8_t>)> send_packet;
+};
+
+class ChunkTransportSender final : public PacketSink {
+ public:
+  ChunkTransportSender(Simulator& sim, SenderConfig cfg);
+
+  /// Frames and transmits the whole stream (length must be a multiple
+  /// of the framer element size). May be called once per connection.
+  void send_stream(std::span<const std::uint8_t> stream);
+
+  /// Feedback channel: ACK/NAK chunks arrive here.
+  void on_packet(SimPacket pkt) override;
+
+  bool all_acked() const { return outstanding_.empty() && started_; }
+
+  struct Stats {
+    std::uint64_t tpdus_sent{0};
+    std::uint64_t tpdus_acked{0};
+    std::uint64_t retransmissions{0};
+    std::uint64_t naks{0};
+    std::uint64_t gave_up{0};
+    std::uint64_t packets_sent{0};
+    std::uint64_t bytes_sent{0};
+    std::uint64_t gap_naks_honoured{0};
+    std::uint64_t selective_retx_elements{0};
+    std::uint64_t retx_payload_bytes{0};  ///< payload resent (any kind)
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct PendingTpdu {
+    std::vector<Chunk> chunks;  ///< data chunks + ED chunk, original IDs
+    int attempts{0};
+    SimTime last_sent{0};
+  };
+
+  void transmit_tpdu(std::uint32_t tpdu_id, PendingTpdu& p);
+  void arm_timer(std::uint32_t tpdu_id);
+  void handle_gap_nak(const Chunk& signal);
+  void send_chunks(std::vector<Chunk> chunks);
+
+  Simulator& sim_;
+  SenderConfig cfg_;
+  std::map<std::uint32_t, PendingTpdu> outstanding_;
+  bool started_{false};
+  Stats stats_;
+};
+
+}  // namespace chunknet

@@ -1,0 +1,154 @@
+// Tests for BatchingChunkRouter: combining chunks across packets when
+// moving from small to large MTUs (Figure 4 methods 2 and 3 across
+// packet boundaries).
+#include <gtest/gtest.h>
+
+#include "src/chunk/builder.hpp"
+#include "src/chunk/codec.hpp"
+#include "src/chunk/packetizer.hpp"
+#include "src/chunk/reassemble.hpp"
+#include "src/netsim/router.hpp"
+
+namespace chunknet {
+namespace {
+
+struct CollectingSink final : public PacketSink {
+  std::vector<SimPacket> packets;
+  void on_packet(SimPacket pkt) override { packets.push_back(std::move(pkt)); }
+};
+
+struct Fixture {
+  Simulator sim;
+  Rng rng{3};
+  CollectingSink sink;
+  LinkConfig big_cfg;
+  std::unique_ptr<Link> big_link;
+  RelayStats stats;
+  std::unique_ptr<BatchingChunkRouter> router;
+
+  explicit Fixture(RepackPolicy policy, std::size_t egress_mtu = 1500) {
+    big_cfg.mtu = egress_mtu;
+    big_link = std::make_unique<Link>(sim, big_cfg, sink, rng);
+    router = std::make_unique<BatchingChunkRouter>(
+        sim, policy, *big_link, 100 * kMicrosecond, &stats);
+  }
+
+  /// Feeds the router many SMALL packets, one chunk each.
+  std::vector<Chunk> feed_small_packets(std::size_t stream_bytes) {
+    FramerOptions fo;
+    fo.element_size = 4;
+    fo.tpdu_elements = static_cast<std::uint32_t>(stream_bytes / 4);
+    fo.xpdu_elements = 64;       // X-PDUs span 4 chunks → mergeable runs
+    fo.max_chunk_elements = 16;  // 64-byte chunks: small-MTU arrivals
+    std::vector<std::uint8_t> stream(stream_bytes, 0x3C);
+    auto chunks = frame_stream(stream, fo);
+    for (const Chunk& c : chunks) {
+      SimPacket pkt;
+      pkt.bytes = encode_packet(std::vector<Chunk>{c}, 576);
+      pkt.id = sim.next_packet_id();
+      pkt.created_at = sim.now();
+      router->on_packet(std::move(pkt));
+    }
+    return chunks;
+  }
+};
+
+TEST(BatchingRouter, CombinesSmallPacketsIntoLarge) {
+  Fixture f(RepackPolicy::kRepack);
+  const auto chunks = f.feed_small_packets(4096);
+  f.sim.run();
+  // Far fewer egress packets than ingress packets.
+  EXPECT_LT(f.sink.packets.size(), chunks.size() / 2);
+  EXPECT_EQ(f.stats.packets_in, chunks.size());
+  // Every chunk survived, byte-exactly.
+  std::size_t total = 0;
+  for (const auto& pkt : f.sink.packets) {
+    EXPECT_LE(pkt.bytes.size(), 1500u);
+    const auto parsed = decode_packet(pkt.bytes);
+    ASSERT_TRUE(parsed.ok);
+    for (const Chunk& c : parsed.chunks) total += c.payload.size();
+  }
+  EXPECT_EQ(total, 4096u);
+}
+
+TEST(BatchingRouter, ReassemblePolicyMergesAcrossPackets) {
+  Fixture f(RepackPolicy::kReassemble);
+  f.feed_small_packets(4096);
+  f.sim.run();
+  EXPECT_GT(f.stats.merges, 0u);
+  // Merged chunks: egress carries fewer, bigger chunks.
+  std::size_t chunk_count = 0;
+  for (const auto& pkt : f.sink.packets) {
+    chunk_count += decode_packet(pkt.bytes).chunks.size();
+  }
+  EXPECT_LT(chunk_count, f.stats.packets_in);
+}
+
+TEST(BatchingRouter, FlushAfterWindowEvenIfIdle) {
+  Fixture f(RepackPolicy::kRepack);
+  // One lone packet must still come out after the window expires.
+  FramerOptions fo;
+  fo.element_size = 4;
+  fo.tpdu_elements = 4;
+  std::vector<std::uint8_t> data(16, 0x11);
+  auto chunks = frame_stream(data, fo);
+  SimPacket pkt;
+  pkt.bytes = encode_packet(chunks, 576);
+  pkt.id = f.sim.next_packet_id();
+  f.router->on_packet(std::move(pkt));
+  f.sim.run();
+  ASSERT_EQ(f.sink.packets.size(), 1u);
+}
+
+TEST(BatchingRouter, MalformedPacketCountedAndDropped) {
+  Fixture f(RepackPolicy::kRepack);
+  SimPacket junk;
+  junk.bytes = {9, 9, 9};
+  f.router->on_packet(std::move(junk));
+  f.sim.run();
+  EXPECT_EQ(f.stats.parse_failures, 1u);
+  EXPECT_TRUE(f.sink.packets.empty());
+}
+
+TEST(BatchingRouter, SplitsWhenEgressSmaller) {
+  // Batching also works "downhill": large ingress packet, small egress.
+  Fixture f(RepackPolicy::kRepack, /*egress_mtu=*/296);
+  FramerOptions fo;
+  fo.element_size = 4;
+  fo.tpdu_elements = 512;
+  std::vector<std::uint8_t> data(2048, 0x77);
+  auto chunks = frame_stream(data, fo);
+  SimPacket pkt;
+  pkt.bytes = encode_packet(chunks, 65535);
+  pkt.id = f.sim.next_packet_id();
+  f.router->on_packet(std::move(pkt));
+  f.sim.run();
+  EXPECT_GT(f.stats.splits, 0u);
+  std::size_t total = 0;
+  for (const auto& p : f.sink.packets) {
+    EXPECT_LE(p.bytes.size(), 296u);
+    for (const Chunk& c : decode_packet(p.bytes).chunks) {
+      total += c.payload.size();
+    }
+  }
+  EXPECT_EQ(total, 2048u);
+}
+
+TEST(BatchingRouter, EndToEndCoalesceAfterBatching) {
+  Fixture f(RepackPolicy::kReassemble);
+  f.feed_small_packets(8192);
+  f.sim.run();
+  std::vector<Chunk> arrived;
+  for (const auto& pkt : f.sink.packets) {
+    for (auto& c : decode_packet(pkt.bytes).chunks) {
+      arrived.push_back(std::move(c));
+    }
+  }
+  auto merged = coalesce(std::move(arrived));
+  std::uint64_t covered = 0;
+  for (const Chunk& c : merged) covered += c.payload.size();
+  EXPECT_EQ(covered, 8192u);
+}
+
+}  // namespace
+}  // namespace chunknet

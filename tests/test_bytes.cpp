@@ -1,0 +1,96 @@
+// Unit tests for the byte-level serialization helpers.
+#include "src/common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chunknet {
+namespace {
+
+TEST(ByteWriter, WritesBigEndianScalars) {
+  std::vector<std::uint8_t> buf;
+  ByteWriter w(buf);
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0102030405060708ull);
+  ASSERT_EQ(buf.size(), 15u);
+  EXPECT_EQ(buf[0], 0xAB);
+  EXPECT_EQ(buf[1], 0x12);
+  EXPECT_EQ(buf[2], 0x34);
+  EXPECT_EQ(buf[3], 0xDE);
+  EXPECT_EQ(buf[6], 0xEF);
+  EXPECT_EQ(buf[7], 0x01);
+  EXPECT_EQ(buf[14], 0x08);
+}
+
+TEST(ByteWriter, AppendsRawBytes) {
+  std::vector<std::uint8_t> buf{0xFF};
+  ByteWriter w(buf);
+  const std::uint8_t raw[] = {1, 2, 3};
+  w.bytes(raw);
+  EXPECT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf[3], 3);
+}
+
+TEST(ByteReader, RoundTripsWriter) {
+  std::vector<std::uint8_t> buf;
+  ByteWriter w(buf);
+  w.u8(7);
+  w.u16(65535);
+  w.u32(0x01020304);
+  w.u64(0xFFFFFFFFFFFFFFFFull);
+  ByteReader r(buf);
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u16(), 65535);
+  EXPECT_EQ(r.u32(), 0x01020304u);
+  EXPECT_EQ(r.u64(), 0xFFFFFFFFFFFFFFFFull);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteReader, UnderrunSetsStickyError) {
+  const std::uint8_t data[] = {1, 2};
+  ByteReader r(data);
+  EXPECT_EQ(r.u32(), 0u);
+  EXPECT_FALSE(r.ok());
+  // Sticky: subsequent reads keep failing even if bytes "remain".
+  EXPECT_EQ(r.u8(), 0u);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteReader, BytesViewAndSkip) {
+  const std::uint8_t data[] = {10, 20, 30, 40, 50};
+  ByteReader r(data);
+  r.skip(1);
+  const auto v = r.bytes(3);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 20);
+  EXPECT_EQ(v[2], 40);
+  EXPECT_EQ(r.remaining(), 1u);
+}
+
+TEST(ByteReader, OversizedBytesRequestFails) {
+  const std::uint8_t data[] = {1, 2, 3};
+  ByteReader r(data);
+  EXPECT_TRUE(r.bytes(4).empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(HexDump, FormatsOffsetsAndAscii) {
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 20; ++i) data.push_back(static_cast<std::uint8_t>('A' + i));
+  const std::string dump = hex_dump(data);
+  EXPECT_NE(dump.find("000000"), std::string::npos);
+  EXPECT_NE(dump.find("41 "), std::string::npos);
+  EXPECT_NE(dump.find("|ABCDEFGHIJKLMNOP|"), std::string::npos);
+}
+
+TEST(HexDump, TruncatesAtMaxBytes) {
+  std::vector<std::uint8_t> data(100, 0x42);
+  const std::string dump = hex_dump(data, 16);
+  EXPECT_NE(dump.find("more bytes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace chunknet

@@ -1,0 +1,172 @@
+// Tests for the baseline error-detection codes: CRC-32 (known vectors,
+// implementation agreement, order DEPENDENCE), the Internet checksum
+// (order independence and weakness), Fletcher-32 and Adler-32.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string_view>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/edc/crc32.hpp"
+#include "src/edc/fletcher.hpp"
+#include "src/edc/inet_checksum.hpp"
+
+namespace chunknet {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Crc32, KnownVectors) {
+  // The canonical CRC-32 check value.
+  EXPECT_EQ(crc32(bytes_of("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32(bytes_of("")), 0x00000000u);
+  EXPECT_EQ(crc32(bytes_of("a")), 0xE8B7BE43u);
+  EXPECT_EQ(crc32(bytes_of("abc")), 0x352441C2u);
+}
+
+TEST(Crc32, ImplementationsAgree) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::uint8_t> data(rng.range(0, 300));
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+    const auto a = crc32_bitwise(data);
+    EXPECT_EQ(crc32_table(data), a);
+    EXPECT_EQ(crc32_slice4(data), a);
+  }
+}
+
+TEST(Crc32, StreamingMatchesOneShot) {
+  Rng rng(2);
+  std::vector<std::uint8_t> data(1000);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  Crc32Stream s;
+  std::span<const std::uint8_t> view(data);
+  s.update(view.subspan(0, 123));
+  s.update(view.subspan(123, 456));
+  s.update(view.subspan(579));
+  EXPECT_EQ(s.value(), crc32(data));
+}
+
+TEST(Crc32, OrderDependent) {
+  // The paper's point: "A CRC cannot be computed on disordered data."
+  // Feeding the two halves in the wrong order yields a different value.
+  Rng rng(3);
+  std::vector<std::uint8_t> data(512);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  std::span<const std::uint8_t> view(data);
+
+  Crc32Stream in_order;
+  in_order.update(view.subspan(0, 256));
+  in_order.update(view.subspan(256));
+
+  Crc32Stream disordered;
+  disordered.update(view.subspan(256));
+  disordered.update(view.subspan(0, 256));
+
+  EXPECT_NE(in_order.value(), disordered.value());
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  Rng rng(4);
+  std::vector<std::uint8_t> data(128);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  const std::uint32_t clean = crc32(data);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto dirty = data;
+    const std::size_t bit = rng.below(dirty.size() * 8);
+    dirty[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_NE(crc32(dirty), clean);
+  }
+}
+
+TEST(InetChecksum, KnownVector) {
+  // RFC 1071 example: the sum of these words is 0xDDF2, checksum 0x220D.
+  const std::vector<std::uint8_t> data{0x00, 0x01, 0xF2, 0x03,
+                                       0xF4, 0xF5, 0xF6, 0xF7};
+  EXPECT_EQ(inet_sum(data), 0xDDF2u);
+  EXPECT_EQ(inet_checksum(data), static_cast<std::uint16_t>(~0xDDF2u));
+}
+
+TEST(InetChecksum, OddLengthPadsWithZero) {
+  const std::vector<std::uint8_t> odd{0x12, 0x34, 0x56};
+  const std::vector<std::uint8_t> even{0x12, 0x34, 0x56, 0x00};
+  EXPECT_EQ(inet_sum(odd), inet_sum(even));
+}
+
+TEST(InetChecksum, OrderIndependentAcrossAlignedFragments) {
+  // The property footnote 11 credits to the TCP checksum.
+  Rng rng(5);
+  std::vector<std::uint8_t> data(600);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  std::span<const std::uint8_t> view(data);
+
+  InetChecksumAccumulator fwd;
+  fwd.add(view.subspan(0, 200));
+  fwd.add(view.subspan(200, 200));
+  fwd.add(view.subspan(400));
+
+  InetChecksumAccumulator rev;
+  rev.add(view.subspan(400));
+  rev.add(view.subspan(0, 200));
+  rev.add(view.subspan(200, 200));
+
+  EXPECT_EQ(fwd.checksum(), rev.checksum());
+  EXPECT_EQ(fwd.checksum(), inet_checksum(data));
+}
+
+TEST(InetChecksum, BlindToWordReordering) {
+  // …but that same commutativity makes it weaker: swapping two 16-bit
+  // words is invisible. (CRC and WSC-2 both catch this; bench E4
+  // quantifies it.)
+  std::vector<std::uint8_t> a{0x11, 0x22, 0x33, 0x44};
+  std::vector<std::uint8_t> b{0x33, 0x44, 0x11, 0x22};
+  EXPECT_EQ(inet_checksum(a), inet_checksum(b));
+  EXPECT_NE(crc32(a), crc32(b));
+}
+
+TEST(Fletcher32, KnownVectors) {
+  // Standard test vectors (16-bit word formulation, big-endian words).
+  // "abcde" -> F04FC729 for the little-endian byte-pair variant; we
+  // use big-endian words, so validate self-consistency + sensitivity
+  // instead of external vectors.
+  const auto v1 = fletcher32(bytes_of("abcde"));
+  const auto v2 = fletcher32(bytes_of("abcdf"));
+  const auto v3 = fletcher32(bytes_of("abcde"));
+  EXPECT_EQ(v1, v3);
+  EXPECT_NE(v1, v2);
+}
+
+TEST(Fletcher32, DetectsReorderUnlikeInetChecksum) {
+  std::vector<std::uint8_t> a{0x11, 0x22, 0x33, 0x44, 0x55, 0x66};
+  std::vector<std::uint8_t> b{0x33, 0x44, 0x11, 0x22, 0x55, 0x66};
+  EXPECT_NE(fletcher32(a), fletcher32(b));
+}
+
+TEST(Fletcher32, LongInputBlockingIsStable) {
+  // Exercise the overflow-avoidance blocking (>359 words).
+  std::vector<std::uint8_t> data(4096, 0xFF);
+  const auto v = fletcher32(data);
+  EXPECT_EQ(v, fletcher32(data));
+  data[4095] = 0xFE;
+  EXPECT_NE(v, fletcher32(data));
+}
+
+TEST(Adler32, KnownVectors) {
+  // zlib's documented value for "Wikipedia".
+  EXPECT_EQ(adler32(bytes_of("Wikipedia")), 0x11E60398u);
+  EXPECT_EQ(adler32(bytes_of("")), 1u);
+}
+
+TEST(Adler32, LongInputModularReduction) {
+  std::vector<std::uint8_t> data(100000, 0xAB);
+  const auto v = adler32(data);
+  EXPECT_EQ(v, adler32(data));
+  data[50000] ^= 1;
+  EXPECT_NE(v, adler32(data));
+}
+
+}  // namespace
+}  // namespace chunknet

@@ -1,0 +1,145 @@
+// Tests for the connection demultiplexer: chunks from multiple
+// connections (plus control chunks) sharing packets, routed by C.ID.
+#include "src/transport/demux.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/chunk/builder.hpp"
+#include "src/chunk/codec.hpp"
+#include "src/transport/signalling.hpp"
+
+namespace chunknet {
+namespace {
+
+struct ControlCollector final : public PacketSink {
+  std::vector<Chunk> chunks;
+  void on_packet(SimPacket pkt) override {
+    auto parsed = decode_packet(pkt.bytes);
+    for (auto& c : parsed.chunks) chunks.push_back(std::move(c));
+  }
+};
+
+class DemuxTest : public ::testing::Test {
+ protected:
+  static ReceiverConfig receiver_config(std::uint32_t conn_id,
+                                        std::size_t bytes) {
+    ReceiverConfig rc;
+    rc.connection_id = conn_id;
+    rc.element_size = 4;
+    rc.app_buffer_bytes = bytes;
+    return rc;
+  }
+
+  static std::vector<Chunk> chunks_for(std::uint32_t conn_id,
+                                       std::span<const std::uint8_t> stream) {
+    FramerOptions fo;
+    fo.connection_id = conn_id;
+    fo.element_size = 4;
+    fo.tpdu_elements = static_cast<std::uint32_t>(stream.size() / 4);
+    fo.xpdu_elements = 8;
+    fo.max_chunk_elements = 8;
+    return frame_stream(stream, fo);
+  }
+
+  SimPacket wrap(std::vector<Chunk> chunks) {
+    SimPacket pkt;
+    pkt.bytes = encode_packet(chunks, 65535);
+    pkt.id = sim.next_packet_id();
+    pkt.created_at = sim.now();
+    return pkt;
+  }
+
+  Simulator sim;
+};
+
+TEST_F(DemuxTest, RoutesByConnectionId) {
+  std::vector<std::uint8_t> stream_a(64, 0xAA);
+  std::vector<std::uint8_t> stream_b(64, 0xBB);
+
+  ChunkTransportReceiver rx_a(sim, receiver_config(1, 64));
+  ChunkTransportReceiver rx_b(sim, receiver_config(2, 64));
+  ChunkDemultiplexer demux;
+  demux.attach(1, rx_a);
+  demux.attach(2, rx_b);
+
+  // Interleave both connections' chunks in SHARED packets.
+  auto a = chunks_for(1, stream_a);
+  auto b = chunks_for(2, stream_b);
+  std::vector<Chunk> mixed;
+  for (std::size_t i = 0; i < std::max(a.size(), b.size()); ++i) {
+    if (i < a.size()) mixed.push_back(a[i]);
+    if (i < b.size()) mixed.push_back(b[i]);
+  }
+  demux.on_packet(wrap(std::move(mixed)));
+
+  EXPECT_TRUE(rx_a.stream_complete(16));
+  EXPECT_TRUE(rx_b.stream_complete(16));
+  EXPECT_EQ(rx_a.app_data()[0], 0xAA);
+  EXPECT_EQ(rx_b.app_data()[0], 0xBB);
+  EXPECT_EQ(demux.stats().data_chunks_routed, a.size() + b.size());
+  EXPECT_EQ(rx_a.stats().foreign_chunks, 0u);  // demux already filtered
+}
+
+TEST_F(DemuxTest, UnknownConnectionCounted) {
+  ChunkTransportReceiver rx(sim, receiver_config(1, 64));
+  ChunkDemultiplexer demux;
+  demux.attach(1, rx);
+  auto foreign = chunks_for(99, std::vector<std::uint8_t>(16, 1));
+  demux.on_packet(wrap(std::move(foreign)));
+  EXPECT_GT(demux.stats().unknown_connection, 0u);
+  EXPECT_EQ(rx.stats().data_chunks, 0u);
+}
+
+TEST_F(DemuxTest, ControlChunksGoToControlSink) {
+  ChunkTransportReceiver rx(sim, receiver_config(1, 64));
+  ControlCollector control;
+  ChunkDemultiplexer demux;
+  demux.attach(1, rx);
+  demux.attach_control(control);
+
+  // A packet mixing data, an ACK and a SIGNAL — Appendix A's
+  // piggybacking for free.
+  auto mixed = chunks_for(1, std::vector<std::uint8_t>(32, 7));
+  mixed.push_back(make_ack_chunk(1, 5, true));
+  mixed.push_back(make_signal_chunk(ConnectionClose{1, 8}));
+  demux.on_packet(wrap(std::move(mixed)));
+
+  EXPECT_TRUE(rx.stream_complete(8));
+  ASSERT_EQ(control.chunks.size(), 2u);
+  EXPECT_EQ(control.chunks[0].h.type, ChunkType::kAck);
+  EXPECT_EQ(control.chunks[1].h.type, ChunkType::kSignal);
+  EXPECT_EQ(demux.stats().control_chunks_routed, 2u);
+}
+
+TEST_F(DemuxTest, MalformedPacketCounted) {
+  ChunkDemultiplexer demux;
+  SimPacket junk;
+  junk.bytes = {1, 2, 3};
+  demux.on_packet(std::move(junk));
+  EXPECT_EQ(demux.stats().malformed, 1u);
+}
+
+TEST_F(DemuxTest, EdChunksReachTheirConnection) {
+  ChunkTransportReceiver rx(sim, receiver_config(1, 64));
+  std::vector<TpduOutcome> outcomes;
+  // Rebuild with callback to observe completion.
+  ReceiverConfig rc = receiver_config(1, 64);
+  rc.on_tpdu = [&](const TpduOutcome& o) { outcomes.push_back(o); };
+  ChunkTransportReceiver rx2(sim, std::move(rc));
+  ChunkDemultiplexer demux;
+  demux.attach(1, rx2);
+
+  std::vector<std::uint8_t> stream(64, 3);
+  auto chunks = chunks_for(1, stream);
+  TpduInvariant inv;
+  for (const Chunk& c : chunks) inv.absorb(c);
+  chunks.push_back(make_ed_chunk(1, chunks.front().h.tpdu.id,
+                                 chunks.front().h.conn.sn, inv.value()));
+  demux.on_packet(wrap(std::move(chunks)));
+
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].verdict, TpduVerdict::kAccepted);
+}
+
+}  // namespace
+}  // namespace chunknet

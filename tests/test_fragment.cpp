@@ -1,0 +1,182 @@
+// Tests for chunk fragmentation (paper Appendix C), including the
+// worked example of Figures 2–3 with its exact field values.
+#include "src/chunk/fragment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/chunk/codec.hpp"
+#include "src/common/rng.hpp"
+
+namespace chunknet {
+namespace {
+
+/// The TPDU data chunk of Figure 2: SIZE 1, LEN 7, C = (A, 36, 0),
+/// T = (Q, 0, 1), X = (C, 24, 0).
+Chunk figure2_chunk() {
+  Chunk c;
+  c.h.type = ChunkType::kData;
+  c.h.size = 1;
+  c.h.len = 7;
+  c.h.conn = {0xAA, 36, false};
+  c.h.tpdu = {0x51, 0, true};
+  c.h.xpdu = {0xCC, 24, false};
+  c.payload = {10, 11, 12, 13, 14, 15, 16};
+  return c;
+}
+
+TEST(SplitChunk, Figure3WorkedExample) {
+  // Figure 3 splits the Figure 2 chunk after 4 elements. The paper
+  // shows the resulting headers: head (36, 0, 24) / ST 000 / LEN 4,
+  // tail (40, 4, 28) / ST 010 / LEN 3.
+  const Chunk original = figure2_chunk();
+  const auto [a, b] = split_chunk(original, 4);
+
+  EXPECT_EQ(a.h.type, ChunkType::kData);
+  EXPECT_EQ(a.h.size, 1);
+  EXPECT_EQ(a.h.len, 4);
+  EXPECT_EQ(a.h.conn.sn, 36u);
+  EXPECT_EQ(a.h.tpdu.sn, 0u);
+  EXPECT_EQ(a.h.xpdu.sn, 24u);
+  EXPECT_FALSE(a.h.conn.st);
+  EXPECT_FALSE(a.h.tpdu.st);
+  EXPECT_FALSE(a.h.xpdu.st);
+
+  EXPECT_EQ(b.h.len, 3);
+  EXPECT_EQ(b.h.conn.sn, 40u);
+  EXPECT_EQ(b.h.tpdu.sn, 4u);
+  EXPECT_EQ(b.h.xpdu.sn, 28u);
+  EXPECT_FALSE(b.h.conn.st);
+  EXPECT_TRUE(b.h.tpdu.st);  // original ST bits land on the tail
+  EXPECT_FALSE(b.h.xpdu.st);
+
+  // IDs copied to both halves.
+  EXPECT_EQ(a.h.conn.id, original.h.conn.id);
+  EXPECT_EQ(b.h.conn.id, original.h.conn.id);
+  EXPECT_EQ(a.h.tpdu.id, original.h.tpdu.id);
+  EXPECT_EQ(b.h.xpdu.id, original.h.xpdu.id);
+
+  // Payload partitions exactly.
+  EXPECT_EQ(a.payload, (std::vector<std::uint8_t>{10, 11, 12, 13}));
+  EXPECT_EQ(b.payload, (std::vector<std::uint8_t>{14, 15, 16}));
+}
+
+TEST(SplitChunk, RespectsElementSize) {
+  Chunk c = figure2_chunk();
+  c.h.size = 8;  // e.g. DES blocks: never split below SIZE
+  c.h.len = 4;
+  c.payload.assign(32, 0x5A);
+  const auto [a, b] = split_chunk(c, 1);
+  EXPECT_EQ(a.payload.size(), 8u);
+  EXPECT_EQ(b.payload.size(), 24u);
+  EXPECT_EQ(b.h.conn.sn, c.h.conn.sn + 1);  // SNs count elements, not bytes
+}
+
+TEST(SplitChunk, BothHalvesStructurallyValid) {
+  Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    Chunk c = figure2_chunk();
+    c.h.len = static_cast<std::uint16_t>(rng.range(2, 200));
+    c.payload.assign(static_cast<std::size_t>(c.h.len) * c.h.size, 7);
+    const auto cut = static_cast<std::uint16_t>(rng.range(1, c.h.len - 1));
+    const auto [a, b] = split_chunk(c, cut);
+    EXPECT_TRUE(a.structurally_valid());
+    EXPECT_TRUE(b.structurally_valid());
+    EXPECT_EQ(a.h.len + b.h.len, c.h.len);
+  }
+}
+
+TEST(ElementsThatFit, AccountsForHeader) {
+  Chunk c = figure2_chunk();
+  c.h.size = 4;
+  c.h.len = 100;
+  c.payload.assign(400, 0);
+  EXPECT_EQ(elements_that_fit(c, kChunkHeaderBytes), 0);
+  EXPECT_EQ(elements_that_fit(c, kChunkHeaderBytes + 3), 0);
+  EXPECT_EQ(elements_that_fit(c, kChunkHeaderBytes + 4), 1);
+  EXPECT_EQ(elements_that_fit(c, kChunkHeaderBytes + 11), 2);
+  // Never returns more than the chunk holds.
+  EXPECT_EQ(elements_that_fit(c, 100000), 100);
+}
+
+TEST(SplitToFit, ReturnsOriginalWhenItFits) {
+  const Chunk c = figure2_chunk();
+  const auto pieces = split_to_fit(c, c.wire_size());
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], c);
+}
+
+TEST(SplitToFit, EveryPieceWithinBudget) {
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    Chunk c = figure2_chunk();
+    c.h.size = static_cast<std::uint16_t>(rng.range(1, 16));
+    c.h.len = static_cast<std::uint16_t>(rng.range(1, 300));
+    c.payload.assign(static_cast<std::size_t>(c.h.len) * c.h.size, 1);
+    const std::size_t budget =
+        kChunkHeaderBytes + c.h.size * rng.range(1, 20);
+    const auto pieces = split_to_fit(c, budget);
+    ASSERT_FALSE(pieces.empty());
+    std::size_t total_len = 0;
+    for (const Chunk& p : pieces) {
+      EXPECT_LE(p.wire_size(), budget);
+      EXPECT_TRUE(p.structurally_valid());
+      total_len += p.h.len;
+    }
+    EXPECT_EQ(total_len, c.h.len);
+  }
+}
+
+TEST(SplitToFit, PayloadConcatenationPreserved) {
+  Rng rng(3);
+  Chunk c = figure2_chunk();
+  c.h.len = 97;
+  c.payload.resize(97);
+  for (auto& b : c.payload) b = static_cast<std::uint8_t>(rng.next());
+  const auto pieces = split_to_fit(c, kChunkHeaderBytes + 10);
+  std::vector<std::uint8_t> joined;
+  for (const Chunk& p : pieces) {
+    joined.insert(joined.end(), p.payload.begin(), p.payload.end());
+  }
+  EXPECT_EQ(joined, c.payload);
+}
+
+TEST(SplitToFit, StopBitsOnlyOnLastPiece) {
+  Chunk c = figure2_chunk();
+  c.h.conn.st = true;
+  c.h.xpdu.st = true;
+  const auto pieces = split_to_fit(c, kChunkHeaderBytes + 2);
+  ASSERT_GT(pieces.size(), 1u);
+  for (std::size_t i = 0; i + 1 < pieces.size(); ++i) {
+    EXPECT_FALSE(pieces[i].h.conn.st);
+    EXPECT_FALSE(pieces[i].h.tpdu.st);
+    EXPECT_FALSE(pieces[i].h.xpdu.st);
+  }
+  EXPECT_TRUE(pieces.back().h.conn.st);
+  EXPECT_TRUE(pieces.back().h.tpdu.st);
+  EXPECT_TRUE(pieces.back().h.xpdu.st);
+}
+
+TEST(SplitToFit, ImpossibleBudgetReturnsEmpty) {
+  Chunk c = figure2_chunk();
+  c.h.size = 100;
+  c.h.len = 2;
+  c.payload.assign(200, 0);
+  EXPECT_TRUE(split_to_fit(c, kChunkHeaderBytes + 99).empty());
+}
+
+TEST(SplitChunk, RepeatedSplittingDownToSingleElements) {
+  // "The algorithm below can be repeated until each chunk carries only
+  // a single unit of data."
+  Chunk c = figure2_chunk();
+  const auto pieces = split_to_fit(c, kChunkHeaderBytes + 1);
+  ASSERT_EQ(pieces.size(), 7u);
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    EXPECT_EQ(pieces[i].h.len, 1);
+    EXPECT_EQ(pieces[i].h.conn.sn, 36u + i);
+    EXPECT_EQ(pieces[i].h.tpdu.sn, i);
+    EXPECT_EQ(pieces[i].h.xpdu.sn, 24u + i);
+  }
+}
+
+}  // namespace
+}  // namespace chunknet

@@ -1,0 +1,183 @@
+// Tests for the Appendix-B framing adapters: every scheme must carry a
+// stream correctly within its MTU, and its single-unit insight must
+// match its declared disorder tolerance.
+#include "src/framing/scheme.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <set>
+
+namespace chunknet {
+namespace {
+
+std::vector<std::uint8_t> stream_of(std::size_t bytes) {
+  std::vector<std::uint8_t> v(bytes);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    v[i] = static_cast<std::uint8_t>(i * 31 + 5);
+  }
+  return v;
+}
+
+struct SchemeName {
+  template <typename T>
+  std::string operator()(const T& info) const {
+    std::string n = all_schemes()[info.param]->capabilities().name;
+    for (char& c : n) {
+      if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+    }
+    return n;
+  }
+};
+
+class EveryScheme : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  std::unique_ptr<FramingScheme> scheme() const {
+    return std::move(all_schemes()[GetParam()]);
+  }
+};
+
+TEST_P(EveryScheme, CarryProducesUnits) {
+  const auto s = scheme();
+  const auto carried = s->carry(stream_of(4096), 1024, 576);
+  EXPECT_FALSE(carried.packets.empty());
+  EXPECT_EQ(carried.payload_bytes, 4096u);
+  EXPECT_GT(carried.header_bytes, 0u);
+  EXPECT_GT(carried.efficiency(), 0.0);
+  EXPECT_LT(carried.efficiency(), 1.0);
+}
+
+TEST_P(EveryScheme, UnitsRespectMtuOrCellSize) {
+  const auto s = scheme();
+  const std::size_t mtu = 576;
+  const auto carried = s->carry(stream_of(8192), 2048, mtu);
+  for (const auto& unit : carried.packets) {
+    EXPECT_LE(unit.size(), mtu);
+  }
+}
+
+TEST_P(EveryScheme, InspectParsesOwnUnits) {
+  const auto s = scheme();
+  const auto carried = s->carry(stream_of(2048), 512, 576);
+  std::size_t parsed = 0;
+  std::uint64_t payload_seen = 0;
+  bool boundary_seen = false;
+  for (const auto& unit : carried.packets) {
+    const UnitInsight ins = s->inspect(unit);
+    EXPECT_TRUE(ins.parsed);
+    EXPECT_TRUE(ins.knows_connection);  // all schemes can demultiplex
+    parsed += ins.parsed ? 1 : 0;
+    payload_seen += ins.payload_bytes;
+    boundary_seen |= ins.knows_pdu_boundary;
+  }
+  EXPECT_EQ(parsed, carried.packets.size());
+  EXPECT_GE(payload_seen, 2048u);  // cell schemes count padding as payload area
+  EXPECT_TRUE(boundary_seen);      // someone must mark end-of-PDU
+}
+
+TEST_P(EveryScheme, InsightConsistentWithDisorderTolerance) {
+  // The Appendix-B crux: a receiver can place a unit's payload without
+  // earlier context iff the scheme tolerates disorder at that level.
+  const auto s = scheme();
+  const auto caps = s->capabilities();
+  const auto carried = s->carry(stream_of(4096), 1024, 576);
+  ASSERT_GT(carried.packets.size(), 1u);
+  // Examine a MIDDLE unit — first units often carry extra information.
+  const UnitInsight ins = s->inspect(carried.packets[carried.packets.size() / 2]);
+  ASSERT_TRUE(ins.parsed);
+  if (caps.disorder == DisorderTolerance::kNone) {
+    EXPECT_FALSE(ins.knows_stream_offset) << caps.name;
+  }
+  if (caps.disorder == DisorderTolerance::kFull) {
+    EXPECT_TRUE(ins.knows_stream_offset) << caps.name;
+  }
+}
+
+TEST_P(EveryScheme, InspectRejectsGarbage) {
+  const auto s = scheme();
+  const std::vector<std::uint8_t> junk{1, 2, 3};
+  EXPECT_FALSE(s->inspect(junk).parsed);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, EveryScheme,
+                         ::testing::Range<std::size_t>(0, 10), SchemeName{});
+
+TEST(Schemes, RosterCompleteAndUnique) {
+  const auto schemes = all_schemes();
+  ASSERT_EQ(schemes.size(), 10u);
+  std::set<std::string> names;
+  for (const auto& s : schemes) names.insert(s->capabilities().name);
+  EXPECT_EQ(names.size(), 10u);
+  EXPECT_TRUE(names.count("chunks"));
+  EXPECT_TRUE(names.count("AAL5"));
+  EXPECT_TRUE(names.count("IP-frag"));
+  EXPECT_TRUE(names.count("XTP"));
+}
+
+TEST(Schemes, ChunksAloneHaveAllFieldsExplicit) {
+  // Appendix B: "Chunk headers provide explicit framing and type
+  // information for all PDU types… The equivalent of the chunk SIZE
+  // field is implicit for all existing protocols."
+  for (const auto& s : all_schemes()) {
+    const auto c = s->capabilities();
+    const bool all_explicit =
+        c.type == FieldSupport::kExplicit && c.size == FieldSupport::kExplicit &&
+        c.c_id == FieldSupport::kExplicit && c.c_sn == FieldSupport::kExplicit &&
+        c.c_st == FieldSupport::kExplicit && c.t_id == FieldSupport::kExplicit &&
+        c.t_sn == FieldSupport::kExplicit && c.t_st == FieldSupport::kExplicit &&
+        c.x_id == FieldSupport::kExplicit && c.x_sn == FieldSupport::kExplicit &&
+        c.x_st == FieldSupport::kExplicit;
+    EXPECT_EQ(all_explicit, c.name == "chunks") << c.name;
+    if (c.name != "chunks") {
+      EXPECT_NE(c.size, FieldSupport::kExplicit) << c.name;
+    }
+  }
+}
+
+TEST(Schemes, OnlySelfDescribingSchemesTolerateFullDisorder) {
+  std::map<std::string, DisorderTolerance> expect{
+      {"chunks", DisorderTolerance::kFull},
+      {"Axon", DisorderTolerance::kFull},
+      {"AAL5", DisorderTolerance::kNone},
+      {"HDLC", DisorderTolerance::kNone},
+      {"URP", DisorderTolerance::kNone},
+      {"AAL3/4", DisorderTolerance::kPartial},
+      {"Delta-t", DisorderTolerance::kPartial},
+      {"IP-frag", DisorderTolerance::kPartial},
+      {"VMTP", DisorderTolerance::kPartial},
+      {"XTP", DisorderTolerance::kPartial},
+  };
+  for (const auto& s : all_schemes()) {
+    const auto c = s->capabilities();
+    ASSERT_TRUE(expect.count(c.name)) << c.name;
+    EXPECT_EQ(c.disorder, expect[c.name]) << c.name;
+  }
+}
+
+TEST(Schemes, XtpCarriesFullOverheadPerPacket) {
+  // §3.2: the XTP approach repeats all PDU overhead in every packet, so
+  // its per-packet header cost must exceed the chunk scheme's once
+  // chunks amortize (large chunks, small per-chunk headers).
+  const auto xtp = make_xtp_scheme();
+  const auto chunks = make_chunk_scheme();
+  const auto stream = stream_of(65536);
+  const auto x = xtp->carry(stream, 16384, 1500);
+  const auto c = chunks->carry(stream, 16384, 1500);
+  EXPECT_GT(x.header_bytes, 0u);
+  EXPECT_GT(c.efficiency(), 0.90);  // chunks stay efficient at MTU 1500
+}
+
+TEST(Schemes, CellSchemesEmitFixedSizeCells) {
+  for (auto* factory : {+[] { return make_aal5_scheme(); },
+                        +[] { return make_aal34_scheme(); }}) {
+    const auto s = factory();
+    const auto carried = s->carry(stream_of(1000), 500, 9000);
+    for (const auto& cell : carried.packets) {
+      EXPECT_EQ(cell.size(), 53u) << s->capabilities().name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace chunknet

@@ -1,0 +1,120 @@
+// Tests for gap enumeration: IntervalSet::gaps_within and
+// PduTracker::missing_runs — the data source of selective
+// retransmission (GapNak).
+#include <gtest/gtest.h>
+
+#include "src/common/interval_set.hpp"
+#include "src/common/rng.hpp"
+#include "src/reassembly/virtual_reassembly.hpp"
+
+namespace chunknet {
+namespace {
+
+using Gap = std::pair<std::uint64_t, std::uint64_t>;
+
+TEST(GapsWithin, EmptySetIsOneBigGap) {
+  IntervalSet s;
+  EXPECT_EQ(s.gaps_within(0, 10), (std::vector<Gap>{{0, 10}}));
+  EXPECT_TRUE(s.gaps_within(5, 5).empty());
+}
+
+TEST(GapsWithin, FullyCoveredHasNoGaps) {
+  IntervalSet s;
+  s.add(0, 10);
+  EXPECT_TRUE(s.gaps_within(0, 10).empty());
+  EXPECT_TRUE(s.gaps_within(3, 7).empty());
+}
+
+TEST(GapsWithin, HolesEnumeratedInOrder) {
+  IntervalSet s;
+  s.add(2, 4);
+  s.add(6, 8);
+  EXPECT_EQ(s.gaps_within(0, 10),
+            (std::vector<Gap>{{0, 2}, {4, 6}, {8, 10}}));
+}
+
+TEST(GapsWithin, WindowClipsIntervals) {
+  IntervalSet s;
+  s.add(0, 5);
+  s.add(8, 20);
+  EXPECT_EQ(s.gaps_within(3, 10), (std::vector<Gap>{{5, 8}}));
+  EXPECT_EQ(s.gaps_within(6, 7), (std::vector<Gap>{{6, 7}}));
+  EXPECT_TRUE(s.gaps_within(10, 15).empty());
+}
+
+TEST(GapsWithin, IgnoresCoverageOutsideWindow) {
+  IntervalSet s;
+  s.add(100, 200);
+  EXPECT_EQ(s.gaps_within(0, 10), (std::vector<Gap>{{0, 10}}));
+}
+
+TEST(GapsWithin, MatchesPointwiseReference) {
+  Rng rng(17);
+  for (int trial = 0; trial < 100; ++trial) {
+    IntervalSet s;
+    std::vector<bool> ref(200, false);
+    for (int k = 0; k < 12; ++k) {
+      const std::uint64_t lo = rng.below(190);
+      const std::uint64_t hi = lo + rng.range(1, 10);
+      s.add(lo, hi);
+      for (std::uint64_t p = lo; p < hi && p < 200; ++p) ref[p] = true;
+    }
+    const std::uint64_t wlo = rng.below(100);
+    const std::uint64_t whi = wlo + rng.range(1, 100);
+    const auto gaps = s.gaps_within(wlo, whi);
+    // Rebuild coverage from gaps and compare point by point.
+    std::vector<bool> from_gaps(200, true);
+    for (const auto& [glo, ghi] : gaps) {
+      ASSERT_LE(wlo, glo);
+      ASSERT_LE(ghi, whi);
+      for (std::uint64_t p = glo; p < ghi; ++p) from_gaps[p] = false;
+    }
+    for (std::uint64_t p = wlo; p < whi && p < 200; ++p) {
+      EXPECT_EQ(from_gaps[p], ref[p]) << "trial " << trial << " point " << p;
+    }
+  }
+}
+
+TEST(MaxCovered, TracksHighestPoint) {
+  IntervalSet s;
+  EXPECT_EQ(s.max_covered(), 0u);
+  s.add(5, 10);
+  EXPECT_EQ(s.max_covered(), 10u);
+  s.add(0, 2);
+  EXPECT_EQ(s.max_covered(), 10u);
+  s.add(50, 51);
+  EXPECT_EQ(s.max_covered(), 51u);
+}
+
+TEST(MissingRuns, WithKnownStop) {
+  PduTracker t;
+  t.add(0, 3, false);
+  t.add(9, 3, true);  // stop at 11
+  EXPECT_EQ(t.missing_runs(), (std::vector<Gap>{{3, 9}}));
+  t.add(3, 6, false);
+  EXPECT_TRUE(t.missing_runs().empty());
+  EXPECT_TRUE(t.complete());
+}
+
+TEST(MissingRuns, WithoutStopOnlyInteriorGaps) {
+  PduTracker t;
+  t.add(0, 2, false);
+  t.add(5, 2, false);  // no stop yet: tail length unknown
+  EXPECT_EQ(t.missing_runs(), (std::vector<Gap>{{2, 5}}));
+  EXPECT_EQ(t.max_seen(), 7u);
+}
+
+TEST(MissingRuns, EmptyTracker) {
+  PduTracker t;
+  EXPECT_TRUE(t.missing_runs().empty());
+  EXPECT_EQ(t.max_seen(), 0u);
+}
+
+TEST(MissingRuns, LeadingGap) {
+  PduTracker t;
+  t.add(4, 4, true);  // stop at 7, nothing before 4
+  EXPECT_EQ(t.missing_runs(), (std::vector<Gap>{{0, 4}}));
+}
+
+}  // namespace
+}  // namespace chunknet

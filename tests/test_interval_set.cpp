@@ -1,0 +1,166 @@
+// Unit and property tests for IntervalSet, the core of virtual
+// reassembly.
+#include "src/common/interval_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/rng.hpp"
+
+namespace chunknet {
+namespace {
+
+TEST(IntervalSet, StartsEmpty) {
+  IntervalSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.covered(), 0u);
+  EXPECT_EQ(s.pieces(), 0u);
+  EXPECT_EQ(s.first_gap(), 0u);
+  EXPECT_FALSE(s.covers(0, 1));
+  EXPECT_TRUE(s.covers(5, 5));  // empty range trivially covered
+}
+
+TEST(IntervalSet, AddDisjointRanges) {
+  IntervalSet s;
+  EXPECT_EQ(s.add(0, 10), IntervalSet::AddResult::kNew);
+  EXPECT_EQ(s.add(20, 30), IntervalSet::AddResult::kNew);
+  EXPECT_EQ(s.covered(), 20u);
+  EXPECT_EQ(s.pieces(), 2u);
+  EXPECT_TRUE(s.covers(0, 10));
+  EXPECT_TRUE(s.covers(25, 28));
+  EXPECT_FALSE(s.covers(5, 25));
+  EXPECT_EQ(s.first_gap(), 10u);
+}
+
+TEST(IntervalSet, AdjacentRangesMerge) {
+  IntervalSet s;
+  s.add(0, 10);
+  EXPECT_EQ(s.add(10, 20), IntervalSet::AddResult::kNew);
+  EXPECT_EQ(s.pieces(), 1u);
+  EXPECT_TRUE(s.covers(0, 20));
+  EXPECT_EQ(s.first_gap(), 20u);
+}
+
+TEST(IntervalSet, DuplicateDetected) {
+  IntervalSet s;
+  s.add(5, 15);
+  EXPECT_EQ(s.add(5, 15), IntervalSet::AddResult::kDuplicate);
+  EXPECT_EQ(s.add(7, 12), IntervalSet::AddResult::kDuplicate);
+  EXPECT_EQ(s.covered(), 10u);
+}
+
+TEST(IntervalSet, OverlapDetectedAndNovelPartRecorded) {
+  IntervalSet s;
+  s.add(0, 10);
+  EXPECT_EQ(s.add(5, 15), IntervalSet::AddResult::kOverlap);
+  EXPECT_EQ(s.covered(), 15u);  // coverage stays exact
+  EXPECT_TRUE(s.covers(0, 15));
+}
+
+TEST(IntervalSet, BridgingAddMergesMultipleIntervals) {
+  IntervalSet s;
+  s.add(0, 5);
+  s.add(10, 15);
+  s.add(20, 25);
+  // [5,20) swallows the already-seen [10,15): reported as an overlap,
+  // but the whole range still merges into one interval.
+  EXPECT_EQ(s.add(5, 20), IntervalSet::AddResult::kOverlap);
+  EXPECT_EQ(s.pieces(), 1u);
+  EXPECT_EQ(s.covered(), 25u);
+}
+
+TEST(IntervalSet, BridgingGapFillIsNew) {
+  IntervalSet s;
+  s.add(0, 5);
+  s.add(10, 15);
+  EXPECT_EQ(s.add(5, 10), IntervalSet::AddResult::kNew);  // exact gap fill
+  EXPECT_EQ(s.pieces(), 1u);
+  EXPECT_EQ(s.covered(), 15u);
+}
+
+TEST(IntervalSet, EmptyRangeIsNoOp) {
+  IntervalSet s;
+  EXPECT_EQ(s.add(5, 5), IntervalSet::AddResult::kDuplicate);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSet, FirstGapWithHoleAtZero) {
+  IntervalSet s;
+  s.add(3, 10);
+  EXPECT_EQ(s.first_gap(), 0u);
+}
+
+TEST(IntervalSet, IntersectsSemantics) {
+  IntervalSet s;
+  s.add(10, 20);
+  EXPECT_TRUE(s.intersects(19, 25));
+  EXPECT_TRUE(s.intersects(5, 11));
+  EXPECT_FALSE(s.intersects(20, 30));  // half-open: [20,30) misses [10,20)
+  EXPECT_FALSE(s.intersects(0, 10));
+  EXPECT_FALSE(s.intersects(15, 15));  // empty range
+}
+
+TEST(IntervalSet, ToStringRendersIntervals) {
+  IntervalSet s;
+  s.add(1, 3);
+  s.add(7, 9);
+  EXPECT_EQ(s.to_string(), "[1,3) [7,9)");
+}
+
+// Property test: IntervalSet agrees with a reference std::set of points
+// over thousands of random adds.
+class IntervalSetProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntervalSetProperty, MatchesPointSetReference) {
+  Rng rng(GetParam());
+  IntervalSet s;
+  std::set<std::uint64_t> ref;
+  constexpr std::uint64_t kUniverse = 500;
+
+  for (int iter = 0; iter < 300; ++iter) {
+    const std::uint64_t lo = rng.below(kUniverse);
+    const std::uint64_t hi = lo + rng.range(1, 30);
+
+    bool all_in = true;
+    bool any_in = false;
+    for (std::uint64_t p = lo; p < hi; ++p) {
+      if (ref.count(p)) {
+        any_in = true;
+      } else {
+        all_in = false;
+      }
+    }
+    const auto result = s.add(lo, hi);
+    if (all_in) {
+      EXPECT_EQ(result, IntervalSet::AddResult::kDuplicate);
+    } else if (any_in) {
+      EXPECT_EQ(result, IntervalSet::AddResult::kOverlap);
+    } else {
+      EXPECT_EQ(result, IntervalSet::AddResult::kNew);
+    }
+    for (std::uint64_t p = lo; p < hi; ++p) ref.insert(p);
+
+    ASSERT_EQ(s.covered(), ref.size());
+    // Spot-check covers/intersects on random ranges.
+    const std::uint64_t qlo = rng.below(kUniverse);
+    const std::uint64_t qhi = qlo + rng.range(1, 40);
+    bool ref_all = true;
+    bool ref_any = false;
+    for (std::uint64_t p = qlo; p < qhi; ++p) {
+      if (ref.count(p)) {
+        ref_any = true;
+      } else {
+        ref_all = false;
+      }
+    }
+    EXPECT_EQ(s.covers(qlo, qhi), ref_all);
+    EXPECT_EQ(s.intersects(qlo, qhi), ref_any);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSetProperty,
+                         ::testing::Values(1, 2, 3, 42, 1993));
+
+}  // namespace
+}  // namespace chunknet

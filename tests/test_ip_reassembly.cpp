@@ -1,0 +1,146 @@
+// Tests for the physical IP-style reassembly buffer and its §3.3
+// failure mode, reassembly lock-up.
+#include "src/reassembly/ip_reassembly.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chunknet {
+namespace {
+
+IpFragment frag(std::uint32_t id, std::uint32_t off, std::size_t n, bool mf,
+                std::uint8_t fill = 0xAB) {
+  IpFragment f;
+  f.datagram_id = id;
+  f.offset = off;
+  f.data.assign(n, fill);
+  f.more_fragments = mf;
+  return f;
+}
+
+TEST(IpReassembly, CompletesInOrder) {
+  IpReassemblyBuffer buf(1024);
+  EXPECT_EQ(buf.offer(frag(1, 0, 100, true, 1)), IpReassemblyOutcome::kStored);
+  EXPECT_EQ(buf.offer(frag(1, 100, 100, true, 2)), IpReassemblyOutcome::kStored);
+  EXPECT_EQ(buf.offer(frag(1, 200, 50, false, 3)),
+            IpReassemblyOutcome::kCompleted);
+  const auto dg = buf.take_completed(1);
+  ASSERT_TRUE(dg.has_value());
+  EXPECT_EQ(dg->size(), 250u);
+  EXPECT_EQ((*dg)[0], 1);
+  EXPECT_EQ((*dg)[150], 2);
+  EXPECT_EQ((*dg)[249], 3);
+  EXPECT_EQ(buf.used_bytes(), 0u);  // space reclaimed
+}
+
+TEST(IpReassembly, CompletesOutOfOrder) {
+  IpReassemblyBuffer buf(1024);
+  EXPECT_EQ(buf.offer(frag(1, 200, 50, false)), IpReassemblyOutcome::kStored);
+  EXPECT_EQ(buf.offer(frag(1, 100, 100, true)), IpReassemblyOutcome::kStored);
+  EXPECT_EQ(buf.offer(frag(1, 0, 100, true)), IpReassemblyOutcome::kCompleted);
+  EXPECT_TRUE(buf.take_completed(1).has_value());
+}
+
+TEST(IpReassembly, TakeIncompleteReturnsNothing) {
+  IpReassemblyBuffer buf(1024);
+  buf.offer(frag(1, 0, 100, true));
+  EXPECT_FALSE(buf.take_completed(1).has_value());
+  EXPECT_FALSE(buf.take_completed(99).has_value());
+}
+
+TEST(IpReassembly, DuplicateFragmentsRejected) {
+  IpReassemblyBuffer buf(1024);
+  buf.offer(frag(1, 0, 100, true));
+  EXPECT_EQ(buf.offer(frag(1, 0, 100, true)), IpReassemblyOutcome::kDuplicate);
+  EXPECT_EQ(buf.used_bytes(), 100u);  // not double-counted
+}
+
+TEST(IpReassembly, OverlapIsInconsistent) {
+  IpReassemblyBuffer buf(1024);
+  buf.offer(frag(1, 0, 100, true));
+  EXPECT_EQ(buf.offer(frag(1, 50, 100, true)),
+            IpReassemblyOutcome::kInconsistent);
+}
+
+TEST(IpReassembly, ConflictingTotalLengthRejected) {
+  IpReassemblyBuffer buf(1024);
+  buf.offer(frag(1, 100, 50, false));  // total = 150
+  EXPECT_EQ(buf.offer(frag(1, 200, 10, false)),
+            IpReassemblyOutcome::kInconsistent);
+  // data beyond the established end:
+  EXPECT_EQ(buf.offer(frag(1, 160, 10, true)),
+            IpReassemblyOutcome::kInconsistent);
+}
+
+TEST(IpReassembly, FinalFragmentBeforeExistingTailIsInconsistent) {
+  IpReassemblyBuffer buf(1024);
+  buf.offer(frag(1, 100, 50, true));
+  EXPECT_EQ(buf.offer(frag(1, 0, 50, false)),  // claims end at 50
+            IpReassemblyOutcome::kInconsistent);
+}
+
+TEST(IpReassembly, PoolExhaustionDropsFragments) {
+  IpReassemblyBuffer buf(150);
+  EXPECT_EQ(buf.offer(frag(1, 0, 100, true)), IpReassemblyOutcome::kStored);
+  EXPECT_EQ(buf.offer(frag(2, 0, 100, true)), IpReassemblyOutcome::kNoSpace);
+  EXPECT_EQ(buf.stats().fragments_dropped_no_space, 1u);
+}
+
+TEST(IpReassembly, LockupDetected) {
+  // Buffer fills with fragments of many datagrams, none complete:
+  // the §3.3 lock-up. Every further fragment is dropped, including the
+  // ones that would have completed a datagram.
+  IpReassemblyBuffer buf(300);
+  EXPECT_EQ(buf.offer(frag(1, 0, 100, true)), IpReassemblyOutcome::kStored);
+  EXPECT_EQ(buf.offer(frag(2, 0, 100, true)), IpReassemblyOutcome::kStored);
+  EXPECT_EQ(buf.offer(frag(3, 0, 100, true)), IpReassemblyOutcome::kStored);
+  EXPECT_TRUE(buf.locked_up());
+  EXPECT_EQ(buf.offer(frag(1, 100, 50, false)), IpReassemblyOutcome::kNoSpace);
+  EXPECT_GE(buf.stats().lockup_events, 1u);
+  EXPECT_EQ(buf.incomplete_datagrams(), 3u);
+}
+
+TEST(IpReassembly, EvictionFreesSpace) {
+  IpReassemblyBuffer buf(300);
+  buf.offer(frag(1, 0, 100, true));
+  buf.offer(frag(2, 0, 200, true));
+  const std::size_t freed = buf.evict_largest_incomplete();
+  EXPECT_EQ(freed, 200u);
+  EXPECT_EQ(buf.used_bytes(), 100u);
+  EXPECT_EQ(buf.stats().datagrams_evicted, 1u);
+  // Space is usable again.
+  EXPECT_EQ(buf.offer(frag(3, 0, 150, true)), IpReassemblyOutcome::kStored);
+}
+
+TEST(IpReassembly, EvictNothingWhenEmpty) {
+  IpReassemblyBuffer buf(100);
+  EXPECT_EQ(buf.evict_largest_incomplete(), 0u);
+}
+
+TEST(IpReassembly, CompletedDatagramNotLockup) {
+  IpReassemblyBuffer buf(100);
+  buf.offer(frag(1, 0, 100, false));  // complete, filling the pool
+  EXPECT_FALSE(buf.locked_up());      // deliverable → drains
+}
+
+TEST(IpReassembly, EmptyFragmentIgnored) {
+  IpReassemblyBuffer buf(100);
+  EXPECT_EQ(buf.offer(frag(1, 0, 0, true)), IpReassemblyOutcome::kDuplicate);
+  EXPECT_EQ(buf.used_bytes(), 0u);
+}
+
+TEST(IpReassembly, ManyDatagramsIndependent) {
+  IpReassemblyBuffer buf(10000);
+  for (std::uint32_t id = 1; id <= 10; ++id) {
+    EXPECT_EQ(buf.offer(frag(id, 0, 50, true)), IpReassemblyOutcome::kStored);
+  }
+  for (std::uint32_t id = 1; id <= 10; ++id) {
+    EXPECT_EQ(buf.offer(frag(id, 50, 50, false)),
+              IpReassemblyOutcome::kCompleted);
+    EXPECT_TRUE(buf.take_completed(id).has_value());
+  }
+  EXPECT_EQ(buf.stats().datagrams_completed, 10u);
+  EXPECT_EQ(buf.used_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace chunknet

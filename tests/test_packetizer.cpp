@@ -1,0 +1,191 @@
+// Tests for packing chunks into packet envelopes (Figure 3) and the
+// Figure 4 repacking policies.
+#include "src/chunk/packetizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/chunk/builder.hpp"
+#include "src/chunk/codec.hpp"
+#include "src/chunk/reassemble.hpp"
+#include "src/common/rng.hpp"
+
+namespace chunknet {
+namespace {
+
+std::vector<std::uint8_t> pattern_stream(std::size_t bytes) {
+  std::vector<std::uint8_t> v(bytes);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    v[i] = static_cast<std::uint8_t>(i * 7 + 3);
+  }
+  return v;
+}
+
+std::vector<Chunk> sample_chunks(std::size_t stream_bytes,
+                                 std::uint16_t max_chunk_elements = 0) {
+  FramerOptions fo;
+  fo.element_size = 4;
+  fo.tpdu_elements = 64;
+  fo.xpdu_elements = 16;
+  fo.max_chunk_elements = max_chunk_elements;
+  return frame_stream(pattern_stream(stream_bytes), fo);
+}
+
+TEST(Packetizer, EveryPacketWithinMtu) {
+  Rng rng(1);
+  for (const std::size_t mtu : {128, 256, 576, 1500, 9000}) {
+    PacketizerOptions opts;
+    opts.mtu = mtu;
+    const auto result = packetize(sample_chunks(8192), opts);
+    EXPECT_FALSE(result.packets.empty());
+    for (const auto& pkt : result.packets) {
+      EXPECT_LE(pkt.size(), mtu) << "mtu=" << mtu;
+      EXPECT_TRUE(decode_packet(pkt).ok);
+    }
+  }
+}
+
+TEST(Packetizer, RoundTripPreservesStream) {
+  PacketizerOptions opts;
+  opts.mtu = 200;
+  const auto stream = pattern_stream(4096);
+  const auto result = packetize(sample_chunks(4096), opts);
+
+  auto chunks = unpack_all(result.packets);
+  chunks = coalesce(std::move(chunks));
+  // Rebuild the stream by C.SN placement.
+  std::vector<std::uint8_t> rebuilt(stream.size(), 0);
+  for (const Chunk& c : chunks) {
+    const std::size_t off = static_cast<std::size_t>(c.h.conn.sn) * c.h.size;
+    ASSERT_LE(off + c.payload.size(), rebuilt.size());
+    std::copy(c.payload.begin(), c.payload.end(), rebuilt.begin() + off);
+  }
+  EXPECT_EQ(rebuilt, stream);
+}
+
+TEST(Packetizer, SplitsOversizedChunks) {
+  PacketizerOptions opts;
+  opts.mtu = 100;  // each chunk of 64 elements (256B) cannot fit
+  const auto result = packetize(sample_chunks(1024, 64), opts);
+  EXPECT_GT(result.splits, 0u);
+  for (const auto& pkt : result.packets) EXPECT_LE(pkt.size(), 100u);
+}
+
+TEST(Packetizer, OnePerPacketPolicy) {
+  PacketizerOptions opts;
+  opts.mtu = 1500;
+  opts.policy = RepackPolicy::kOnePerPacket;
+  const auto chunks = sample_chunks(2048, 8);
+  const auto result = packetize(chunks, opts);
+  // Every packet carries exactly one chunk.
+  std::size_t total_chunks = 0;
+  for (const auto& pkt : result.packets) {
+    const auto parsed = decode_packet(pkt);
+    ASSERT_TRUE(parsed.ok);
+    EXPECT_EQ(parsed.chunks.size(), 1u);
+    total_chunks += parsed.chunks.size();
+  }
+  EXPECT_GE(total_chunks, chunks.size());
+}
+
+TEST(Packetizer, RepackPutsMultipleChunksPerPacket) {
+  PacketizerOptions opts;
+  opts.mtu = 1500;
+  opts.policy = RepackPolicy::kRepack;
+  const auto result = packetize(sample_chunks(2048, 8), opts);
+  bool saw_multi = false;
+  for (const auto& pkt : result.packets) {
+    const auto parsed = decode_packet(pkt);
+    if (parsed.chunks.size() > 1) saw_multi = true;
+  }
+  EXPECT_TRUE(saw_multi);
+}
+
+TEST(Packetizer, ReassemblePolicyMergesFirst) {
+  PacketizerOptions opts;
+  opts.mtu = 1500;
+  opts.policy = RepackPolicy::kReassemble;
+  // Tiny chunks (8 elements) within 16-element X-PDUs: mergeable pairs.
+  const auto result = packetize(sample_chunks(2048, 8), opts);
+  EXPECT_GT(result.merges, 0u);
+}
+
+TEST(Packetizer, PolicyComparisonPacketCounts) {
+  // Method 1 (one chunk per packet) must use at least as many packets
+  // as method 2 (repack), which uses at least as many as method 3
+  // (reassemble) — the Figure 4 ordering.
+  const auto chunks = sample_chunks(8192, 8);
+  std::size_t counts[4] = {0, 0, 0, 0};
+  for (const auto policy : {RepackPolicy::kOnePerPacket, RepackPolicy::kRepack,
+                            RepackPolicy::kReassemble}) {
+    PacketizerOptions opts;
+    opts.mtu = 1500;
+    opts.policy = policy;
+    counts[static_cast<int>(policy)] = packetize(chunks, opts).packets.size();
+  }
+  EXPECT_GE(counts[1], counts[2]);
+  EXPECT_GE(counts[2], counts[3]);
+  EXPECT_GT(counts[3], 0u);
+}
+
+TEST(Packetizer, EfficiencyImprovesWithLargerChunks) {
+  PacketizerOptions opts;
+  opts.mtu = 1500;
+  const auto small = packetize(sample_chunks(8192, 4), opts);
+  const auto large = packetize(sample_chunks(8192, 0), opts);
+  EXPECT_GT(large.efficiency(), small.efficiency());
+}
+
+TEST(Packetizer, AccountingConsistent) {
+  PacketizerOptions opts;
+  opts.mtu = 300;
+  const auto result = packetize(sample_chunks(4096), opts);
+  std::uint64_t wire = 0;
+  for (const auto& pkt : result.packets) wire += pkt.size();
+  EXPECT_EQ(result.header_bytes + result.payload_bytes, wire);
+  EXPECT_EQ(result.payload_bytes, 4096u);
+}
+
+TEST(Packetizer, TinyMtuDropsUndeliverableChunk) {
+  Chunk c;
+  c.h.type = ChunkType::kData;
+  c.h.size = 200;  // one element cannot fit a 100-byte MTU
+  c.h.len = 1;
+  c.h.conn = {1, 0, false};
+  c.payload.assign(200, 1);
+  PacketizerOptions opts;
+  opts.mtu = 100;
+  const auto result = packetize({c}, opts);
+  EXPECT_TRUE(result.packets.empty());
+}
+
+TEST(Packetizer, NoSplitToFillKeepsChunksWhole) {
+  PacketizerOptions opts;
+  opts.mtu = 300;
+  opts.split_to_fill = false;
+  // X-PDU boundaries every 16 elements cap each chunk at 16 elements
+  // (64 B + header), which fits an empty 300-byte packet.
+  const auto chunks = sample_chunks(2048, 16);
+  const auto result = packetize(chunks, opts);
+  std::size_t seen = 0;
+  for (const auto& pkt : result.packets) {
+    for (const Chunk& c : decode_packet(pkt).chunks) {
+      EXPECT_EQ(c.h.len, 16);  // never split (each fits an empty packet)
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, chunks.size());
+}
+
+TEST(UnpackAll, CountsMalformedPackets) {
+  PacketizerOptions opts;
+  opts.mtu = 300;
+  auto result = packetize(sample_chunks(1024), opts);
+  result.packets.push_back({0xDE, 0xAD});  // junk
+  std::size_t malformed = 0;
+  const auto chunks = unpack_all(result.packets, &malformed);
+  EXPECT_EQ(malformed, 1u);
+  EXPECT_FALSE(chunks.empty());
+}
+
+}  // namespace
+}  // namespace chunknet

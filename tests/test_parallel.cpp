@@ -1,0 +1,111 @@
+// Tests for parallel chunk processing: any thread count produces
+// byte-identical placement and the identical WSC-2 data code — the
+// "modularity and parallelism" claim of the paper's Summary.
+#include "src/pipeline/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/chunk/builder.hpp"
+#include "src/common/rng.hpp"
+
+namespace chunknet {
+namespace {
+
+std::vector<Chunk> make_chunks(std::size_t bytes, std::uint16_t chunk_elems) {
+  Rng rng(42);
+  std::vector<std::uint8_t> stream(bytes);
+  for (auto& b : stream) b = static_cast<std::uint8_t>(rng.next());
+  FramerOptions fo;
+  fo.connection_id = 5;
+  fo.element_size = 4;
+  fo.tpdu_elements = static_cast<std::uint32_t>(bytes / 4);
+  fo.xpdu_elements = 512;
+  fo.max_chunk_elements = chunk_elems;
+  return frame_stream(stream, fo);
+}
+
+class ThreadCounts : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadCounts, MatchesSerialExactly) {
+  const std::size_t kBytes = 256 * 1024;
+  const auto chunks = make_chunks(kBytes, 64);
+
+  std::vector<std::uint8_t> serial_app(kBytes, 0);
+  const auto serial = process_chunks_parallel(chunks, serial_app, 0, 1);
+
+  std::vector<std::uint8_t> par_app(kBytes, 0);
+  const auto par = process_chunks_parallel(chunks, par_app, 0, GetParam());
+
+  EXPECT_EQ(par.data_code, serial.data_code);
+  EXPECT_EQ(par.bytes_placed, serial.bytes_placed);
+  EXPECT_EQ(par.bytes_placed, kBytes);
+  EXPECT_EQ(par_app, serial_app);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadCounts,
+                         ::testing::Values(1, 2, 3, 4, 8, 16));
+
+TEST(ParallelProcess, ShuffledChunksSameResult) {
+  const std::size_t kBytes = 64 * 1024;
+  auto chunks = make_chunks(kBytes, 32);
+  std::vector<std::uint8_t> ordered_app(kBytes, 0);
+  const auto ordered = process_chunks_parallel(chunks, ordered_app, 0, 4);
+
+  Rng rng(7);
+  for (std::size_t i = chunks.size() - 1; i > 0; --i) {
+    std::swap(chunks[i], chunks[rng.below(i + 1)]);
+  }
+  std::vector<std::uint8_t> shuffled_app(kBytes, 0);
+  const auto shuffled = process_chunks_parallel(chunks, shuffled_app, 0, 4);
+
+  EXPECT_EQ(ordered.data_code, shuffled.data_code);
+  EXPECT_EQ(ordered_app, shuffled_app);
+}
+
+TEST(ParallelProcess, MoreThreadsThanChunksClamped) {
+  const auto chunks = make_chunks(1024, 64);  // 4 chunks
+  std::vector<std::uint8_t> app(1024, 0);
+  const auto r = process_chunks_parallel(chunks, app, 0, 64);
+  EXPECT_LE(r.threads_used, 4);
+  EXPECT_EQ(r.bytes_placed, 1024u);
+}
+
+TEST(ParallelProcess, NonDataChunksIgnored) {
+  auto chunks = make_chunks(4096, 32);
+  Chunk ed;
+  ed.h.type = ChunkType::kErrorDetection;
+  ed.h.size = 8;
+  ed.h.len = 1;
+  ed.payload.assign(8, 9);
+  chunks.push_back(ed);
+  std::vector<std::uint8_t> app(4096, 0);
+  const auto r = process_chunks_parallel(chunks, app, 0, 4);
+  EXPECT_EQ(r.bytes_placed, 4096u);
+}
+
+TEST(ParallelProcess, OffsetFirstConnSn) {
+  Rng rng(9);
+  std::vector<std::uint8_t> stream(4096);
+  for (auto& b : stream) b = static_cast<std::uint8_t>(rng.next());
+  FramerOptions fo;
+  fo.element_size = 4;
+  fo.tpdu_elements = 1024;
+  fo.xpdu_elements = 256;
+  fo.max_chunk_elements = 16;
+  fo.first_conn_sn = 5000;
+  const auto chunks = frame_stream(stream, fo);
+  std::vector<std::uint8_t> app(4096, 0);
+  const auto r = process_chunks_parallel(chunks, app, 5000, 4);
+  EXPECT_EQ(r.bytes_placed, 4096u);
+  EXPECT_EQ(app, stream);
+}
+
+TEST(ParallelProcess, EmptyInput) {
+  std::vector<std::uint8_t> app(16, 0);
+  const auto r = process_chunks_parallel({}, app, 0, 4);
+  EXPECT_EQ(r.bytes_placed, 0u);
+  EXPECT_EQ(r.data_code, (Wsc2Code{0, 0}));
+}
+
+}  // namespace
+}  // namespace chunknet

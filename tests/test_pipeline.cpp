@@ -1,0 +1,139 @@
+// Tests for the Integrated Layer Processing stages: equivalence of the
+// layered and integrated paths, touch accounting, and order tolerance
+// of the position-keyed cipher.
+#include "src/pipeline/stages.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.hpp"
+
+namespace chunknet {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(Rng& rng, std::size_t n) {
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.next());
+  return v;
+}
+
+TEST(XorCipher, IsAnInvolution) {
+  Rng rng(1);
+  auto data = random_bytes(rng, 256);
+  const auto original = data;
+  XorCipherStage cipher;
+  cipher.apply(100, data);
+  EXPECT_NE(data, original);
+  cipher.apply(100, data);
+  EXPECT_EQ(data, original);
+}
+
+TEST(XorCipher, PositionKeyed) {
+  // The same plaintext at different positions yields different
+  // ciphertext — and decryption must use the matching position.
+  Rng rng(2);
+  auto a = random_bytes(rng, 64);
+  auto b = a;
+  XorCipherStage cipher;
+  cipher.apply(0, a);
+  cipher.apply(16, b);
+  EXPECT_NE(a, b);
+}
+
+TEST(XorCipher, FragmentsDecryptIndependently) {
+  // Order tolerance ([FELD 92]): decrypting position-tagged fragments
+  // in any order equals decrypting the whole.
+  Rng rng(3);
+  const auto plain = random_bytes(rng, 512);
+  XorCipherStage cipher;
+  auto whole = plain;
+  cipher.apply(0, whole);  // encrypt
+
+  auto pieces = whole;
+  std::span<std::uint8_t> view(pieces);
+  // decrypt back-to-front in three position-tagged pieces
+  cipher.apply(64, view.subspan(256, 256));
+  cipher.apply(0, view.subspan(0, 128));
+  cipher.apply(32, view.subspan(128, 128));
+  EXPECT_EQ(pieces, plain);
+}
+
+TEST(XorCipher, KeyMatters) {
+  Rng rng(4);
+  auto data = random_bytes(rng, 64);
+  auto copy = data;
+  XorCipherStage k1(111);
+  XorCipherStage k2(222);
+  k1.apply(0, data);
+  k2.apply(0, copy);
+  EXPECT_NE(data, copy);
+}
+
+TEST(Processing, LayeredAndIntegratedAgree) {
+  Rng rng(5);
+  const auto in = random_bytes(rng, 4096);
+  std::vector<std::uint8_t> out_layered(in.size());
+  std::vector<std::uint8_t> out_integrated(in.size());
+  XorCipherStage cipher;
+
+  const auto a = layered_process(10, in, out_layered, cipher);
+  const auto b = integrated_process(10, in, out_integrated, cipher);
+
+  EXPECT_EQ(out_layered, out_integrated);
+  EXPECT_EQ(a.code, b.code);
+}
+
+TEST(Processing, TouchAccountingReflectsPassCounts) {
+  Rng rng(6);
+  const auto in = random_bytes(rng, 1024);
+  std::vector<std::uint8_t> out(in.size());
+  XorCipherStage cipher;
+
+  const auto layered = layered_process(0, in, out, cipher);
+  EXPECT_EQ(layered.passes, 3u);
+  EXPECT_EQ(layered.bytes_read, 3u * 1024u);
+  EXPECT_EQ(layered.bytes_written, 2u * 1024u);
+
+  const auto integrated = integrated_process(0, in, out, cipher);
+  EXPECT_EQ(integrated.passes, 1u);
+  EXPECT_EQ(integrated.bytes_read, 1024u);
+  EXPECT_EQ(integrated.bytes_written, 1024u);
+}
+
+TEST(Processing, ChecksumMatchesStandaloneWsc2OverDeciphered) {
+  Rng rng(7);
+  const auto in = random_bytes(rng, 512);
+  std::vector<std::uint8_t> out(in.size());
+  XorCipherStage cipher;
+  const auto result = integrated_process(25, in, out, cipher);
+  // `out` holds the deciphered data; its WSC-2 at position 25 must be
+  // what the pipeline reported.
+  EXPECT_EQ(result.code, wsc2_compute(out, 25));
+}
+
+TEST(Processing, DisorderedSegmentsComposeToWholeResult) {
+  // Process three segments of a stream in scrambled order; combined
+  // checksum and assembled output must match one-pass processing.
+  Rng rng(8);
+  const auto in = random_bytes(rng, 768);
+  XorCipherStage cipher;
+
+  std::vector<std::uint8_t> out_whole(in.size());
+  const auto whole = integrated_process(0, in, out_whole, cipher);
+
+  std::vector<std::uint8_t> out_parts(in.size());
+  std::span<const std::uint8_t> iv(in);
+  std::span<std::uint8_t> ov(out_parts);
+  // segment order: 2, 0, 1  (positions in 32-bit words)
+  const auto r2 = integrated_process(128, iv.subspan(512), ov.subspan(512), cipher);
+  const auto r0 = integrated_process(0, iv.subspan(0, 256), ov.subspan(0, 256), cipher);
+  const auto r1 = integrated_process(64, iv.subspan(256, 256), ov.subspan(256, 256), cipher);
+  const Wsc2Code combined{r0.code.p0 ^ r1.code.p0 ^ r2.code.p0,
+                          r0.code.p1 ^ r1.code.p1 ^ r2.code.p1};
+  EXPECT_EQ(out_parts, out_whole);
+  EXPECT_EQ(combined, whole.code);
+}
+
+}  // namespace
+}  // namespace chunknet

@@ -1,0 +1,201 @@
+// Tests for chunk reassembly (paper Appendix D): merge eligibility,
+// merge/split inversion, and one-step coalescing of arbitrarily
+// shuffled fragments.
+#include "src/chunk/reassemble.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/chunk/fragment.hpp"
+#include "src/common/rng.hpp"
+
+namespace chunknet {
+namespace {
+
+Chunk base_chunk(std::uint16_t len = 10) {
+  Chunk c;
+  c.h.type = ChunkType::kData;
+  c.h.size = 2;
+  c.h.len = len;
+  c.h.conn = {1, 100, false};
+  c.h.tpdu = {2, 0, true};
+  c.h.xpdu = {3, 50, false};
+  c.payload.resize(static_cast<std::size_t>(len) * 2);
+  for (std::size_t i = 0; i < c.payload.size(); ++i) {
+    c.payload[i] = static_cast<std::uint8_t>(i);
+  }
+  return c;
+}
+
+TEST(Mergeable, SplitHalvesAreMergeable) {
+  const auto [a, b] = split_chunk(base_chunk(), 4);
+  EXPECT_TRUE(mergeable(a, b));
+  EXPECT_FALSE(mergeable(b, a));  // wrong order: SNs don't continue
+}
+
+TEST(Mergeable, RejectsMismatchedFields) {
+  const auto [a0, b0] = split_chunk(base_chunk(), 4);
+  {
+    Chunk b = b0;
+    b.h.type = ChunkType::kErrorDetection;
+    EXPECT_FALSE(mergeable(a0, b));
+  }
+  {
+    Chunk b = b0;
+    b.h.size = 4;
+    EXPECT_FALSE(mergeable(a0, b));
+  }
+  {
+    Chunk b = b0;
+    b.h.conn.id ^= 1;
+    EXPECT_FALSE(mergeable(a0, b));
+  }
+  {
+    Chunk b = b0;
+    b.h.tpdu.id ^= 1;
+    EXPECT_FALSE(mergeable(a0, b));
+  }
+  {
+    Chunk b = b0;
+    b.h.xpdu.id ^= 1;
+    EXPECT_FALSE(mergeable(a0, b));
+  }
+  {
+    Chunk b = b0;
+    b.h.conn.sn += 1;  // gap in one framing level only
+    EXPECT_FALSE(mergeable(a0, b));
+  }
+  {
+    Chunk b = b0;
+    b.h.xpdu.sn += 1;
+    EXPECT_FALSE(mergeable(a0, b));
+  }
+}
+
+TEST(Mergeable, HeadWithStopBitCannotMerge) {
+  // Data following a stop bit belongs to another PDU by definition.
+  auto [a, b] = split_chunk(base_chunk(), 4);
+  a.h.xpdu.st = true;
+  EXPECT_FALSE(mergeable(a, b));
+}
+
+TEST(MergeChunks, InvertsSplit) {
+  Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    Chunk c = base_chunk(static_cast<std::uint16_t>(rng.range(2, 120)));
+    for (auto& byte : c.payload) byte = static_cast<std::uint8_t>(rng.next());
+    c.h.conn.st = rng.chance(0.3);
+    c.h.xpdu.st = rng.chance(0.3);
+    const auto cut = static_cast<std::uint16_t>(rng.range(1, c.h.len - 1));
+    const auto [a, b] = split_chunk(c, cut);
+    const auto merged = merge_chunks(a, b);
+    ASSERT_TRUE(merged.has_value());
+    EXPECT_EQ(*merged, c);
+  }
+}
+
+TEST(MergeChunks, RefusesIneligiblePair) {
+  const Chunk a = base_chunk();
+  Chunk b = base_chunk();
+  b.h.conn.sn = 9999;
+  EXPECT_FALSE(merge_chunks(a, b).has_value());
+}
+
+TEST(MergeChunks, RefusesLenOverflow) {
+  Chunk a = base_chunk();
+  a.h.len = 0xFFFF;
+  a.h.tpdu.st = false;
+  a.payload.assign(static_cast<std::size_t>(0xFFFF) * 2, 0);
+  Chunk b = base_chunk(1);
+  b.h.conn.sn = a.h.conn.sn + 0xFFFF;
+  b.h.tpdu.sn = a.h.tpdu.sn + 0xFFFF;
+  b.h.xpdu.sn = a.h.xpdu.sn + 0xFFFF;
+  ASSERT_TRUE(mergeable(a, b));
+  EXPECT_FALSE(merge_chunks(a, b).has_value());
+}
+
+TEST(Coalesce, ReconstructsFromShuffledFragments) {
+  // One-step reassembly (§3.1): fragment down to single elements,
+  // shuffle arbitrarily, coalesce back to the original chunk.
+  Rng rng(2);
+  for (int trial = 0; trial < 30; ++trial) {
+    Chunk c = base_chunk(static_cast<std::uint16_t>(rng.range(2, 60)));
+    for (auto& byte : c.payload) byte = static_cast<std::uint8_t>(rng.next());
+    auto pieces = split_to_fit(c, kChunkHeaderBytes + c.h.size);
+    for (std::size_t i = pieces.size() - 1; i > 0; --i) {
+      std::swap(pieces[i], pieces[rng.below(i + 1)]);
+    }
+    const auto out = coalesce(std::move(pieces));
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], c);
+  }
+}
+
+TEST(Coalesce, MultipleTpdusStayDistinct) {
+  Chunk c1 = base_chunk(6);
+  Chunk c2 = base_chunk(6);
+  c2.h.tpdu.id = 99;           // different TPDU
+  c2.h.conn.sn = c1.h.conn.sn + 6;
+  auto p1 = split_to_fit(c1, kChunkHeaderBytes + 4);
+  auto p2 = split_to_fit(c2, kChunkHeaderBytes + 4);
+  std::vector<Chunk> all;
+  for (auto& p : p1) all.push_back(std::move(p));
+  for (auto& p : p2) all.push_back(std::move(p));
+  const auto out = coalesce(std::move(all));
+  ASSERT_EQ(out.size(), 2u);
+  std::uint32_t total = 0;
+  for (const auto& c : out) total += c.h.len;
+  EXPECT_EQ(total, 12u);
+}
+
+TEST(Coalesce, MissingPieceLeavesGap) {
+  Chunk c = base_chunk(9);
+  auto pieces = split_to_fit(c, kChunkHeaderBytes + c.h.size * 3);
+  ASSERT_EQ(pieces.size(), 3u);
+  pieces.erase(pieces.begin() + 1);  // lose the middle fragment
+  const auto out = coalesce(std::move(pieces));
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(Coalesce, RepeatedFragmentationStillOneStep) {
+  // Fragment, re-fragment the fragments (as multiple networks would),
+  // shuffle — reassembly is still a single coalesce call.
+  Rng rng(3);
+  Chunk c = base_chunk(64);
+  for (auto& byte : c.payload) byte = static_cast<std::uint8_t>(rng.next());
+
+  auto round1 = split_to_fit(c, kChunkHeaderBytes + 32);
+  std::vector<Chunk> round2;
+  for (const Chunk& p : round1) {
+    for (Chunk& q : split_to_fit(p, kChunkHeaderBytes + 10)) {
+      round2.push_back(std::move(q));
+    }
+  }
+  std::vector<Chunk> round3;
+  for (const Chunk& p : round2) {
+    for (Chunk& q : split_to_fit(p, kChunkHeaderBytes + 4)) {
+      round3.push_back(std::move(q));
+    }
+  }
+  for (std::size_t i = round3.size() - 1; i > 0; --i) {
+    std::swap(round3[i], round3[rng.below(i + 1)]);
+  }
+  const auto out = coalesce(std::move(round3));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], c);
+}
+
+TEST(Coalesce, EmptyInput) {
+  EXPECT_TRUE(coalesce({}).empty());
+}
+
+TEST(Coalesce, SingleChunkPassesThrough) {
+  const Chunk c = base_chunk();
+  const auto out = coalesce({c});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], c);
+}
+
+}  // namespace
+}  // namespace chunknet

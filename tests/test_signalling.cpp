@@ -1,0 +1,119 @@
+// Tests for connection signalling: ConnectionOpen/Close and GapNak
+// codecs (Appendix A's signalled fields + the selective-retransmission
+// extension).
+#include "src/transport/signalling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+
+namespace chunknet {
+namespace {
+
+TEST(Signalling, ConnectionOpenRoundTrip) {
+  ConnectionOpen open;
+  open.connection_id = 0xC0FFEE;
+  open.first_conn_sn = 12345;
+  open.profile.elide_size = true;
+  open.profile.implicit_tid = true;
+  open.profile.implicit_xid = false;
+  open.profile.intra_packet_continuation = true;
+  open.profile.size_by_type = {0, 8, 8, 4, 5, 0, 0, 0};
+
+  const Chunk c = make_signal_chunk(open);
+  EXPECT_EQ(c.h.type, ChunkType::kSignal);
+  EXPECT_EQ(c.h.conn.id, 0xC0FFEEu);
+  EXPECT_TRUE(c.structurally_valid());
+  EXPECT_EQ(signal_kind(c), SignalKind::kConnectionOpen);
+
+  const auto parsed = parse_connection_open(c);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, open);
+}
+
+TEST(Signalling, ConnectionCloseRoundTrip) {
+  ConnectionClose close;
+  close.connection_id = 7;
+  close.final_conn_sn = 999999;
+  const Chunk c = make_signal_chunk(close);
+  EXPECT_EQ(signal_kind(c), SignalKind::kConnectionClose);
+  const auto parsed = parse_connection_close(c);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, close);
+}
+
+TEST(Signalling, GapNakRoundTrip) {
+  GapNak nak;
+  nak.connection_id = 7;
+  nak.tpdu_id = 42;
+  nak.need_ed_chunk = true;
+  nak.need_tail = true;
+  nak.tail_from = 480;
+  nak.gaps = {{0, 16}, {64, 8}, {200, 1}};
+  const Chunk c = make_signal_chunk(nak);
+  EXPECT_EQ(signal_kind(c), SignalKind::kGapNak);
+  const auto parsed = parse_gap_nak(c);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, nak);
+}
+
+TEST(Signalling, EmptyGapListAllowed) {
+  GapNak nak;
+  nak.connection_id = 1;
+  nak.tpdu_id = 2;
+  nak.need_ed_chunk = true;  // only the ED chunk is missing
+  const auto parsed = parse_gap_nak(make_signal_chunk(nak));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->gaps.empty());
+  EXPECT_TRUE(parsed->need_ed_chunk);
+  EXPECT_FALSE(parsed->need_tail);
+}
+
+TEST(Signalling, KindMismatchRejected) {
+  const Chunk open = make_signal_chunk(ConnectionOpen{});
+  EXPECT_FALSE(parse_connection_close(open).has_value());
+  EXPECT_FALSE(parse_gap_nak(open).has_value());
+}
+
+TEST(Signalling, NonSignalChunkRejected) {
+  Chunk data;
+  data.h.type = ChunkType::kData;
+  data.h.size = 4;
+  data.h.len = 1;
+  data.payload = {1, 2, 3, 4};
+  EXPECT_FALSE(signal_kind(data).has_value());
+  EXPECT_FALSE(parse_connection_open(data).has_value());
+}
+
+TEST(Signalling, TruncatedPayloadRejected) {
+  Chunk c = make_signal_chunk(GapNak{1, 2, false, false, 0, {{3, 4}}});
+  c.payload.pop_back();
+  c.h.size = static_cast<std::uint16_t>(c.payload.size());
+  EXPECT_FALSE(parse_gap_nak(c).has_value());
+}
+
+TEST(Signalling, TrailingGarbageRejected) {
+  Chunk c = make_signal_chunk(ConnectionClose{1, 2});
+  c.payload.push_back(0xAB);
+  c.h.size = static_cast<std::uint16_t>(c.payload.size());
+  EXPECT_FALSE(parse_connection_close(c).has_value());
+}
+
+TEST(Signalling, FuzzedPayloadsNeverCrash) {
+  Rng rng(3);
+  for (int trial = 0; trial < 3000; ++trial) {
+    Chunk c;
+    c.h.type = ChunkType::kSignal;
+    c.payload.resize(rng.below(64));
+    for (auto& b : c.payload) b = static_cast<std::uint8_t>(rng.next());
+    c.h.size = static_cast<std::uint16_t>(
+        c.payload.empty() ? 1 : c.payload.size());
+    c.h.len = c.payload.empty() ? 0 : 1;
+    (void)parse_connection_open(c);
+    (void)parse_connection_close(c);
+    (void)parse_gap_nak(c);
+  }
+}
+
+}  // namespace
+}  // namespace chunknet

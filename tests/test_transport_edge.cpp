@@ -1,0 +1,209 @@
+// Edge-case tests for the chunk transport: sender give-up, receiver
+// TPDU aborts, reorder-mode retransmission interactions, and hostile
+// control traffic.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/chunk/codec.hpp"
+#include "src/netsim/link.hpp"
+#include "src/netsim/simulator.hpp"
+#include "src/transport/receiver.hpp"
+#include "src/transport/sender.hpp"
+#include "src/transport/signalling.hpp"
+
+namespace chunknet {
+namespace {
+
+std::vector<std::uint8_t> pattern(std::size_t n) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::uint8_t>(i * 37 + 11);
+  }
+  return v;
+}
+
+TEST(SenderEdge, GivesUpAfterMaxRetransmits) {
+  Simulator sim;
+  std::uint64_t packets = 0;
+  SenderConfig sc;
+  sc.framer.connection_id = 1;
+  sc.framer.tpdu_elements = 64;
+  sc.mtu = 1500;
+  sc.retransmit_timeout = 5 * kMillisecond;
+  sc.max_retransmits = 3;
+  sc.send_packet = [&](std::vector<std::uint8_t>) { ++packets; };  // void
+  ChunkTransportSender sender(sim, std::move(sc));
+  sender.send_stream(pattern(256));  // one TPDU, never acked
+  sim.run(10 * kSecond);
+
+  EXPECT_EQ(sender.stats().gave_up, 1u);
+  EXPECT_TRUE(sender.all_acked());  // outstanding drained (by giving up)
+  // initial + max_retransmits transmissions
+  EXPECT_EQ(sender.stats().retransmissions, 3u);
+}
+
+TEST(SenderEdge, IgnoresAcksForUnknownTpdus) {
+  Simulator sim;
+  SenderConfig sc;
+  sc.framer.connection_id = 1;
+  sc.send_packet = [](std::vector<std::uint8_t>) {};
+  ChunkTransportSender sender(sim, std::move(sc));
+  SimPacket ack;
+  ack.bytes = encode_packet(
+      std::vector<Chunk>{make_ack_chunk(1, 424242, true)}, 1500);
+  sender.on_packet(std::move(ack));  // must not crash or count
+  EXPECT_EQ(sender.stats().tpdus_acked, 0u);
+}
+
+TEST(SenderEdge, MalformedFeedbackIgnored) {
+  Simulator sim;
+  SenderConfig sc;
+  sc.framer.connection_id = 1;
+  sc.selective_retransmit = true;
+  sc.send_packet = [](std::vector<std::uint8_t>) {};
+  ChunkTransportSender sender(sim, std::move(sc));
+  SimPacket junk;
+  junk.bytes = {0xDE, 0xAD};
+  sender.on_packet(std::move(junk));
+
+  // A syntactically valid SIGNAL chunk with garbage payload.
+  Chunk bogus;
+  bogus.h.type = ChunkType::kSignal;
+  bogus.h.size = 3;
+  bogus.h.len = 1;
+  bogus.payload = {0x03, 0xFF, 0xFF};  // kGapNak kind, truncated body
+  SimPacket pkt;
+  pkt.bytes = encode_packet(std::vector<Chunk>{bogus}, 1500);
+  sender.on_packet(std::move(pkt));
+  EXPECT_EQ(sender.stats().gap_naks_honoured, 0u);
+}
+
+TEST(ReceiverEdge, AbortTpduReleasesHeldBytes) {
+  Simulator sim;
+  ReceiverConfig rc;
+  rc.connection_id = 1;
+  rc.mode = DeliveryMode::kReassemble;
+  rc.app_buffer_bytes = 1024;
+  ChunkTransportReceiver rx(sim, std::move(rc));
+
+  Chunk c;
+  c.h.type = ChunkType::kData;
+  c.h.size = 4;
+  c.h.len = 8;
+  c.h.conn = {1, 0, false};
+  c.h.tpdu = {5, 0, false};  // incomplete TPDU
+  c.payload.assign(32, 1);
+  SimPacket pkt;
+  pkt.bytes = encode_packet(std::vector<Chunk>{c}, 1500);
+  rx.on_packet(std::move(pkt));
+  EXPECT_EQ(rx.stats().held_bytes_now, 32u);
+
+  rx.abort_tpdu(5);
+  EXPECT_EQ(rx.stats().held_bytes_now, 0u);
+  rx.abort_tpdu(5);  // idempotent
+  rx.abort_tpdu(999);  // unknown: no-op
+}
+
+TEST(ReceiverEdge, WrongElementSizeChunksRejected) {
+  Simulator sim;
+  ReceiverConfig rc;
+  rc.connection_id = 1;
+  rc.element_size = 4;
+  rc.app_buffer_bytes = 1024;
+  ChunkTransportReceiver rx(sim, std::move(rc));
+
+  Chunk c;
+  c.h.type = ChunkType::kData;
+  c.h.size = 2;  // violates the connection's negotiated SIZE
+  c.h.len = 4;
+  c.h.conn = {1, 0, false};
+  c.h.tpdu = {5, 0, true};
+  c.payload.assign(8, 1);
+  rx.on_chunk(std::move(c), 0);
+  EXPECT_EQ(rx.stats().framing_error_chunks, 1u);
+  EXPECT_EQ(rx.elements_delivered(), 0u);
+}
+
+TEST(ReceiverEdge, ReorderModeRetransmissionSupersedesQueuedChunk) {
+  // A chunk held in the reorder queue is superseded by a retransmitted
+  // copy at the same C.SN (the queued one may be the corrupted copy
+  // that got its TPDU rejected).
+  Simulator sim;
+  ReceiverConfig rc;
+  rc.connection_id = 1;
+  rc.element_size = 4;
+  rc.mode = DeliveryMode::kReorder;
+  rc.app_buffer_bytes = 64;
+  ChunkTransportReceiver rx(sim, std::move(rc));
+
+  auto chunk_at = [&](std::uint32_t sn, std::uint8_t fill,
+                      std::uint32_t tpdu_id) {
+    Chunk c;
+    c.h.type = ChunkType::kData;
+    c.h.size = 4;
+    c.h.len = 4;
+    c.h.conn = {1, sn, false};
+    c.h.tpdu = {tpdu_id, sn, sn == 12};
+    c.payload.assign(16, fill);
+    return c;
+  };
+
+  // Out-of-order arrival: SN 8 queued (corrupt copy, fill 0xBB).
+  rx.on_chunk(chunk_at(8, 0xBB, 1), 0);
+  EXPECT_GT(rx.stats().held_bytes_now, 0u);
+  // The TPDU is "rejected" upstream; a clean retransmission of SN 8
+  // (fill 0xAA) arrives while still out of order. It must overwrite
+  // the queue entry. (Fresh TPDU id models the erased-state rescan.)
+  rx.on_chunk(chunk_at(8, 0xAA, 2), 0);
+  // Now the in-order prefix arrives and releases everything.
+  rx.on_chunk(chunk_at(0, 0x11, 3), 0);
+  rx.on_chunk(chunk_at(4, 0x22, 3), 0);
+  EXPECT_EQ(rx.app_data()[8 * 4], 0xAA);  // the retransmitted copy won
+  EXPECT_EQ(rx.stats().held_bytes_now, 0u);
+}
+
+TEST(ReceiverEdge, GapNakStopsAfterMaxAttempts) {
+  Simulator sim;
+  int naks = 0;
+  ReceiverConfig rc;
+  rc.connection_id = 1;
+  rc.element_size = 4;
+  rc.app_buffer_bytes = 1024;
+  rc.gap_nak_delay = 5 * kMillisecond;
+  rc.max_gap_naks = 3;
+  rc.send_control = [&](Chunk c) {
+    if (c.h.type == ChunkType::kSignal) ++naks;
+  };
+  ChunkTransportReceiver rx(sim, std::move(rc));
+
+  Chunk c;
+  c.h.type = ChunkType::kData;
+  c.h.size = 4;
+  c.h.len = 4;
+  c.h.conn = {1, 0, false};
+  c.h.tpdu = {5, 0, false};  // never completes
+  c.payload.assign(16, 1);
+  rx.on_chunk(std::move(c), 0);
+  sim.run(10 * kSecond);
+  EXPECT_EQ(naks, 3);
+}
+
+TEST(ReceiverEdge, ForeignConnectionChunksCounted) {
+  Simulator sim;
+  ReceiverConfig rc;
+  rc.connection_id = 1;
+  rc.app_buffer_bytes = 64;
+  ChunkTransportReceiver rx(sim, std::move(rc));
+  Chunk c;
+  c.h.type = ChunkType::kData;
+  c.h.size = 4;
+  c.h.len = 1;
+  c.h.conn = {99, 0, false};
+  c.payload.assign(4, 1);
+  rx.on_chunk(std::move(c), 0);
+  EXPECT_EQ(rx.stats().foreign_chunks, 1u);
+}
+
+}  // namespace
+}  // namespace chunknet

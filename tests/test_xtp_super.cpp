@@ -1,0 +1,101 @@
+// Tests for XTP SUPER packets and the §3.2 format-uniformity contrast:
+// XTP needs a second wire format (and a dispatch) to combine TPDUs in
+// one packet; chunks use ONE format for single, combined and fragmented
+// cases alike.
+#include "src/framing/xtp_super.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/chunk/builder.hpp"
+#include "src/chunk/codec.hpp"
+#include "src/chunk/fragment.hpp"
+#include "src/common/rng.hpp"
+#include "src/framing/scheme.hpp"
+
+namespace chunknet {
+namespace {
+
+std::vector<std::vector<std::uint8_t>> xtp_units(std::size_t stream_bytes) {
+  const auto xtp = make_xtp_scheme();
+  std::vector<std::uint8_t> stream(stream_bytes, 0x6A);
+  return xtp->carry(stream, 512, 576).packets;
+}
+
+TEST(XtpSuper, RoundTrip) {
+  const auto units = xtp_units(2048);
+  ASSERT_GT(units.size(), 1u);
+  const auto super = xtp_super_packet(units, 65535);
+  ASSERT_FALSE(super.empty());
+  const auto parsed = parse_xtp_super_packet(super);
+  ASSERT_TRUE(parsed.ok);
+  ASSERT_EQ(parsed.units.size(), units.size());
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    EXPECT_TRUE(std::equal(units[i].begin(), units[i].end(),
+                           parsed.units[i].begin(), parsed.units[i].end()));
+  }
+}
+
+TEST(XtpSuper, CapacityRespected) {
+  const auto units = xtp_units(4096);
+  EXPECT_TRUE(xtp_super_packet(units, 100).empty());
+}
+
+TEST(XtpSuper, RejectsTruncationAndGarbage) {
+  const auto units = xtp_units(1024);
+  auto super = xtp_super_packet(units, 65535);
+  auto cut = super;
+  cut.resize(cut.size() - 1);
+  EXPECT_FALSE(parse_xtp_super_packet(cut).ok);
+  auto trailing = super;
+  trailing.push_back(0);
+  EXPECT_FALSE(parse_xtp_super_packet(trailing).ok);
+  super[0] = 'X';
+  EXPECT_FALSE(parse_xtp_super_packet(super).ok);
+
+  Rng rng(9);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> junk(rng.below(100));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next());
+    (void)parse_xtp_super_packet(junk);  // must not crash
+  }
+}
+
+TEST(XtpSuper, RegularParserCannotReadSuperPackets) {
+  // The paper's point: the SUPER format differs from the regular XTP
+  // packet format, so the receive path must dispatch between TWO
+  // parsers.
+  const auto xtp = make_xtp_scheme();
+  const auto units = xtp_units(2048);
+  const auto super = xtp_super_packet(units, 65535);
+  EXPECT_FALSE(xtp->inspect(super).parsed);       // regular parser: no
+  EXPECT_TRUE(xtp->inspect(units[0]).parsed);     // …only singles
+  EXPECT_TRUE(parse_xtp_super_packet(super).ok);  // super parser: yes
+  EXPECT_FALSE(parse_xtp_super_packet(units[0]).ok);  // …only supers
+}
+
+TEST(XtpSuper, ChunksNeedNoSecondFormat) {
+  // Contrast: one chunk per packet, many chunks per packet, and
+  // fragmented chunks all parse with the SAME decode_packet.
+  FramerOptions fo;
+  fo.element_size = 4;
+  fo.tpdu_elements = 128;
+  fo.xpdu_elements = 32;
+  fo.max_chunk_elements = 32;
+  std::vector<std::uint8_t> stream(2048, 0x6A);
+  const auto chunks = frame_stream(stream, fo);
+  ASSERT_GT(chunks.size(), 2u);
+
+  const auto single = encode_packet({&chunks[0], 1}, 65535);
+  const auto combined = encode_packet(chunks, 65535);
+  const auto [head, tail] = split_chunk(chunks[0], 16);
+  const auto fragmented =
+      encode_packet(std::vector<Chunk>{head, tail}, 65535);
+
+  EXPECT_TRUE(decode_packet(single).ok);
+  EXPECT_TRUE(decode_packet(combined).ok);
+  EXPECT_TRUE(decode_packet(fragmented).ok);
+  EXPECT_EQ(decode_packet(combined).chunks.size(), chunks.size());
+}
+
+}  // namespace
+}  // namespace chunknet
