@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_chunk_size.dir/bench_a1_chunk_size.cpp.o"
+  "CMakeFiles/bench_a1_chunk_size.dir/bench_a1_chunk_size.cpp.o.d"
+  "bench_a1_chunk_size"
+  "bench_a1_chunk_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_chunk_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

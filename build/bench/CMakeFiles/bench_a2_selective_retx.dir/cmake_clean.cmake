@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_selective_retx.dir/bench_a2_selective_retx.cpp.o"
+  "CMakeFiles/bench_a2_selective_retx.dir/bench_a2_selective_retx.cpp.o.d"
+  "bench_a2_selective_retx"
+  "bench_a2_selective_retx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_selective_retx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_parallel.dir/bench_a3_parallel.cpp.o"
+  "CMakeFiles/bench_a3_parallel.dir/bench_a3_parallel.cpp.o.d"
+  "bench_a3_parallel"
+  "bench_a3_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

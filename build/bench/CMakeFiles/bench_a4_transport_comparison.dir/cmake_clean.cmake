@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_transport_comparison.dir/bench_a4_transport_comparison.cpp.o"
+  "CMakeFiles/bench_a4_transport_comparison.dir/bench_a4_transport_comparison.cpp.o.d"
+  "bench_a4_transport_comparison"
+  "bench_a4_transport_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_transport_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

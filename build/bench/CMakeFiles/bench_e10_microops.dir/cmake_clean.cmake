@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_microops.dir/bench_e10_microops.cpp.o"
+  "CMakeFiles/bench_e10_microops.dir/bench_e10_microops.cpp.o.d"
+  "bench_e10_microops"
+  "bench_e10_microops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_microops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_fragmentation.dir/bench_e1_fragmentation.cpp.o"
+  "CMakeFiles/bench_e1_fragmentation.dir/bench_e1_fragmentation.cpp.o.d"
+  "bench_e1_fragmentation"
+  "bench_e1_fragmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_fragmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_internetwork.dir/bench_e2_internetwork.cpp.o"
+  "CMakeFiles/bench_e2_internetwork.dir/bench_e2_internetwork.cpp.o.d"
+  "bench_e2_internetwork"
+  "bench_e2_internetwork.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_internetwork.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_corruption_table.dir/bench_e3_corruption_table.cpp.o"
+  "CMakeFiles/bench_e3_corruption_table.dir/bench_e3_corruption_table.cpp.o.d"
+  "bench_e3_corruption_table"
+  "bench_e3_corruption_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_corruption_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_invariant_edc.dir/bench_e4_invariant_edc.cpp.o"
+  "CMakeFiles/bench_e4_invariant_edc.dir/bench_e4_invariant_edc.cpp.o.d"
+  "bench_e4_invariant_edc"
+  "bench_e4_invariant_edc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_invariant_edc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

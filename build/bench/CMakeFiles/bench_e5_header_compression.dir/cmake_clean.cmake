@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_header_compression.dir/bench_e5_header_compression.cpp.o"
+  "CMakeFiles/bench_e5_header_compression.dir/bench_e5_header_compression.cpp.o.d"
+  "bench_e5_header_compression"
+  "bench_e5_header_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_header_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

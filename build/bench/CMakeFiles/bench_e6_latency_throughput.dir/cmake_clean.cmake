@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_latency_throughput.dir/bench_e6_latency_throughput.cpp.o"
+  "CMakeFiles/bench_e6_latency_throughput.dir/bench_e6_latency_throughput.cpp.o.d"
+  "bench_e6_latency_throughput"
+  "bench_e6_latency_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_latency_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

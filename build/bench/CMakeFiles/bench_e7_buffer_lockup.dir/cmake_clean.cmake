@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_buffer_lockup.dir/bench_e7_buffer_lockup.cpp.o"
+  "CMakeFiles/bench_e7_buffer_lockup.dir/bench_e7_buffer_lockup.cpp.o.d"
+  "bench_e7_buffer_lockup"
+  "bench_e7_buffer_lockup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_buffer_lockup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

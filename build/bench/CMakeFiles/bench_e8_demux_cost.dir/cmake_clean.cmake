@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_demux_cost.dir/bench_e8_demux_cost.cpp.o"
+  "CMakeFiles/bench_e8_demux_cost.dir/bench_e8_demux_cost.cpp.o.d"
+  "bench_e8_demux_cost"
+  "bench_e8_demux_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_demux_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

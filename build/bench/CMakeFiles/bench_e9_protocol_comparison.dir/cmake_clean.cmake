@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_protocol_comparison.dir/bench_e9_protocol_comparison.cpp.o"
+  "CMakeFiles/bench_e9_protocol_comparison.dir/bench_e9_protocol_comparison.cpp.o.d"
+  "bench_e9_protocol_comparison"
+  "bench_e9_protocol_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_protocol_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bulk_transfer.dir/bulk_transfer.cpp.o"
+  "CMakeFiles/bulk_transfer.dir/bulk_transfer.cpp.o.d"
+  "bulk_transfer"
+  "bulk_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bulk_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressed_headers.dir/compressed_headers.cpp.o"
+  "CMakeFiles/compressed_headers.dir/compressed_headers.cpp.o.d"
+  "compressed_headers"
+  "compressed_headers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressed_headers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for compressed_headers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/internetwork_relay.dir/internetwork_relay.cpp.o"
+  "CMakeFiles/internetwork_relay.dir/internetwork_relay.cpp.o.d"
+  "internetwork_relay"
+  "internetwork_relay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/internetwork_relay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_stream.dir/video_stream.cpp.o"
+  "CMakeFiles/video_stream.dir/video_stream.cpp.o.d"
+  "video_stream"
+  "video_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("gf")
+subdirs("edc")
+subdirs("chunk")
+subdirs("reassembly")
+subdirs("framing")
+subdirs("netsim")
+subdirs("transport")
+subdirs("pipeline")
+subdirs("baselines")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chunknet_baselines.dir/alt_transports.cpp.o"
+  "CMakeFiles/chunknet_baselines.dir/alt_transports.cpp.o.d"
+  "CMakeFiles/chunknet_baselines.dir/ip_transport.cpp.o"
+  "CMakeFiles/chunknet_baselines.dir/ip_transport.cpp.o.d"
+  "libchunknet_baselines.a"
+  "libchunknet_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chunknet_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

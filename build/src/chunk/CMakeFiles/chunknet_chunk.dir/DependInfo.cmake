@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chunk/builder.cpp" "src/chunk/CMakeFiles/chunknet_chunk.dir/builder.cpp.o" "gcc" "src/chunk/CMakeFiles/chunknet_chunk.dir/builder.cpp.o.d"
+  "/root/repo/src/chunk/codec.cpp" "src/chunk/CMakeFiles/chunknet_chunk.dir/codec.cpp.o" "gcc" "src/chunk/CMakeFiles/chunknet_chunk.dir/codec.cpp.o.d"
+  "/root/repo/src/chunk/compress.cpp" "src/chunk/CMakeFiles/chunknet_chunk.dir/compress.cpp.o" "gcc" "src/chunk/CMakeFiles/chunknet_chunk.dir/compress.cpp.o.d"
+  "/root/repo/src/chunk/fragment.cpp" "src/chunk/CMakeFiles/chunknet_chunk.dir/fragment.cpp.o" "gcc" "src/chunk/CMakeFiles/chunknet_chunk.dir/fragment.cpp.o.d"
+  "/root/repo/src/chunk/packetizer.cpp" "src/chunk/CMakeFiles/chunknet_chunk.dir/packetizer.cpp.o" "gcc" "src/chunk/CMakeFiles/chunknet_chunk.dir/packetizer.cpp.o.d"
+  "/root/repo/src/chunk/reassemble.cpp" "src/chunk/CMakeFiles/chunknet_chunk.dir/reassemble.cpp.o" "gcc" "src/chunk/CMakeFiles/chunknet_chunk.dir/reassemble.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/chunknet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chunknet_chunk.dir/builder.cpp.o"
+  "CMakeFiles/chunknet_chunk.dir/builder.cpp.o.d"
+  "CMakeFiles/chunknet_chunk.dir/codec.cpp.o"
+  "CMakeFiles/chunknet_chunk.dir/codec.cpp.o.d"
+  "CMakeFiles/chunknet_chunk.dir/compress.cpp.o"
+  "CMakeFiles/chunknet_chunk.dir/compress.cpp.o.d"
+  "CMakeFiles/chunknet_chunk.dir/fragment.cpp.o"
+  "CMakeFiles/chunknet_chunk.dir/fragment.cpp.o.d"
+  "CMakeFiles/chunknet_chunk.dir/packetizer.cpp.o"
+  "CMakeFiles/chunknet_chunk.dir/packetizer.cpp.o.d"
+  "CMakeFiles/chunknet_chunk.dir/reassemble.cpp.o"
+  "CMakeFiles/chunknet_chunk.dir/reassemble.cpp.o.d"
+  "libchunknet_chunk.a"
+  "libchunknet_chunk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chunknet_chunk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

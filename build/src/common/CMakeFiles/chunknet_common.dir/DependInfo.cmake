@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bytes.cpp" "src/common/CMakeFiles/chunknet_common.dir/bytes.cpp.o" "gcc" "src/common/CMakeFiles/chunknet_common.dir/bytes.cpp.o.d"
+  "/root/repo/src/common/interval_set.cpp" "src/common/CMakeFiles/chunknet_common.dir/interval_set.cpp.o" "gcc" "src/common/CMakeFiles/chunknet_common.dir/interval_set.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/common/CMakeFiles/chunknet_common.dir/stats.cpp.o" "gcc" "src/common/CMakeFiles/chunknet_common.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chunknet_common.dir/bytes.cpp.o"
+  "CMakeFiles/chunknet_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/chunknet_common.dir/interval_set.cpp.o"
+  "CMakeFiles/chunknet_common.dir/interval_set.cpp.o.d"
+  "CMakeFiles/chunknet_common.dir/stats.cpp.o"
+  "CMakeFiles/chunknet_common.dir/stats.cpp.o.d"
+  "libchunknet_common.a"
+  "libchunknet_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chunknet_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

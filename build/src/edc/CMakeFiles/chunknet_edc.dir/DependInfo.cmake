@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/edc/crc32.cpp" "src/edc/CMakeFiles/chunknet_edc.dir/crc32.cpp.o" "gcc" "src/edc/CMakeFiles/chunknet_edc.dir/crc32.cpp.o.d"
+  "/root/repo/src/edc/detection_power.cpp" "src/edc/CMakeFiles/chunknet_edc.dir/detection_power.cpp.o" "gcc" "src/edc/CMakeFiles/chunknet_edc.dir/detection_power.cpp.o.d"
+  "/root/repo/src/edc/fletcher.cpp" "src/edc/CMakeFiles/chunknet_edc.dir/fletcher.cpp.o" "gcc" "src/edc/CMakeFiles/chunknet_edc.dir/fletcher.cpp.o.d"
+  "/root/repo/src/edc/inet_checksum.cpp" "src/edc/CMakeFiles/chunknet_edc.dir/inet_checksum.cpp.o" "gcc" "src/edc/CMakeFiles/chunknet_edc.dir/inet_checksum.cpp.o.d"
+  "/root/repo/src/edc/wsc2.cpp" "src/edc/CMakeFiles/chunknet_edc.dir/wsc2.cpp.o" "gcc" "src/edc/CMakeFiles/chunknet_edc.dir/wsc2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gf/CMakeFiles/chunknet_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/chunknet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chunknet_edc.dir/crc32.cpp.o"
+  "CMakeFiles/chunknet_edc.dir/crc32.cpp.o.d"
+  "CMakeFiles/chunknet_edc.dir/detection_power.cpp.o"
+  "CMakeFiles/chunknet_edc.dir/detection_power.cpp.o.d"
+  "CMakeFiles/chunknet_edc.dir/fletcher.cpp.o"
+  "CMakeFiles/chunknet_edc.dir/fletcher.cpp.o.d"
+  "CMakeFiles/chunknet_edc.dir/inet_checksum.cpp.o"
+  "CMakeFiles/chunknet_edc.dir/inet_checksum.cpp.o.d"
+  "CMakeFiles/chunknet_edc.dir/wsc2.cpp.o"
+  "CMakeFiles/chunknet_edc.dir/wsc2.cpp.o.d"
+  "libchunknet_edc.a"
+  "libchunknet_edc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chunknet_edc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for chunknet_edc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/framing/cell_schemes.cpp" "src/framing/CMakeFiles/chunknet_framing.dir/cell_schemes.cpp.o" "gcc" "src/framing/CMakeFiles/chunknet_framing.dir/cell_schemes.cpp.o.d"
+  "/root/repo/src/framing/chunk_scheme.cpp" "src/framing/CMakeFiles/chunknet_framing.dir/chunk_scheme.cpp.o" "gcc" "src/framing/CMakeFiles/chunknet_framing.dir/chunk_scheme.cpp.o.d"
+  "/root/repo/src/framing/datagram_schemes.cpp" "src/framing/CMakeFiles/chunknet_framing.dir/datagram_schemes.cpp.o" "gcc" "src/framing/CMakeFiles/chunknet_framing.dir/datagram_schemes.cpp.o.d"
+  "/root/repo/src/framing/scheme.cpp" "src/framing/CMakeFiles/chunknet_framing.dir/scheme.cpp.o" "gcc" "src/framing/CMakeFiles/chunknet_framing.dir/scheme.cpp.o.d"
+  "/root/repo/src/framing/stream_schemes.cpp" "src/framing/CMakeFiles/chunknet_framing.dir/stream_schemes.cpp.o" "gcc" "src/framing/CMakeFiles/chunknet_framing.dir/stream_schemes.cpp.o.d"
+  "/root/repo/src/framing/xtp_super.cpp" "src/framing/CMakeFiles/chunknet_framing.dir/xtp_super.cpp.o" "gcc" "src/framing/CMakeFiles/chunknet_framing.dir/xtp_super.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/chunknet_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/chunk/CMakeFiles/chunknet_chunk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

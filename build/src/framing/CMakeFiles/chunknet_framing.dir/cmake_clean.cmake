@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chunknet_framing.dir/cell_schemes.cpp.o"
+  "CMakeFiles/chunknet_framing.dir/cell_schemes.cpp.o.d"
+  "CMakeFiles/chunknet_framing.dir/chunk_scheme.cpp.o"
+  "CMakeFiles/chunknet_framing.dir/chunk_scheme.cpp.o.d"
+  "CMakeFiles/chunknet_framing.dir/datagram_schemes.cpp.o"
+  "CMakeFiles/chunknet_framing.dir/datagram_schemes.cpp.o.d"
+  "CMakeFiles/chunknet_framing.dir/scheme.cpp.o"
+  "CMakeFiles/chunknet_framing.dir/scheme.cpp.o.d"
+  "CMakeFiles/chunknet_framing.dir/stream_schemes.cpp.o"
+  "CMakeFiles/chunknet_framing.dir/stream_schemes.cpp.o.d"
+  "CMakeFiles/chunknet_framing.dir/xtp_super.cpp.o"
+  "CMakeFiles/chunknet_framing.dir/xtp_super.cpp.o.d"
+  "libchunknet_framing.a"
+  "libchunknet_framing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chunknet_framing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for chunknet_framing.
+# This may be replaced when dependencies are built.

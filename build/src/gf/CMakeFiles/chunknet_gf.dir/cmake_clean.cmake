@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chunknet_gf.dir/gf32.cpp.o"
+  "CMakeFiles/chunknet_gf.dir/gf32.cpp.o.d"
+  "libchunknet_gf.a"
+  "libchunknet_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chunknet_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

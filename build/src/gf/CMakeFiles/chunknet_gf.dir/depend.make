@@ -1,0 +1,2 @@
+# Empty dependencies file for chunknet_gf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/link.cpp" "src/netsim/CMakeFiles/chunknet_netsim.dir/link.cpp.o" "gcc" "src/netsim/CMakeFiles/chunknet_netsim.dir/link.cpp.o.d"
+  "/root/repo/src/netsim/router.cpp" "src/netsim/CMakeFiles/chunknet_netsim.dir/router.cpp.o" "gcc" "src/netsim/CMakeFiles/chunknet_netsim.dir/router.cpp.o.d"
+  "/root/repo/src/netsim/simulator.cpp" "src/netsim/CMakeFiles/chunknet_netsim.dir/simulator.cpp.o" "gcc" "src/netsim/CMakeFiles/chunknet_netsim.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/chunknet_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/chunk/CMakeFiles/chunknet_chunk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

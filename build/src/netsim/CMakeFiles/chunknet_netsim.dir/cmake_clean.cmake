@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chunknet_netsim.dir/link.cpp.o"
+  "CMakeFiles/chunknet_netsim.dir/link.cpp.o.d"
+  "CMakeFiles/chunknet_netsim.dir/router.cpp.o"
+  "CMakeFiles/chunknet_netsim.dir/router.cpp.o.d"
+  "CMakeFiles/chunknet_netsim.dir/simulator.cpp.o"
+  "CMakeFiles/chunknet_netsim.dir/simulator.cpp.o.d"
+  "libchunknet_netsim.a"
+  "libchunknet_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chunknet_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libchunknet_netsim.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chunknet_pipeline.dir/parallel.cpp.o"
+  "CMakeFiles/chunknet_pipeline.dir/parallel.cpp.o.d"
+  "CMakeFiles/chunknet_pipeline.dir/stages.cpp.o"
+  "CMakeFiles/chunknet_pipeline.dir/stages.cpp.o.d"
+  "libchunknet_pipeline.a"
+  "libchunknet_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chunknet_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

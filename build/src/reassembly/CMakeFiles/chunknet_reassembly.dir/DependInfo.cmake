@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reassembly/ip_reassembly.cpp" "src/reassembly/CMakeFiles/chunknet_reassembly.dir/ip_reassembly.cpp.o" "gcc" "src/reassembly/CMakeFiles/chunknet_reassembly.dir/ip_reassembly.cpp.o.d"
+  "/root/repo/src/reassembly/virtual_reassembly.cpp" "src/reassembly/CMakeFiles/chunknet_reassembly.dir/virtual_reassembly.cpp.o" "gcc" "src/reassembly/CMakeFiles/chunknet_reassembly.dir/virtual_reassembly.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/chunknet_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/chunk/CMakeFiles/chunknet_chunk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chunknet_reassembly.dir/ip_reassembly.cpp.o"
+  "CMakeFiles/chunknet_reassembly.dir/ip_reassembly.cpp.o.d"
+  "CMakeFiles/chunknet_reassembly.dir/virtual_reassembly.cpp.o"
+  "CMakeFiles/chunknet_reassembly.dir/virtual_reassembly.cpp.o.d"
+  "libchunknet_reassembly.a"
+  "libchunknet_reassembly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chunknet_reassembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/demux.cpp" "src/transport/CMakeFiles/chunknet_transport.dir/demux.cpp.o" "gcc" "src/transport/CMakeFiles/chunknet_transport.dir/demux.cpp.o.d"
+  "/root/repo/src/transport/invariant.cpp" "src/transport/CMakeFiles/chunknet_transport.dir/invariant.cpp.o" "gcc" "src/transport/CMakeFiles/chunknet_transport.dir/invariant.cpp.o.d"
+  "/root/repo/src/transport/receiver.cpp" "src/transport/CMakeFiles/chunknet_transport.dir/receiver.cpp.o" "gcc" "src/transport/CMakeFiles/chunknet_transport.dir/receiver.cpp.o.d"
+  "/root/repo/src/transport/sender.cpp" "src/transport/CMakeFiles/chunknet_transport.dir/sender.cpp.o" "gcc" "src/transport/CMakeFiles/chunknet_transport.dir/sender.cpp.o.d"
+  "/root/repo/src/transport/signalling.cpp" "src/transport/CMakeFiles/chunknet_transport.dir/signalling.cpp.o" "gcc" "src/transport/CMakeFiles/chunknet_transport.dir/signalling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/chunknet_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/chunk/CMakeFiles/chunknet_chunk.dir/DependInfo.cmake"
+  "/root/repo/build/src/edc/CMakeFiles/chunknet_edc.dir/DependInfo.cmake"
+  "/root/repo/build/src/reassembly/CMakeFiles/chunknet_reassembly.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/chunknet_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/chunknet_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chunknet_transport.dir/demux.cpp.o"
+  "CMakeFiles/chunknet_transport.dir/demux.cpp.o.d"
+  "CMakeFiles/chunknet_transport.dir/invariant.cpp.o"
+  "CMakeFiles/chunknet_transport.dir/invariant.cpp.o.d"
+  "CMakeFiles/chunknet_transport.dir/receiver.cpp.o"
+  "CMakeFiles/chunknet_transport.dir/receiver.cpp.o.d"
+  "CMakeFiles/chunknet_transport.dir/sender.cpp.o"
+  "CMakeFiles/chunknet_transport.dir/sender.cpp.o.d"
+  "CMakeFiles/chunknet_transport.dir/signalling.cpp.o"
+  "CMakeFiles/chunknet_transport.dir/signalling.cpp.o.d"
+  "libchunknet_transport.a"
+  "libchunknet_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chunknet_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

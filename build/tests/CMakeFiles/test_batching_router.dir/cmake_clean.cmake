@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batching_router.dir/test_batching_router.cpp.o"
+  "CMakeFiles/test_batching_router.dir/test_batching_router.cpp.o.d"
+  "test_batching_router"
+  "test_batching_router.pdb"
+  "test_batching_router[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batching_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chunk_codec.dir/test_chunk_codec.cpp.o"
+  "CMakeFiles/test_chunk_codec.dir/test_chunk_codec.cpp.o.d"
+  "test_chunk_codec"
+  "test_chunk_codec.pdb"
+  "test_chunk_codec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chunk_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

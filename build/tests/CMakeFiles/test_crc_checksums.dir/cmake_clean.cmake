@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crc_checksums.dir/test_crc_checksums.cpp.o"
+  "CMakeFiles/test_crc_checksums.dir/test_crc_checksums.cpp.o.d"
+  "test_crc_checksums"
+  "test_crc_checksums.pdb"
+  "test_crc_checksums[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crc_checksums.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_demux.dir/test_demux.cpp.o"
+  "CMakeFiles/test_demux.dir/test_demux.cpp.o.d"
+  "test_demux"
+  "test_demux.pdb"
+  "test_demux[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_demux.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

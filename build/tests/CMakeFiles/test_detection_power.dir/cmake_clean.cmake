@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detection_power.dir/test_detection_power.cpp.o"
+  "CMakeFiles/test_detection_power.dir/test_detection_power.cpp.o.d"
+  "test_detection_power"
+  "test_detection_power.pdb"
+  "test_detection_power[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detection_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

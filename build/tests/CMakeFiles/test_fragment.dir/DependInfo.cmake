@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_fragment.cpp" "tests/CMakeFiles/test_fragment.dir/test_fragment.cpp.o" "gcc" "tests/CMakeFiles/test_fragment.dir/test_fragment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/chunknet_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/chunknet_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/edc/CMakeFiles/chunknet_edc.dir/DependInfo.cmake"
+  "/root/repo/build/src/chunk/CMakeFiles/chunknet_chunk.dir/DependInfo.cmake"
+  "/root/repo/build/src/reassembly/CMakeFiles/chunknet_reassembly.dir/DependInfo.cmake"
+  "/root/repo/build/src/framing/CMakeFiles/chunknet_framing.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/chunknet_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/chunknet_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/chunknet_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/chunknet_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fragment.dir/test_fragment.cpp.o"
+  "CMakeFiles/test_fragment.dir/test_fragment.cpp.o.d"
+  "test_fragment"
+  "test_fragment.pdb"
+  "test_fragment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fragment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

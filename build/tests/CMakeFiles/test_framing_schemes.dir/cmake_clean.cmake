@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_framing_schemes.dir/test_framing_schemes.cpp.o"
+  "CMakeFiles/test_framing_schemes.dir/test_framing_schemes.cpp.o.d"
+  "test_framing_schemes"
+  "test_framing_schemes.pdb"
+  "test_framing_schemes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_framing_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

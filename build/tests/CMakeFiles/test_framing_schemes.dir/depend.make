@@ -1,0 +1,2 @@
+# Empty dependencies file for test_framing_schemes.
+# This may be replaced when dependencies are built.

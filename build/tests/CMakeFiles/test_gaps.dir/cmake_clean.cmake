@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gaps.dir/test_gaps.cpp.o"
+  "CMakeFiles/test_gaps.dir/test_gaps.cpp.o.d"
+  "test_gaps"
+  "test_gaps.pdb"
+  "test_gaps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

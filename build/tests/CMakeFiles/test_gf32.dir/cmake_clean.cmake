@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gf32.dir/test_gf32.cpp.o"
+  "CMakeFiles/test_gf32.dir/test_gf32.cpp.o.d"
+  "test_gf32"
+  "test_gf32.pdb"
+  "test_gf32[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gf32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interval_set.dir/test_interval_set.cpp.o"
+  "CMakeFiles/test_interval_set.dir/test_interval_set.cpp.o.d"
+  "test_interval_set"
+  "test_interval_set.pdb"
+  "test_interval_set[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interval_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

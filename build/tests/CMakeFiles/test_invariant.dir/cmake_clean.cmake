@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_invariant.dir/test_invariant.cpp.o"
+  "CMakeFiles/test_invariant.dir/test_invariant.cpp.o.d"
+  "test_invariant"
+  "test_invariant.pdb"
+  "test_invariant[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_invariant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ip_reassembly.dir/test_ip_reassembly.cpp.o"
+  "CMakeFiles/test_ip_reassembly.dir/test_ip_reassembly.cpp.o.d"
+  "test_ip_reassembly"
+  "test_ip_reassembly.pdb"
+  "test_ip_reassembly[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ip_reassembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ip_transport.dir/test_ip_transport.cpp.o"
+  "CMakeFiles/test_ip_transport.dir/test_ip_transport.cpp.o.d"
+  "test_ip_transport"
+  "test_ip_transport.pdb"
+  "test_ip_transport[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ip_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

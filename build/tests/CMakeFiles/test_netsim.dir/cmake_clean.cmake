@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netsim.dir/test_netsim.cpp.o"
+  "CMakeFiles/test_netsim.dir/test_netsim.cpp.o.d"
+  "test_netsim"
+  "test_netsim.pdb"
+  "test_netsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packetizer.dir/test_packetizer.cpp.o"
+  "CMakeFiles/test_packetizer.dir/test_packetizer.cpp.o.d"
+  "test_packetizer"
+  "test_packetizer.pdb"
+  "test_packetizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packetizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reassemble.dir/test_reassemble.cpp.o"
+  "CMakeFiles/test_reassemble.dir/test_reassemble.cpp.o.d"
+  "test_reassemble"
+  "test_reassemble.pdb"
+  "test_reassemble[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reassemble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_selective_retx.dir/test_selective_retx.cpp.o"
+  "CMakeFiles/test_selective_retx.dir/test_selective_retx.cpp.o.d"
+  "test_selective_retx"
+  "test_selective_retx.pdb"
+  "test_selective_retx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_selective_retx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

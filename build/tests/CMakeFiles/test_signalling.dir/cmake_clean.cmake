@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_signalling.dir/test_signalling.cpp.o"
+  "CMakeFiles/test_signalling.dir/test_signalling.cpp.o.d"
+  "test_signalling"
+  "test_signalling.pdb"
+  "test_signalling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_signalling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transport_e2e.dir/test_transport_e2e.cpp.o"
+  "CMakeFiles/test_transport_e2e.dir/test_transport_e2e.cpp.o.d"
+  "test_transport_e2e"
+  "test_transport_e2e.pdb"
+  "test_transport_e2e[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transport_e2e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

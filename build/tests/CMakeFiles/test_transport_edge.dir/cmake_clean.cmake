@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transport_edge.dir/test_transport_edge.cpp.o"
+  "CMakeFiles/test_transport_edge.dir/test_transport_edge.cpp.o.d"
+  "test_transport_edge"
+  "test_transport_edge.pdb"
+  "test_transport_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transport_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

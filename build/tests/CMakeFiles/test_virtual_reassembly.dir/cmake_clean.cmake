@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_virtual_reassembly.dir/test_virtual_reassembly.cpp.o"
+  "CMakeFiles/test_virtual_reassembly.dir/test_virtual_reassembly.cpp.o.d"
+  "test_virtual_reassembly"
+  "test_virtual_reassembly.pdb"
+  "test_virtual_reassembly[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_virtual_reassembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

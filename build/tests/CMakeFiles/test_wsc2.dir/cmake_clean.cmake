@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wsc2.dir/test_wsc2.cpp.o"
+  "CMakeFiles/test_wsc2.dir/test_wsc2.cpp.o.d"
+  "test_wsc2"
+  "test_wsc2.pdb"
+  "test_wsc2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wsc2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xtp_super.dir/test_xtp_super.cpp.o"
+  "CMakeFiles/test_xtp_super.dir/test_xtp_super.cpp.o.d"
+  "test_xtp_super"
+  "test_xtp_super.pdb"
+  "test_xtp_super[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xtp_super.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
