@@ -201,9 +201,7 @@ void detection_power() {
     std::vector<std::string> row{code.name};
     for (const auto cls : classes) {
       const auto r = measure_detection(code, cls, 512, 2000, rng);
-      char buf[32];
-      std::snprintf(buf, sizeof buf, "%.4f", r.undetected_fraction());
-      row.emplace_back(buf);
+      row.push_back(TextTable::num(r.undetected_fraction(), 4));
       if (code.name == "WSC-2" && r.undetected > 0 &&
           cls != ErrorClass::kRandomGarbage) {
         wsc_as_strong_as_crc = false;

@@ -4,11 +4,18 @@
 // chunk delivery modes and the IP-fragmentation baseline, reporting
 // per-element delivery latency and memory-bus traffic, then converts
 // bus traffic into the RISC-workstation throughput bound of §1.
+// The result tables are produced from the observability registry
+// (src/obs): each run owns a MetricsRegistry, the transport records
+// into it, and the table reads counters/histogram percentiles back —
+// exercising the same instrumentation path tools/obs_report uses.
+// Stream completion stays ground truth (receiver buffer coverage).
 #include <cinttypes>
 
 #include "bench_util.hpp"
 #include "src/baselines/ip_transport.hpp"
 #include "src/common/stats.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/obs.hpp"
 
 namespace chunknet::bench {
 namespace {
@@ -32,20 +39,24 @@ RunResult run_chunk_mode(DeliveryMode mode, double loss, int lanes,
   cfg.loss_rate = loss;
   cfg.lanes = lanes;
   cfg.lane_skew = skew;
-  TransportHarness h(cfg, mode, kStreamBytes);
+  MetricsRegistry reg;
+  ObsContext obs{&reg, nullptr};
+  TransportHarness h(cfg, mode, kStreamBytes, 1993, 512, 128, 64, &obs);
   const auto stream = pattern_stream(kStreamBytes);
   h.sender->send_stream(stream);
   h.sim.run(60 * kSecond);
 
   RunResult r;
   r.complete = h.receiver->stream_complete(kStreamBytes / 4);
-  Percentiles p;
-  for (const double ns : h.receiver->stats().delivery_latency_ns) p.add(ns);
-  r.p50_ms = p.median() / 1e6;
-  r.p99_ms = p.p99() / 1e6;
-  r.bus_per_byte = static_cast<double>(h.receiver->stats().bus_bytes) /
+  const std::string p = std::string("receiver.") + to_string(mode) + ".";
+  const Histogram* lat = reg.find_histogram(p + "delivery_latency_ns");
+  const Counter* bus = reg.find_counter(p + "bus_bytes");
+  const Counter* retx = reg.find_counter("sender.retransmissions");
+  r.p50_ms = (lat != nullptr ? lat->percentile(50) : 0) / 1e6;
+  r.p99_ms = (lat != nullptr ? lat->percentile(99) : 0) / 1e6;
+  r.bus_per_byte = static_cast<double>(bus != nullptr ? bus->value() : 0) /
                    static_cast<double>(kStreamBytes);
-  r.retransmissions = h.sender->stats().retransmissions;
+  r.retransmissions = retx != nullptr ? retx->value() : 0;
   return r;
 }
 
@@ -65,9 +76,13 @@ RunResult run_ip(double loss, int lanes, SimTime skew) {
   std::unique_ptr<Link> forward;
   std::unique_ptr<Link> reverse;
 
+  MetricsRegistry reg;
+  ObsContext obs{&reg, nullptr};
+
   IpReceiverConfig rc;
   rc.app_buffer_bytes = kStreamBytes;
   rc.reassembly_pool_bytes = 1 << 20;
+  rc.obs = &obs;
   rc.send_control = [&](std::vector<std::uint8_t> body) {
     SimPacket sp;
     sp.bytes = std::move(body);
@@ -82,6 +97,7 @@ RunResult run_ip(double loss, int lanes, SimTime skew) {
   sc.tpdu_bytes = 2048;  // same PDU size as the chunk transport's TPDUs
   sc.mtu = cfg.mtu;
   sc.retransmit_timeout = 20 * kMillisecond;
+  sc.obs = &obs;
   sc.send_packet = [&](std::vector<std::uint8_t> bytes) {
     SimPacket sp;
     sp.bytes = std::move(bytes);
@@ -99,13 +115,14 @@ RunResult run_ip(double loss, int lanes, SimTime skew) {
 
   RunResult r;
   r.complete = receiver->bytes_delivered() == kStreamBytes;
-  Percentiles p;
-  for (const double ns : receiver->stats().delivery_latency_ns) p.add(ns);
-  r.p50_ms = p.median() / 1e6;
-  r.p99_ms = p.p99() / 1e6;
-  r.bus_per_byte = static_cast<double>(receiver->stats().bus_bytes) /
+  const Histogram* lat = reg.find_histogram("ip_receiver.delivery_latency_ns");
+  const Counter* bus = reg.find_counter("ip_receiver.bus_bytes");
+  const Counter* retx = reg.find_counter("ip_sender.retransmissions");
+  r.p50_ms = (lat != nullptr ? lat->percentile(50) : 0) / 1e6;
+  r.p99_ms = (lat != nullptr ? lat->percentile(99) : 0) / 1e6;
+  r.bus_per_byte = static_cast<double>(bus != nullptr ? bus->value() : 0) /
                    static_cast<double>(kStreamBytes);
-  r.retransmissions = sender->stats().retransmissions;
+  r.retransmissions = retx != nullptr ? retx->value() : 0;
   return r;
 }
 

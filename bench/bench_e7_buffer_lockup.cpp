@@ -4,10 +4,15 @@
 // filled completely and yet no single PDU is complete"). Chunks are
 // placed directly into application memory, so the receiver needs NO
 // reassembly pool at all. Sweeps pool size × disorder severity.
+// Tables are read back from the observability registry (src/obs):
+// each run records into a MetricsRegistry and the rows come from its
+// counters/gauges; stream completion stays ground truth.
 #include <cinttypes>
 
 #include "bench_util.hpp"
 #include "src/baselines/ip_transport.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/obs.hpp"
 
 namespace chunknet::bench {
 namespace {
@@ -36,9 +41,13 @@ IpRun run_ip(std::size_t pool_bytes, int lanes, SimTime skew) {
   std::unique_ptr<Link> forward;
   std::unique_ptr<Link> reverse;
 
+  MetricsRegistry reg;
+  ObsContext obs{&reg, nullptr};
+
   IpReceiverConfig rc;
   rc.app_buffer_bytes = kStreamBytes;
   rc.reassembly_pool_bytes = pool_bytes;
+  rc.obs = &obs;
   rc.send_control = [&](std::vector<std::uint8_t> body) {
     SimPacket sp;
     sp.bytes = std::move(body);
@@ -54,6 +63,7 @@ IpRun run_ip(std::size_t pool_bytes, int lanes, SimTime skew) {
   sc.mtu = cfg.mtu;
   sc.retransmit_timeout = 30 * kMillisecond;
   sc.max_retransmits = 6;
+  sc.obs = &obs;
   sc.send_packet = [&](std::vector<std::uint8_t> bytes) {
     SimPacket sp;
     sp.bytes = std::move(bytes);
@@ -69,9 +79,16 @@ IpRun run_ip(std::size_t pool_bytes, int lanes, SimTime skew) {
   sim.run(60 * kSecond);
 
   IpRun r;
-  r.lockups = receiver->stats().pool_lockups;
-  r.dropped = receiver->pool().stats().fragments_dropped_no_space;
-  r.retx = sender->stats().retransmissions;
+  const Gauge* lockups = reg.find_gauge("ip_receiver.pool_lockups");
+  const Gauge* dropped = reg.find_gauge("ip_receiver.pool_frags_dropped");
+  const Counter* retx = reg.find_counter("ip_sender.retransmissions");
+  r.lockups = lockups != nullptr
+                  ? static_cast<std::uint64_t>(lockups->value())
+                  : 0;
+  r.dropped = dropped != nullptr
+                  ? static_cast<std::uint64_t>(dropped->value())
+                  : 0;
+  r.retx = retx != nullptr ? retx->value() : 0;
   r.complete = receiver->bytes_delivered() == kStreamBytes;
   return r;
 }
@@ -105,20 +122,25 @@ void chunk_counterpart() {
   cfg.prop_delay = 1 * kMillisecond;
   cfg.lanes = 8;
   cfg.lane_skew = 2 * kMillisecond;
+  MetricsRegistry reg;
+  ObsContext obs{&reg, nullptr};
   TransportHarness h(cfg, DeliveryMode::kImmediate, kStreamBytes, 7,
-                     /*tpdu_elements=*/2048);
+                     /*tpdu_elements=*/2048, 128, 64, &obs);
   h.sender->send_stream(pattern_stream(kStreamBytes));
   h.sim.run(60 * kSecond);
 
+  const Gauge* peak = reg.find_gauge("receiver.immediate.held_bytes_peak");
+  const std::uint64_t held_peak =
+      peak != nullptr ? static_cast<std::uint64_t>(peak->value()) : 0;
   TextTable t({"metric", "value"});
   t.add_row({"bytes held in receive buffers (peak)",
-             TextTable::num(h.receiver->stats().held_bytes_peak)});
+             TextTable::num(held_peak)});
   t.add_row({"stream completed",
              h.receiver->stream_complete(kStreamBytes / 4) ? "yes" : "NO"});
   t.add_row({"virtual-reassembly state (TPDU trackers), bytes of data: ",
              "0 (tracks intervals only)"});
   std::printf("%s", t.render().c_str());
-  print_claim(h.receiver->stats().held_bytes_peak == 0 &&
+  print_claim(held_peak == 0 &&
                   h.receiver->stream_complete(kStreamBytes / 4),
               "immediate placement eliminates the reassembly buffer — and "
               "with it, lock-up — entirely (§3.3)");

@@ -51,9 +51,9 @@ void measured_overhead() {
       for (const auto& u : carried.packets) {
         if (s->inspect(u).knows_stream_offset) ++placeable;
       }
-      char frac[32];
-      std::snprintf(frac, sizeof frac, "%zu/%zu", placeable,
-                    carried.packets.size());
+      const std::string frac =
+          TextTable::num(static_cast<std::uint64_t>(placeable)) + "/" +
+          TextTable::num(static_cast<std::uint64_t>(carried.packets.size()));
       t.add_row({caps.name,
                  TextTable::num(static_cast<std::uint64_t>(mtu)),
                  TextTable::num(static_cast<std::uint64_t>(

@@ -76,17 +76,21 @@ struct TransportHarness {
   };
   std::unique_ptr<ManglingSink> mangling_sink;
 
+  /// `obs` (optional) instruments the whole harness: sender, receiver,
+  /// forward link as site 0, reverse link as site 1.
   TransportHarness(LinkConfig fwd_cfg, DeliveryMode mode,
                    std::size_t stream_bytes, std::uint64_t seed = 1993,
                    std::uint32_t tpdu_elements = 512,
                    std::uint32_t xpdu_elements = 128,
-                   std::uint16_t max_chunk_elements = 64)
+                   std::uint16_t max_chunk_elements = 64,
+                   ObsContext* obs = nullptr)
       : rng(seed) {
     ReceiverConfig rc;
     rc.connection_id = 7;
     rc.element_size = 4;
     rc.mode = mode;
     rc.app_buffer_bytes = stream_bytes;
+    rc.obs = obs;
     rc.on_tpdu = [this](const TpduOutcome& o) { outcomes.push_back(o); };
     rc.send_control = [this](Chunk ack) {
       auto pkt = encode_packet(std::vector<Chunk>{std::move(ack)}, 1500);
@@ -98,6 +102,8 @@ struct TransportHarness {
     };
     receiver = std::make_unique<ChunkTransportReceiver>(sim, std::move(rc));
     mangling_sink = std::make_unique<ManglingSink>(this);
+    fwd_cfg.obs = obs;
+    fwd_cfg.obs_site = 0;
     forward = std::make_unique<Link>(sim, fwd_cfg, *mangling_sink, rng);
 
     SenderConfig sc;
@@ -108,6 +114,7 @@ struct TransportHarness {
     sc.framer.max_chunk_elements = max_chunk_elements;
     sc.mtu = fwd_cfg.mtu;
     sc.retransmit_timeout = 20 * kMillisecond;
+    sc.obs = obs;
     sc.send_packet = [this](std::vector<std::uint8_t> bytes) {
       SimPacket sp;
       sp.bytes = std::move(bytes);
@@ -119,6 +126,8 @@ struct TransportHarness {
 
     LinkConfig rev_cfg;
     rev_cfg.prop_delay = 1 * kMillisecond;
+    rev_cfg.obs = obs;
+    rev_cfg.obs_site = 1;
     reverse = std::make_unique<Link>(sim, rev_cfg, *sender, rng);
   }
 };

@@ -76,7 +76,16 @@ RelayFn ip_fragment_relay(RelayStats* stats) {
 
 IpFragTransportSender::IpFragTransportSender(Simulator& sim,
                                              IpSenderConfig cfg)
-    : sim_(sim), cfg_(std::move(cfg)) {}
+    : sim_(sim), cfg_(std::move(cfg)) {
+  if (cfg_.obs != nullptr && cfg_.obs->metrics != nullptr) {
+    MetricsRegistry& reg = *cfg_.obs->metrics;
+    m_.datagrams_sent = &reg.counter("ip_sender.datagrams_sent");
+    m_.retransmissions = &reg.counter("ip_sender.retransmissions");
+    m_.gave_up = &reg.counter("ip_sender.gave_up");
+    m_.packets_sent = &reg.counter("ip_sender.packets_sent");
+    m_.bytes_sent = &reg.counter("ip_sender.bytes_sent");
+  }
+}
 
 void IpFragTransportSender::send_stream(
     std::span<const std::uint8_t> stream) {
@@ -98,6 +107,7 @@ void IpFragTransportSender::send_stream(
     const std::uint32_t id = next_id_++;
     auto [it, inserted] = outstanding_.emplace(id, std::move(p));
     ++stats_.datagrams_sent;
+    obs_add(m_.datagrams_sent);
     transmit(id, it->second);
     pos += n;
   }
@@ -116,6 +126,8 @@ void IpFragTransportSender::transmit(std::uint32_t id, Pending& p) {
         std::span<const std::uint8_t>(p.datagram).subspan(off, n));
     stats_.bytes_sent += pkt.size();
     ++stats_.packets_sent;
+    obs_add(m_.packets_sent);
+    obs_add(m_.bytes_sent, pkt.size());
     if (cfg_.send_packet) cfg_.send_packet(std::move(pkt));
     off += n;
   }
@@ -130,10 +142,12 @@ void IpFragTransportSender::arm_timer(std::uint32_t id) {
     if (it->second.last_sent > armed_at) return;
     if (it->second.attempts > cfg_.max_retransmits) {
       ++stats_.gave_up;
+      obs_add(m_.gave_up);
       outstanding_.erase(it);
       return;
     }
     ++stats_.retransmissions;
+    obs_add(m_.retransmissions);
     transmit(id, it->second);
   });
 }
@@ -152,10 +166,12 @@ void IpFragTransportSender::on_packet(SimPacket pkt) {
   } else if (kind == 'N') {
     if (it->second.attempts > cfg_.max_retransmits) {
       ++stats_.gave_up;
+      obs_add(m_.gave_up);
       outstanding_.erase(it);
       return;
     }
     ++stats_.retransmissions;
+    obs_add(m_.retransmissions);
     transmit(id, it->second);
   }
 }
@@ -167,13 +183,28 @@ IpFragTransportReceiver::IpFragTransportReceiver(Simulator& sim,
     : sim_(sim),
       cfg_(std::move(cfg)),
       pool_(cfg_.reassembly_pool_bytes),
-      app_buffer_(cfg_.app_buffer_bytes, 0) {}
+      app_buffer_(cfg_.app_buffer_bytes, 0) {
+  if (cfg_.obs != nullptr && cfg_.obs->metrics != nullptr) {
+    MetricsRegistry& reg = *cfg_.obs->metrics;
+    m_.fragments = &reg.counter("ip_receiver.fragments");
+    m_.malformed = &reg.counter("ip_receiver.malformed");
+    m_.datagrams_ok = &reg.counter("ip_receiver.datagrams_ok");
+    m_.datagrams_bad_crc = &reg.counter("ip_receiver.datagrams_bad_crc");
+    m_.bus_bytes = &reg.counter("ip_receiver.bus_bytes");
+    m_.bytes_delivered = &reg.counter("ip_receiver.bytes_delivered");
+    m_.pool_lockups = &reg.gauge("ip_receiver.pool_lockups");
+    m_.pool_frags_dropped = &reg.gauge("ip_receiver.pool_frags_dropped");
+    m_.delivery_latency = &reg.histogram("ip_receiver.delivery_latency_ns");
+  }
+}
 
 void IpFragTransportReceiver::on_packet(SimPacket pkt) {
   ++stats_.fragments;
+  obs_add(m_.fragments);
   const DecodedIpFragment f = decode_ip_fragment(pkt.bytes);
   if (!f.ok) {
     ++stats_.malformed;
+    obs_add(m_.malformed);
     return;
   }
   stream_base_.emplace(f.dgram_id, f.stream_base);
@@ -191,11 +222,17 @@ void IpFragTransportReceiver::on_packet(SimPacket pkt) {
   if (outcome == IpReassemblyOutcome::kStored ||
       outcome == IpReassemblyOutcome::kCompleted) {
     stats_.bus_bytes += frag.data.size();
+    obs_add(m_.bus_bytes, frag.data.size());
   }
   if (outcome != IpReassemblyOutcome::kCompleted) {
     if (pool_.stats().lockup_events > stats_.pool_lockups) {
       stats_.pool_lockups = pool_.stats().lockup_events;
     }
+    obs_set(m_.pool_lockups,
+            static_cast<std::int64_t>(pool_.stats().lockup_events));
+    obs_set(m_.pool_frags_dropped,
+            static_cast<std::int64_t>(
+                pool_.stats().fragments_dropped_no_space));
     return;
   }
 
@@ -204,6 +241,7 @@ void IpFragTransportReceiver::on_packet(SimPacket pkt) {
   // Datagram = payload + 4-byte CRC trailer.
   if (datagram->size() < 4) {
     ++stats_.datagrams_bad_crc;
+    obs_add(m_.datagrams_bad_crc);
     return;
   }
   const std::size_t payload_len = datagram->size() - 4;
@@ -215,6 +253,7 @@ void IpFragTransportReceiver::on_packet(SimPacket pkt) {
   const std::uint32_t base = stream_base_[f.dgram_id];
   if (actual != expect) {
     ++stats_.datagrams_bad_crc;
+    obs_add(m_.datagrams_bad_crc);
     if (cfg_.send_control) {
       std::vector<std::uint8_t> nak;
       ByteWriter w(nak);
@@ -232,12 +271,16 @@ void IpFragTransportReceiver::on_packet(SimPacket pkt) {
               app_buffer_.begin() + base);
     stats_.bus_bytes += payload_len;
     bytes_delivered_ += payload_len;
+    obs_add(m_.bus_bytes, payload_len);
+    obs_add(m_.bytes_delivered, payload_len);
   }
   ++stats_.datagrams_ok;
+  obs_add(m_.datagrams_ok);
   const double latency =
       static_cast<double>(sim_.now() - first_fragment_at_[f.dgram_id]);
   // One latency sample per 4-byte element, comparable with the chunk
   // receiver's per-element samples.
+  obs_observe(m_.delivery_latency, latency, payload_len / 4);
   for (std::size_t i = 0; i < payload_len / 4; ++i) {
     stats_.delivery_latency_ns.push_back(latency);
   }

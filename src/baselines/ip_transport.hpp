@@ -59,6 +59,8 @@ struct IpSenderConfig {
   SimTime retransmit_timeout{50 * kMillisecond};
   int max_retransmits{8};
   std::function<void(std::vector<std::uint8_t>)> send_packet;
+  /// Observability (optional). Metric names prefixed "ip_sender.".
+  ObsContext* obs{nullptr};
 };
 
 /// Sender: datagram = payload + CRC-32 trailer, fragmented to MTU.
@@ -95,8 +97,17 @@ class IpFragTransportSender final : public PacketSink {
   void transmit(std::uint32_t id, Pending& p);
   void arm_timer(std::uint32_t id);
 
+  struct ObsHandles {
+    Counter* datagrams_sent{nullptr};
+    Counter* retransmissions{nullptr};
+    Counter* gave_up{nullptr};
+    Counter* packets_sent{nullptr};
+    Counter* bytes_sent{nullptr};
+  };
+
   Simulator& sim_;
   IpSenderConfig cfg_;
+  ObsHandles m_;
   std::map<std::uint32_t, Pending> outstanding_;
   std::uint32_t next_id_{1};
   bool started_{false};
@@ -108,6 +119,8 @@ struct IpReceiverConfig {
   std::size_t reassembly_pool_bytes{1 << 18};
   /// Sends an ACK/NAK body back toward the sender.
   std::function<void(std::vector<std::uint8_t>)> send_control;
+  /// Observability (optional). Metric names prefixed "ip_receiver.".
+  ObsContext* obs{nullptr};
 };
 
 /// Receiver: physical reassembly, then CRC verification, then placement.
@@ -133,8 +146,21 @@ class IpFragTransportReceiver final : public PacketSink {
   const IpReassemblyBuffer& pool() const { return pool_; }
 
  private:
+  struct ObsHandles {
+    Counter* fragments{nullptr};
+    Counter* malformed{nullptr};
+    Counter* datagrams_ok{nullptr};
+    Counter* datagrams_bad_crc{nullptr};
+    Counter* bus_bytes{nullptr};
+    Counter* bytes_delivered{nullptr};
+    Gauge* pool_lockups{nullptr};
+    Gauge* pool_frags_dropped{nullptr};
+    Histogram* delivery_latency{nullptr};
+  };
+
   Simulator& sim_;
   IpReceiverConfig cfg_;
+  ObsHandles m_;
   IpReassemblyBuffer pool_;
   std::map<std::uint32_t, std::uint32_t> stream_base_;  ///< dgram → base
   std::map<std::uint32_t, SimTime> first_fragment_at_;

@@ -27,11 +27,11 @@ double Summary::variance() const {
 double Summary::stddev() const { return std::sqrt(variance()); }
 
 std::string Summary::to_string() const {
-  char buf[160];
-  const int w =
-      std::snprintf(buf, sizeof buf, "n=%zu mean=%.3f min=%.3f max=%.3f sd=%.3f",
-                    n_, mean(), min(), max(), stddev());
-  return std::string(buf, static_cast<std::size_t>(w));
+  return "n=" + TextTable::num(static_cast<std::uint64_t>(n_)) +
+         " mean=" + TextTable::num(mean(), 3) +
+         " min=" + TextTable::num(min(), 3) +
+         " max=" + TextTable::num(max(), 3) +
+         " sd=" + TextTable::num(stddev(), 3);
 }
 
 double Percentiles::percentile(double p) {

@@ -14,6 +14,28 @@ Link::Link(Simulator& sim, LinkConfig cfg, PacketSink& sink, Rng& rng)
   if (cfg_.route_flap_interval > 0) {
     next_flap_ = cfg_.route_flap_interval;
   }
+  if (cfg_.obs != nullptr && cfg_.obs->metrics != nullptr) {
+    MetricsRegistry& reg = *cfg_.obs->metrics;
+    const std::string p = "link" + std::to_string(cfg_.obs_site) + ".";
+    m_.offered = &reg.counter(p + "offered");
+    m_.delivered = &reg.counter(p + "delivered");
+    m_.lost = &reg.counter(p + "lost");
+    m_.duplicated = &reg.counter(p + "duplicated");
+    m_.oversize_dropped = &reg.counter(p + "oversize_dropped");
+    m_.bytes_delivered = &reg.counter(p + "bytes_delivered");
+  }
+}
+
+void Link::trace(TraceEventKind kind, const SimPacket& pkt,
+                 std::uint64_t aux) const {
+  if (cfg_.obs == nullptr || cfg_.obs->tracer == nullptr) return;
+  TraceEvent e;
+  e.t = sim_.now();
+  e.kind = kind;
+  e.site = cfg_.obs_site;
+  e.packet_id = pkt.id;
+  e.aux = aux;
+  cfg_.obs->tracer->record(e);
 }
 
 void Link::maybe_flap() {
@@ -29,13 +51,18 @@ void Link::maybe_flap() {
 
 void Link::send(SimPacket pkt) {
   ++stats_.offered;
+  obs_add(m_.offered);
   if (pkt.bytes.size() > cfg_.mtu) {
     ++stats_.oversize_dropped;
+    obs_add(m_.oversize_dropped);
+    trace(TraceEventKind::kOversizeDropped, pkt, pkt.bytes.size());
     return;
   }
   maybe_flap();
   if (rng_.chance(cfg_.loss_rate)) {
     ++stats_.lost;
+    obs_add(m_.lost);
+    trace(TraceEventKind::kLinkDropped, pkt);
     return;
   }
 
@@ -57,10 +84,14 @@ void Link::send(SimPacket pkt) {
                    lane_extra_skew_[lane];
   if (cfg_.jitter > 0) arrive += rng_.below(cfg_.jitter + 1);
 
+  trace(TraceEventKind::kLinkEnqueued, pkt, lane);
+
   const bool dup = rng_.chance(cfg_.dup_rate);
   deliver_copy(pkt, arrive);
   if (dup) {
     ++stats_.duplicated;
+    obs_add(m_.duplicated);
+    trace(TraceEventKind::kLinkDuplicated, pkt);
     deliver_copy(pkt, arrive + cfg_.prop_delay / 2 + rng_.below(kMillisecond));
   }
 }
@@ -71,6 +102,9 @@ void Link::deliver_copy(const SimPacket& pkt, SimTime at) {
   sim_.schedule_at(at, [this, p = std::move(copy)]() mutable {
     ++stats_.delivered;
     stats_.bytes_delivered += p.bytes.size();
+    obs_add(m_.delivered);
+    obs_add(m_.bytes_delivered, p.bytes.size());
+    trace(TraceEventKind::kLinkDelivered, p);
     sink_.on_packet(std::move(p));
   });
 }

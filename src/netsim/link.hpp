@@ -9,6 +9,7 @@
 
 #include "src/common/rng.hpp"
 #include "src/netsim/simulator.hpp"
+#include "src/obs/obs.hpp"
 
 namespace chunknet {
 
@@ -25,6 +26,10 @@ struct LinkConfig {
   /// every lane's skew, so in-flight packets overtake later ones.
   SimTime route_flap_interval{0};
   SimTime route_flap_magnitude{2 * kMillisecond};
+  /// Observability (optional): metric names and trace events carry
+  /// `obs_site` so multi-hop topologies can attribute per-hop behaviour.
+  ObsContext* obs{nullptr};
+  std::uint16_t obs_site{0};
 };
 
 /// Unidirectional link delivering packets to a fixed sink.
@@ -54,11 +59,23 @@ class Link {
   }
   void deliver_copy(const SimPacket& pkt, SimTime at);
   void maybe_flap();
+  void trace(TraceEventKind kind, const SimPacket& pkt,
+             std::uint64_t aux = 0) const;
+
+  struct ObsHandles {
+    Counter* offered{nullptr};
+    Counter* delivered{nullptr};
+    Counter* lost{nullptr};
+    Counter* duplicated{nullptr};
+    Counter* oversize_dropped{nullptr};
+    Counter* bytes_delivered{nullptr};
+  };
 
   Simulator& sim_;
   LinkConfig cfg_;
   PacketSink& sink_;
   Rng& rng_;
+  ObsHandles m_;
   std::vector<SimTime> lane_free_at_;
   std::vector<SimTime> lane_extra_skew_;
   std::size_t next_lane_{0};

@@ -34,16 +34,66 @@ RelayFn chunk_relay(RepackPolicy policy, RelayStats* stats) {
   };
 }
 
+namespace {
+
+void router_trace(ObsContext* obs, Simulator& sim, std::uint16_t site,
+                  TraceEventKind kind, std::uint64_t packet_id,
+                  std::uint64_t aux) {
+  if (obs == nullptr || obs->tracer == nullptr) return;
+  TraceEvent e;
+  e.t = sim.now();
+  e.kind = kind;
+  e.site = site;
+  e.packet_id = packet_id;
+  e.aux = aux;
+  obs->tracer->record(e);
+}
+
+}  // namespace
+
+Router::Router(Simulator& sim, RelayFn relay, Link& egress, ObsContext* obs,
+               std::uint16_t obs_site)
+    : sim_(sim), relay_(std::move(relay)), egress_(egress), obs_(obs),
+      obs_site_(obs_site) {
+  if (obs_ != nullptr && obs_->metrics != nullptr) {
+    const std::string p = "router" + std::to_string(obs_site_) + ".";
+    m_forwarded_ = &obs_->metrics->counter(p + "forwarded");
+    m_dropped_ = &obs_->metrics->counter(p + "dropped");
+  }
+}
+
 void Router::on_packet(SimPacket pkt) {
   auto outputs = relay_(std::move(pkt.bytes), egress_.config().mtu);
+  if (outputs.empty()) {
+    obs_add(m_dropped_);
+    router_trace(obs_, sim_, obs_site_, TraceEventKind::kRouterDropped,
+                 pkt.id, 0);
+    return;
+  }
   for (auto& body : outputs) {
     SimPacket out;
     out.bytes = std::move(body);
     out.id = sim_.next_packet_id();
     out.created_at = pkt.created_at;  // preserve end-to-end timestamp
     out.hops = pkt.hops;
+    obs_add(m_forwarded_);
+    router_trace(obs_, sim_, obs_site_, TraceEventKind::kRouterRelayed,
+                 out.id, pkt.id);
     egress_.send(std::move(out));
     ++forwarded_;
+  }
+}
+
+BatchingChunkRouter::BatchingChunkRouter(Simulator& sim, RepackPolicy policy,
+                                         Link& egress, SimTime window,
+                                         RelayStats* stats, ObsContext* obs,
+                                         std::uint16_t obs_site)
+    : sim_(sim), policy_(policy), egress_(egress), window_(window),
+      stats_(stats), obs_(obs), obs_site_(obs_site) {
+  if (obs_ != nullptr && obs_->metrics != nullptr) {
+    const std::string p = "router" + std::to_string(obs_site_) + ".";
+    m_forwarded_ = &obs_->metrics->counter(p + "forwarded");
+    m_dropped_ = &obs_->metrics->counter(p + "dropped");
   }
 }
 
@@ -52,6 +102,9 @@ void BatchingChunkRouter::on_packet(SimPacket pkt) {
   ParsedPacket parsed = decode_packet(pkt.bytes);
   if (!parsed.ok) {
     if (stats_ != nullptr) ++stats_->parse_failures;
+    obs_add(m_dropped_);
+    router_trace(obs_, sim_, obs_site_, TraceEventKind::kRouterDropped,
+                 pkt.id, 0);
     return;
   }
   if (pending_.empty()) oldest_created_at_ = pkt.created_at;
@@ -80,6 +133,10 @@ void BatchingChunkRouter::flush() {
     out.bytes = std::move(body);
     out.id = sim_.next_packet_id();
     out.created_at = oldest_created_at_;
+    obs_add(m_forwarded_);
+    // Batched departures have no single ingress packet: aux = 0.
+    router_trace(obs_, sim_, obs_site_, TraceEventKind::kRouterRelayed,
+                 out.id, 0);
     egress_.send(std::move(out));
   }
 }
@@ -87,8 +144,17 @@ void BatchingChunkRouter::flush() {
 ChainTopology::ChainTopology(Simulator& sim, Rng& rng,
                              std::vector<LinkConfig> hops,
                              PacketSink& receiver,
-                             const std::function<RelayFn()>& relay_factory)
+                             const std::function<RelayFn()>& relay_factory,
+                             ObsContext* obs)
     : sim_(sim) {
+  if (obs != nullptr) {
+    for (std::size_t i = 0; i < hops.size(); ++i) {
+      if (hops[i].obs == nullptr) {
+        hops[i].obs = obs;
+        hops[i].obs_site = static_cast<std::uint16_t>(i);
+      }
+    }
+  }
   // Build back to front: the last link feeds the receiver; each earlier
   // link feeds a router that relays onto the next link.
   links_.resize(hops.size());
@@ -99,7 +165,8 @@ ChainTopology::ChainTopology(Simulator& sim, Rng& rng,
       sink = &receiver;
     } else {
       routers_[i] = std::make_unique<Router>(sim_, relay_factory(),
-                                             *links_[i + 1]);
+                                             *links_[i + 1], obs,
+                                             static_cast<std::uint16_t>(i));
       sink = routers_[i].get();
     }
     links_[i] = std::make_unique<Link>(sim_, hops[i], *sink, rng);

@@ -46,8 +46,8 @@ RelayFn chunk_relay(RepackPolicy policy, RelayStats* stats = nullptr);
 /// results on its egress link.
 class Router final : public PacketSink {
  public:
-  Router(Simulator& sim, RelayFn relay, Link& egress)
-      : sim_(sim), relay_(std::move(relay)), egress_(egress) {}
+  Router(Simulator& sim, RelayFn relay, Link& egress,
+         ObsContext* obs = nullptr, std::uint16_t obs_site = 0);
 
   void on_packet(SimPacket pkt) override;
 
@@ -57,6 +57,10 @@ class Router final : public PacketSink {
   Simulator& sim_;
   RelayFn relay_;
   Link& egress_;
+  ObsContext* obs_;
+  std::uint16_t obs_site_;
+  Counter* m_forwarded_{nullptr};
+  Counter* m_dropped_{nullptr};
   std::uint64_t forwarded_{0};
 };
 
@@ -69,9 +73,8 @@ class Router final : public PacketSink {
 class BatchingChunkRouter final : public PacketSink {
  public:
   BatchingChunkRouter(Simulator& sim, RepackPolicy policy, Link& egress,
-                      SimTime window, RelayStats* stats = nullptr)
-      : sim_(sim), policy_(policy), egress_(egress), window_(window),
-        stats_(stats) {}
+                      SimTime window, RelayStats* stats = nullptr,
+                      ObsContext* obs = nullptr, std::uint16_t obs_site = 0);
 
   void on_packet(SimPacket pkt) override;
 
@@ -83,6 +86,10 @@ class BatchingChunkRouter final : public PacketSink {
   Link& egress_;
   SimTime window_;
   RelayStats* stats_;
+  ObsContext* obs_;
+  std::uint16_t obs_site_;
+  Counter* m_forwarded_{nullptr};
+  Counter* m_dropped_{nullptr};
   std::vector<Chunk> pending_;
   SimTime oldest_created_at_{0};
   bool timer_armed_{false};
@@ -94,9 +101,13 @@ class BatchingChunkRouter final : public PacketSink {
 /// supplied relay factory.
 class ChainTopology {
  public:
+  /// When `obs` is given, hops that did not set their own ObsContext
+  /// are auto-instrumented with obs_site = hop index, and router i
+  /// (between hop i and i+1) records under site i.
   ChainTopology(Simulator& sim, Rng& rng, std::vector<LinkConfig> hops,
                 PacketSink& receiver,
-                const std::function<RelayFn()>& relay_factory);
+                const std::function<RelayFn()>& relay_factory,
+                ObsContext* obs = nullptr);
 
   /// Sends application packet bytes into the first hop.
   void inject(std::vector<std::uint8_t> bytes);

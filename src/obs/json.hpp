@@ -1,0 +1,41 @@
+// Minimal JSON support for the observability exporters: an escape
+// helper for the writers, and a small recursive-descent parser used by
+// tools/obs_report and the round-trip tests. Numbers are doubles
+// (every id this repo emits fits in 53 bits); objects preserve
+// insertion order.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace chunknet {
+
+std::string json_escape(std::string_view s);
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind{Kind::kNull};
+  bool boolean{false};
+  double number{0.0};
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+  /// find(key)->number with a default for absent members.
+  double num_or(std::string_view key, double fallback = 0.0) const;
+  std::uint64_t u64_or(std::string_view key,
+                       std::uint64_t fallback = 0) const;
+};
+
+/// Parses one JSON document (trailing whitespace allowed); nullopt on
+/// any syntax error.
+std::optional<JsonValue> parse_json(std::string_view text);
+
+}  // namespace chunknet

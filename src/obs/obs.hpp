@@ -1,0 +1,18 @@
+// The handle every instrumented layer accepts: a nullable pair of
+// metrics registry and chunk tracer. A null ObsContext* (or null
+// members) disables recording entirely — instrumentation sites reduce
+// to one pointer test, which is the zero-cost-when-disabled contract
+// the data-path layers rely on.
+#pragma once
+
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+
+namespace chunknet {
+
+struct ObsContext {
+  MetricsRegistry* metrics{nullptr};
+  ChunkTracer* tracer{nullptr};
+};
+
+}  // namespace chunknet

@@ -1,0 +1,88 @@
+// Chunk-lifecycle tracing: a bounded ring of timestamped events keyed
+// by SimPacket::id (packet-level events) and (tpdu_id, C.SN)
+// (chunk-level events). Recording is O(1) — a slot write under a
+// spinlock — and when the ring is full the oldest events are
+// overwritten, so a tracer can stay attached to a long run and always
+// hold the most recent window. tools/obs_report turns the exported
+// JSON into per-hop latency breakdowns and drop/reorder attribution.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace chunknet {
+
+enum class TraceEventKind : std::uint8_t {
+  kChunkBuilt = 0,      ///< sender framed the chunk (or its ED chunk);
+                        ///< aux = 1 for a selective-retransmit slice
+  kPacketized,          ///< sender sealed a packet envelope (aux = bytes)
+  kLinkEnqueued,        ///< link accepted the packet (aux = lane)
+  kLinkDelivered,       ///< link handed the packet to its sink
+  kLinkDropped,         ///< i.i.d. loss on the link
+  kLinkDuplicated,      ///< link scheduled a duplicate delivery
+  kOversizeDropped,     ///< packet exceeded the link MTU
+  kRouterRelayed,       ///< router emitted packet id, aux = ingress id
+  kRouterDropped,       ///< relay produced no output (parse failure)
+  kPacketReceived,      ///< receiver opened the envelope
+  kMalformedPacket,     ///< envelope failed to parse
+  kChunkPlaced,         ///< payload copied into application memory
+  kChunkHeld,           ///< buffered by a reorder/reassemble receiver
+  kInvariantAbsorbed,   ///< WSC-2 invariant absorbed the chunk (aux = ok)
+  kDuplicateRejected,   ///< virtual reassembly: already seen
+  kOverlapRejected,     ///< virtual reassembly: partial overlap
+  kFramingRejected,     ///< after-stop / stop-conflict / bad structure
+  kTpduAccepted,        ///< all Table-1 checks passed
+  kTpduRejected,        ///< aux = TpduVerdict
+};
+
+const char* to_string(TraceEventKind k);
+std::optional<TraceEventKind> trace_event_kind_from_string(
+    std::string_view s);
+
+struct TraceEvent {
+  std::uint64_t t{0};          ///< simulated time, ns
+  std::uint64_t packet_id{0};  ///< SimPacket::id (0 = not packet-keyed)
+  std::uint64_t aux{0};        ///< kind-specific (see enum comments)
+  std::uint32_t tpdu_id{0};
+  std::uint32_t conn_sn{0};    ///< C.SN of the first element
+  std::uint32_t len{0};        ///< elements covered
+  std::uint16_t site{0};       ///< instrumentation site (link/router id)
+  TraceEventKind kind{TraceEventKind::kChunkBuilt};
+};
+
+class ChunkTracer {
+ public:
+  explicit ChunkTracer(std::size_t capacity = 1 << 16);
+
+  /// O(1); overwrites the oldest event once the ring is full. Safe to
+  /// call from parallel pipeline workers.
+  void record(const TraceEvent& e) noexcept;
+
+  /// Retained events in record order (oldest first).
+  std::vector<TraceEvent> events() const;
+
+  std::uint64_t recorded() const noexcept;  ///< total record() calls
+  std::uint64_t dropped() const noexcept;   ///< overwritten by wrap
+  std::size_t capacity() const noexcept { return ring_.size(); }
+
+ private:
+  void lock() const noexcept {
+    while (lock_.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  void unlock() const noexcept { lock_.clear(std::memory_order_release); }
+
+  mutable std::atomic_flag lock_ = ATOMIC_FLAG_INIT;
+  std::vector<TraceEvent> ring_;
+  std::uint64_t next_{0};
+};
+
+/// {"recorded": N, "dropped": D, "events": [{t, kind, site, pkt, tpdu,
+/// sn, len, aux} ...]} — kind as the to_string name.
+std::string trace_to_json(const ChunkTracer& tracer);
+
+}  // namespace chunknet

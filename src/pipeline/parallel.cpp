@@ -12,12 +12,20 @@ struct WorkerOutput {
   std::uint64_t bytes{0};
 };
 
+struct WorkerObs {
+  Counter* chunks_processed{nullptr};
+  Counter* bytes_placed{nullptr};
+  ChunkTracer* tracer{nullptr};
+};
+
 void process_stripe(std::span<const Chunk> chunks, std::size_t first,
                     std::size_t stride, std::span<std::uint8_t> app,
-                    std::uint32_t first_conn_sn, WorkerOutput* out) {
+                    std::uint32_t first_conn_sn, WorkerObs wobs,
+                    WorkerOutput* out) {
   for (std::size_t i = first; i < chunks.size(); i += stride) {
     const Chunk& c = chunks[i];
     if (c.h.type != ChunkType::kData || c.h.size % 4 != 0) continue;
+    obs_add(wobs.chunks_processed);
 
     // Placement: disjoint ranges, no locks needed.
     const std::uint64_t off =
@@ -26,6 +34,15 @@ void process_stripe(std::span<const Chunk> chunks, std::size_t first,
       std::copy(c.payload.begin(), c.payload.end(),
                 app.begin() + static_cast<std::ptrdiff_t>(off));
       out->bytes += c.payload.size();
+      obs_add(wobs.bytes_placed, c.payload.size());
+      if (wobs.tracer != nullptr) {
+        TraceEvent e;  // no simulated clock here: t = 0
+        e.kind = TraceEventKind::kChunkPlaced;
+        e.tpdu_id = c.h.tpdu.id;
+        e.conn_sn = c.h.conn.sn;
+        e.len = c.h.len;
+        wobs.tracer->record(e);
+      }
     }
 
     // Error detection: private accumulator, absolute positions.
@@ -39,11 +56,20 @@ void process_stripe(std::span<const Chunk> chunks, std::size_t first,
 ParallelProcessResult process_chunks_parallel(std::span<const Chunk> chunks,
                                               std::span<std::uint8_t> app,
                                               std::uint32_t first_conn_sn,
-                                              int threads) {
+                                              int threads, ObsContext* obs) {
+  // Resolve handles once, before any worker spawns: registry lookup
+  // takes a lock, the per-cell adds the workers do are lock-free.
+  WorkerObs wobs;
+  if (obs != nullptr && obs->metrics != nullptr) {
+    wobs.chunks_processed = &obs->metrics->counter("parallel.chunks_processed");
+    wobs.bytes_placed = &obs->metrics->counter("parallel.bytes_placed");
+  }
+  if (obs != nullptr) wobs.tracer = obs->tracer;
+
   ParallelProcessResult result;
   if (threads <= 1 || chunks.size() < 2) {
     WorkerOutput out;
-    process_stripe(chunks, 0, 1, app, first_conn_sn, &out);
+    process_stripe(chunks, 0, 1, app, first_conn_sn, wobs, &out);
     result.data_code = out.acc.value();
     result.bytes_placed = out.bytes;
     result.threads_used = 1;
@@ -58,7 +84,7 @@ ParallelProcessResult process_chunks_parallel(std::span<const Chunk> chunks,
     workers.emplace_back(process_stripe, chunks,
                          static_cast<std::size_t>(t),
                          static_cast<std::size_t>(n), app, first_conn_sn,
-                         &outputs[static_cast<std::size_t>(t)]);
+                         wobs, &outputs[static_cast<std::size_t>(t)]);
   }
   for (auto& w : workers) w.join();
 

@@ -23,6 +23,7 @@
 
 #include "src/chunk/types.hpp"
 #include "src/edc/wsc2.hpp"
+#include "src/obs/obs.hpp"
 
 namespace chunknet {
 
@@ -39,9 +40,13 @@ struct ParallelProcessResult {
 /// data contribution. Chunks must be duplicate-free (run them through
 /// virtual reassembly first) and SIZE must be a multiple of 4.
 /// `threads <= 1` runs inline (the baseline for the scaling bench).
+/// When `obs` is given, workers record "parallel.chunks_processed" and
+/// "parallel.bytes_placed" counters concurrently (the sharded cells are
+/// the lock-free hot path) and kChunkPlaced trace events.
 ParallelProcessResult process_chunks_parallel(std::span<const Chunk> chunks,
                                               std::span<std::uint8_t> app,
                                               std::uint32_t first_conn_sn,
-                                              int threads);
+                                              int threads,
+                                              ObsContext* obs = nullptr);
 
 }  // namespace chunknet

@@ -46,23 +46,57 @@ bool PduTracker::complete() const {
   return stop_ && seen_.covers(0, static_cast<std::uint64_t>(*stop_) + 1);
 }
 
+void VirtualReassembler::set_obs(ObsContext* obs, std::uint16_t site) {
+  obs_ = obs;
+  obs_site_ = site;
+  m_ = ObsHandles{};
+  if (obs_ != nullptr && obs_->metrics != nullptr) {
+    MetricsRegistry& reg = *obs_->metrics;
+    m_.pieces_accepted = &reg.counter("vreass.pieces_accepted");
+    m_.duplicates_rejected = &reg.counter("vreass.duplicates_rejected");
+    m_.overlaps_rejected = &reg.counter("vreass.overlaps_rejected");
+    m_.framing_errors = &reg.counter("vreass.framing_errors");
+  }
+}
+
 PieceVerdict VirtualReassembler::add(const PduKey& key, std::uint32_t sn,
                                      std::uint32_t len, bool stop) {
   const PieceVerdict v = trackers_[key].add(sn, len, stop);
+  TraceEventKind kind = TraceEventKind::kInvariantAbsorbed;
+  bool traced = false;
   switch (v) {
     case PieceVerdict::kAccept:
       ++stats_.pieces_accepted;
+      obs_add(m_.pieces_accepted);
       break;
     case PieceVerdict::kDuplicate:
       ++stats_.duplicates_rejected;
+      obs_add(m_.duplicates_rejected);
+      kind = TraceEventKind::kDuplicateRejected;
+      traced = true;
       break;
     case PieceVerdict::kOverlap:
       ++stats_.overlaps_rejected;
+      obs_add(m_.overlaps_rejected);
+      kind = TraceEventKind::kOverlapRejected;
+      traced = true;
       break;
     case PieceVerdict::kAfterStop:
     case PieceVerdict::kStopConflict:
       ++stats_.framing_errors;
+      obs_add(m_.framing_errors);
+      kind = TraceEventKind::kFramingRejected;
+      traced = true;
       break;
+  }
+  if (traced && obs_ != nullptr && obs_->tracer != nullptr) {
+    TraceEvent e;  // t stays 0: the reassembler has no clock
+    e.kind = kind;
+    e.site = obs_site_;
+    e.tpdu_id = key.pdu_id;
+    e.conn_sn = sn;
+    e.len = len;
+    obs_->tracer->record(e);
   }
   return v;
 }

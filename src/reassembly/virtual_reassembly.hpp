@@ -25,6 +25,7 @@
 
 #include "src/common/interval_set.hpp"
 #include "src/chunk/types.hpp"
+#include "src/obs/obs.hpp"
 
 namespace chunknet {
 
@@ -112,9 +113,23 @@ class VirtualReassembler {
   };
   const Stats& stats() const { return stats_; }
 
+  /// Observability (optional). Counters under "vreass."; rejections
+  /// also emit trace events (t = 0: the reassembler has no clock).
+  void set_obs(ObsContext* obs, std::uint16_t site = 0);
+
  private:
+  struct ObsHandles {
+    Counter* pieces_accepted{nullptr};
+    Counter* duplicates_rejected{nullptr};
+    Counter* overlaps_rejected{nullptr};
+    Counter* framing_errors{nullptr};
+  };
+
   std::map<PduKey, PduTracker> trackers_;
   Stats stats_;
+  ObsContext* obs_{nullptr};
+  std::uint16_t obs_site_{0};
+  ObsHandles m_;
 };
 
 }  // namespace chunknet

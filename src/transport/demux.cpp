@@ -21,7 +21,7 @@ void ChunkDemultiplexer::on_packet(SimPacket pkt) {
           break;
         }
         ++stats_.data_chunks_routed;
-        it->second->on_chunk(std::move(c), pkt.created_at);
+        it->second->on_chunk(std::move(c), pkt.created_at, pkt.id);
         break;
       }
       case ChunkType::kAck:

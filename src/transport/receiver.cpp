@@ -31,10 +31,60 @@ ChunkTransportReceiver::ChunkTransportReceiver(Simulator& sim,
     : sim_(sim),
       cfg_(std::move(cfg)),
       app_buffer_(cfg_.app_buffer_bytes, 0),
-      next_release_sn_(cfg_.first_conn_sn) {}
+      next_release_sn_(cfg_.first_conn_sn) {
+  if (cfg_.obs != nullptr && cfg_.obs->metrics != nullptr) {
+    MetricsRegistry& reg = *cfg_.obs->metrics;
+    const std::string p =
+        std::string("receiver.") + to_string(cfg_.mode) + ".";
+    m_.packets = &reg.counter(p + "packets");
+    m_.malformed_packets = &reg.counter(p + "malformed_packets");
+    m_.data_chunks = &reg.counter(p + "data_chunks");
+    m_.ed_chunks = &reg.counter(p + "ed_chunks");
+    m_.foreign_chunks = &reg.counter(p + "foreign_chunks");
+    m_.duplicate_chunks = &reg.counter(p + "duplicate_chunks");
+    m_.overlap_chunks = &reg.counter(p + "overlap_chunks");
+    m_.framing_error_chunks = &reg.counter(p + "framing_error_chunks");
+    m_.tpdus_accepted = &reg.counter(p + "tpdus_accepted");
+    m_.tpdus_rejected = &reg.counter(p + "tpdus_rejected");
+    m_.bus_bytes = &reg.counter(p + "bus_bytes");
+    m_.bytes_placed = &reg.counter(p + "bytes_placed");
+    m_.held_bytes = &reg.gauge(p + "held_bytes");
+    m_.held_bytes_peak = &reg.gauge(p + "held_bytes_peak");
+    m_.delivery_latency = &reg.histogram(p + "delivery_latency_ns");
+  }
+}
+
+void ChunkTransportReceiver::trace_chunk(TraceEventKind kind, const Chunk& c,
+                                         std::uint64_t packet_id,
+                                         std::uint64_t aux) const {
+  if (cfg_.obs == nullptr || cfg_.obs->tracer == nullptr) return;
+  TraceEvent e;
+  e.t = sim_.now();
+  e.kind = kind;
+  e.site = cfg_.obs_site;
+  e.packet_id = packet_id;
+  e.tpdu_id = c.h.tpdu.id;
+  e.conn_sn = c.h.conn.sn;
+  e.len = c.h.len;
+  e.aux = aux;
+  cfg_.obs->tracer->record(e);
+}
+
+void ChunkTransportReceiver::trace_packet(TraceEventKind kind,
+                                          std::uint64_t packet_id) const {
+  if (cfg_.obs == nullptr || cfg_.obs->tracer == nullptr) return;
+  TraceEvent e;
+  e.t = sim_.now();
+  e.kind = kind;
+  e.site = cfg_.obs_site;
+  e.packet_id = packet_id;
+  cfg_.obs->tracer->record(e);
+}
 
 void ChunkTransportReceiver::on_packet(SimPacket pkt) {
   ++stats_.packets;
+  obs_add(m_.packets);
+  trace_packet(TraceEventKind::kPacketReceived, pkt.id);
   std::vector<Chunk> chunks;
   bool ok = false;
   if (cfg_.compression && !pkt.bytes.empty() &&
@@ -50,21 +100,25 @@ void ChunkTransportReceiver::on_packet(SimPacket pkt) {
   }
   if (!ok) {
     ++stats_.malformed_packets;
+    obs_add(m_.malformed_packets);
+    trace_packet(TraceEventKind::kMalformedPacket, pkt.id);
     return;
   }
   for (Chunk& c : chunks) {
-    on_chunk(std::move(c), pkt.created_at);
+    on_chunk(std::move(c), pkt.created_at, pkt.id);
   }
 }
 
-void ChunkTransportReceiver::on_chunk(Chunk c, SimTime packet_created_at) {
+void ChunkTransportReceiver::on_chunk(Chunk c, SimTime packet_created_at,
+                                      std::uint64_t packet_id) {
   if (c.h.conn.id != cfg_.connection_id) {
     ++stats_.foreign_chunks;
+    obs_add(m_.foreign_chunks);
     return;
   }
   switch (c.h.type) {
     case ChunkType::kData:
-      handle_data_chunk(std::move(c), packet_created_at);
+      handle_data_chunk(std::move(c), packet_created_at, packet_id);
       break;
     case ChunkType::kErrorDetection:
       handle_ed_chunk(c);
@@ -78,17 +132,25 @@ void ChunkTransportReceiver::hold_bytes(std::uint64_t n) {
   stats_.held_bytes_now += n;
   stats_.held_bytes_peak =
       std::max(stats_.held_bytes_peak, stats_.held_bytes_now);
+  obs_add(m_.held_bytes, static_cast<std::int64_t>(n));
+  obs_set(m_.held_bytes_peak,
+          static_cast<std::int64_t>(stats_.held_bytes_peak));
 }
 
 void ChunkTransportReceiver::unhold_bytes(std::uint64_t n) {
   stats_.held_bytes_now -= n;
+  obs_add(m_.held_bytes, -static_cast<std::int64_t>(n));
 }
 
 void ChunkTransportReceiver::handle_data_chunk(Chunk c,
-                                               SimTime packet_created_at) {
+                                               SimTime packet_created_at,
+                                               std::uint64_t packet_id) {
   ++stats_.data_chunks;
+  obs_add(m_.data_chunks);
   if (c.h.size != cfg_.element_size || !c.structurally_valid()) {
     ++stats_.framing_error_chunks;
+    obs_add(m_.framing_error_chunks);
+    trace_chunk(TraceEventKind::kFramingRejected, c, packet_id);
     return;
   }
 
@@ -105,20 +167,29 @@ void ChunkTransportReceiver::handle_data_chunk(Chunk c,
       break;
     case PieceVerdict::kDuplicate:
       ++stats_.duplicate_chunks;
+      obs_add(m_.duplicate_chunks);
+      trace_chunk(TraceEventKind::kDuplicateRejected, c, packet_id);
       return;
     case PieceVerdict::kOverlap:
       ++stats_.overlap_chunks;
+      obs_add(m_.overlap_chunks);
+      trace_chunk(TraceEventKind::kOverlapRejected, c, packet_id);
       return;
     case PieceVerdict::kAfterStop:
     case PieceVerdict::kStopConflict:
       ++stats_.framing_error_chunks;
+      obs_add(m_.framing_error_chunks);
+      trace_chunk(TraceEventKind::kFramingRejected, c, packet_id);
       st.framing_error = true;
       return;
   }
   st.elements += c.h.len;
 
   // --- incremental protocol processing on the disordered chunk.
-  if (!st.invariant.absorb(c)) st.layout_error = true;
+  const bool absorbed_ok = st.invariant.absorb(c);
+  if (!absorbed_ok) st.layout_error = true;
+  trace_chunk(TraceEventKind::kInvariantAbsorbed, c, packet_id,
+              absorbed_ok ? 1 : 0);
   st.consistency.check(c);
 
   const std::uint32_t tpdu_id = c.h.tpdu.id;
@@ -126,30 +197,34 @@ void ChunkTransportReceiver::handle_data_chunk(Chunk c,
   // --- data placement, by delivery mode.
   switch (cfg_.mode) {
     case DeliveryMode::kImmediate:
-      place_chunk(c, packet_created_at, /*was_held=*/false);
+      place_chunk(c, packet_created_at, /*was_held=*/false, packet_id);
       break;
     case DeliveryMode::kReorder: {
       if (c.h.conn.sn < next_release_sn_) {
         // Retransmission of stream range already released (the original
         // TPDU was rejected): re-place directly, it cannot be queued.
-        place_chunk(c, packet_created_at, /*was_held=*/false);
+        place_chunk(c, packet_created_at, /*was_held=*/false, packet_id);
       } else if (c.h.conn.sn == next_release_sn_) {
-        place_chunk(c, packet_created_at, /*was_held=*/false);
+        place_chunk(c, packet_created_at, /*was_held=*/false, packet_id);
         next_release_sn_ += c.h.len;
         release_in_order();
       } else {
         // Overwrite any stale entry at this C.SN (a retransmission
         // after rejection must supersede the queued original, which may
         // be the corrupted copy that caused the rejection).
+        trace_chunk(TraceEventKind::kChunkHeld, c, packet_id);
         const auto [it, inserted] = reorder_queue_.insert_or_assign(
-            c.h.conn.sn, HeldChunk{std::move(c), packet_created_at});
+            c.h.conn.sn, HeldChunk{std::move(c), packet_created_at,
+                                   packet_id});
         if (inserted) hold_bytes(it->second.chunk.payload.size());
       }
       break;
     }
     case DeliveryMode::kReassemble:
       hold_bytes(c.payload.size());
-      st.held.push_back(HeldChunk{std::move(c), packet_created_at});
+      trace_chunk(TraceEventKind::kChunkHeld, c, packet_id);
+      st.held.push_back(HeldChunk{std::move(c), packet_created_at,
+                                  packet_id});
       break;
   }
 
@@ -161,7 +236,7 @@ void ChunkTransportReceiver::release_in_order() {
   while (it != reorder_queue_.end() && it->first == next_release_sn_) {
     unhold_bytes(it->second.chunk.payload.size());
     place_chunk(it->second.chunk, it->second.packet_created_at,
-                /*was_held=*/true);
+                /*was_held=*/true, it->second.packet_id);
     next_release_sn_ += it->second.chunk.h.len;
     it = reorder_queue_.erase(it);
   }
@@ -169,7 +244,8 @@ void ChunkTransportReceiver::release_in_order() {
 
 void ChunkTransportReceiver::place_chunk(const Chunk& c,
                                          SimTime packet_created_at,
-                                         bool was_held) {
+                                         bool was_held,
+                                         std::uint64_t packet_id) {
   const std::uint64_t element_off = c.h.conn.sn - cfg_.first_conn_sn;
   const std::uint64_t byte_off = element_off * cfg_.element_size;
   if (byte_off + c.payload.size() > app_buffer_.size()) return;
@@ -180,9 +256,15 @@ void ChunkTransportReceiver::place_chunk(const Chunk& c,
 
   // Bus accounting: a held byte crossed once into the hold buffer and
   // once more now; an immediate byte crosses once.
-  stats_.bus_bytes += c.payload.size() * (was_held ? 2 : 1);
+  const std::uint64_t crossings = c.payload.size() * (was_held ? 2 : 1);
+  stats_.bus_bytes += crossings;
+  obs_add(m_.bus_bytes, crossings);
+  obs_add(m_.bytes_placed, c.payload.size());
+  trace_chunk(TraceEventKind::kChunkPlaced, c, packet_id,
+              was_held ? 1 : 0);
   const double latency =
       static_cast<double>(sim_.now() - packet_created_at);
+  obs_observe(m_.delivery_latency, latency, c.h.len);
   for (std::uint32_t i = 0; i < c.h.len; ++i) {
     stats_.delivery_latency_ns.push_back(latency);
   }
@@ -190,6 +272,7 @@ void ChunkTransportReceiver::place_chunk(const Chunk& c,
 
 void ChunkTransportReceiver::handle_ed_chunk(const Chunk& c) {
   ++stats_.ed_chunks;
+  obs_add(m_.ed_chunks);
   TpduState& st = tpdus_[c.h.tpdu.id];
   if (st.first_chunk_at == 0) st.first_chunk_at = sim_.now();
   st.received_code = parse_ed_chunk(c);
@@ -205,7 +288,8 @@ void ChunkTransportReceiver::try_finish(std::uint32_t tpdu_id, TpduState& st) {
   if (cfg_.mode == DeliveryMode::kReassemble) {
     for (const HeldChunk& hc : st.held) {
       unhold_bytes(hc.chunk.payload.size());
-      place_chunk(hc.chunk, hc.packet_created_at, /*was_held=*/true);
+      place_chunk(hc.chunk, hc.packet_created_at, /*was_held=*/true,
+                  hc.packet_id);
     }
     st.held.clear();
   }
@@ -222,8 +306,22 @@ void ChunkTransportReceiver::try_finish(std::uint32_t tpdu_id, TpduState& st) {
   st.finished = true;
   if (verdict == TpduVerdict::kAccepted) {
     ++stats_.tpdus_accepted;
+    obs_add(m_.tpdus_accepted);
   } else {
     ++stats_.tpdus_rejected;
+    obs_add(m_.tpdus_rejected);
+  }
+  if (cfg_.obs != nullptr && cfg_.obs->tracer != nullptr) {
+    TraceEvent e;
+    e.t = sim_.now();
+    e.kind = verdict == TpduVerdict::kAccepted
+                 ? TraceEventKind::kTpduAccepted
+                 : TraceEventKind::kTpduRejected;
+    e.site = cfg_.obs_site;
+    e.tpdu_id = tpdu_id;
+    e.len = static_cast<std::uint32_t>(st.elements);
+    e.aux = static_cast<std::uint64_t>(verdict);
+    cfg_.obs->tracer->record(e);
   }
 
   if (cfg_.on_tpdu) {

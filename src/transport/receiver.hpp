@@ -29,6 +29,7 @@
 #include "src/chunk/types.hpp"
 #include "src/common/interval_set.hpp"
 #include "src/netsim/simulator.hpp"
+#include "src/obs/obs.hpp"
 #include "src/reassembly/virtual_reassembly.hpp"
 #include "src/transport/invariant.hpp"
 
@@ -84,6 +85,11 @@ struct ReceiverConfig {
   /// ones — "chunk headers can have different formats in different
   /// parts of the network".
   std::optional<CompressionProfile> compression;
+  /// Observability (optional). Metric names are prefixed with
+  /// "receiver.<mode>." so runs in different delivery modes stay
+  /// distinguishable in one registry.
+  ObsContext* obs{nullptr};
+  std::uint16_t obs_site{0};
 };
 
 class ChunkTransportReceiver final : public PacketSink {
@@ -95,8 +101,10 @@ class ChunkTransportReceiver final : public PacketSink {
   /// Per-chunk entry point used by ChunkDemultiplexer (which has
   /// already opened the envelope): processes one chunk of THIS
   /// connection. `packet_created_at` is the carrying packet's creation
-  /// time, for latency accounting.
-  void on_chunk(Chunk c, SimTime packet_created_at);
+  /// time, for latency accounting; `packet_id` keys trace events to
+  /// the carrying packet (0 = unknown).
+  void on_chunk(Chunk c, SimTime packet_created_at,
+                std::uint64_t packet_id = 0);
 
   /// Application address space (spatially reassembled data).
   std::span<const std::uint8_t> app_data() const { return app_buffer_; }
@@ -138,6 +146,7 @@ class ChunkTransportReceiver final : public PacketSink {
   struct HeldChunk {
     Chunk chunk;
     SimTime packet_created_at{0};
+    std::uint64_t packet_id{0};
   };
 
   struct TpduState {
@@ -155,18 +164,42 @@ class ChunkTransportReceiver final : public PacketSink {
     std::vector<HeldChunk> held;  ///< kReassemble mode only
   };
 
-  void handle_data_chunk(Chunk c, SimTime packet_created_at);
+  void handle_data_chunk(Chunk c, SimTime packet_created_at,
+                         std::uint64_t packet_id);
   void handle_ed_chunk(const Chunk& c);
   void arm_gap_nak_timer(std::uint32_t tpdu_id, TpduState& st);
   void fire_gap_nak(std::uint32_t tpdu_id);
-  void place_chunk(const Chunk& c, SimTime packet_created_at, bool was_held);
+  void place_chunk(const Chunk& c, SimTime packet_created_at, bool was_held,
+                   std::uint64_t packet_id);
   void release_in_order();
   void try_finish(std::uint32_t tpdu_id, TpduState& st);
   void hold_bytes(std::uint64_t n);
   void unhold_bytes(std::uint64_t n);
+  void trace_chunk(TraceEventKind kind, const Chunk& c,
+                   std::uint64_t packet_id, std::uint64_t aux = 0) const;
+  void trace_packet(TraceEventKind kind, std::uint64_t packet_id) const;
+
+  struct ObsHandles {
+    Counter* packets{nullptr};
+    Counter* malformed_packets{nullptr};
+    Counter* data_chunks{nullptr};
+    Counter* ed_chunks{nullptr};
+    Counter* foreign_chunks{nullptr};
+    Counter* duplicate_chunks{nullptr};
+    Counter* overlap_chunks{nullptr};
+    Counter* framing_error_chunks{nullptr};
+    Counter* tpdus_accepted{nullptr};
+    Counter* tpdus_rejected{nullptr};
+    Counter* bus_bytes{nullptr};
+    Counter* bytes_placed{nullptr};
+    Gauge* held_bytes{nullptr};
+    Gauge* held_bytes_peak{nullptr};
+    Histogram* delivery_latency{nullptr};
+  };
 
   Simulator& sim_;
   ReceiverConfig cfg_;
+  ObsHandles m_;
   std::vector<std::uint8_t> app_buffer_;
   IntervalSet app_coverage_;  ///< element-granular, relative to first_conn_sn
   std::map<std::uint32_t, TpduState> tpdus_;

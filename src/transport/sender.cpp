@@ -10,7 +10,34 @@
 namespace chunknet {
 
 ChunkTransportSender::ChunkTransportSender(Simulator& sim, SenderConfig cfg)
-    : sim_(sim), cfg_(std::move(cfg)) {}
+    : sim_(sim), cfg_(std::move(cfg)) {
+  if (cfg_.obs != nullptr && cfg_.obs->metrics != nullptr) {
+    MetricsRegistry& reg = *cfg_.obs->metrics;
+    m_.tpdus_sent = &reg.counter("sender.tpdus_sent");
+    m_.tpdus_acked = &reg.counter("sender.tpdus_acked");
+    m_.retransmissions = &reg.counter("sender.retransmissions");
+    m_.naks = &reg.counter("sender.naks");
+    m_.gave_up = &reg.counter("sender.gave_up");
+    m_.packets_sent = &reg.counter("sender.packets_sent");
+    m_.bytes_sent = &reg.counter("sender.bytes_sent");
+    m_.gap_naks_honoured = &reg.counter("sender.gap_naks_honoured");
+    m_.retx_payload_bytes = &reg.counter("sender.retx_payload_bytes");
+  }
+}
+
+void ChunkTransportSender::trace_chunk(TraceEventKind kind, const Chunk& c,
+                                       std::uint64_t aux) const {
+  if (cfg_.obs == nullptr || cfg_.obs->tracer == nullptr) return;
+  TraceEvent e;
+  e.t = sim_.now();
+  e.kind = kind;
+  e.site = cfg_.obs_site;
+  e.tpdu_id = c.h.tpdu.id;
+  e.conn_sn = c.h.conn.sn;
+  e.len = c.h.len;
+  e.aux = aux;
+  cfg_.obs->tracer->record(e);
+}
 
 void ChunkTransportSender::send_stream(std::span<const std::uint8_t> stream) {
   started_ = true;
@@ -30,11 +57,15 @@ void ChunkTransportSender::send_stream(std::span<const std::uint8_t> stream) {
 
     tpdu_chunks.push_back(make_ed_chunk(cfg_.framer.connection_id, tpdu_id,
                                         conn_sn, inv.value()));
+    for (const Chunk& c : tpdu_chunks) {
+      trace_chunk(TraceEventKind::kChunkBuilt, c);
+    }
 
     PendingTpdu pending;
     pending.chunks = std::move(tpdu_chunks);
     auto [it, inserted] = outstanding_.emplace(tpdu_id, std::move(pending));
     ++stats_.tpdus_sent;
+    obs_add(m_.tpdus_sent);
     transmit_tpdu(tpdu_id, it->second);
   }
 }
@@ -47,6 +78,7 @@ void ChunkTransportSender::transmit_tpdu(std::uint32_t tpdu_id,
     for (const Chunk& c : p.chunks) {
       if (c.h.type == ChunkType::kData) {
         stats_.retx_payload_bytes += c.payload.size();
+        obs_add(m_.retx_payload_bytes, c.payload.size());
       }
     }
   }
@@ -62,10 +94,12 @@ void ChunkTransportSender::arm_timer(std::uint32_t tpdu_id) {
     if (it->second.last_sent > armed_at) return;   // newer timer pending
     if (it->second.attempts > cfg_.max_retransmits) {
       ++stats_.gave_up;
+      obs_add(m_.gave_up);
       outstanding_.erase(it);
       return;
     }
     ++stats_.retransmissions;
+    obs_add(m_.retransmissions);
     transmit_tpdu(tpdu_id, it->second);
   });
 }
@@ -112,6 +146,16 @@ void ChunkTransportSender::send_chunks(std::vector<Chunk> chunks) {
     }
     stats_.bytes_sent += pkt.size();
     ++stats_.packets_sent;
+    obs_add(m_.packets_sent);
+    obs_add(m_.bytes_sent, pkt.size());
+    if (cfg_.obs != nullptr && cfg_.obs->tracer != nullptr) {
+      TraceEvent e;
+      e.t = sim_.now();
+      e.kind = TraceEventKind::kPacketized;
+      e.site = cfg_.obs_site;
+      e.aux = pkt.size();
+      cfg_.obs->tracer->record(e);
+    }
     if (cfg_.send_packet) cfg_.send_packet(std::move(pkt));
   }
 }
@@ -122,6 +166,7 @@ void ChunkTransportSender::handle_gap_nak(const Chunk& signal) {
   const auto it = outstanding_.find(nak->tpdu_id);
   if (it == outstanding_.end()) return;  // already acked or abandoned
   ++stats_.gap_naks_honoured;
+  obs_add(m_.gap_naks_honoured);
 
   std::vector<Chunk> resend;
   for (const Chunk& c : it->second.chunks) {
@@ -137,6 +182,8 @@ void ChunkTransportSender::handle_gap_nak(const Chunk& signal) {
                                        g.length)) {
         stats_.selective_retx_elements += piece->h.len;
         stats_.retx_payload_bytes += piece->payload.size();
+        obs_add(m_.retx_payload_bytes, piece->payload.size());
+        trace_chunk(TraceEventKind::kChunkBuilt, *piece, 1);
         resend.push_back(std::move(*piece));
         taken = true;
       }
@@ -145,6 +192,8 @@ void ChunkTransportSender::handle_gap_nak(const Chunk& signal) {
       if (auto piece = slice_chunk(c, nak->tail_from, ~std::uint64_t{0})) {
         stats_.selective_retx_elements += piece->h.len;
         stats_.retx_payload_bytes += piece->payload.size();
+        obs_add(m_.retx_payload_bytes, piece->payload.size());
+        trace_chunk(TraceEventKind::kChunkBuilt, *piece, 1);
         resend.push_back(std::move(*piece));
       }
     }
@@ -169,16 +218,20 @@ void ChunkTransportSender::on_packet(SimPacket pkt) {
     if (it == outstanding_.end()) continue;
     if (ack.positive) {
       ++stats_.tpdus_acked;
+      obs_add(m_.tpdus_acked);
       outstanding_.erase(it);
     } else {
       // NAK: retransmit immediately with the same identifiers.
       ++stats_.naks;
+      obs_add(m_.naks);
       if (it->second.attempts > cfg_.max_retransmits) {
         ++stats_.gave_up;
+        obs_add(m_.gave_up);
         outstanding_.erase(it);
         continue;
       }
       ++stats_.retransmissions;
+      obs_add(m_.retransmissions);
       transmit_tpdu(ack.tpdu_id, it->second);
     }
   }

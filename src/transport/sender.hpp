@@ -23,6 +23,7 @@
 #include "src/chunk/compress.hpp"
 #include "src/chunk/packetizer.hpp"
 #include "src/netsim/simulator.hpp"
+#include "src/obs/obs.hpp"
 #include "src/transport/invariant.hpp"
 
 namespace chunknet {
@@ -47,6 +48,9 @@ struct SenderConfig {
   std::optional<CompressionProfile> compress_wire;
   /// Transmit a packet body into the network (first hop).
   std::function<void(std::vector<std::uint8_t>)> send_packet;
+  /// Observability (optional). Metric names are prefixed "sender.".
+  ObsContext* obs{nullptr};
+  std::uint16_t obs_site{0};
 };
 
 class ChunkTransportSender final : public PacketSink {
@@ -87,9 +91,24 @@ class ChunkTransportSender final : public PacketSink {
   void arm_timer(std::uint32_t tpdu_id);
   void handle_gap_nak(const Chunk& signal);
   void send_chunks(std::vector<Chunk> chunks);
+  void trace_chunk(TraceEventKind kind, const Chunk& c,
+                   std::uint64_t aux = 0) const;
+
+  struct ObsHandles {
+    Counter* tpdus_sent{nullptr};
+    Counter* tpdus_acked{nullptr};
+    Counter* retransmissions{nullptr};
+    Counter* naks{nullptr};
+    Counter* gave_up{nullptr};
+    Counter* packets_sent{nullptr};
+    Counter* bytes_sent{nullptr};
+    Counter* gap_naks_honoured{nullptr};
+    Counter* retx_payload_bytes{nullptr};
+  };
 
   Simulator& sim_;
   SenderConfig cfg_;
+  ObsHandles m_;
   std::map<std::uint32_t, PendingTpdu> outstanding_;
   bool started_{false};
   Stats stats_;

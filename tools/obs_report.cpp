@@ -1,0 +1,247 @@
+// obs_report — turns an exported chunk-lifecycle trace (and optionally
+// a metrics dump) into the analyses ISSUE/ROADMAP care about:
+//   * per-hop latency: kLinkEnqueued -> kLinkDelivered matched by
+//     (site, packet id), summarised per site;
+//   * drop attribution: which site lost each packet, and why (link
+//     loss, oversize, router parse failure);
+//   * reorder attribution: per site, deliveries that overtook a packet
+//     enqueued earlier on the same link;
+//   * chunk lifecycle and TPDU verdict counts;
+//   * bus crossings per DeliveryMode (from "receiver.<mode>.bus_bytes"
+//     in the metrics dump).
+//
+// Usage:  obs_report <trace.json> [metrics.json]
+//         (files as written by examples/internetwork_relay)
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.hpp"
+#include "src/obs/json.hpp"
+#include "src/obs/trace.hpp"
+
+namespace chunknet {
+namespace {
+
+std::optional<std::string> read_file(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return std::move(ss).str();
+}
+
+std::vector<TraceEvent> parse_trace(const JsonValue& doc) {
+  std::vector<TraceEvent> events;
+  const JsonValue* arr = doc.find("events");
+  if (arr == nullptr || arr->kind != JsonValue::Kind::kArray) return events;
+  events.reserve(arr->arr.size());
+  for (const JsonValue& j : arr->arr) {
+    TraceEvent e;
+    const JsonValue* kind = j.find("kind");
+    if (kind == nullptr) continue;
+    const auto k = trace_event_kind_from_string(kind->str);
+    if (!k) continue;
+    e.kind = *k;
+    e.t = j.u64_or("t");
+    e.packet_id = j.u64_or("pkt");
+    e.aux = j.u64_or("aux");
+    e.tpdu_id = static_cast<std::uint32_t>(j.u64_or("tpdu"));
+    e.conn_sn = static_cast<std::uint32_t>(j.u64_or("sn"));
+    e.len = static_cast<std::uint32_t>(j.u64_or("len"));
+    e.site = static_cast<std::uint16_t>(j.u64_or("site"));
+    events.push_back(e);
+  }
+  return events;
+}
+
+void per_hop_latency(const std::vector<TraceEvent>& events) {
+  // Enqueue times keyed by (site, packet). A packet is enqueued on a
+  // link at most once (routers re-envelope under fresh ids).
+  std::map<std::pair<std::uint16_t, std::uint64_t>, std::uint64_t> enq;
+  std::map<std::uint16_t, Summary> per_site;
+  for (const TraceEvent& e : events) {
+    if (e.kind == TraceEventKind::kLinkEnqueued) {
+      enq.emplace(std::make_pair(e.site, e.packet_id), e.t);
+    } else if (e.kind == TraceEventKind::kLinkDelivered) {
+      const auto it = enq.find({e.site, e.packet_id});
+      if (it == enq.end()) continue;
+      per_site[e.site].add(static_cast<double>(e.t - it->second) / 1e6);
+    }
+  }
+  std::printf("\nper-hop latency (link enqueue -> delivery, ms):\n");
+  TextTable t({"hop", "packets", "mean", "min", "max", "sd"});
+  for (const auto& [site, s] : per_site) {
+    t.add_row({TextTable::num(static_cast<std::uint64_t>(site)),
+               TextTable::num(static_cast<std::uint64_t>(s.count())),
+               TextTable::num(s.mean(), 3), TextTable::num(s.min(), 3),
+               TextTable::num(s.max(), 3), TextTable::num(s.stddev(), 3)});
+  }
+  std::printf("%s", t.render().c_str());
+}
+
+void drop_attribution(const std::vector<TraceEvent>& events) {
+  struct Drops {
+    std::uint64_t link_loss{0};
+    std::uint64_t oversize{0};
+    std::uint64_t router{0};
+  };
+  std::map<std::uint16_t, Drops> per_site;
+  for (const TraceEvent& e : events) {
+    switch (e.kind) {
+      case TraceEventKind::kLinkDropped: ++per_site[e.site].link_loss; break;
+      case TraceEventKind::kOversizeDropped: ++per_site[e.site].oversize; break;
+      case TraceEventKind::kRouterDropped: ++per_site[e.site].router; break;
+      default: break;
+    }
+  }
+  std::printf("\ndrop attribution (which site, which cause):\n");
+  TextTable t({"site", "link loss", "oversize", "router parse"});
+  std::uint64_t total = 0;
+  for (const auto& [site, d] : per_site) {
+    t.add_row({TextTable::num(static_cast<std::uint64_t>(site)),
+               TextTable::num(d.link_loss), TextTable::num(d.oversize),
+               TextTable::num(d.router)});
+    total += d.link_loss + d.oversize + d.router;
+  }
+  if (per_site.empty()) {
+    std::printf("  (no drops recorded)\n");
+  } else {
+    std::printf("%s", t.render().c_str());
+  }
+  std::printf("  total dropped: %llu\n",
+              static_cast<unsigned long long>(total));
+}
+
+void reorder_attribution(const std::vector<TraceEvent>& events) {
+  // Per site: walk deliveries in time order; a delivery overtakes when
+  // some packet enqueued before it is still undelivered.
+  std::map<std::uint16_t, std::map<std::uint64_t, std::uint64_t>> enq_seq;
+  std::map<std::uint16_t, std::uint64_t> next_seq;
+  std::map<std::uint16_t, std::uint64_t> max_delivered_seq;
+  std::map<std::uint16_t, std::uint64_t> overtakes;
+  std::map<std::uint16_t, std::uint64_t> delivered;
+  for (const TraceEvent& e : events) {
+    if (e.kind == TraceEventKind::kLinkEnqueued) {
+      enq_seq[e.site].emplace(e.packet_id, next_seq[e.site]++);
+    } else if (e.kind == TraceEventKind::kLinkDelivered) {
+      const auto it = enq_seq[e.site].find(e.packet_id);
+      if (it == enq_seq[e.site].end()) continue;
+      ++delivered[e.site];
+      auto [mit, fresh] = max_delivered_seq.emplace(e.site, it->second);
+      if (!fresh) {
+        if (it->second < mit->second) ++overtakes[e.site];
+        mit->second = std::max(mit->second, it->second);
+      }
+    }
+  }
+  std::printf("\nreorder attribution (deliveries that overtook an earlier "
+              "enqueue on the same link):\n");
+  TextTable t({"site", "delivered", "overtaken"});
+  for (const auto& [site, n] : delivered) {
+    t.add_row({TextTable::num(static_cast<std::uint64_t>(site)),
+               TextTable::num(n), TextTable::num(overtakes[site])});
+  }
+  std::printf("%s", t.render().c_str());
+}
+
+void lifecycle_counts(const std::vector<TraceEvent>& events) {
+  std::map<TraceEventKind, std::uint64_t> counts;
+  for (const TraceEvent& e : events) ++counts[e.kind];
+  std::printf("\nchunk lifecycle event counts:\n");
+  TextTable t({"event", "count"});
+  for (const auto& [kind, n] : counts) {
+    t.add_row({to_string(kind), TextTable::num(n)});
+  }
+  std::printf("%s", t.render().c_str());
+
+  std::uint64_t rejected[4] = {0, 0, 0, 0};
+  for (const TraceEvent& e : events) {
+    if (e.kind == TraceEventKind::kTpduRejected && e.aux < 4) {
+      ++rejected[e.aux];
+    }
+  }
+  if (counts.count(TraceEventKind::kTpduRejected) > 0) {
+    std::printf("TPDU rejections by verdict: code-mismatch=%llu "
+                "consistency=%llu reassembly=%llu\n",
+                static_cast<unsigned long long>(rejected[1]),
+                static_cast<unsigned long long>(rejected[2]),
+                static_cast<unsigned long long>(rejected[3]));
+  }
+}
+
+void bus_crossings(const JsonValue& metrics) {
+  const JsonValue* counters = metrics.find("counters");
+  if (counters == nullptr || counters->kind != JsonValue::Kind::kObject) {
+    return;
+  }
+  std::printf("\nbus crossings per delivery mode:\n");
+  TextTable t({"metric", "bytes"});
+  bool any = false;
+  for (const auto& [name, v] : counters->obj) {
+    const bool receiver_bus =
+        name.rfind("receiver.", 0) == 0 &&
+        name.size() > 10 && name.rfind(".bus_bytes") == name.size() - 10;
+    if (receiver_bus || name == "ip_receiver.bus_bytes") {
+      t.add_row({name, TextTable::num(
+                           static_cast<std::uint64_t>(v.number))});
+      any = true;
+    }
+  }
+  if (any) {
+    std::printf("%s", t.render().c_str());
+  } else {
+    std::printf("  (no receiver bus counters in the metrics dump)\n");
+  }
+}
+
+}  // namespace
+}  // namespace chunknet
+
+int main(int argc, char** argv) {
+  using namespace chunknet;
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <trace.json> [metrics.json]\n", argv[0]);
+    return 2;
+  }
+  const auto trace_text = read_file(argv[1]);
+  if (!trace_text) {
+    std::fprintf(stderr, "cannot read %s\n", argv[1]);
+    return 2;
+  }
+  const auto doc = parse_json(*trace_text);
+  if (!doc) {
+    std::fprintf(stderr, "%s: not valid JSON\n", argv[1]);
+    return 2;
+  }
+  const std::vector<TraceEvent> events = parse_trace(*doc);
+  std::printf("%s: %zu events (recorded %llu, overwritten %llu)\n", argv[1],
+              events.size(),
+              static_cast<unsigned long long>(doc->u64_or("recorded")),
+              static_cast<unsigned long long>(doc->u64_or("dropped")));
+
+  per_hop_latency(events);
+  drop_attribution(events);
+  reorder_attribution(events);
+  lifecycle_counts(events);
+
+  if (argc > 2) {
+    const auto metrics_text = read_file(argv[2]);
+    if (!metrics_text) {
+      std::fprintf(stderr, "cannot read %s\n", argv[2]);
+      return 2;
+    }
+    const auto mdoc = parse_json(*metrics_text);
+    if (!mdoc) {
+      std::fprintf(stderr, "%s: not valid JSON\n", argv[2]);
+      return 2;
+    }
+    bus_crossings(*mdoc);
+  }
+  return 0;
+}
