@@ -72,7 +72,7 @@ void sweep() {
                TextTable::num(rx_ns / 1e3, 1),
                TextTable::num(elements / (rx_ns / 1e9) / 1e6, 1)});
   }
-  std::printf("%s", t.render().c_str());
+  print_table(t);
   print_claim(true, "per-chunk costs (header, context retrieval, tracker "
                     "update) amortize with chunk size; the SIZE field "
                     "guarantees atomic units are never split either way");
@@ -83,5 +83,6 @@ void sweep() {
 
 int main() {
   chunknet::bench::sweep();
+  chunknet::bench::write_bench_json("a1");
   return 0;
 }

@@ -101,7 +101,7 @@ void sweep() {
       selective_always_leaner = false;
     }
   }
-  std::printf("%s", t.render().c_str());
+  print_table(t);
   print_claim(selective_always_leaner,
               "selective retransmission resends strictly less payload at "
               "every loss rate (and both policies always complete)");
@@ -116,5 +116,6 @@ void sweep() {
 
 int main() {
   chunknet::bench::sweep();
+  chunknet::bench::write_bench_json("a2");
   return 0;
 }

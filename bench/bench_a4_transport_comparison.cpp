@@ -169,7 +169,7 @@ void compare() {
                TextTable::num(r.p99_ms, 2), TextTable::num(r.bus_per_kb),
                r.complete ? "yes" : "NO"});
   }
-  std::printf("%s", t.render().c_str());
+  print_table(t);
 
   print_claim(rows[0].complete && rows[1].complete && rows[2].complete &&
                   rows[3].complete,
@@ -191,5 +191,6 @@ void compare() {
 
 int main() {
   chunknet::bench::compare();
+  chunknet::bench::write_bench_json("a4");
   return 0;
 }

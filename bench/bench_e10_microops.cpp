@@ -1,9 +1,15 @@
-// E10 — micro-operation benchmarks (google-benchmark): the primitive
-// costs every other experiment builds on. GF(2^32) multiplies, WSC-2
-// symbol rates, CRC variants, chunk codec, fragmentation/reassembly,
-// packetization, header compression, and the ILP layered-vs-integrated
-// processing loops.
+// E10 — micro-operation benchmarks: the primitive costs every other
+// experiment builds on. GF(2^32) multiplies, WSC-2 symbol rates, CRC
+// variants, chunk codec, fragmentation/reassembly, packetization,
+// header compression, and the ILP layered-vs-integrated processing
+// loops (google-benchmark), plus the zero-copy acceptance sections
+// (owning vs view decode, scalar vs slice-by-4 WSC-2) whose claims
+// land in BENCH_e10.json. A custom main runs the acceptance sections
+// first — CHUNKNET_BENCH_QUICK=1 shrinks them and skips the long
+// google-benchmark sweep (the CI perf-smoke mode).
 #include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
 
 #include "src/chunk/builder.hpp"
 #include "src/chunk/codec.hpp"
@@ -242,3 +248,128 @@ BENCHMARK(BM_IntegratedProcess)->Arg(1500)->Arg(65536)->Arg(1 << 20);
 
 }  // namespace
 }  // namespace chunknet
+
+namespace chunknet::bench {
+namespace {
+
+/// A canonical 32-chunk packet (64 four-byte elements per chunk) —
+/// the ISSUE's acceptance workload for decode.
+std::vector<std::uint8_t> make_32chunk_packet(std::vector<Chunk>* out_chunks) {
+  FramerOptions fo;
+  fo.element_size = 4;
+  fo.tpdu_elements = 32 * 64;
+  fo.xpdu_elements = 32 * 64;
+  fo.max_chunk_elements = 64;
+  auto chunks = frame_stream(pattern_stream(32 * 64 * 4, 7), fo);
+  chunks.resize(32);
+  if (out_chunks != nullptr) *out_chunks = chunks;
+  return encode_packet(chunks, 1 << 20);
+}
+
+void view_vs_owning_decode() {
+  print_heading("E10.view",
+                "packet decode — owning Chunk vs zero-copy ChunkView "
+                "(32-chunk packet, 64 elements/chunk)");
+  std::vector<Chunk> chunks;
+  const auto packet = make_32chunk_packet(&chunks);
+  const std::size_t iters = bench_quick() ? 5000 : 200000;
+
+  // Both decoders must agree exactly before timing means anything.
+  std::vector<ChunkView> views;
+  bool agree = decode_packet_views(packet, views) &&
+               views.size() == chunks.size();
+  if (agree) {
+    for (std::size_t i = 0; i < views.size(); ++i) {
+      const Chunk materialized = views[i].to_chunk();
+      agree &= materialized.h == chunks[i].h &&
+               materialized.payload == chunks[i].payload;
+    }
+  }
+  print_claim(agree, "decode_packet_views agrees exactly with "
+                     "decode_packet (headers and payload bytes)");
+
+  std::size_t sink = 0;
+  const double ns_owning = time_ns_per_iter(
+      [&] {
+        ParsedPacket p = decode_packet(packet);
+        sink += p.chunks.size();
+      },
+      iters);
+  const double ns_view = time_ns_per_iter(
+      [&] {
+        decode_packet_views(packet, views);
+        sink += views.size();
+      },
+      iters);
+  benchmark::DoNotOptimize(sink);
+
+  const double ratio = ns_owning / ns_view;
+  const double bytes = static_cast<double>(packet.size());
+  TextTable t({"decoder", "ns/packet", "GB/s", "speedup"});
+  t.add_row({"owning (decode_packet)", TextTable::num(ns_owning, 1),
+             TextTable::num(bytes / ns_owning, 2), TextTable::num(1.0, 2)});
+  t.add_row({"view (decode_packet_views)", TextTable::num(ns_view, 1),
+             TextTable::num(bytes / ns_view, 2), TextTable::num(ratio, 2)});
+  print_table(t);
+  record_metric("decode_owning_ns_per_packet", ns_owning, "ns");
+  record_metric("decode_view_ns_per_packet", ns_view, "ns");
+  record_metric("decode_view_speedup", ratio, "x");
+  print_claim(ratio >= 2.0,
+              "view decode is >= 2x faster than owning decode "
+              "(measured " + TextTable::num(ratio, 2) + "x)");
+}
+
+void wsc2_scalar_vs_sliced() {
+  print_heading("E10.wsc2",
+                "WSC-2 add_words — scalar Horner vs slice-by-4 "
+                "(64 KiB, 16384 symbols)");
+  const auto data = pattern_stream(64 * 1024, 11);
+  const std::size_t iters = bench_quick() ? 50 : 2000;
+
+  Wsc2Accumulator ref;
+  ref.add_words_scalar(0, data);
+  Wsc2Accumulator sliced;
+  sliced.add_words(0, data);
+  print_claim(ref.value() == sliced.value(),
+              "slice-by-4 kernel produces bit-identical P0/P1");
+
+  Wsc2Accumulator a;
+  const double ns_scalar =
+      time_ns_per_iter([&] { a.add_words_scalar(0, data); }, iters);
+  Wsc2Accumulator b;
+  const double ns_sliced =
+      time_ns_per_iter([&] { b.add_words(0, data); }, iters);
+  benchmark::DoNotOptimize(a);
+  benchmark::DoNotOptimize(b);
+
+  const double ratio = ns_scalar / ns_sliced;
+  const double bytes = static_cast<double>(data.size());
+  TextTable t({"kernel", "ns/64KiB", "GB/s", "speedup"});
+  t.add_row({"scalar Horner", TextTable::num(ns_scalar, 0),
+             TextTable::num(bytes / ns_scalar, 2), TextTable::num(1.0, 2)});
+  t.add_row({"slice-by-4", TextTable::num(ns_sliced, 0),
+             TextTable::num(bytes / ns_sliced, 2), TextTable::num(ratio, 2)});
+  print_table(t);
+  record_metric("wsc2_scalar_ns_per_64k", ns_scalar, "ns");
+  record_metric("wsc2_sliced_ns_per_64k", ns_sliced, "ns");
+  record_metric("wsc2_sliced_speedup", ratio, "x");
+  print_claim(ratio >= 1.5,
+              "slice-by-4 WSC-2 is >= 1.5x faster than scalar "
+              "(measured " + TextTable::num(ratio, 2) + "x)");
+}
+
+}  // namespace
+}  // namespace chunknet::bench
+
+int main(int argc, char** argv) {
+  chunknet::bench::view_vs_owning_decode();
+  chunknet::bench::wsc2_scalar_vs_sliced();
+  chunknet::bench::write_bench_json("e10");
+  if (!chunknet::bench::bench_quick()) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  return 0;
+}

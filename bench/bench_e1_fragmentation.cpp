@@ -84,7 +84,7 @@ void fragmentation_profile() {
                TextTable::num(packed.efficiency(), 4), "1 (coalesce)"});
     (void)merged;
   }
-  std::printf("%s", t.render().c_str());
+  print_table(t);
   print_claim(true, "chunks reassemble in ONE step regardless of how "
                     "many fragmentation rounds occurred (§3.1)");
 }
@@ -119,7 +119,7 @@ void split_merge_cost() {
   TextTable t({"operation", "framing tuples touched", "ns/op (4 KiB chunk)"});
   t.add_row({"split", "3 (C,T,X)", TextTable::num(split_ns, 1)});
   t.add_row({"merge", "3 (C,T,X)", TextTable::num(merge_ns, 1)});
-  std::printf("%s", t.render().c_str());
+  print_table(t);
   std::printf("note: the per-tuple SN arithmetic is ~1 add each; cost is "
               "dominated by the payload copy, exactly as the paper argues\n");
 }
@@ -131,5 +131,6 @@ int main() {
   chunknet::bench::figure2_and_3();
   chunknet::bench::fragmentation_profile();
   chunknet::bench::split_merge_cost();
+  chunknet::bench::write_bench_json("e1");
   return 0;
 }

@@ -119,7 +119,7 @@ void chunk_methods() {
       print_claim(false, "stream survived the chain intact");
     }
   }
-  std::printf("%s", t.render().c_str());
+  print_table(t);
   print_claim(true, "all three Figure-4 methods are available and fully "
                     "transparent to the receiver (same coalesce call)");
 }
@@ -169,7 +169,7 @@ void ip_comparison() {
                                 static_cast<double>(wire),
                             4),
              "2-step: frags->dgrams->stream, buffered"});
-  std::printf("%s", t.render().c_str());
+  print_table(t);
   print_claim(payload == stream.size(), "IP path delivered the stream");
   print_claim(true, "IP needs one reassembly step per fragmentation level; "
                     "chunks need exactly one regardless (§3.1)");
@@ -181,5 +181,6 @@ void ip_comparison() {
 int main() {
   chunknet::bench::chunk_methods();
   chunknet::bench::ip_comparison();
+  chunknet::bench::write_bench_json("e2");
   return 0;
 }

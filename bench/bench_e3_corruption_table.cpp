@@ -219,7 +219,7 @@ void table1() {
         std::string_view(observed) == "Error Detection Code";
   }
 
-  std::printf("%s", t.render().c_str());
+  print_table(t);
   print_claim(all_match,
               "every Table-1 field corruption is detected by the mechanism "
               "the paper assigns it");
@@ -271,5 +271,6 @@ void duplicate_rejection_matters() {
 int main() {
   chunknet::bench::table1();
   chunknet::bench::duplicate_rejection_matters();
+  chunknet::bench::write_bench_json("e3");
   return 0;
 }

@@ -76,7 +76,7 @@ void invariance_demo() {
                TextTable::num(static_cast<std::uint64_t>(mangled.size())),
                equal ? "yes" : "NO"});
   }
-  std::printf("%s", t.render().c_str());
+  print_table(t);
   print_claim(all_equal, "WSC-2 invariant identical across all trials "
                          "(split + shuffle + merge)");
 }
@@ -171,7 +171,7 @@ void throughput() {
     const double mbps = 64.0 * 1024.0 / (e.ns / 1e9) / 1e6;
     t.add_row({e.name, e.disorder, TextTable::num(mbps, 1)});
   }
-  std::printf("%s", t.render().c_str());
+  print_table(t);
   std::printf("note: WSC-2's contiguous-run path uses Horner's rule (one "
               "x-alpha shift/XOR per word, one full GF(2^32) multiply per "
               "run), so the order-tolerant code is competitive with — here "
@@ -209,7 +209,7 @@ void detection_power() {
     }
     t.add_row(std::move(row));
   }
-  std::printf("%s", t.render().c_str());
+  print_table(t);
   print_claim(wsc_as_strong_as_crc,
               "WSC-2 detects every injected single/double/burst/reorder "
               "corruption — CRC-grade power, computable on disordered data");
@@ -223,5 +223,6 @@ int main() {
   chunknet::bench::figure6_rule();
   chunknet::bench::throughput();
   chunknet::bench::detection_power();
+  chunknet::bench::write_bench_json("e4");
   return 0;
 }

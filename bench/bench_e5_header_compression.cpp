@@ -44,7 +44,7 @@ void figure7() {
     }
     if (c.h.tpdu.st) last_tid = c.h.tpdu.id + 1;  // next differs
   }
-  std::printf("%s", t.render().c_str());
+  print_table(t);
   print_claim(constant_within_tpdu,
               "(C.SN − T.SN) is constant within each TPDU and can replace "
               "the explicit T.ID");
@@ -161,7 +161,7 @@ void overhead_table() {
     }
     t.add_row(std::move(row));
   }
-  std::printf("%s", t.render().c_str());
+  print_table(t);
   print_claim(monotone, "every transform round-trips losslessly "
                         "(invertible syntax transformations, Appendix A)");
   print_claim(true, "header overhead falls with each transform and with "
@@ -213,7 +213,7 @@ void packet_efficiency() {
                                    4)
                   : std::string("n/a")});
   }
-  std::printf("%s", t.render().c_str());
+  print_table(t);
 }
 
 }  // namespace
@@ -223,5 +223,6 @@ int main() {
   chunknet::bench::figure7();
   chunknet::bench::overhead_table();
   chunknet::bench::packet_efficiency();
+  chunknet::bench::write_bench_json("e5");
   return 0;
 }

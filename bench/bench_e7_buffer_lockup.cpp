@@ -104,7 +104,7 @@ void pool_sweep() {
                TextTable::num(r.lockups), TextTable::num(r.dropped),
                TextTable::num(r.retx), r.complete ? "yes" : "NO"});
   }
-  std::printf("%s", t.render().c_str());
+  print_table(t);
   const IpRun tiny = run_ip(4 * 1024, 8, 2 * kMillisecond);
   const IpRun big = run_ip(256 * 1024, 8, 2 * kMillisecond);
   print_claim(tiny.lockups > 0,
@@ -139,7 +139,7 @@ void chunk_counterpart() {
              h.receiver->stream_complete(kStreamBytes / 4) ? "yes" : "NO"});
   t.add_row({"virtual-reassembly state (TPDU trackers), bytes of data: ",
              "0 (tracks intervals only)"});
-  std::printf("%s", t.render().c_str());
+  print_table(t);
   print_claim(held_peak == 0 &&
                   h.receiver->stream_complete(kStreamBytes / 4),
               "immediate placement eliminates the reassembly buffer — and "
@@ -152,5 +152,6 @@ void chunk_counterpart() {
 int main() {
   chunknet::bench::pool_sweep();
   chunknet::bench::chunk_counterpart();
+  chunknet::bench::write_bench_json("e7");
   return 0;
 }

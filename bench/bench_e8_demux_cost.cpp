@@ -138,7 +138,7 @@ void demux_cost() {
              TextTable::num(chunk_ns / static_cast<double>(chunk_units.size()),
                             1),
              "1"});
-  std::printf("%s", t.render().c_str());
+  print_table(t);
   print_claim(app_ip == app_ck && app_ck == stream,
               "both paths deliver the identical stream");
   print_claim(true, "the chunk path is one uniform loop: no per-packet "
@@ -156,5 +156,6 @@ void demux_cost() {
 
 int main() {
   chunknet::bench::demux_cost();
+  chunknet::bench::write_bench_json("e8");
   return 0;
 }

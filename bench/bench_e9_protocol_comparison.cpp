@@ -30,8 +30,8 @@ void capability_matrix() {
                cell(c.c_sn), cell(c.c_st), cell(c.t_id), cell(c.t_sn),
                cell(c.t_st), cell(c.x_id), cell(c.x_sn), cell(c.x_st)});
   }
-  std::printf("%s  (E = explicit field, i = implicit/derivable, - = absent)\n",
-              t.render().c_str());
+  print_table(t);
+  std::printf("  (E = explicit field, i = implicit/derivable, - = absent)\n");
   print_claim(true, "chunks are the only syntax with explicit TYPE, SIZE, "
                     "LEN and all three (ID, SN, ST) tuples");
 }
@@ -62,7 +62,7 @@ void measured_overhead() {
                  TextTable::num(carried.efficiency(), 4), frac});
     }
   }
-  std::printf("%s", t.render().c_str());
+  print_table(t);
 
   // The qualitative claim: full-disorder schemes can place every unit;
   // in-order schemes can place none (beyond channel context).
@@ -97,5 +97,6 @@ void measured_overhead() {
 int main() {
   chunknet::bench::capability_matrix();
   chunknet::bench::measured_overhead();
+  chunknet::bench::write_bench_json("e9");
   return 0;
 }

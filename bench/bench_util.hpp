@@ -9,8 +9,11 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/chunk/codec.hpp"
@@ -31,14 +34,166 @@ inline std::vector<std::uint8_t> pattern_stream(std::size_t bytes,
   return v;
 }
 
+// ---- machine-readable results (BENCH_<id>.json) ----------------------
+//
+// Every bench keeps printing its text tables; the same print_* calls
+// also feed a process-global record, and write_bench_json() dumps it as
+// BENCH_<id>.json at exit so future PRs can diff the perf trajectory
+// (see docs/PERFORMANCE.md). Sections are opened by print_heading;
+// print_claim / print_table / record_metric attach to the most recent
+// section.
+
+struct BenchSection {
+  std::string id;
+  std::string title;
+  std::vector<std::pair<bool, std::string>> claims;
+  /// (name, value, unit) scalars recorded explicitly by the bench.
+  std::vector<std::vector<std::string>> metrics;
+  /// Each table's cells, exactly as printed; cells[0] is the header.
+  std::vector<std::vector<std::vector<std::string>>> tables;
+};
+
+inline std::vector<BenchSection>& bench_record() {
+  static std::vector<BenchSection> sections;
+  return sections;
+}
+
+inline BenchSection& bench_section() {
+  auto& sections = bench_record();
+  if (sections.empty()) sections.push_back({"", "(preamble)", {}, {}, {}});
+  return sections.back();
+}
+
+/// CI perf-smoke mode: CHUNKNET_BENCH_QUICK=1 makes benches shrink
+/// their iteration counts / sizes so the job finishes in seconds. The
+/// JSON still records real (just noisier) measurements.
+inline bool bench_quick() {
+  const char* v = std::getenv("CHUNKNET_BENCH_QUICK");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
 inline void print_heading(const char* id, const char* title) {
   std::printf("\n================================================================\n");
   std::printf("%s — %s\n", id, title);
   std::printf("================================================================\n");
+  bench_record().push_back({id, title, {}, {}, {}});
 }
 
 inline void print_claim(bool ok, const std::string& claim) {
   std::printf("[%s] %s\n", ok ? "PASS" : "FAIL", claim.c_str());
+  bench_section().claims.emplace_back(ok, claim);
+}
+
+/// Prints the table (exactly like printf of render()) and records its
+/// cells for the JSON dump.
+inline void print_table(const TextTable& t) {
+  std::printf("%s", t.render().c_str());
+  bench_section().tables.push_back(t.rows());
+}
+
+/// Records a named scalar that has no natural table home.
+inline void record_metric(const std::string& name, double value,
+                          const std::string& unit = "") {
+  bench_section().metrics.push_back(
+      {name, TextTable::num(value, 4), unit});
+}
+
+namespace detail {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Emits a cell as a JSON number when the whole cell parses as one,
+/// else as a string — so "3.14" compares numerically downstream but
+/// "yes"/"1.5 GB/s" stay strings.
+inline std::string json_cell(const std::string& s) {
+  if (!s.empty()) {
+    char* end = nullptr;
+    std::strtod(s.c_str(), &end);
+    if (end != nullptr && *end == '\0') return s;
+  }
+  return "\"" + json_escape(s) + "\"";
+}
+
+}  // namespace detail
+
+/// Writes BENCH_<name>.json (into $CHUNKNET_BENCH_DIR, default the
+/// current directory) from the recorded sections. Returns the path
+/// written, or "" on I/O failure.
+inline std::string write_bench_json(
+    const std::string& name,
+    const std::vector<BenchSection>& rows = bench_record()) {
+  const char* dir = std::getenv("CHUNKNET_BENCH_DIR");
+  std::string path = (dir != nullptr && dir[0] != '\0')
+                         ? std::string(dir) + "/BENCH_" + name + ".json"
+                         : "BENCH_" + name + ".json";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return "";
+  out << "{\n  \"bench\": \"" << detail::json_escape(name)
+      << "\",\n  \"sections\": [";
+  for (std::size_t s = 0; s < rows.size(); ++s) {
+    const BenchSection& sec = rows[s];
+    out << (s == 0 ? "" : ",") << "\n    {\"id\": \""
+        << detail::json_escape(sec.id) << "\", \"title\": \""
+        << detail::json_escape(sec.title) << "\",\n     \"claims\": [";
+    for (std::size_t i = 0; i < sec.claims.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << "{\"ok\": "
+          << (sec.claims[i].first ? "true" : "false") << ", \"text\": \""
+          << detail::json_escape(sec.claims[i].second) << "\"}";
+    }
+    out << "],\n     \"metrics\": [";
+    for (std::size_t i = 0; i < sec.metrics.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << "{\"name\": \""
+          << detail::json_escape(sec.metrics[i][0])
+          << "\", \"value\": " << detail::json_cell(sec.metrics[i][1])
+          << ", \"unit\": \"" << detail::json_escape(sec.metrics[i][2])
+          << "\"}";
+    }
+    out << "],\n     \"tables\": [";
+    for (std::size_t t = 0; t < sec.tables.size(); ++t) {
+      const auto& cells = sec.tables[t];
+      out << (t == 0 ? "" : ",") << "\n       {\"header\": [";
+      if (!cells.empty()) {
+        for (std::size_t i = 0; i < cells[0].size(); ++i) {
+          out << (i == 0 ? "" : ", ") << "\""
+              << detail::json_escape(cells[0][i]) << "\"";
+        }
+      }
+      out << "], \"rows\": [";
+      for (std::size_t r = 1; r < cells.size(); ++r) {
+        out << (r == 1 ? "" : ", ") << "[";
+        for (std::size_t i = 0; i < cells[r].size(); ++i) {
+          out << (i == 0 ? "" : ", ") << detail::json_cell(cells[r][i]);
+        }
+        out << "]";
+      }
+      out << "]}";
+    }
+    out << "\n     ]}";
+  }
+  out << "\n  ]\n}\n";
+  if (!out.flush()) return "";
+  std::printf("\nwrote %s\n", path.c_str());
+  return path;
 }
 
 /// Wall-clock timing of a repeated operation; returns ns per iteration.

@@ -134,10 +134,10 @@ Chunk make_ed_chunk(std::uint32_t connection_id, std::uint32_t tpdu_id,
   return c;
 }
 
-Wsc2Code parse_ed_chunk(const Chunk& ed) {
+Wsc2Code parse_ed_chunk(std::span<const std::uint8_t> payload) {
   Wsc2Code code;
-  if (ed.payload.size() != 8) return code;
-  ByteReader r(ed.payload);
+  if (payload.size() != 8) return code;
+  ByteReader r(payload);
   code.p0 = r.u32();
   code.p1 = r.u32();
   return code;

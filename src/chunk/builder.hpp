@@ -53,8 +53,16 @@ std::vector<std::vector<Chunk>> group_by_tpdu(std::vector<Chunk> chunks);
 Chunk make_ed_chunk(std::uint32_t connection_id, std::uint32_t tpdu_id,
                     std::uint32_t conn_sn_of_tpdu, const Wsc2Code& code);
 
-/// Extracts the WSC-2 code from an ED chunk payload.
-Wsc2Code parse_ed_chunk(const Chunk& ed);
+/// Extracts the WSC-2 code from an ED chunk payload (8 bytes; anything
+/// else yields the zero code). The span form reads in place, so the
+/// zero-copy receive path can parse straight from the packet buffer.
+Wsc2Code parse_ed_chunk(std::span<const std::uint8_t> payload);
+inline Wsc2Code parse_ed_chunk(const Chunk& ed) {
+  return parse_ed_chunk(std::span<const std::uint8_t>{ed.payload});
+}
+inline Wsc2Code parse_ed_chunk(const ChunkView& ed) {
+  return parse_ed_chunk(ed.payload);
+}
 
 /// Builds a per-TPDU acknowledgement control chunk (TYPE = ACK).
 /// `positive` false means NAK (retransmission request).

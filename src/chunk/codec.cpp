@@ -64,7 +64,7 @@ void encode_chunk(ByteWriter& w, const Chunk& c) {
   w.bytes(c.payload);
 }
 
-DecodeStatus decode_chunk(ByteReader& r, Chunk& out) {
+DecodeStatus decode_chunk_view(ByteReader& r, ChunkView& out) {
   if (r.remaining() == 0) return DecodeStatus::kEnd;
   const std::uint8_t type = r.u8();
   if (type == static_cast<std::uint8_t>(ChunkType::kTerminator)) {
@@ -90,10 +90,19 @@ DecodeStatus decode_chunk(ByteReader& r, Chunk& out) {
   out.h.xpdu.st = (flags & kFlagXst) != 0;
   if (out.h.size == 0 || out.h.len == 0) return DecodeStatus::kError;
   const std::size_t payload = static_cast<std::size_t>(out.h.size) * out.h.len;
-  const auto view = r.bytes(payload);
+  out.payload = r.bytes(payload);
   if (!r.ok()) return DecodeStatus::kError;
-  out.payload.assign(view.begin(), view.end());
   return DecodeStatus::kOk;
+}
+
+DecodeStatus decode_chunk(ByteReader& r, Chunk& out) {
+  ChunkView v;
+  const DecodeStatus s = decode_chunk_view(r, v);
+  if (s == DecodeStatus::kOk) {
+    out.h = v.h;
+    out.payload.assign(v.payload.begin(), v.payload.end());
+  }
+  return s;
 }
 
 std::size_t packed_size(std::span<const Chunk> chunks) {
@@ -102,11 +111,11 @@ std::size_t packed_size(std::span<const Chunk> chunks) {
   return total;
 }
 
-std::vector<std::uint8_t> encode_packet(std::span<const Chunk> chunks,
-                                        std::size_t capacity) {
+bool encode_packet_into(std::span<const Chunk> chunks, std::size_t capacity,
+                        std::vector<std::uint8_t>& out) {
+  out.clear();
   const std::size_t body = packed_size(chunks);
-  if (body > capacity) return {};
-  std::vector<std::uint8_t> out;
+  if (body > capacity) return false;
   out.reserve(body + 1);
   ByteWriter w(out);
   w.u8(kPacketMagic);
@@ -119,32 +128,48 @@ std::vector<std::uint8_t> encode_packet(std::span<const Chunk> chunks,
   const std::size_t length = out.size() - kPacketHeaderBytes;
   out[2] = static_cast<std::uint8_t>(length >> 8);
   out[3] = static_cast<std::uint8_t>(length);
+  return true;
+}
+
+std::vector<std::uint8_t> encode_packet(std::span<const Chunk> chunks,
+                                        std::size_t capacity) {
+  std::vector<std::uint8_t> out;
+  encode_packet_into(chunks, capacity, out);
   return out;
 }
 
-ParsedPacket decode_packet(std::span<const std::uint8_t> bytes) {
-  ParsedPacket result;
+bool decode_packet_views(std::span<const std::uint8_t> bytes,
+                         std::vector<ChunkView>& out) {
+  out.clear();
   ByteReader r(bytes);
   const std::uint8_t magic = r.u8();
   const std::uint8_t version = r.u8();
   const std::uint16_t length = r.u16();
   if (!r.ok() || magic != kPacketMagic || version != kPacketVersion ||
       length != r.remaining()) {
-    return result;
+    return false;
   }
   for (;;) {
-    Chunk c;
-    const DecodeStatus s = decode_chunk(r, c);
+    ChunkView v;
+    const DecodeStatus s = decode_chunk_view(r, v);
     if (s == DecodeStatus::kOk) {
-      result.chunks.push_back(std::move(c));
+      out.push_back(v);
       continue;
     }
     if (s == DecodeStatus::kTerminator || s == DecodeStatus::kEnd) {
-      result.ok = true;
+      return true;
     }
-    break;
+    out.clear();
+    return false;
   }
-  if (!result.ok) result.chunks.clear();
+}
+
+ParsedPacket decode_packet(std::span<const std::uint8_t> bytes) {
+  ParsedPacket result;
+  std::vector<ChunkView> views;
+  result.ok = decode_packet_views(bytes, views);
+  result.chunks.reserve(views.size());
+  for (const ChunkView& v : views) result.chunks.push_back(v.to_chunk());
   return result;
 }
 

@@ -35,6 +35,11 @@ enum class DecodeStatus {
 
 DecodeStatus decode_chunk(ByteReader& r, Chunk& out);
 
+/// Zero-copy variant: decodes the header and leaves `out.payload`
+/// pointing into the reader's underlying buffer. The view is valid only
+/// while that buffer lives; `decode_chunk` is this plus one copy.
+DecodeStatus decode_chunk_view(ByteReader& r, ChunkView& out);
+
 /// Encodes a full packet: envelope header + chunks + terminator (when
 /// at least one byte of the declared capacity remains). `capacity` is
 /// the network MTU; the encoded packet is *not* padded to it, but the
@@ -51,6 +56,22 @@ struct ParsedPacket {
 };
 
 ParsedPacket decode_packet(std::span<const std::uint8_t> bytes);
+
+/// Zero-copy packet parse: appends one ChunkView per chunk into `out`
+/// (cleared first, capacity retained so a reused scratch vector makes
+/// steady-state receive allocation-free). Payload spans point into
+/// `bytes` — they are valid only while `bytes` is alive and unmodified.
+/// Returns false (and clears `out`) on any structural violation, with
+/// byte-for-byte the same accept/reject decisions as decode_packet
+/// (property-tested).
+bool decode_packet_views(std::span<const std::uint8_t> bytes,
+                         std::vector<ChunkView>& out);
+
+/// encode_packet variant that reuses `out` (cleared, capacity kept) so
+/// a pooled send/receive loop allocates nothing in steady state.
+/// Returns false and leaves `out` empty if the chunks exceed capacity.
+bool encode_packet_into(std::span<const Chunk> chunks, std::size_t capacity,
+                        std::vector<std::uint8_t>& out);
 
 /// Wire bytes needed to carry the given chunks in one packet,
 /// including envelope header (terminator excluded — it only occupies

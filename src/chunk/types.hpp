@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -84,6 +85,37 @@ struct Chunk {
 
   friend bool operator==(const Chunk&, const Chunk&) = default;
 };
+
+/// A non-owning chunk: the decoded header plus a span of payload bytes
+/// pointing INTO the wire buffer the chunk was parsed from. This is the
+/// zero-copy receive representation — the paper's point that
+/// self-describing chunks let the receiver touch payload bytes once
+/// means the *parse* must not copy them; only the final placement into
+/// application memory does. A ChunkView is valid exactly as long as the
+/// underlying packet buffer is held unmodified (see docs/PERFORMANCE.md
+/// for the pool ownership rules); anything that outlives the buffer
+/// must materialize with `to_chunk()`.
+struct ChunkView {
+  ChunkHeader h;
+  std::span<const std::uint8_t> payload;
+
+  std::size_t payload_bytes() const {
+    return static_cast<std::size_t>(h.size) * h.len;
+  }
+  std::size_t wire_size() const { return kChunkHeaderBytes + payload.size(); }
+
+  bool structurally_valid() const {
+    return h.size > 0 && h.len > 0 && payload.size() == payload_bytes();
+  }
+
+  /// Materializes an owning copy (the one deliberate payload copy).
+  Chunk to_chunk() const {
+    return Chunk{h, {payload.begin(), payload.end()}};
+  }
+};
+
+/// Views an owning chunk in place (no copy; borrows c's payload).
+inline ChunkView as_view(const Chunk& c) { return {c.h, c.payload}; }
 
 /// Human-readable single-line rendering (used by examples and tests).
 std::string to_string(const Chunk& c);

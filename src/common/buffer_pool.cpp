@@ -1,0 +1,39 @@
+#include "src/common/buffer_pool.hpp"
+
+namespace chunknet {
+
+PooledBuffer PacketBufferPool::acquire() {
+  std::vector<std::uint8_t> storage;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!free_.empty()) {
+      storage = std::move(free_.back());
+      free_.pop_back();
+      ++stats_.reuses;
+    } else {
+      ++stats_.allocations;
+    }
+  }
+  if (storage.capacity() == 0) storage.reserve(buffer_capacity_);
+  storage.clear();
+  return PooledBuffer(this, std::move(storage));
+}
+
+void PacketBufferPool::release(std::vector<std::uint8_t> storage) {
+  storage.clear();
+  std::lock_guard<std::mutex> lk(mu_);
+  ++stats_.releases;
+  free_.push_back(std::move(storage));
+}
+
+std::size_t PacketBufferPool::free_buffers() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return free_.size();
+}
+
+PacketBufferPool::Stats PacketBufferPool::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace chunknet

@@ -1,0 +1,111 @@
+// A freelist of receive/send buffers, so the steady-state packet loop
+// allocates nothing.
+//
+// The zero-copy receive path (docs/PERFORMANCE.md) parses packets into
+// ChunkViews that point INTO the packet buffer; the buffer must stay
+// alive and unmodified while any view of it is in use. This pool makes
+// that lifetime explicit and cheap to manage: a buffer is acquired,
+// filled, carried through the stack, and released back to the freelist
+// when the last view of it is done — after warm-up, every acquire is a
+// freelist pop (zero heap traffic) and the stats prove it.
+//
+// Two usage styles:
+//  - RAII: `PooledBuffer b = pool.acquire();` — the destructor returns
+//    the storage automatically;
+//  - detached: `b.take()` moves the raw vector out (e.g. into a
+//    SimPacket); whoever ends up owning it calls `pool.release()` to
+//    close the recycle loop.
+//
+// Thread-safe (one mutex; the pool is not on the per-word hot path —
+// it is touched once per packet).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace chunknet {
+
+class PacketBufferPool;
+
+/// RAII handle to one pooled buffer. Movable, not copyable; returns
+/// the storage to the pool on destruction unless `take()`n.
+class PooledBuffer {
+ public:
+  PooledBuffer() = default;
+  PooledBuffer(PacketBufferPool* pool, std::vector<std::uint8_t> storage)
+      : pool_(pool), storage_(std::move(storage)) {}
+  PooledBuffer(PooledBuffer&& o) noexcept
+      : pool_(o.pool_), storage_(std::move(o.storage_)) {
+    o.pool_ = nullptr;
+  }
+  PooledBuffer& operator=(PooledBuffer&& o) noexcept {
+    if (this != &o) {
+      reset();
+      pool_ = o.pool_;
+      storage_ = std::move(o.storage_);
+      o.pool_ = nullptr;
+    }
+    return *this;
+  }
+  PooledBuffer(const PooledBuffer&) = delete;
+  PooledBuffer& operator=(const PooledBuffer&) = delete;
+  ~PooledBuffer() { reset(); }
+
+  std::vector<std::uint8_t>& bytes() { return storage_; }
+  const std::vector<std::uint8_t>& bytes() const { return storage_; }
+
+  /// Detaches the storage (handle becomes empty; nothing returns to the
+  /// pool until someone hands the vector back via release()).
+  std::vector<std::uint8_t> take() {
+    pool_ = nullptr;
+    return std::move(storage_);
+  }
+
+  /// Returns the storage to the pool now (no-op if empty/taken).
+  void reset();
+
+ private:
+  PacketBufferPool* pool_{nullptr};
+  std::vector<std::uint8_t> storage_;
+};
+
+class PacketBufferPool {
+ public:
+  /// `buffer_capacity` is the reserve given to freshly allocated
+  /// buffers (default: one jumbo frame).
+  explicit PacketBufferPool(std::size_t buffer_capacity = 9000)
+      : buffer_capacity_(buffer_capacity) {}
+
+  /// Pops a free buffer (cleared, capacity retained) or allocates one.
+  PooledBuffer acquire();
+
+  /// Hands a buffer's storage back to the freelist. The recycle half of
+  /// `take()`; also used directly to recycle SimPacket::bytes.
+  void release(std::vector<std::uint8_t> storage);
+
+  std::size_t free_buffers() const;
+
+  struct Stats {
+    std::uint64_t allocations{0};  ///< acquires that hit the heap
+    std::uint64_t reuses{0};       ///< acquires served from the freelist
+    std::uint64_t releases{0};
+  };
+  Stats stats() const;
+
+ private:
+  std::size_t buffer_capacity_;
+  mutable std::mutex mu_;
+  std::vector<std::vector<std::uint8_t>> free_;
+  Stats stats_;
+};
+
+inline void PooledBuffer::reset() {
+  if (pool_ != nullptr) {
+    pool_->release(std::move(storage_));
+    pool_ = nullptr;
+  }
+  storage_.clear();
+}
+
+}  // namespace chunknet

@@ -59,6 +59,10 @@ class TextTable {
   void add_row(std::vector<std::string> row);
   std::string render() const;
 
+  /// All rows as stored; rows()[0] is the header. Lets the bench JSON
+  /// writer re-emit the exact table the text output showed.
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
   static std::string num(double v, int precision = 2);
   static std::string num(std::uint64_t v);
 

@@ -11,8 +11,27 @@ std::uint32_t load_be32(const std::uint8_t* p) {
 }
 }  // namespace
 
-void Wsc2Accumulator::add_words(std::uint32_t pos,
-                                std::span<const std::uint8_t> bytes) {
+namespace {
+
+// The trailing non-word bytes of `bytes`, if any, pad-absorbed as one
+// partial big-endian symbol. Such bytes are a contract violation for
+// EDC-covered data; absorbing them (at position pos + words) means
+// nothing is silently dropped if a caller slips.
+std::uint32_t partial_tail_symbol(std::span<const std::uint8_t> bytes) {
+  const std::size_t words = bytes.size() / 4;
+  const std::size_t tail = bytes.size() - words * 4;
+  std::uint32_t d = 0;
+  for (std::size_t i = 0; i < tail; ++i) {
+    d |= static_cast<std::uint32_t>(bytes[words * 4 + i])
+         << (24 - 8 * static_cast<int>(i));
+  }
+  return d;
+}
+
+}  // namespace
+
+void Wsc2Accumulator::add_words_scalar(std::uint32_t pos,
+                                       std::span<const std::uint8_t> bytes) {
   // A contiguous run contributes Σ α^(pos+w)·d_w = α^pos · H where
   // H = Σ α^w·d_w evaluates by Horner's rule over the REVERSED word
   // order: H = d₀ ⊕ α(d₁ ⊕ α(d₂ ⊕ …)). Each step is one ×α (a shift
@@ -22,16 +41,8 @@ void Wsc2Accumulator::add_words(std::uint32_t pos,
   const std::size_t words = bytes.size() / 4;
   std::uint32_t horner = 0;
 
-  // Trailing non-word bytes are a contract violation for EDC-covered
-  // data; pad-absorb them as a final partial symbol (position
-  // pos + words) so nothing is silently dropped if a caller slips.
-  const std::size_t tail = bytes.size() - words * 4;
-  if (tail != 0) {
-    std::uint32_t d = 0;
-    for (std::size_t i = 0; i < tail; ++i) {
-      d |= static_cast<std::uint32_t>(bytes[words * 4 + i])
-           << (24 - 8 * static_cast<int>(i));
-    }
+  if (bytes.size() % 4 != 0) {
+    const std::uint32_t d = partial_tail_symbol(bytes);
     p0_ ^= d;
     horner = d;
   } else if (words == 0) {
@@ -43,6 +54,73 @@ void Wsc2Accumulator::add_words(std::uint32_t pos,
     const std::uint32_t d = load_be32(base + w * 4);
     p0_ ^= d;
     horner = gf32::times_alpha(horner) ^ d;
+  }
+  p1_ ^= gf32::mul(gf32::PowerLadder::shared().alpha_pow(pos), horner);
+}
+
+void Wsc2Accumulator::add_words(std::uint32_t pos,
+                                std::span<const std::uint8_t> bytes) {
+  // Slice-by-4: the scalar loop's `horner = α·horner ⊕ d` is a serial
+  // dependency chain, so it runs at the ×α latency per word no matter
+  // how wide the core is. Split the word sequence by index mod 4:
+  //     H = Σ_w α^w·d_w = Σ_{r<4} α^r · H_r,   H_r = Σ_q (α⁴)^q·d_{4q+r}
+  // Each H_r is its own Horner chain in α⁴ (one shift + one 16-entry
+  // table fold per step, gf32::times_alpha4), and the four chains are
+  // independent — the CPU overlaps them, retiring ~4 words per chain
+  // latency. Remainder words and any partial tail run through the
+  // scalar recurrence and are grafted on with one weight multiply.
+  const std::size_t words = bytes.size() / 4;
+  const std::size_t groups = words / 4;
+  if (groups < 2) {  // too short for slicing to pay for the combine
+    add_words_scalar(pos, bytes);
+    return;
+  }
+  const std::uint8_t* base = bytes.data();
+  const std::size_t rem_start = groups * 4;
+
+  // rem = Σ_{j} α^j·d_{rem_start+j} (+ partial tail at the far end),
+  // i.e. the scalar Horner of everything past the sliced region.
+  std::uint32_t rem = 0;
+  if (bytes.size() % 4 != 0) {
+    const std::uint32_t d = partial_tail_symbol(bytes);
+    p0_ ^= d;
+    rem = d;
+  }
+  for (std::size_t w = words; w-- > rem_start;) {
+    const std::uint32_t d = load_be32(base + w * 4);
+    p0_ ^= d;
+    rem = gf32::times_alpha(rem) ^ d;
+  }
+
+  std::uint32_t h0 = 0, h1 = 0, h2 = 0, h3 = 0;
+  std::uint32_t x0 = 0, x1 = 0, x2 = 0, x3 = 0;
+  for (std::size_t g = groups; g-- > 0;) {
+    const std::uint8_t* p = base + g * 16;
+    const std::uint32_t d0 = load_be32(p);
+    const std::uint32_t d1 = load_be32(p + 4);
+    const std::uint32_t d2 = load_be32(p + 8);
+    const std::uint32_t d3 = load_be32(p + 12);
+    x0 ^= d0;
+    x1 ^= d1;
+    x2 ^= d2;
+    x3 ^= d3;
+    h0 = gf32::times_alpha4(h0) ^ d0;
+    h1 = gf32::times_alpha4(h1) ^ d1;
+    h2 = gf32::times_alpha4(h2) ^ d2;
+    h3 = gf32::times_alpha4(h3) ^ d3;
+  }
+  p0_ ^= x0 ^ x1 ^ x2 ^ x3;
+
+  // H = H_0 ⊕ α·H_1 ⊕ α²·H_2 ⊕ α³·H_3, then graft the remainder at
+  // its true offset: total = H ⊕ α^(4·groups)·rem.
+  std::uint32_t horner = h0 ^ gf32::times_alpha(h1) ^
+                         gf32::times_alpha(gf32::times_alpha(h2)) ^
+                         gf32::times_alpha(
+                             gf32::times_alpha(gf32::times_alpha(h3)));
+  if (rem != 0) {
+    horner ^= gf32::mul(gf32::PowerLadder::shared().alpha_pow(
+                            static_cast<std::uint32_t>(4 * groups)),
+                        rem);
   }
   p1_ ^= gf32::mul(gf32::PowerLadder::shared().alpha_pow(pos), horner);
 }

@@ -62,7 +62,16 @@ class Wsc2Accumulator {
   /// Absorbs a run of 32-bit symbols starting at `pos`, reading
   /// big-endian words from `bytes`. `bytes.size()` must be a multiple
   /// of 4 (SIZE % 4 == 0 is enforced upstream for EDC-covered chunks).
+  /// Uses the slice-by-4 Horner kernel: four independent accumulators
+  /// advance by α⁴ per step (gf32::times_alpha4), breaking the serial
+  /// ×α dependency chain of the word-at-a-time loop. Bit-identical to
+  /// `add_words_scalar` (tested).
   void add_words(std::uint32_t pos, std::span<const std::uint8_t> bytes);
+
+  /// The reference word-at-a-time Horner loop (one ×α per word).
+  /// Kept as the equality oracle for the sliced kernel and as the
+  /// baseline for bench E10's scalar-vs-sliced comparison.
+  void add_words_scalar(std::uint32_t pos, std::span<const std::uint8_t> bytes);
 
   /// Removes a previously added symbol (add is an involution in GF(2),
   /// so absorb again). Used by duplicate-rejection rollback paths.

@@ -37,6 +37,9 @@ enum class TraceEventKind : std::uint8_t {
   kFramingRejected,     ///< after-stop / stop-conflict / bad structure
   kTpduAccepted,        ///< all Table-1 checks passed
   kTpduRejected,        ///< aux = TpduVerdict
+  kChunkSkipped,        ///< parallel pipeline could not process the
+                        ///< chunk (aux: 1 = non-data TYPE, 2 = SIZE
+                        ///< not a multiple of 4)
 };
 
 const char* to_string(TraceEventKind k);

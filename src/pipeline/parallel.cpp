@@ -15,16 +15,34 @@ struct WorkerOutput {
 struct WorkerObs {
   Counter* chunks_processed{nullptr};
   Counter* bytes_placed{nullptr};
+  Counter* chunks_skipped{nullptr};
   ChunkTracer* tracer{nullptr};
 };
 
-void process_stripe(std::span<const Chunk> chunks, std::size_t first,
+// Striped worker body, shared by the owning-Chunk and zero-copy
+// ChunkView paths (both expose .h and a contiguous .payload).
+template <typename ChunkLike>
+void process_stripe(std::span<const ChunkLike> chunks, std::size_t first,
                     std::size_t stride, std::span<std::uint8_t> app,
                     std::uint32_t first_conn_sn, WorkerObs wobs,
                     WorkerOutput* out) {
   for (std::size_t i = first; i < chunks.size(); i += stride) {
-    const Chunk& c = chunks[i];
-    if (c.h.type != ChunkType::kData || c.h.size % 4 != 0) continue;
+    const ChunkLike& c = chunks[i];
+    if (c.h.type != ChunkType::kData || c.h.size % 4 != 0) {
+      // Not silently: the pipeline cannot place or checksum this chunk,
+      // and obs_report attributes the skip.
+      obs_add(wobs.chunks_skipped);
+      if (wobs.tracer != nullptr) {
+        TraceEvent e;  // no simulated clock here: t = 0
+        e.kind = TraceEventKind::kChunkSkipped;
+        e.tpdu_id = c.h.tpdu.id;
+        e.conn_sn = c.h.conn.sn;
+        e.len = c.h.len;
+        e.aux = c.h.type != ChunkType::kData ? 1 : 2;
+        wobs.tracer->record(e);
+      }
+      continue;
+    }
     obs_add(wobs.chunks_processed);
 
     // Placement: disjoint ranges, no locks needed.
@@ -51,43 +69,22 @@ void process_stripe(std::span<const Chunk> chunks, std::size_t first,
   }
 }
 
-}  // namespace
-
-ParallelProcessResult process_chunks_parallel(std::span<const Chunk> chunks,
-                                              std::span<std::uint8_t> app,
-                                              std::uint32_t first_conn_sn,
-                                              int threads, ObsContext* obs) {
-  // Resolve handles once, before any worker spawns: registry lookup
+WorkerObs resolve_obs(ObsContext* obs) {
+  // Resolve handles once, before any worker runs: registry lookup
   // takes a lock, the per-cell adds the workers do are lock-free.
   WorkerObs wobs;
   if (obs != nullptr && obs->metrics != nullptr) {
     wobs.chunks_processed = &obs->metrics->counter("parallel.chunks_processed");
     wobs.bytes_placed = &obs->metrics->counter("parallel.bytes_placed");
+    wobs.chunks_skipped = &obs->metrics->counter("parallel.chunks_skipped");
   }
   if (obs != nullptr) wobs.tracer = obs->tracer;
+  return wobs;
+}
 
+template <typename ChunkLike>
+ParallelProcessResult combine_outputs(std::span<WorkerOutput> outputs, int n) {
   ParallelProcessResult result;
-  if (threads <= 1 || chunks.size() < 2) {
-    WorkerOutput out;
-    process_stripe(chunks, 0, 1, app, first_conn_sn, wobs, &out);
-    result.data_code = out.acc.value();
-    result.bytes_placed = out.bytes;
-    result.threads_used = 1;
-    return result;
-  }
-
-  const int n = std::min<int>(threads, static_cast<int>(chunks.size()));
-  std::vector<WorkerOutput> outputs(static_cast<std::size_t>(n));
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<std::size_t>(n));
-  for (int t = 0; t < n; ++t) {
-    workers.emplace_back(process_stripe, chunks,
-                         static_cast<std::size_t>(t),
-                         static_cast<std::size_t>(n), app, first_conn_sn,
-                         wobs, &outputs[static_cast<std::size_t>(t)]);
-  }
-  for (auto& w : workers) w.join();
-
   Wsc2Accumulator combined;
   for (const WorkerOutput& out : outputs) {
     combined.combine(out.acc);
@@ -96,6 +93,95 @@ ParallelProcessResult process_chunks_parallel(std::span<const Chunk> chunks,
   result.data_code = combined.value();
   result.threads_used = n;
   return result;
+}
+
+template <typename ChunkLike>
+ParallelProcessResult process_impl(std::span<const ChunkLike> chunks,
+                                   std::span<std::uint8_t> app,
+                                   std::uint32_t first_conn_sn, int threads,
+                                   ObsContext* obs, WorkerDispatch dispatch,
+                                   WorkerPool* pool) {
+  const WorkerObs wobs = resolve_obs(obs);
+
+  if (pool != nullptr) threads = pool->size();
+  if (threads <= 1 || chunks.size() < 2) {
+    WorkerOutput out;
+    process_stripe(chunks, 0, 1, app, first_conn_sn, wobs, &out);
+    ParallelProcessResult result;
+    result.data_code = out.acc.value();
+    result.bytes_placed = out.bytes;
+    result.threads_used = 1;
+    return result;
+  }
+
+  if (pool == nullptr && dispatch == WorkerDispatch::kPooled) {
+    pool = &WorkerPool::shared();
+  }
+
+  const int n = std::min<int>(
+      pool != nullptr ? std::min(threads, pool->size()) : threads,
+      static_cast<int>(chunks.size()));
+  std::vector<WorkerOutput> outputs(static_cast<std::size_t>(n));
+
+  if (pool != nullptr) {
+    pool->run([&](int worker, int) {
+      if (worker < n) {
+        process_stripe(chunks, static_cast<std::size_t>(worker),
+                       static_cast<std::size_t>(n), app, first_conn_sn, wobs,
+                       &outputs[static_cast<std::size_t>(worker)]);
+      }
+    });
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(n));
+    for (int t = 0; t < n; ++t) {
+      workers.emplace_back(process_stripe<ChunkLike>, chunks,
+                           static_cast<std::size_t>(t),
+                           static_cast<std::size_t>(n), app, first_conn_sn,
+                           wobs, &outputs[static_cast<std::size_t>(t)]);
+    }
+    for (auto& w : workers) w.join();
+  }
+
+  return combine_outputs<ChunkLike>(outputs, n);
+}
+
+}  // namespace
+
+ParallelProcessResult process_chunks_parallel(std::span<const Chunk> chunks,
+                                              std::span<std::uint8_t> app,
+                                              std::uint32_t first_conn_sn,
+                                              int threads, ObsContext* obs,
+                                              WorkerDispatch dispatch) {
+  return process_impl(chunks, app, first_conn_sn, threads, obs, dispatch,
+                      nullptr);
+}
+
+ParallelProcessResult process_chunks_parallel(std::span<const ChunkView> chunks,
+                                              std::span<std::uint8_t> app,
+                                              std::uint32_t first_conn_sn,
+                                              int threads, ObsContext* obs,
+                                              WorkerDispatch dispatch) {
+  return process_impl(chunks, app, first_conn_sn, threads, obs, dispatch,
+                      nullptr);
+}
+
+ParallelProcessResult process_chunks_parallel(std::span<const Chunk> chunks,
+                                              std::span<std::uint8_t> app,
+                                              std::uint32_t first_conn_sn,
+                                              WorkerPool& pool,
+                                              ObsContext* obs) {
+  return process_impl(chunks, app, first_conn_sn, pool.size(), obs,
+                      WorkerDispatch::kPooled, &pool);
+}
+
+ParallelProcessResult process_chunks_parallel(std::span<const ChunkView> chunks,
+                                              std::span<std::uint8_t> app,
+                                              std::uint32_t first_conn_sn,
+                                              WorkerPool& pool,
+                                              ObsContext* obs) {
+  return process_impl(chunks, app, first_conn_sn, pool.size(), obs,
+                      WorkerDispatch::kPooled, &pool);
 }
 
 }  // namespace chunknet

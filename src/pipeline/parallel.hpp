@@ -15,6 +15,12 @@
 //     together at the end (the `combine` property).
 // This is the software analogue of the parallel VLSI assembly units of
 // [MCAU 93b]. Bench A3 measures the scaling.
+//
+// Workers come from a persistent WorkerPool by default — per-packet
+// batches are far too small to amortize a thread spawn — and the chunk
+// list may be either owning Chunks or zero-copy ChunkViews parsed
+// straight out of a packet buffer (decode_packet_views), so the only
+// payload copy on this path is the placement itself.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +30,7 @@
 #include "src/chunk/types.hpp"
 #include "src/edc/wsc2.hpp"
 #include "src/obs/obs.hpp"
+#include "src/pipeline/worker_pool.hpp"
 
 namespace chunknet {
 
@@ -35,18 +42,46 @@ struct ParallelProcessResult {
   int threads_used{1};
 };
 
+/// How workers are provisioned for the threads-count overloads.
+enum class WorkerDispatch {
+  kPooled,  ///< dispatch on WorkerPool::shared() (the default)
+  kSpawn,   ///< spawn and join fresh std::threads per call (the old
+            ///< behaviour; kept as bench A3's baseline)
+};
+
 /// Processes data chunks of ONE TPDU with `threads` workers: places each
 /// chunk's payload into `app` at C.SN·SIZE and accumulates the WSC-2
 /// data contribution. Chunks must be duplicate-free (run them through
 /// virtual reassembly first) and SIZE must be a multiple of 4.
 /// `threads <= 1` runs inline (the baseline for the scaling bench).
-/// When `obs` is given, workers record "parallel.chunks_processed" and
-/// "parallel.bytes_placed" counters concurrently (the sharded cells are
-/// the lock-free hot path) and kChunkPlaced trace events.
+/// When `obs` is given, workers record "parallel.chunks_processed",
+/// "parallel.bytes_placed" and "parallel.chunks_skipped" counters
+/// concurrently (the sharded cells are the lock-free hot path),
+/// kChunkPlaced trace events, and kChunkSkipped events for chunks the
+/// pipeline cannot process (non-data TYPE or SIZE % 4 != 0).
+ParallelProcessResult process_chunks_parallel(
+    std::span<const Chunk> chunks, std::span<std::uint8_t> app,
+    std::uint32_t first_conn_sn, int threads, ObsContext* obs = nullptr,
+    WorkerDispatch dispatch = WorkerDispatch::kPooled);
+
+/// Zero-copy variant over packet-buffer views; identical semantics and
+/// bit-identical results (the placement copy is the only payload touch).
+ParallelProcessResult process_chunks_parallel(
+    std::span<const ChunkView> chunks, std::span<std::uint8_t> app,
+    std::uint32_t first_conn_sn, int threads, ObsContext* obs = nullptr,
+    WorkerDispatch dispatch = WorkerDispatch::kPooled);
+
+/// Dispatches on an explicit pool (all of its workers participate).
 ParallelProcessResult process_chunks_parallel(std::span<const Chunk> chunks,
                                               std::span<std::uint8_t> app,
                                               std::uint32_t first_conn_sn,
-                                              int threads,
+                                              WorkerPool& pool,
+                                              ObsContext* obs = nullptr);
+
+ParallelProcessResult process_chunks_parallel(std::span<const ChunkView> chunks,
+                                              std::span<std::uint8_t> app,
+                                              std::uint32_t first_conn_sn,
+                                              WorkerPool& pool,
                                               ObsContext* obs = nullptr);
 
 }  // namespace chunknet

@@ -1,0 +1,61 @@
+#include "src/pipeline/worker_pool.hpp"
+
+#include <algorithm>
+
+namespace chunknet {
+
+WorkerPool::WorkerPool(int threads) : count_(std::max(threads, 1)) {
+  workers_.reserve(static_cast<std::size_t>(count_));
+  for (int i = 0; i < count_; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void WorkerPool::run(const std::function<void(int, int)>& fn) {
+  std::lock_guard<std::mutex> callers(callers_mu_);
+  std::unique_lock<std::mutex> lk(mu_);
+  job_ = &fn;
+  ++generation_;
+  remaining_ = size();
+  ++jobs_run_;
+  work_cv_.notify_all();
+  done_cv_.wait(lk, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+}
+
+void WorkerPool::worker_loop(int index) {
+  const int n = size();
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int, int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    (*job)(index, n);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+WorkerPool& WorkerPool::shared() {
+  static WorkerPool pool(
+      static_cast<int>(std::max(2u, std::thread::hardware_concurrency())));
+  return pool;
+}
+
+}  // namespace chunknet

@@ -87,9 +87,10 @@ struct PduKey {
 /// tracker only ever sees (key, sn, len, st) — it never buffers data.
 class VirtualReassembler {
  public:
-  PieceVerdict add_chunk(const Chunk& c) {
-    return add(PduKey{c.h.conn.id, c.h.tpdu.id}, c.h.tpdu.sn, c.h.len,
-               c.h.tpdu.st);
+  PieceVerdict add_chunk(const Chunk& c) { return add_chunk(c.h); }
+  PieceVerdict add_chunk(const ChunkView& c) { return add_chunk(c.h); }
+  PieceVerdict add_chunk(const ChunkHeader& h) {
+    return add(PduKey{h.conn.id, h.tpdu.id}, h.tpdu.sn, h.len, h.tpdu.st);
   }
   PieceVerdict add(const PduKey& key, std::uint32_t sn, std::uint32_t len,
                    bool stop);

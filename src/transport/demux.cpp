@@ -6,22 +6,26 @@ namespace chunknet {
 
 void ChunkDemultiplexer::on_packet(SimPacket pkt) {
   ++stats_.packets;
-  ParsedPacket parsed = decode_packet(pkt.bytes);
-  if (!parsed.ok) {
+  // The envelope is opened ONCE, into views over pkt.bytes: routing a
+  // data/ED chunk to its receiver copies nothing — the receiver's
+  // zero-copy entry point reads the payload straight from the packet
+  // buffer. Only control chunks (re-wrapped for the PacketSink
+  // interface) are materialized.
+  if (!decode_packet_views(pkt.bytes, view_scratch_)) {
     ++stats_.malformed;
     return;
   }
-  for (Chunk& c : parsed.chunks) {
-    switch (c.h.type) {
+  for (const ChunkView& v : view_scratch_) {
+    switch (v.h.type) {
       case ChunkType::kData:
       case ChunkType::kErrorDetection: {
-        const auto it = receivers_.find(c.h.conn.id);
+        const auto it = receivers_.find(v.h.conn.id);
         if (it == receivers_.end()) {
           ++stats_.unknown_connection;
           break;
         }
         ++stats_.data_chunks_routed;
-        it->second->on_chunk(std::move(c), pkt.created_at, pkt.id);
+        it->second->on_chunk_view(v, pkt.created_at, pkt.id);
         break;
       }
       case ChunkType::kAck:
@@ -29,8 +33,8 @@ void ChunkDemultiplexer::on_packet(SimPacket pkt) {
         if (control_ == nullptr) break;
         ++stats_.control_chunks_routed;
         SimPacket wrapped;
-        wrapped.bytes =
-            encode_packet(std::vector<Chunk>{std::move(c)}, 65535);
+        encode_packet_into(std::vector<Chunk>{v.to_chunk()}, 65535,
+                           wrapped.bytes);
         wrapped.id = pkt.id;
         wrapped.created_at = pkt.created_at;
         wrapped.hops = pkt.hops;
@@ -41,6 +45,7 @@ void ChunkDemultiplexer::on_packet(SimPacket pkt) {
         break;
     }
   }
+  view_scratch_.clear();
 }
 
 }  // namespace chunknet

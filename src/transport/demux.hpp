@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <map>
+#include <vector>
 
 #include "src/netsim/simulator.hpp"
 #include "src/transport/receiver.hpp"
@@ -47,6 +48,8 @@ class ChunkDemultiplexer final : public PacketSink {
  private:
   std::map<std::uint32_t, ChunkTransportReceiver*> receivers_;
   PacketSink* control_{nullptr};
+  /// Reused across packets (no per-packet allocation at steady state).
+  std::vector<ChunkView> view_scratch_;
   Stats stats_;
 };
 

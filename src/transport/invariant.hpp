@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <span>
 
 #include "src/chunk/types.hpp"
 #include "src/edc/wsc2.hpp"
@@ -58,7 +59,13 @@ class TpduInvariant {
   /// which is exactly why §3.3 requires rejecting duplicates.
   /// Returns false if the chunk violates the layout (SIZE not a
   /// multiple of 4, or data beyond max_data_symbols).
-  bool absorb(const Chunk& c);
+  ///
+  /// The (header, payload) form is the primitive: it reads the payload
+  /// exactly once wherever it lives, so the zero-copy receive path can
+  /// absorb straight from the packet buffer.
+  bool absorb(const ChunkHeader& h, std::span<const std::uint8_t> payload);
+  bool absorb(const Chunk& c) { return absorb(c.h, c.payload); }
+  bool absorb(const ChunkView& c) { return absorb(c.h, c.payload); }
 
   Wsc2Code value() const { return acc_.value(); }
 
@@ -83,8 +90,11 @@ class TpduInvariant {
 /// together), so any divergence is corruption.
 class SnConsistencyChecker {
  public:
-  /// Feeds one data chunk; returns false on an inconsistency.
-  bool check(const Chunk& c);
+  /// Feeds one data chunk; returns false on an inconsistency. Only the
+  /// header participates, so a ChunkView's header works identically.
+  bool check(const ChunkHeader& h);
+  bool check(const Chunk& c) { return check(c.h); }
+  bool check(const ChunkView& c) { return check(c.h); }
 
   bool consistent() const { return consistent_; }
 

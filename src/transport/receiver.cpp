@@ -54,7 +54,8 @@ ChunkTransportReceiver::ChunkTransportReceiver(Simulator& sim,
   }
 }
 
-void ChunkTransportReceiver::trace_chunk(TraceEventKind kind, const Chunk& c,
+void ChunkTransportReceiver::trace_chunk(TraceEventKind kind,
+                                         const ChunkHeader& h,
                                          std::uint64_t packet_id,
                                          std::uint64_t aux) const {
   if (cfg_.obs == nullptr || cfg_.obs->tracer == nullptr) return;
@@ -63,9 +64,9 @@ void ChunkTransportReceiver::trace_chunk(TraceEventKind kind, const Chunk& c,
   e.kind = kind;
   e.site = cfg_.obs_site;
   e.packet_id = packet_id;
-  e.tpdu_id = c.h.tpdu.id;
-  e.conn_sn = c.h.conn.sn;
-  e.len = c.h.len;
+  e.tpdu_id = h.tpdu.id;
+  e.conn_sn = h.conn.sn;
+  e.len = h.len;
   e.aux = aux;
   cfg_.obs->tracer->record(e);
 }
@@ -85,43 +86,55 @@ void ChunkTransportReceiver::on_packet(SimPacket pkt) {
   ++stats_.packets;
   obs_add(m_.packets);
   trace_packet(TraceEventKind::kPacketReceived, pkt.id);
-  std::vector<Chunk> chunks;
-  bool ok = false;
   if (cfg_.compression && !pkt.bytes.empty() &&
       pkt.bytes[0] == kCompressedPacketMagic) {
+    // Compact-syntax packets are re-materialized by the decompressor,
+    // so they keep the owning path.
     DecompressedPacket parsed =
         decompress_packet(pkt.bytes, *cfg_.compression);
-    ok = parsed.ok;
-    chunks = std::move(parsed.chunks);
-  } else {
-    ParsedPacket parsed = decode_packet(pkt.bytes);
-    ok = parsed.ok;
-    chunks = std::move(parsed.chunks);
-  }
-  if (!ok) {
+    if (!parsed.ok) {
+      ++stats_.malformed_packets;
+      obs_add(m_.malformed_packets);
+      trace_packet(TraceEventKind::kMalformedPacket, pkt.id);
+    } else {
+      for (Chunk& c : parsed.chunks) {
+        on_chunk(std::move(c), pkt.created_at, pkt.id);
+      }
+    }
+  } else if (!decode_packet_views(pkt.bytes, view_scratch_)) {
     ++stats_.malformed_packets;
     obs_add(m_.malformed_packets);
     trace_packet(TraceEventKind::kMalformedPacket, pkt.id);
-    return;
+  } else {
+    // Zero-copy path: every view aliases pkt.bytes, which stays alive
+    // and unmoved until this loop finishes.
+    for (const ChunkView& v : view_scratch_) {
+      on_chunk_view(v, pkt.created_at, pkt.id);
+    }
+    view_scratch_.clear();
   }
-  for (Chunk& c : chunks) {
-    on_chunk(std::move(c), pkt.created_at, pkt.id);
-  }
+  if (cfg_.pool != nullptr) cfg_.pool->release(std::move(pkt.bytes));
 }
 
 void ChunkTransportReceiver::on_chunk(Chunk c, SimTime packet_created_at,
                                       std::uint64_t packet_id) {
-  if (c.h.conn.id != cfg_.connection_id) {
+  on_chunk_view(as_view(c), packet_created_at, packet_id);
+}
+
+void ChunkTransportReceiver::on_chunk_view(const ChunkView& v,
+                                           SimTime packet_created_at,
+                                           std::uint64_t packet_id) {
+  if (v.h.conn.id != cfg_.connection_id) {
     ++stats_.foreign_chunks;
     obs_add(m_.foreign_chunks);
     return;
   }
-  switch (c.h.type) {
+  switch (v.h.type) {
     case ChunkType::kData:
-      handle_data_chunk(std::move(c), packet_created_at, packet_id);
+      handle_data_chunk(v, packet_created_at, packet_id);
       break;
     case ChunkType::kErrorDetection:
-      handle_ed_chunk(c);
+      handle_ed_chunk(v);
       break;
     default:
       break;  // signalling/ack chunks are not for the data receiver
@@ -142,88 +155,95 @@ void ChunkTransportReceiver::unhold_bytes(std::uint64_t n) {
   obs_add(m_.held_bytes, -static_cast<std::int64_t>(n));
 }
 
-void ChunkTransportReceiver::handle_data_chunk(Chunk c,
+void ChunkTransportReceiver::handle_data_chunk(const ChunkView& v,
                                                SimTime packet_created_at,
                                                std::uint64_t packet_id) {
   ++stats_.data_chunks;
   obs_add(m_.data_chunks);
-  if (c.h.size != cfg_.element_size || !c.structurally_valid()) {
+  if (v.h.size != cfg_.element_size || !v.structurally_valid()) {
     ++stats_.framing_error_chunks;
     obs_add(m_.framing_error_chunks);
-    trace_chunk(TraceEventKind::kFramingRejected, c, packet_id);
+    trace_chunk(TraceEventKind::kFramingRejected, v.h, packet_id);
     return;
   }
 
-  TpduState& st = tpdus_[c.h.tpdu.id];
+  TpduState& st = tpdus_[v.h.tpdu.id];
   if (st.elements == 0 && st.first_chunk_at == 0) {
     st.first_chunk_at = sim_.now();
   }
-  arm_gap_nak_timer(c.h.tpdu.id, st);
+  arm_gap_nak_timer(v.h.tpdu.id, st);
 
   // --- virtual reassembly first: duplicates must never reach the
   // incremental code or overwrite placed data (§3.3).
-  switch (st.tracker.add(c.h.tpdu.sn, c.h.len, c.h.tpdu.st)) {
+  switch (st.tracker.add(v.h.tpdu.sn, v.h.len, v.h.tpdu.st)) {
     case PieceVerdict::kAccept:
       break;
     case PieceVerdict::kDuplicate:
       ++stats_.duplicate_chunks;
       obs_add(m_.duplicate_chunks);
-      trace_chunk(TraceEventKind::kDuplicateRejected, c, packet_id);
+      trace_chunk(TraceEventKind::kDuplicateRejected, v.h, packet_id);
       return;
     case PieceVerdict::kOverlap:
       ++stats_.overlap_chunks;
       obs_add(m_.overlap_chunks);
-      trace_chunk(TraceEventKind::kOverlapRejected, c, packet_id);
+      trace_chunk(TraceEventKind::kOverlapRejected, v.h, packet_id);
       return;
     case PieceVerdict::kAfterStop:
     case PieceVerdict::kStopConflict:
       ++stats_.framing_error_chunks;
       obs_add(m_.framing_error_chunks);
-      trace_chunk(TraceEventKind::kFramingRejected, c, packet_id);
+      trace_chunk(TraceEventKind::kFramingRejected, v.h, packet_id);
       st.framing_error = true;
       return;
   }
-  st.elements += c.h.len;
+  st.elements += v.h.len;
 
-  // --- incremental protocol processing on the disordered chunk.
-  const bool absorbed_ok = st.invariant.absorb(c);
+  // --- incremental protocol processing on the disordered chunk,
+  // reading the payload in place (still inside the packet buffer).
+  const bool absorbed_ok = st.invariant.absorb(v);
   if (!absorbed_ok) st.layout_error = true;
-  trace_chunk(TraceEventKind::kInvariantAbsorbed, c, packet_id,
+  trace_chunk(TraceEventKind::kInvariantAbsorbed, v.h, packet_id,
               absorbed_ok ? 1 : 0);
-  st.consistency.check(c);
+  st.consistency.check(v);
 
-  const std::uint32_t tpdu_id = c.h.tpdu.id;
+  const std::uint32_t tpdu_id = v.h.tpdu.id;
 
-  // --- data placement, by delivery mode.
+  // --- data placement, by delivery mode. Immediate placement copies
+  // straight from the view — the payload's ONLY copy. The holding modes
+  // materialize an owning Chunk (to_chunk); that copy is the extra bus
+  // crossing the accounting charges held bytes for.
   switch (cfg_.mode) {
     case DeliveryMode::kImmediate:
-      place_chunk(c, packet_created_at, /*was_held=*/false, packet_id);
+      place_chunk(v.h, v.payload, packet_created_at, /*was_held=*/false,
+                  packet_id);
       break;
     case DeliveryMode::kReorder: {
-      if (c.h.conn.sn < next_release_sn_) {
+      if (v.h.conn.sn < next_release_sn_) {
         // Retransmission of stream range already released (the original
         // TPDU was rejected): re-place directly, it cannot be queued.
-        place_chunk(c, packet_created_at, /*was_held=*/false, packet_id);
-      } else if (c.h.conn.sn == next_release_sn_) {
-        place_chunk(c, packet_created_at, /*was_held=*/false, packet_id);
-        next_release_sn_ += c.h.len;
+        place_chunk(v.h, v.payload, packet_created_at, /*was_held=*/false,
+                    packet_id);
+      } else if (v.h.conn.sn == next_release_sn_) {
+        place_chunk(v.h, v.payload, packet_created_at, /*was_held=*/false,
+                    packet_id);
+        next_release_sn_ += v.h.len;
         release_in_order();
       } else {
         // Overwrite any stale entry at this C.SN (a retransmission
         // after rejection must supersede the queued original, which may
         // be the corrupted copy that caused the rejection).
-        trace_chunk(TraceEventKind::kChunkHeld, c, packet_id);
+        trace_chunk(TraceEventKind::kChunkHeld, v.h, packet_id);
         const auto [it, inserted] = reorder_queue_.insert_or_assign(
-            c.h.conn.sn, HeldChunk{std::move(c), packet_created_at,
+            v.h.conn.sn, HeldChunk{v.to_chunk(), packet_created_at,
                                    packet_id});
         if (inserted) hold_bytes(it->second.chunk.payload.size());
       }
       break;
     }
     case DeliveryMode::kReassemble:
-      hold_bytes(c.payload.size());
-      trace_chunk(TraceEventKind::kChunkHeld, c, packet_id);
-      st.held.push_back(HeldChunk{std::move(c), packet_created_at,
+      hold_bytes(v.payload.size());
+      trace_chunk(TraceEventKind::kChunkHeld, v.h, packet_id);
+      st.held.push_back(HeldChunk{v.to_chunk(), packet_created_at,
                                   packet_id});
       break;
   }
@@ -235,49 +255,49 @@ void ChunkTransportReceiver::release_in_order() {
   auto it = reorder_queue_.begin();
   while (it != reorder_queue_.end() && it->first == next_release_sn_) {
     unhold_bytes(it->second.chunk.payload.size());
-    place_chunk(it->second.chunk, it->second.packet_created_at,
+    place_chunk(it->second.chunk.h, it->second.chunk.payload,
+                it->second.packet_created_at,
                 /*was_held=*/true, it->second.packet_id);
     next_release_sn_ += it->second.chunk.h.len;
     it = reorder_queue_.erase(it);
   }
 }
 
-void ChunkTransportReceiver::place_chunk(const Chunk& c,
-                                         SimTime packet_created_at,
-                                         bool was_held,
-                                         std::uint64_t packet_id) {
-  const std::uint64_t element_off = c.h.conn.sn - cfg_.first_conn_sn;
+void ChunkTransportReceiver::place_chunk(
+    const ChunkHeader& h, std::span<const std::uint8_t> payload,
+    SimTime packet_created_at, bool was_held, std::uint64_t packet_id) {
+  const std::uint64_t element_off = h.conn.sn - cfg_.first_conn_sn;
   const std::uint64_t byte_off = element_off * cfg_.element_size;
-  if (byte_off + c.payload.size() > app_buffer_.size()) return;
+  if (byte_off + payload.size() > app_buffer_.size()) return;
 
-  std::copy(c.payload.begin(), c.payload.end(),
+  std::copy(payload.begin(), payload.end(),
             app_buffer_.begin() + static_cast<std::ptrdiff_t>(byte_off));
-  app_coverage_.add(element_off, element_off + c.h.len);
+  app_coverage_.add(element_off, element_off + h.len);
 
   // Bus accounting: a held byte crossed once into the hold buffer and
   // once more now; an immediate byte crosses once.
-  const std::uint64_t crossings = c.payload.size() * (was_held ? 2 : 1);
+  const std::uint64_t crossings = payload.size() * (was_held ? 2 : 1);
   stats_.bus_bytes += crossings;
   obs_add(m_.bus_bytes, crossings);
-  obs_add(m_.bytes_placed, c.payload.size());
-  trace_chunk(TraceEventKind::kChunkPlaced, c, packet_id,
+  obs_add(m_.bytes_placed, payload.size());
+  trace_chunk(TraceEventKind::kChunkPlaced, h, packet_id,
               was_held ? 1 : 0);
   const double latency =
       static_cast<double>(sim_.now() - packet_created_at);
-  obs_observe(m_.delivery_latency, latency, c.h.len);
-  for (std::uint32_t i = 0; i < c.h.len; ++i) {
+  obs_observe(m_.delivery_latency, latency, h.len);
+  for (std::uint32_t i = 0; i < h.len; ++i) {
     stats_.delivery_latency_ns.push_back(latency);
   }
 }
 
-void ChunkTransportReceiver::handle_ed_chunk(const Chunk& c) {
+void ChunkTransportReceiver::handle_ed_chunk(const ChunkView& v) {
   ++stats_.ed_chunks;
   obs_add(m_.ed_chunks);
-  TpduState& st = tpdus_[c.h.tpdu.id];
+  TpduState& st = tpdus_[v.h.tpdu.id];
   if (st.first_chunk_at == 0) st.first_chunk_at = sim_.now();
-  st.received_code = parse_ed_chunk(c);
-  arm_gap_nak_timer(c.h.tpdu.id, st);
-  try_finish(c.h.tpdu.id, st);
+  st.received_code = parse_ed_chunk(v);
+  arm_gap_nak_timer(v.h.tpdu.id, st);
+  try_finish(v.h.tpdu.id, st);
 }
 
 void ChunkTransportReceiver::try_finish(std::uint32_t tpdu_id, TpduState& st) {
@@ -288,8 +308,8 @@ void ChunkTransportReceiver::try_finish(std::uint32_t tpdu_id, TpduState& st) {
   if (cfg_.mode == DeliveryMode::kReassemble) {
     for (const HeldChunk& hc : st.held) {
       unhold_bytes(hc.chunk.payload.size());
-      place_chunk(hc.chunk, hc.packet_created_at, /*was_held=*/true,
-                  hc.packet_id);
+      place_chunk(hc.chunk.h, hc.chunk.payload, hc.packet_created_at,
+                  /*was_held=*/true, hc.packet_id);
     }
     st.held.clear();
   }

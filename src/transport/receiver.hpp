@@ -27,6 +27,7 @@
 #include "src/chunk/builder.hpp"
 #include "src/chunk/compress.hpp"
 #include "src/chunk/types.hpp"
+#include "src/common/buffer_pool.hpp"
 #include "src/common/interval_set.hpp"
 #include "src/netsim/simulator.hpp"
 #include "src/obs/obs.hpp"
@@ -90,6 +91,11 @@ struct ReceiverConfig {
   /// distinguishable in one registry.
   ObsContext* obs{nullptr};
   std::uint16_t obs_site{0};
+  /// When set, on_packet returns every packet's byte buffer to this
+  /// pool once its chunks are processed, closing the recycle loop with
+  /// a pool-acquiring driver (zero steady-state allocation; see
+  /// docs/PERFORMANCE.md). The pool must outlive the receiver.
+  PacketBufferPool* pool{nullptr};
 };
 
 class ChunkTransportReceiver final : public PacketSink {
@@ -105,6 +111,15 @@ class ChunkTransportReceiver final : public PacketSink {
   /// the carrying packet (0 = unknown).
   void on_chunk(Chunk c, SimTime packet_created_at,
                 std::uint64_t packet_id = 0);
+
+  /// Zero-copy per-chunk entry point: the view's payload aliases the
+  /// caller's packet buffer, which must stay alive (and unmoved) for
+  /// the duration of the call. Immediate mode places the payload
+  /// straight from the view — one bus crossing, no intermediate Chunk;
+  /// the holding modes materialize an owning copy (that copy IS the
+  /// extra crossing the bus accounting charges them).
+  void on_chunk_view(const ChunkView& v, SimTime packet_created_at,
+                     std::uint64_t packet_id = 0);
 
   /// Application address space (spatially reassembled data).
   std::span<const std::uint8_t> app_data() const { return app_buffer_; }
@@ -164,18 +179,20 @@ class ChunkTransportReceiver final : public PacketSink {
     std::vector<HeldChunk> held;  ///< kReassemble mode only
   };
 
-  void handle_data_chunk(Chunk c, SimTime packet_created_at,
+  void handle_data_chunk(const ChunkView& v, SimTime packet_created_at,
                          std::uint64_t packet_id);
-  void handle_ed_chunk(const Chunk& c);
+  void handle_ed_chunk(const ChunkView& v);
   void arm_gap_nak_timer(std::uint32_t tpdu_id, TpduState& st);
   void fire_gap_nak(std::uint32_t tpdu_id);
-  void place_chunk(const Chunk& c, SimTime packet_created_at, bool was_held,
+  void place_chunk(const ChunkHeader& h,
+                   std::span<const std::uint8_t> payload,
+                   SimTime packet_created_at, bool was_held,
                    std::uint64_t packet_id);
   void release_in_order();
   void try_finish(std::uint32_t tpdu_id, TpduState& st);
   void hold_bytes(std::uint64_t n);
   void unhold_bytes(std::uint64_t n);
-  void trace_chunk(TraceEventKind kind, const Chunk& c,
+  void trace_chunk(TraceEventKind kind, const ChunkHeader& h,
                    std::uint64_t packet_id, std::uint64_t aux = 0) const;
   void trace_packet(TraceEventKind kind, std::uint64_t packet_id) const;
 
@@ -200,6 +217,9 @@ class ChunkTransportReceiver final : public PacketSink {
   Simulator& sim_;
   ReceiverConfig cfg_;
   ObsHandles m_;
+  /// Reused across packets by on_packet so steady-state receive does
+  /// no per-packet allocation (capacity sticks at the high-water mark).
+  std::vector<ChunkView> view_scratch_;
   std::vector<std::uint8_t> app_buffer_;
   IntervalSet app_coverage_;  ///< element-granular, relative to first_conn_sn
   std::map<std::uint32_t, TpduState> tpdus_;

@@ -1,0 +1,113 @@
+// Tests for PacketBufferPool: freelist recycling (zero steady-state
+// allocations), the RAII and take()/release() ownership styles, and
+// the stats that benches/docs rely on.
+#include "src/common/buffer_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace chunknet {
+namespace {
+
+TEST(BufferPool, AcquireAllocatesThenReuses) {
+  PacketBufferPool pool(1500);
+  {
+    PooledBuffer b = pool.acquire();
+    EXPECT_TRUE(b.bytes().empty());
+    EXPECT_GE(b.bytes().capacity(), 1500u);
+    b.bytes().assign(100, 0xAB);
+  }  // RAII return
+  EXPECT_EQ(pool.free_buffers(), 1u);
+
+  {
+    PooledBuffer b = pool.acquire();
+    // Recycled: cleared but with capacity retained.
+    EXPECT_TRUE(b.bytes().empty());
+    EXPECT_GE(b.bytes().capacity(), 1500u);
+  }
+  const auto s = pool.stats();
+  EXPECT_EQ(s.allocations, 1u);
+  EXPECT_EQ(s.reuses, 1u);
+  EXPECT_EQ(s.releases, 2u);
+}
+
+TEST(BufferPool, SteadyStateLoopNeverAllocatesAgain) {
+  PacketBufferPool pool(2048);
+  for (int i = 0; i < 1000; ++i) {
+    PooledBuffer b = pool.acquire();
+    b.bytes().resize(1500, static_cast<std::uint8_t>(i));
+  }
+  const auto s = pool.stats();
+  EXPECT_EQ(s.allocations, 1u);
+  EXPECT_EQ(s.reuses, 999u);
+}
+
+TEST(BufferPool, TakeDetachesAndReleaseClosesTheLoop) {
+  PacketBufferPool pool(512);
+  PooledBuffer b = pool.acquire();
+  b.bytes().assign(64, 0x55);
+  std::vector<std::uint8_t> raw = b.take();
+  EXPECT_EQ(raw.size(), 64u);
+  // The handle is inert now: destroying it returns nothing.
+  b.reset();
+  EXPECT_EQ(pool.free_buffers(), 0u);
+
+  pool.release(std::move(raw));
+  EXPECT_EQ(pool.free_buffers(), 1u);
+  PooledBuffer again = pool.acquire();
+  EXPECT_TRUE(again.bytes().empty());
+  EXPECT_EQ(pool.stats().reuses, 1u);
+}
+
+TEST(BufferPool, MoveTransfersOwnershipExactlyOnce) {
+  PacketBufferPool pool(256);
+  PooledBuffer a = pool.acquire();
+  a.bytes().assign(8, 1);
+  PooledBuffer b = std::move(a);
+  EXPECT_EQ(b.bytes().size(), 8u);
+  a.reset();  // moved-from: must not double-release
+  EXPECT_EQ(pool.free_buffers(), 0u);
+  b.reset();
+  EXPECT_EQ(pool.free_buffers(), 1u);
+  EXPECT_EQ(pool.stats().releases, 1u);
+}
+
+TEST(BufferPool, ManyOutstandingBuffersAreIndependent) {
+  PacketBufferPool pool(128);
+  std::vector<PooledBuffer> held;
+  for (int i = 0; i < 8; ++i) {
+    held.push_back(pool.acquire());
+    held.back().bytes().assign(16, static_cast<std::uint8_t>(i));
+  }
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(held[static_cast<std::size_t>(i)].bytes()[0],
+              static_cast<std::uint8_t>(i));
+  }
+  held.clear();
+  EXPECT_EQ(pool.free_buffers(), 8u);
+  EXPECT_EQ(pool.stats().allocations, 8u);
+}
+
+TEST(BufferPool, ThreadSafeAcquireRelease) {
+  PacketBufferPool pool(1024);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) {
+        PooledBuffer b = pool.acquire();
+        b.bytes().resize(100);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto s = pool.stats();
+  EXPECT_EQ(s.allocations + s.reuses, 2000u);
+  EXPECT_EQ(s.releases, 2000u);
+  EXPECT_LE(s.allocations, 4u);  // at most one live buffer per thread
+}
+
+}  // namespace
+}  // namespace chunknet

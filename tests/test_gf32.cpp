@@ -133,6 +133,28 @@ TEST(Gf32, DistinctWeightsWithinCodeSpace) {
   }
 }
 
+TEST(Gf32, TimesAlpha4EqualsFourAlphaSteps) {
+  // The fused α⁴ step (shift-by-4 + carry-fold table) must agree with
+  // four single ×α steps and with a full multiply by α⁴, for random
+  // and boundary inputs.
+  const std::uint32_t alpha4 = PowerLadder::shared().alpha_pow(4);
+  Rng rng(10);
+  const std::uint32_t edge[] = {0u, 1u, 0x80000000u, 0xF0000000u,
+                                0xFFFFFFFFu, kReduction};
+  for (const std::uint32_t a : edge) {
+    const std::uint32_t stepped =
+        times_alpha(times_alpha(times_alpha(times_alpha(a))));
+    EXPECT_EQ(times_alpha4(a), stepped);
+    EXPECT_EQ(times_alpha4(a), mul(a, alpha4));
+  }
+  for (int i = 0; i < 500; ++i) {
+    const std::uint32_t a = rng.u32();
+    EXPECT_EQ(times_alpha4(a),
+              times_alpha(times_alpha(times_alpha(times_alpha(a)))));
+    EXPECT_EQ(times_alpha4(a), mul(a, alpha4));
+  }
+}
+
 TEST(Gf32, ReduceHandlesHighDegreeProducts) {
   // reduce(clmul(a,b)) must equal the reference multiply for maximal
   // inputs (degree-62 products exercise the double fold).

@@ -100,9 +100,128 @@ TEST(ParallelProcess, OffsetFirstConnSn) {
   EXPECT_EQ(app, stream);
 }
 
+TEST(ParallelProcess, ViewOverloadMatchesOwningExactly) {
+  // The zero-copy path must be bit-identical to the owning path: same
+  // placement bytes, same WSC-2 data code, same counters.
+  const std::size_t kBytes = 128 * 1024;
+  const auto chunks = make_chunks(kBytes, 64);
+  std::vector<ChunkView> views;
+  views.reserve(chunks.size());
+  for (const Chunk& c : chunks) views.push_back(as_view(c));
+
+  for (const int threads : {1, 3, 8}) {
+    std::vector<std::uint8_t> owned_app(kBytes, 0);
+    const auto owned = process_chunks_parallel(
+        std::span<const Chunk>(chunks), owned_app, 0, threads);
+
+    std::vector<std::uint8_t> view_app(kBytes, 0);
+    const auto viewed = process_chunks_parallel(
+        std::span<const ChunkView>(views), view_app, 0, threads);
+
+    EXPECT_EQ(viewed.data_code, owned.data_code);
+    EXPECT_EQ(viewed.bytes_placed, owned.bytes_placed);
+    EXPECT_EQ(view_app, owned_app);
+  }
+}
+
+TEST(ParallelProcess, SpawnDispatchMatchesPooled) {
+  const std::size_t kBytes = 64 * 1024;
+  const auto chunks = make_chunks(kBytes, 32);
+
+  std::vector<std::uint8_t> pooled_app(kBytes, 0);
+  const auto pooled = process_chunks_parallel(chunks, pooled_app, 0, 4,
+                                              nullptr,
+                                              WorkerDispatch::kPooled);
+  std::vector<std::uint8_t> spawn_app(kBytes, 0);
+  const auto spawned = process_chunks_parallel(chunks, spawn_app, 0, 4,
+                                               nullptr,
+                                               WorkerDispatch::kSpawn);
+  EXPECT_EQ(spawned.data_code, pooled.data_code);
+  EXPECT_EQ(spawned.bytes_placed, pooled.bytes_placed);
+  EXPECT_EQ(spawn_app, pooled_app);
+}
+
+TEST(ParallelProcess, ExplicitPoolOverloadUsesAllItsWorkers) {
+  const std::size_t kBytes = 64 * 1024;
+  const auto chunks = make_chunks(kBytes, 32);
+
+  std::vector<std::uint8_t> serial_app(kBytes, 0);
+  const auto serial = process_chunks_parallel(chunks, serial_app, 0, 1);
+
+  WorkerPool pool(3);
+  std::vector<std::uint8_t> app(kBytes, 0);
+  const auto r = process_chunks_parallel(std::span<const Chunk>(chunks), app,
+                                         0, pool);
+  EXPECT_EQ(r.threads_used, 3);
+  EXPECT_EQ(r.data_code, serial.data_code);
+  EXPECT_EQ(app, serial_app);
+  EXPECT_GE(pool.jobs_run(), 1u);
+
+  // And the view flavour through the same pool.
+  std::vector<ChunkView> views;
+  for (const Chunk& c : chunks) views.push_back(as_view(c));
+  std::vector<std::uint8_t> vapp(kBytes, 0);
+  const auto vr = process_chunks_parallel(std::span<const ChunkView>(views),
+                                          vapp, 0, pool);
+  EXPECT_EQ(vr.data_code, serial.data_code);
+  EXPECT_EQ(vapp, serial_app);
+}
+
+TEST(ParallelProcess, SkippedChunksAreCountedAndTraced) {
+  // Unprocessable chunks (non-data TYPE, SIZE % 4 != 0) must never
+  // vanish silently: the parallel.chunks_skipped counter and a
+  // kChunkSkipped trace event attribute each one.
+  auto chunks = make_chunks(4096, 32);
+  const std::size_t data_chunks = chunks.size();
+
+  Chunk ed;  // skipped with aux = 1 (non-data TYPE)
+  ed.h.type = ChunkType::kErrorDetection;
+  ed.h.size = 8;
+  ed.h.len = 1;
+  ed.h.tpdu.id = 77;
+  ed.payload.assign(8, 9);
+  chunks.push_back(ed);
+
+  Chunk odd;  // skipped with aux = 2 (SIZE % 4 != 0)
+  odd.h.type = ChunkType::kData;
+  odd.h.size = 3;
+  odd.h.len = 1;
+  odd.h.tpdu.id = 77;
+  odd.payload.assign(3, 1);
+  chunks.push_back(odd);
+
+  MetricsRegistry metrics;
+  ChunkTracer tracer;
+  ObsContext obs{&metrics, &tracer};
+  std::vector<std::uint8_t> app(4096, 0);
+  const auto r = process_chunks_parallel(chunks, app, 0, 4, &obs);
+  EXPECT_EQ(r.bytes_placed, 4096u);
+
+  const Counter* skipped = metrics.find_counter("parallel.chunks_skipped");
+  ASSERT_NE(skipped, nullptr);
+  EXPECT_EQ(skipped->value(), 2u);
+  const Counter* processed = metrics.find_counter("parallel.chunks_processed");
+  ASSERT_NE(processed, nullptr);
+  EXPECT_EQ(processed->value(), data_chunks);
+
+  std::uint64_t skip_events = 0;
+  std::uint64_t aux_type = 0;
+  std::uint64_t aux_size = 0;
+  for (const TraceEvent& e : tracer.events()) {
+    if (e.kind != TraceEventKind::kChunkSkipped) continue;
+    ++skip_events;
+    if (e.aux == 1) ++aux_type;
+    if (e.aux == 2) ++aux_size;
+    EXPECT_EQ(e.tpdu_id, 77u);
+  }
+  EXPECT_EQ(skip_events, 2u);
+  EXPECT_EQ(aux_type, 1u);
+  EXPECT_EQ(aux_size, 1u);
+}
+
 TEST(ParallelProcess, EmptyInput) {
   std::vector<std::uint8_t> app(16, 0);
-  const auto r = process_chunks_parallel({}, app, 0, 4);
+  const auto r = process_chunks_parallel(std::span<const Chunk>{}, app, 0, 4);
   EXPECT_EQ(r.bytes_placed, 0u);
   EXPECT_EQ(r.data_code, (Wsc2Code{0, 0}));
 }

@@ -196,6 +196,44 @@ TEST(Wsc2, OneShotMatchesAccumulator) {
   EXPECT_EQ(acc.value(), wsc2_compute(data, 42));
 }
 
+TEST(Wsc2, SlicedKernelMatchesScalarExactly) {
+  // The slice-by-4 Horner kernel must be bit-identical to the
+  // word-at-a-time reference across every size class: empty, shorter
+  // than one slice group, exact multiples of 4 words, remainder words
+  // (1-3 past the last group), and partial byte tails.
+  Rng rng(9);
+  const std::size_t sizes[] = {0, 4, 8, 12, 16, 20, 28, 36, 64, 256,
+                               1024, 4096, 5, 7, 9, 13, 17, 29, 1023};
+  for (const std::size_t bytes : sizes) {
+    std::vector<std::uint8_t> data(bytes);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+    const std::uint32_t pos = static_cast<std::uint32_t>(rng.below(1u << 24));
+
+    Wsc2Accumulator sliced;
+    sliced.add_words(pos, data);
+    Wsc2Accumulator scalar;
+    scalar.add_words_scalar(pos, data);
+    ASSERT_EQ(sliced.value(), scalar.value()) << "bytes=" << bytes;
+  }
+}
+
+TEST(Wsc2, SlicedKernelMatchesScalarOnRandomSlices) {
+  // Random (position, length) pairs accumulated into the SAME pair of
+  // accumulators — catches any cross-call state divergence.
+  Rng rng(10);
+  Wsc2Accumulator sliced;
+  Wsc2Accumulator scalar;
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t words = rng.below(96);
+    std::vector<std::uint8_t> data(words * 4 + rng.below(4));
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+    const std::uint32_t pos = static_cast<std::uint32_t>(rng.below(1u << 26));
+    sliced.add_words(pos, data);
+    scalar.add_words_scalar(pos, data);
+    ASSERT_EQ(sliced.value(), scalar.value()) << "trial " << trial;
+  }
+}
+
 TEST(Wsc2, ResetClears) {
   Wsc2Accumulator acc;
   acc.add_symbol(3, 99);

@@ -90,6 +90,7 @@ void drop_attribution(const std::vector<TraceEvent>& events) {
     std::uint64_t link_loss{0};
     std::uint64_t oversize{0};
     std::uint64_t router{0};
+    std::uint64_t pipeline_skip{0};
   };
   std::map<std::uint16_t, Drops> per_site;
   for (const TraceEvent& e : events) {
@@ -97,17 +98,21 @@ void drop_attribution(const std::vector<TraceEvent>& events) {
       case TraceEventKind::kLinkDropped: ++per_site[e.site].link_loss; break;
       case TraceEventKind::kOversizeDropped: ++per_site[e.site].oversize; break;
       case TraceEventKind::kRouterDropped: ++per_site[e.site].router; break;
+      case TraceEventKind::kChunkSkipped:
+        ++per_site[e.site].pipeline_skip;
+        break;
       default: break;
     }
   }
   std::printf("\ndrop attribution (which site, which cause):\n");
-  TextTable t({"site", "link loss", "oversize", "router parse"});
+  TextTable t({"site", "link loss", "oversize", "router parse",
+               "pipeline skip"});
   std::uint64_t total = 0;
   for (const auto& [site, d] : per_site) {
     t.add_row({TextTable::num(static_cast<std::uint64_t>(site)),
                TextTable::num(d.link_loss), TextTable::num(d.oversize),
-               TextTable::num(d.router)});
-    total += d.link_loss + d.oversize + d.router;
+               TextTable::num(d.router), TextTable::num(d.pipeline_skip)});
+    total += d.link_loss + d.oversize + d.router + d.pipeline_skip;
   }
   if (per_site.empty()) {
     std::printf("  (no drops recorded)\n");
