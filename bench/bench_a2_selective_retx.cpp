@@ -74,7 +74,8 @@ RunResult run(double loss, bool selective) {
   RunResult r;
   r.retx_payload = sender->stats().retx_payload_bytes;
   r.naks = sender->stats().gap_naks_honoured;
-  r.complete = receiver->stream_complete(kStreamBytes / 4);
+  r.complete =
+      receiver->stream_complete(kStreamBytes / 4) && sender->all_acked();
   r.completion_ms = static_cast<double>(sim.now()) / 1e6;
   return r;
 }

@@ -50,7 +50,8 @@ Row run_chunks() {
   for (const double ns : h.receiver->stats().delivery_latency_ns) p.add(ns);
   r.p99_ms = p.p99() / 1e6;
   r.bus_per_kb = h.receiver->stats().bus_bytes * 1024 / kStreamBytes;
-  r.complete = h.receiver->stream_complete(kStreamBytes / 4);
+  r.complete = h.receiver->stream_complete(kStreamBytes / 4) &&
+               h.sender->all_acked();
   return r;
 }
 
@@ -93,7 +94,8 @@ Row run_alt(const char* name, Config cfg) {
   for (const double ns : receiver->stats().delivery_latency_ns) p.add(ns);
   r.p99_ms = p.p99() / 1e6;
   r.bus_per_kb = receiver->stats().bus_bytes * 1024 / kStreamBytes;
-  r.complete = receiver->bytes_delivered() == kStreamBytes;
+  r.complete =
+      receiver->bytes_delivered() == kStreamBytes && sender->all_acked();
   return r;
 }
 
@@ -141,7 +143,8 @@ Row run_ip() {
   for (const double ns : receiver->stats().delivery_latency_ns) p.add(ns);
   r.p99_ms = p.p99() / 1e6;
   r.bus_per_kb = receiver->stats().bus_bytes * 1024 / kStreamBytes;
-  r.complete = receiver->bytes_delivered() == kStreamBytes;
+  r.complete =
+      receiver->bytes_delivered() == kStreamBytes && sender->all_acked();
   return r;
 }
 

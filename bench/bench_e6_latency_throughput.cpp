@@ -50,7 +50,8 @@ RunResult run_chunk_mode(DeliveryMode mode, double loss, int lanes,
   h.sim.run(60 * kSecond);
 
   RunResult r;
-  r.complete = h.receiver->stream_complete(kStreamBytes / 4);
+  r.complete = h.receiver->stream_complete(kStreamBytes / 4) &&
+               h.sender->all_acked();
   const std::string p = std::string("receiver.") + to_string(mode) + ".";
   const Histogram* lat = reg.find_histogram(p + "delivery_latency_ns");
   const Counter* bus = reg.find_counter(p + "bus_bytes");

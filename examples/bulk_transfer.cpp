@@ -99,7 +99,11 @@ int main() {
   sender->send_stream(payload);
   sim.run(120 * kSecond);
 
-  const bool complete = receiver->stream_complete(kBytes / 4);
+  // "Complete" means the receiver covered every element AND the sender
+  // truthfully delivered everything — a sender that gave up on a TPDU
+  // must not report success even if retransmitted copies landed.
+  const bool complete =
+      receiver->stream_complete(kBytes / 4) && sender->all_acked();
   const bool exact =
       complete && std::equal(payload.begin(), payload.end(),
                              receiver->app_data().begin());
@@ -116,9 +120,10 @@ int main() {
               seconds, kBytes * 8.0 / seconds / 1e6);
   std::printf("TPDUs accepted:           %llu of %zu\n",
               static_cast<unsigned long long>(tpdus_done), kBytes / 65536);
-  std::printf("retransmissions:          %llu\n",
+  std::printf("retransmissions:          %llu (gave up on %llu TPDUs)\n",
               static_cast<unsigned long long>(
-                  sender->stats().retransmissions));
+                  sender->stats().retransmissions),
+              static_cast<unsigned long long>(sender->stats().gave_up));
   std::printf("duplicate chunks dropped: %llu\n",
               static_cast<unsigned long long>(st.duplicate_chunks));
   std::printf("bus bytes per app byte:   %.3f  (buffering receivers pay 2.0)\n",

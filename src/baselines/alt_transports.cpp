@@ -31,7 +31,9 @@ std::uint32_t parse_ack(const SimPacket& pkt) {
 // ------------------------------------------------------------ XTP-like
 
 XtpLikeSender::XtpLikeSender(Simulator& sim, XtpConfig cfg)
-    : sim_(sim), cfg_(std::move(cfg)) {}
+    : sim_(sim),
+      cfg_(std::move(cfg)),
+      rto_(cfg_.rto, cfg_.retransmit_timeout) {}
 
 void XtpLikeSender::send_stream(std::span<const std::uint8_t> stream) {
   started_ = true;
@@ -60,6 +62,7 @@ void XtpLikeSender::send_stream(std::span<const std::uint8_t> stream) {
 void XtpLikeSender::transmit(std::uint32_t seq, Pending& p) {
   ++p.attempts;
   p.last_sent = sim_.now();
+  if (p.attempts > 1) p.retransmitted = true;
   stats_.bytes_sent += p.packet.size();
   ++stats_.packets_sent;
   if (cfg_.send_packet) cfg_.send_packet(p.packet);
@@ -68,7 +71,9 @@ void XtpLikeSender::transmit(std::uint32_t seq, Pending& p) {
 
 void XtpLikeSender::arm_timer(std::uint32_t seq) {
   const SimTime armed_at = sim_.now();
-  sim_.schedule_in(cfg_.retransmit_timeout, [this, seq, armed_at] {
+  const SimTime timeout =
+      cfg_.rto.adaptive ? rto_.rto() : cfg_.retransmit_timeout;
+  sim_.schedule_in(timeout, [this, seq, armed_at] {
     auto it = outstanding_.find(seq);
     if (it == outstanding_.end()) return;
     if (it->second.last_sent > armed_at) return;
@@ -77,6 +82,7 @@ void XtpLikeSender::arm_timer(std::uint32_t seq) {
       outstanding_.erase(it);
       return;
     }
+    rto_.on_timeout();
     ++stats_.retransmissions;
     transmit(seq, it->second);
   });
@@ -84,7 +90,11 @@ void XtpLikeSender::arm_timer(std::uint32_t seq) {
 
 void XtpLikeSender::on_packet(SimPacket pkt) {
   const std::uint32_t seq = parse_ack(pkt);
-  outstanding_.erase(seq);
+  auto it = outstanding_.find(seq);
+  if (it == outstanding_.end()) return;
+  rto_.on_sample(sim_.now() - it->second.last_sent,
+                 it->second.retransmitted);
+  outstanding_.erase(it);
 }
 
 XtpLikeReceiver::XtpLikeReceiver(
@@ -134,7 +144,9 @@ void XtpLikeReceiver::on_packet(SimPacket pkt) {
 // ------------------------------------------------- MTU-discovery (opt 4)
 
 MtuDiscoverySender::MtuDiscoverySender(Simulator& sim, MtuDiscoveryConfig cfg)
-    : sim_(sim), cfg_(std::move(cfg)) {}
+    : sim_(sim),
+      cfg_(std::move(cfg)),
+      rto_(cfg_.rto, cfg_.retransmit_timeout) {}
 
 void MtuDiscoverySender::send_stream(std::span<const std::uint8_t> stream) {
   started_ = true;
@@ -162,6 +174,7 @@ void MtuDiscoverySender::send_stream(std::span<const std::uint8_t> stream) {
 void MtuDiscoverySender::transmit(std::uint32_t seq, Pending& p) {
   ++p.attempts;
   p.last_sent = sim_.now();
+  if (p.attempts > 1) p.retransmitted = true;
   stats_.bytes_sent += p.packet.size();
   ++stats_.packets_sent;
   if (cfg_.send_packet) cfg_.send_packet(p.packet);
@@ -170,7 +183,9 @@ void MtuDiscoverySender::transmit(std::uint32_t seq, Pending& p) {
 
 void MtuDiscoverySender::arm_timer(std::uint32_t seq) {
   const SimTime armed_at = sim_.now();
-  sim_.schedule_in(cfg_.retransmit_timeout, [this, seq, armed_at] {
+  const SimTime timeout =
+      cfg_.rto.adaptive ? rto_.rto() : cfg_.retransmit_timeout;
+  sim_.schedule_in(timeout, [this, seq, armed_at] {
     auto it = outstanding_.find(seq);
     if (it == outstanding_.end()) return;
     if (it->second.last_sent > armed_at) return;
@@ -179,6 +194,7 @@ void MtuDiscoverySender::arm_timer(std::uint32_t seq) {
       outstanding_.erase(it);
       return;
     }
+    rto_.on_timeout();
     ++stats_.retransmissions;
     transmit(seq, it->second);
   });
@@ -186,7 +202,11 @@ void MtuDiscoverySender::arm_timer(std::uint32_t seq) {
 
 void MtuDiscoverySender::on_packet(SimPacket pkt) {
   const std::uint32_t seq = parse_ack(pkt);
-  outstanding_.erase(seq);
+  auto it = outstanding_.find(seq);
+  if (it == outstanding_.end()) return;
+  rto_.on_sample(sim_.now() - it->second.last_sent,
+                 it->second.retransmitted);
+  outstanding_.erase(it);
 }
 
 MtuDiscoveryReceiver::MtuDiscoveryReceiver(

@@ -26,6 +26,7 @@
 
 #include "src/common/interval_set.hpp"
 #include "src/netsim/simulator.hpp"
+#include "src/transport/rto.hpp"
 
 namespace chunknet {
 
@@ -35,6 +36,8 @@ struct XtpConfig {
   std::size_t mtu{1500};
   SimTime retransmit_timeout{50 * kMillisecond};
   int max_retransmits{8};
+  /// Adaptive RTO (Jacobson/Karn); `retransmit_timeout` seeds it.
+  RtoConfig rto{};
   std::function<void(std::vector<std::uint8_t>)> send_packet;
 };
 
@@ -48,7 +51,12 @@ class XtpLikeSender final : public PacketSink {
 
   void send_stream(std::span<const std::uint8_t> stream);
   void on_packet(SimPacket pkt) override;  ///< 5-byte ACKs: 'A' + seq
-  bool all_acked() const { return outstanding_.empty() && started_; }
+  /// Every PDU was acknowledged (giving up is failure, not success).
+  bool all_acked() const { return finished() && !failed(); }
+  bool finished() const { return outstanding_.empty() && started_; }
+  bool failed() const { return stats_.gave_up > 0; }
+
+  const RtoEstimator& rto() const { return rto_; }
 
   struct Stats {
     std::uint64_t pdus_sent{0};
@@ -64,12 +72,14 @@ class XtpLikeSender final : public PacketSink {
     std::vector<std::uint8_t> packet;
     int attempts{0};
     SimTime last_sent{0};
+    bool retransmitted{false};  ///< Karn: ACK RTT sample is ambiguous
   };
   void transmit(std::uint32_t seq, Pending& p);
   void arm_timer(std::uint32_t seq);
 
   Simulator& sim_;
   XtpConfig cfg_;
+  RtoEstimator rto_;
   std::map<std::uint32_t, Pending> outstanding_;  // keyed by seq
   bool started_{false};
   Stats stats_;
@@ -108,6 +118,8 @@ struct MtuDiscoveryConfig {
   std::size_t path_mtu{296};  ///< the discovered minimum along the route
   SimTime retransmit_timeout{50 * kMillisecond};
   int max_retransmits{8};
+  /// Adaptive RTO (Jacobson/Karn); `retransmit_timeout` seeds it.
+  RtoConfig rto{};
   std::function<void(std::vector<std::uint8_t>)> send_packet;
 };
 
@@ -121,7 +133,12 @@ class MtuDiscoverySender final : public PacketSink {
 
   void send_stream(std::span<const std::uint8_t> stream);
   void on_packet(SimPacket pkt) override;  ///< 5-byte ACKs: 'A' + seq
-  bool all_acked() const { return outstanding_.empty() && started_; }
+  /// Every PDU was acknowledged (giving up is failure, not success).
+  bool all_acked() const { return finished() && !failed(); }
+  bool finished() const { return outstanding_.empty() && started_; }
+  bool failed() const { return stats_.gave_up > 0; }
+
+  const RtoEstimator& rto() const { return rto_; }
 
   struct Stats {
     std::uint64_t pdus_sent{0};
@@ -137,12 +154,14 @@ class MtuDiscoverySender final : public PacketSink {
     std::vector<std::uint8_t> packet;
     int attempts{0};
     SimTime last_sent{0};
+    bool retransmitted{false};  ///< Karn: ACK RTT sample is ambiguous
   };
   void transmit(std::uint32_t seq, Pending& p);
   void arm_timer(std::uint32_t seq);
 
   Simulator& sim_;
   MtuDiscoveryConfig cfg_;
+  RtoEstimator rto_;
   std::map<std::uint32_t, Pending> outstanding_;
   bool started_{false};
   Stats stats_;

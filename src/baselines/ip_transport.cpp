@@ -76,7 +76,9 @@ RelayFn ip_fragment_relay(RelayStats* stats) {
 
 IpFragTransportSender::IpFragTransportSender(Simulator& sim,
                                              IpSenderConfig cfg)
-    : sim_(sim), cfg_(std::move(cfg)) {
+    : sim_(sim),
+      cfg_(std::move(cfg)),
+      rto_(cfg_.rto, cfg_.retransmit_timeout) {
   if (cfg_.obs != nullptr && cfg_.obs->metrics != nullptr) {
     MetricsRegistry& reg = *cfg_.obs->metrics;
     m_.datagrams_sent = &reg.counter("ip_sender.datagrams_sent");
@@ -116,6 +118,7 @@ void IpFragTransportSender::send_stream(
 void IpFragTransportSender::transmit(std::uint32_t id, Pending& p) {
   ++p.attempts;
   p.last_sent = sim_.now();
+  if (p.attempts > 1) p.retransmitted = true;
   const std::size_t body_per = cfg_.mtu - kIpFragHeaderBytes;
   std::size_t off = 0;
   while (off < p.datagram.size()) {
@@ -136,7 +139,9 @@ void IpFragTransportSender::transmit(std::uint32_t id, Pending& p) {
 
 void IpFragTransportSender::arm_timer(std::uint32_t id) {
   const SimTime armed_at = sim_.now();
-  sim_.schedule_in(cfg_.retransmit_timeout, [this, id, armed_at] {
+  const SimTime timeout =
+      cfg_.rto.adaptive ? rto_.rto() : cfg_.retransmit_timeout;
+  sim_.schedule_in(timeout, [this, id, armed_at] {
     auto it = outstanding_.find(id);
     if (it == outstanding_.end()) return;
     if (it->second.last_sent > armed_at) return;
@@ -146,6 +151,7 @@ void IpFragTransportSender::arm_timer(std::uint32_t id) {
       outstanding_.erase(it);
       return;
     }
+    rto_.on_timeout();
     ++stats_.retransmissions;
     obs_add(m_.retransmissions);
     transmit(id, it->second);
@@ -161,6 +167,8 @@ void IpFragTransportSender::on_packet(SimPacket pkt) {
   auto it = outstanding_.find(id);
   if (it == outstanding_.end()) return;
   if (kind == 'A') {
+    rto_.on_sample(sim_.now() - it->second.last_sent,
+                   it->second.retransmitted);
     ++stats_.datagrams_acked;
     outstanding_.erase(it);
   } else if (kind == 'N') {

@@ -25,6 +25,7 @@
 #include "src/netsim/router.hpp"
 #include "src/netsim/simulator.hpp"
 #include "src/reassembly/ip_reassembly.hpp"
+#include "src/transport/rto.hpp"
 
 namespace chunknet {
 
@@ -58,6 +59,8 @@ struct IpSenderConfig {
   std::size_t mtu{1500};
   SimTime retransmit_timeout{50 * kMillisecond};
   int max_retransmits{8};
+  /// Adaptive RTO (Jacobson/Karn); `retransmit_timeout` seeds it.
+  RtoConfig rto{};
   std::function<void(std::vector<std::uint8_t>)> send_packet;
   /// Observability (optional). Metric names prefixed "ip_sender.".
   ObsContext* obs{nullptr};
@@ -75,7 +78,13 @@ class IpFragTransportSender final : public PacketSink {
   /// Feedback: 5-byte ACK/NAK bodies ('A'|'N' + dgram id).
   void on_packet(SimPacket pkt) override;
 
-  bool all_acked() const { return outstanding_.empty() && started_; }
+  /// Every datagram was positively acknowledged (giving up is failure,
+  /// not success — see finished()/failed()).
+  bool all_acked() const { return finished() && !failed(); }
+  bool finished() const { return outstanding_.empty() && started_; }
+  bool failed() const { return stats_.gave_up > 0; }
+
+  const RtoEstimator& rto() const { return rto_; }
 
   struct Stats {
     std::uint64_t datagrams_sent{0};
@@ -93,6 +102,7 @@ class IpFragTransportSender final : public PacketSink {
     std::uint32_t stream_base{0};
     int attempts{0};
     SimTime last_sent{0};
+    bool retransmitted{false};  ///< Karn: ACK RTT sample is ambiguous
   };
   void transmit(std::uint32_t id, Pending& p);
   void arm_timer(std::uint32_t id);
@@ -107,6 +117,7 @@ class IpFragTransportSender final : public PacketSink {
 
   Simulator& sim_;
   IpSenderConfig cfg_;
+  RtoEstimator rto_;
   ObsHandles m_;
   std::map<std::uint32_t, Pending> outstanding_;
   std::uint32_t next_id_{1};

@@ -69,22 +69,13 @@ void Link::send(SimPacket pkt) {
   // Stripe across lanes round-robin (how parallel 155 Mbps ATM
   // connections aggregate to higher rates). Each lane serializes at
   // rate/lanes and adds its skew — the reordering generator.
-  const std::size_t lane = next_lane_;
-  next_lane_ = (next_lane_ + 1) % lane_free_at_.size();
-
-  const double lane_rate =
-      cfg_.rate_bps / static_cast<double>(lane_free_at_.size());
-  const SimTime tx = static_cast<SimTime>(
-      static_cast<double>(pkt.bytes.size()) * 8.0 / lane_rate * 1e9);
-  const SimTime start = std::max(sim_.now(), lane_free_at_[lane]);
-  lane_free_at_[lane] = start + tx;
-
-  SimTime arrive = start + tx + cfg_.prop_delay +
-                   static_cast<SimTime>(lane) * cfg_.lane_skew +
-                   lane_extra_skew_[lane];
+  const LaneSlot slot = occupy_lane(pkt.bytes.size());
+  SimTime arrive = slot.done + cfg_.prop_delay +
+                   static_cast<SimTime>(slot.lane) * cfg_.lane_skew +
+                   lane_extra_skew_[slot.lane];
   if (cfg_.jitter > 0) arrive += rng_.below(cfg_.jitter + 1);
 
-  trace(TraceEventKind::kLinkEnqueued, pkt, lane);
+  trace(TraceEventKind::kLinkEnqueued, pkt, slot.lane);
 
   const bool dup = rng_.chance(cfg_.dup_rate);
   deliver_copy(pkt, arrive);
@@ -92,8 +83,26 @@ void Link::send(SimPacket pkt) {
     ++stats_.duplicated;
     obs_add(m_.duplicated);
     trace(TraceEventKind::kLinkDuplicated, pkt);
-    deliver_copy(pkt, arrive + cfg_.prop_delay / 2 + rng_.below(kMillisecond));
+    // The duplicate is a real transmission: it occupies a lane for its
+    // full serialization time (duplicated traffic consumes capacity),
+    // then wanders in late via a longer path.
+    const LaneSlot dup_slot = occupy_lane(pkt.bytes.size());
+    const SimTime dup_arrive =
+        dup_slot.done + cfg_.prop_delay +
+        static_cast<SimTime>(dup_slot.lane) * cfg_.lane_skew +
+        lane_extra_skew_[dup_slot.lane] + cfg_.prop_delay / 2 +
+        rng_.below(kMillisecond);
+    deliver_copy(pkt, dup_arrive);
   }
+}
+
+Link::LaneSlot Link::occupy_lane(std::size_t bytes) {
+  const std::size_t lane = next_lane_;
+  next_lane_ = (next_lane_ + 1) % lane_free_at_.size();
+  const SimTime tx = serialize_time(bytes);
+  const SimTime start = std::max(sim_.now(), lane_free_at_[lane]);
+  lane_free_at_[lane] = start + tx;
+  return {lane, start + tx};
 }
 
 void Link::deliver_copy(const SimPacket& pkt, SimTime at) {

@@ -53,10 +53,23 @@ class Link {
   const LinkConfig& config() const { return cfg_; }
 
  private:
+  /// Time to clock `bytes` onto ONE lane: the aggregate rate is striped
+  /// evenly, so each lane serializes at rate/lanes. This is the single
+  /// serialization model — send() charges every transmitted copy
+  /// (original or duplicate) through occupy_lane(), which uses it.
   SimTime serialize_time(std::size_t bytes) const {
+    const double lane_rate =
+        cfg_.rate_bps / static_cast<double>(cfg_.lanes > 1 ? cfg_.lanes : 1);
     return static_cast<SimTime>(static_cast<double>(bytes) * 8.0 /
-                                cfg_.rate_bps * 1e9);
+                                lane_rate * 1e9);
   }
+  struct LaneSlot {
+    std::size_t lane;
+    SimTime done;  ///< when the last bit leaves the lane
+  };
+  /// Claims the next round-robin lane and occupies it for the packet's
+  /// serialization time; transmission starts when the lane is free.
+  LaneSlot occupy_lane(std::size_t bytes);
   void deliver_copy(const SimPacket& pkt, SimTime at);
   void maybe_flap();
   void trace(TraceEventKind kind, const SimPacket& pkt,

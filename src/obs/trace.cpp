@@ -16,7 +16,7 @@ constexpr const char* kKindNames[] = {
     "packet_received",    "malformed_packet",  "chunk_placed",
     "chunk_held",         "invariant_absorbed", "duplicate_rejected",
     "overlap_rejected",   "framing_rejected",  "tpdu_accepted",
-    "tpdu_rejected",      "chunk_skipped",
+    "tpdu_rejected",      "chunk_skipped",     "chunk_evicted",
 };
 constexpr std::size_t kKindCount =
     sizeof(kKindNames) / sizeof(kKindNames[0]);

@@ -40,6 +40,9 @@ enum class TraceEventKind : std::uint8_t {
   kChunkSkipped,        ///< parallel pipeline could not process the
                         ///< chunk (aux: 1 = non-data TYPE, 2 = SIZE
                         ///< not a multiple of 4)
+  kChunkEvicted,        ///< receiver cap pressure forced a held chunk
+                        ///< out early (aux: 1 = placed out of order,
+                        ///< 0 = dropped with its TPDU state)
 };
 
 const char* to_string(TraceEventKind k);

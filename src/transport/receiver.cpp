@@ -48,6 +48,9 @@ ChunkTransportReceiver::ChunkTransportReceiver(Simulator& sim,
     m_.tpdus_rejected = &reg.counter(p + "tpdus_rejected");
     m_.bus_bytes = &reg.counter(p + "bus_bytes");
     m_.bytes_placed = &reg.counter(p + "bytes_placed");
+    m_.tpdus_evicted = &reg.counter(p + "tpdus_evicted");
+    m_.held_chunks_evicted = &reg.counter(p + "held_chunks_evicted");
+    m_.held_bytes_evicted = &reg.counter(p + "held_bytes_evicted");
     m_.held_bytes = &reg.gauge(p + "held_bytes");
     m_.held_bytes_peak = &reg.gauge(p + "held_bytes_peak");
     m_.delivery_latency = &reg.histogram(p + "delivery_latency_ns");
@@ -167,6 +170,10 @@ void ChunkTransportReceiver::handle_data_chunk(const ChunkView& v,
     return;
   }
 
+  if (cfg_.max_open_tpdus > 0 && tpdus_.size() >= cfg_.max_open_tpdus &&
+      tpdus_.find(v.h.tpdu.id) == tpdus_.end()) {
+    evict_for_open_cap();
+  }
   TpduState& st = tpdus_[v.h.tpdu.id];
   if (st.elements == 0 && st.first_chunk_at == 0) {
     st.first_chunk_at = sim_.now();
@@ -228,6 +235,18 @@ void ChunkTransportReceiver::handle_data_chunk(const ChunkView& v,
                     packet_id);
         next_release_sn_ += v.h.len;
         release_in_order();
+      } else if (cfg_.max_held_bytes > 0 &&
+                 stats_.held_bytes_now + v.payload.size() >
+                     cfg_.max_held_bytes) {
+        // Cap pressure: force-place the whole queue (placement is
+        // position-keyed by C.SN, so out-of-order release keeps the
+        // application bytes exact) and this chunk with it, rather than
+        // let a loss burst grow the queue without bound.
+        flush_reorder_queue();
+        place_chunk(v.h, v.payload, packet_created_at, /*was_held=*/false,
+                    packet_id);
+        next_release_sn_ =
+            std::max(next_release_sn_, v.h.conn.sn + v.h.len);
       } else {
         // Overwrite any stale entry at this C.SN (a retransmission
         // after rejection must supersede the queued original, which may
@@ -241,6 +260,17 @@ void ChunkTransportReceiver::handle_data_chunk(const ChunkView& v,
       break;
     }
     case DeliveryMode::kReassemble:
+      if (cfg_.max_held_bytes > 0) {
+        while (stats_.held_bytes_now + v.payload.size() >
+               cfg_.max_held_bytes) {
+          const auto evicted = evict_oldest_holder();
+          if (!evicted) break;  // nothing held: cap below one chunk
+          // The incoming chunk's own TPDU was the oldest holder: its
+          // state (this chunk included) is gone; the sender's
+          // retransmission will start it clean.
+          if (*evicted == tpdu_id) return;
+        }
+      }
       hold_bytes(v.payload.size());
       trace_chunk(TraceEventKind::kChunkHeld, v.h, packet_id);
       st.held.push_back(HeldChunk{v.to_chunk(), packet_created_at,
@@ -293,6 +323,10 @@ void ChunkTransportReceiver::place_chunk(
 void ChunkTransportReceiver::handle_ed_chunk(const ChunkView& v) {
   ++stats_.ed_chunks;
   obs_add(m_.ed_chunks);
+  if (cfg_.max_open_tpdus > 0 && tpdus_.size() >= cfg_.max_open_tpdus &&
+      tpdus_.find(v.h.tpdu.id) == tpdus_.end()) {
+    evict_for_open_cap();
+  }
   TpduState& st = tpdus_[v.h.tpdu.id];
   if (st.first_chunk_at == 0) st.first_chunk_at = sim_.now();
   st.received_code = parse_ed_chunk(v);
@@ -304,16 +338,6 @@ void ChunkTransportReceiver::try_finish(std::uint32_t tpdu_id, TpduState& st) {
   if (st.finished || !st.received_code) return;
   if (!st.tracker.complete() && !st.framing_error) return;
 
-  // In reassemble mode the TPDU's data is physically released now.
-  if (cfg_.mode == DeliveryMode::kReassemble) {
-    for (const HeldChunk& hc : st.held) {
-      unhold_bytes(hc.chunk.payload.size());
-      place_chunk(hc.chunk.h, hc.chunk.payload, hc.packet_created_at,
-                  /*was_held=*/true, hc.packet_id);
-    }
-    st.held.clear();
-  }
-
   TpduVerdict verdict = TpduVerdict::kAccepted;
   if (st.framing_error || st.layout_error) {
     verdict = TpduVerdict::kReassemblyError;
@@ -321,6 +345,22 @@ void ChunkTransportReceiver::try_finish(std::uint32_t tpdu_id, TpduState& st) {
     verdict = TpduVerdict::kConsistencyFailure;
   } else if (!(st.invariant.value() == *st.received_code)) {
     verdict = TpduVerdict::kCodeMismatch;
+  }
+
+  // In reassemble mode the TPDU's data is physically released only if
+  // it passes. A rejected TPDU's held chunks may be misframed (e.g. a
+  // rewritten LEN inflating a chunk past its own TPDU's range) and
+  // would scribble over neighbours that already passed; the
+  // retransmission re-delivers the dropped bytes.
+  if (cfg_.mode == DeliveryMode::kReassemble) {
+    for (const HeldChunk& hc : st.held) {
+      unhold_bytes(hc.chunk.payload.size());
+      if (verdict == TpduVerdict::kAccepted) {
+        place_chunk(hc.chunk.h, hc.chunk.payload, hc.packet_created_at,
+                    /*was_held=*/true, hc.packet_id);
+      }
+    }
+    st.held.clear();
   }
 
   st.finished = true;
@@ -398,6 +438,73 @@ void ChunkTransportReceiver::fire_gap_nak(std::uint32_t tpdu_id) {
   ++st.gap_naks_sent;
   cfg_.send_control(make_signal_chunk(nak));
   arm_gap_nak_timer(tpdu_id, st);
+}
+
+void ChunkTransportReceiver::flush_reorder_queue() {
+  for (auto& [sn, hc] : reorder_queue_) {
+    unhold_bytes(hc.chunk.payload.size());
+    ++stats_.held_chunks_evicted;
+    stats_.held_bytes_evicted += hc.chunk.payload.size();
+    obs_add(m_.held_chunks_evicted);
+    obs_add(m_.held_bytes_evicted, hc.chunk.payload.size());
+    trace_chunk(TraceEventKind::kChunkEvicted, hc.chunk.h, hc.packet_id, 1);
+    place_chunk(hc.chunk.h, hc.chunk.payload, hc.packet_created_at,
+                /*was_held=*/true, hc.packet_id);
+    next_release_sn_ =
+        std::max(next_release_sn_, hc.chunk.h.conn.sn + hc.chunk.h.len);
+  }
+  reorder_queue_.clear();
+}
+
+std::optional<std::uint32_t> ChunkTransportReceiver::evict_oldest_holder() {
+  auto victim = tpdus_.end();
+  for (auto it = tpdus_.begin(); it != tpdus_.end(); ++it) {
+    if (it->second.finished || it->second.held.empty()) continue;
+    if (victim == tpdus_.end() ||
+        it->second.first_chunk_at < victim->second.first_chunk_at) {
+      victim = it;
+    }
+  }
+  if (victim == tpdus_.end()) return std::nullopt;
+  const std::uint32_t id = victim->first;
+  for (const HeldChunk& hc : victim->second.held) {
+    unhold_bytes(hc.chunk.payload.size());
+    ++stats_.held_chunks_evicted;
+    stats_.held_bytes_evicted += hc.chunk.payload.size();
+    obs_add(m_.held_chunks_evicted);
+    obs_add(m_.held_bytes_evicted, hc.chunk.payload.size());
+    trace_chunk(TraceEventKind::kChunkEvicted, hc.chunk.h, hc.packet_id, 0);
+  }
+  ++stats_.tpdus_evicted;
+  obs_add(m_.tpdus_evicted);
+  tpdus_.erase(victim);
+  return id;
+}
+
+void ChunkTransportReceiver::evict_for_open_cap() {
+  auto victim = tpdus_.end();
+  // Finished tombstones go first (they hold no data and exist only to
+  // absorb late duplicates); among equals, oldest first chunk.
+  for (auto it = tpdus_.begin(); it != tpdus_.end(); ++it) {
+    if (victim == tpdus_.end() ||
+        (it->second.finished && !victim->second.finished) ||
+        (it->second.finished == victim->second.finished &&
+         it->second.first_chunk_at < victim->second.first_chunk_at)) {
+      victim = it;
+    }
+  }
+  if (victim == tpdus_.end()) return;
+  for (const HeldChunk& hc : victim->second.held) {
+    unhold_bytes(hc.chunk.payload.size());
+    ++stats_.held_chunks_evicted;
+    stats_.held_bytes_evicted += hc.chunk.payload.size();
+    obs_add(m_.held_chunks_evicted);
+    obs_add(m_.held_bytes_evicted, hc.chunk.payload.size());
+    trace_chunk(TraceEventKind::kChunkEvicted, hc.chunk.h, hc.packet_id, 0);
+  }
+  ++stats_.tpdus_evicted;
+  obs_add(m_.tpdus_evicted);
+  tpdus_.erase(victim);
 }
 
 void ChunkTransportReceiver::abort_tpdu(std::uint32_t tpdu_id) {

@@ -86,6 +86,18 @@ struct ReceiverConfig {
   /// ones — "chunk headers can have different formats in different
   /// parts of the network".
   std::optional<CompressionProfile> compression;
+  /// Graceful-degradation cap on bytes held outside application memory
+  /// (reorder queue / reassemble holds). 0 = unbounded. Under pressure
+  /// the receiver EVICTS rather than grows: reorder mode force-places
+  /// the queue out of order (data stays byte-exact, ordering guarantee
+  /// degrades), reassemble mode aborts the oldest held TPDU (its
+  /// retransmission starts clean). Immediate mode holds nothing and
+  /// never evicts — the paper's point, stressed by bench E7/E11.
+  std::size_t max_held_bytes{0};
+  /// Cap on per-TPDU context entries (open + finished tombstones).
+  /// 0 = unbounded. Eviction prefers finished tombstones (oldest
+  /// first); evicting an unfinished TPDU aborts it.
+  std::size_t max_open_tpdus{0};
   /// Observability (optional). Metric names are prefixed with
   /// "receiver.<mode>." so runs in different delivery modes stay
   /// distinguishable in one registry.
@@ -147,6 +159,10 @@ class ChunkTransportReceiver final : public PacketSink {
     std::uint64_t bus_bytes{0};
     std::uint64_t held_bytes_peak{0};
     std::uint64_t held_bytes_now{0};
+    /// Graceful degradation (max_held_bytes / max_open_tpdus).
+    std::uint64_t tpdus_evicted{0};
+    std::uint64_t held_chunks_evicted{0};
+    std::uint64_t held_bytes_evicted{0};
     /// Per-element delivery latency samples (ns), packet creation to
     /// placement in application memory.
     std::vector<double> delivery_latency_ns;
@@ -190,6 +206,16 @@ class ChunkTransportReceiver final : public PacketSink {
                    std::uint64_t packet_id);
   void release_in_order();
   void try_finish(std::uint32_t tpdu_id, TpduState& st);
+  /// max_held_bytes pressure, reorder mode: force-places the whole
+  /// queue out of order and advances next_release_sn_ past it.
+  void flush_reorder_queue();
+  /// max_held_bytes pressure, reassemble mode: aborts the unfinished
+  /// TPDU with the oldest first chunk that holds bytes. Returns its id,
+  /// or nullopt when nothing is holding.
+  std::optional<std::uint32_t> evict_oldest_holder();
+  /// max_open_tpdus pressure: drops one context entry (finished
+  /// tombstones first, oldest first; else the oldest unfinished TPDU).
+  void evict_for_open_cap();
   void hold_bytes(std::uint64_t n);
   void unhold_bytes(std::uint64_t n);
   void trace_chunk(TraceEventKind kind, const ChunkHeader& h,
@@ -209,6 +235,9 @@ class ChunkTransportReceiver final : public PacketSink {
     Counter* tpdus_rejected{nullptr};
     Counter* bus_bytes{nullptr};
     Counter* bytes_placed{nullptr};
+    Counter* tpdus_evicted{nullptr};
+    Counter* held_chunks_evicted{nullptr};
+    Counter* held_bytes_evicted{nullptr};
     Gauge* held_bytes{nullptr};
     Gauge* held_bytes_peak{nullptr};
     Histogram* delivery_latency{nullptr};

@@ -10,7 +10,9 @@
 namespace chunknet {
 
 ChunkTransportSender::ChunkTransportSender(Simulator& sim, SenderConfig cfg)
-    : sim_(sim), cfg_(std::move(cfg)) {
+    : sim_(sim),
+      cfg_(std::move(cfg)),
+      rto_(cfg_.rto, cfg_.retransmit_timeout) {
   if (cfg_.obs != nullptr && cfg_.obs->metrics != nullptr) {
     MetricsRegistry& reg = *cfg_.obs->metrics;
     m_.tpdus_sent = &reg.counter("sender.tpdus_sent");
@@ -75,6 +77,7 @@ void ChunkTransportSender::transmit_tpdu(std::uint32_t tpdu_id,
   ++p.attempts;
   p.last_sent = sim_.now();
   if (p.attempts > 1) {
+    p.retransmitted = true;
     for (const Chunk& c : p.chunks) {
       if (c.h.type == ChunkType::kData) {
         stats_.retx_payload_bytes += c.payload.size();
@@ -88,7 +91,9 @@ void ChunkTransportSender::transmit_tpdu(std::uint32_t tpdu_id,
 
 void ChunkTransportSender::arm_timer(std::uint32_t tpdu_id) {
   const SimTime armed_at = sim_.now();
-  sim_.schedule_in(cfg_.retransmit_timeout, [this, tpdu_id, armed_at] {
+  const SimTime timeout =
+      cfg_.rto.adaptive ? rto_.rto() : cfg_.retransmit_timeout;
+  sim_.schedule_in(timeout, [this, tpdu_id, armed_at] {
     auto it = outstanding_.find(tpdu_id);
     if (it == outstanding_.end()) return;          // acked meanwhile
     if (it->second.last_sent > armed_at) return;   // newer timer pending
@@ -98,6 +103,7 @@ void ChunkTransportSender::arm_timer(std::uint32_t tpdu_id) {
       outstanding_.erase(it);
       return;
     }
+    rto_.on_timeout();
     ++stats_.retransmissions;
     obs_add(m_.retransmissions);
     transmit_tpdu(tpdu_id, it->second);
@@ -200,6 +206,7 @@ void ChunkTransportSender::handle_gap_nak(const Chunk& signal) {
   }
   if (resend.empty()) return;
   it->second.last_sent = sim_.now();  // quiet the whole-TPDU backstop
+  it->second.retransmitted = true;    // Karn: later ACK is ambiguous
   send_chunks(std::move(resend));
   arm_timer(nak->tpdu_id);
 }
@@ -217,6 +224,8 @@ void ChunkTransportSender::on_packet(SimPacket pkt) {
     auto it = outstanding_.find(ack.tpdu_id);
     if (it == outstanding_.end()) continue;
     if (ack.positive) {
+      rto_.on_sample(sim_.now() - it->second.last_sent,
+                     it->second.retransmitted);
       ++stats_.tpdus_acked;
       obs_add(m_.tpdus_acked);
       outstanding_.erase(it);

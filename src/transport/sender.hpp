@@ -25,6 +25,7 @@
 #include "src/netsim/simulator.hpp"
 #include "src/obs/obs.hpp"
 #include "src/transport/invariant.hpp"
+#include "src/transport/rto.hpp"
 
 namespace chunknet {
 
@@ -35,6 +36,10 @@ struct SenderConfig {
   InvariantConfig invariant{};
   SimTime retransmit_timeout{50 * kMillisecond};
   int max_retransmits{8};
+  /// Adaptive RTO (Jacobson/Karn). When `rto.adaptive` is set the
+  /// retransmission timer tracks measured RTT instead of the fixed
+  /// `retransmit_timeout` (which then only seeds the estimator).
+  RtoConfig rto{};
   /// Selective retransmission (extension): honour GapNak signal chunks
   /// by resending ONLY the missing element runs (chunks are cut to the
   /// exact gap boundaries with the Appendix-C split, so the receiver's
@@ -64,7 +69,16 @@ class ChunkTransportSender final : public PacketSink {
   /// Feedback channel: ACK/NAK chunks arrive here.
   void on_packet(SimPacket pkt) override;
 
-  bool all_acked() const { return outstanding_.empty() && started_; }
+  /// Every TPDU was positively acknowledged. A transfer that gave up
+  /// on a TPDU also drains `outstanding_`, so this is NOT merely
+  /// "nothing left to send" — see finished()/failed().
+  bool all_acked() const { return finished() && !failed(); }
+  /// The sender has no more work (every TPDU was acked OR abandoned).
+  bool finished() const { return outstanding_.empty() && started_; }
+  /// At least one TPDU was abandoned after max_retransmits.
+  bool failed() const { return stats_.gave_up > 0; }
+
+  const RtoEstimator& rto() const { return rto_; }
 
   struct Stats {
     std::uint64_t tpdus_sent{0};
@@ -85,6 +99,10 @@ class ChunkTransportSender final : public PacketSink {
     std::vector<Chunk> chunks;  ///< data chunks + ED chunk, original IDs
     int attempts{0};
     SimTime last_sent{0};
+    /// Any part of this TPDU was ever resent (timer or GapNak slice):
+    /// an ACK can no longer be matched to one transmission, so Karn's
+    /// rule discards its RTT sample.
+    bool retransmitted{false};
   };
 
   void transmit_tpdu(std::uint32_t tpdu_id, PendingTpdu& p);
@@ -108,6 +126,7 @@ class ChunkTransportSender final : public PacketSink {
 
   Simulator& sim_;
   SenderConfig cfg_;
+  RtoEstimator rto_;
   ObsHandles m_;
   std::map<std::uint32_t, PendingTpdu> outstanding_;
   bool started_{false};

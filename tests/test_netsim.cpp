@@ -161,6 +161,49 @@ TEST(Link, DuplicationDeliversTwice) {
   EXPECT_EQ(link.stats().duplicated, 1u);
 }
 
+TEST(Link, DuplicateChargedSerializationOnALane) {
+  // A duplicate is a real transmission: it must occupy a lane for its
+  // full serialization time, not materialize for free. With one lane
+  // the duplicate serializes strictly after the original, so it cannot
+  // arrive before 2×tx + propagation.
+  Simulator sim;
+  Rng rng(5);
+  CollectingSink sink(sim);
+  LinkConfig cfg;
+  cfg.rate_bps = 1e6;  // 1000 bytes -> 8 ms serialization
+  cfg.prop_delay = 1 * kMillisecond;
+  cfg.dup_rate = 1.0;
+  Link link(sim, cfg, sink, rng);
+  link.send(packet_of(sim, 1000));
+  sim.run();
+  ASSERT_EQ(sink.packets.size(), 2u);
+  const SimTime tx = 8 * kMillisecond;
+  EXPECT_EQ(sink.arrival_times[0], tx + cfg.prop_delay);
+  EXPECT_GE(sink.arrival_times[1], 2 * tx + cfg.prop_delay);
+}
+
+TEST(Link, SaturatedThroughputBoundedByRateDespiteDuplication) {
+  // Regression: duplicates used to bypass lane occupancy, letting a
+  // saturated link deliver ~2x its configured rate. Every delivered
+  // byte must be paid for in serialization time.
+  Simulator sim;
+  Rng rng(7);
+  CollectingSink sink(sim);
+  LinkConfig cfg;
+  cfg.rate_bps = 8e6;  // 1000 bytes -> 1 ms per copy
+  cfg.prop_delay = 0;
+  cfg.dup_rate = 1.0;  // doubles the offered byte count
+  Link link(sim, cfg, sink, rng);
+  for (int i = 0; i < 100; ++i) link.send(packet_of(sim, 1000));
+  sim.run();
+  EXPECT_EQ(link.stats().delivered, 200u);
+  const double seconds = static_cast<double>(sim.now()) / 1e9;
+  const double achieved_bps =
+      static_cast<double>(link.stats().bytes_delivered) * 8.0 / seconds;
+  EXPECT_LE(achieved_bps, cfg.rate_bps * 1.05);
+  EXPECT_GE(achieved_bps, cfg.rate_bps * 0.80);  // not absurdly slow either
+}
+
 TEST(Link, MultipathSkewReordersPackets) {
   // Eight parallel lanes with skew: packets striped round-robin arrive
   // out of order — the paper's SONET/ATM parallel-connection scenario.

@@ -1,0 +1,239 @@
+// Tests for the adaptive retransmission-timeout estimator: Jacobson
+// smoothing arithmetic, Karn's rule, exponential backoff with cap and
+// reset — plus end-to-end checks that an adaptive sender converges to
+// the path RTT instead of living on a hand-tuned constant.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/chunk/codec.hpp"
+#include "src/netsim/link.hpp"
+#include "src/netsim/simulator.hpp"
+#include "src/transport/receiver.hpp"
+#include "src/transport/rto.hpp"
+#include "src/transport/sender.hpp"
+
+namespace chunknet {
+namespace {
+
+RtoConfig adaptive_cfg() {
+  RtoConfig cfg;
+  cfg.adaptive = true;
+  return cfg;
+}
+
+TEST(RtoEstimator, UsesInitialRtoUntilFirstSample) {
+  RtoEstimator rto(adaptive_cfg(), 50 * kMillisecond);
+  EXPECT_FALSE(rto.has_estimate());
+  EXPECT_EQ(rto.rto(), 50 * kMillisecond);
+}
+
+TEST(RtoEstimator, InitialRtoClampedToBounds) {
+  RtoConfig cfg = adaptive_cfg();
+  cfg.min_rto = 10 * kMillisecond;
+  cfg.max_rto = 1 * kSecond;
+  EXPECT_EQ(RtoEstimator(cfg, 1).rto(), 10 * kMillisecond);
+  EXPECT_EQ(RtoEstimator(cfg, 10 * kSecond).rto(), 1 * kSecond);
+}
+
+TEST(RtoEstimator, FirstSampleSeedsSrttAndRttvar) {
+  // RFC-style seed: SRTT = R, RTTVAR = R/2, RTO = R + 4·(R/2) = 3R.
+  RtoEstimator rto(adaptive_cfg(), 1 * kSecond);
+  rto.on_sample(100 * kMillisecond, false);
+  EXPECT_TRUE(rto.has_estimate());
+  EXPECT_EQ(rto.srtt(), 100 * kMillisecond);
+  EXPECT_EQ(rto.rttvar(), 50 * kMillisecond);
+  EXPECT_EQ(rto.rto(), 300 * kMillisecond);
+}
+
+TEST(RtoEstimator, JacobsonSmoothingArithmetic) {
+  // Second sample R=200ms after a 100ms seed:
+  //   RTTVAR ← 0.75·50 + 0.25·|100−200| = 62.5 ms
+  //   SRTT   ← 0.875·100 + 0.125·200    = 112.5 ms
+  //   RTO    = 112.5 + 4·62.5           = 362.5 ms
+  RtoEstimator rto(adaptive_cfg(), 1 * kSecond);
+  rto.on_sample(100 * kMillisecond, false);
+  rto.on_sample(200 * kMillisecond, false);
+  EXPECT_EQ(rto.srtt(), static_cast<SimTime>(112.5 * 1e6));
+  EXPECT_EQ(rto.rttvar(), static_cast<SimTime>(62.5 * 1e6));
+  EXPECT_EQ(rto.rto(), static_cast<SimTime>(362.5 * 1e6));
+  EXPECT_EQ(rto.stats().samples_taken, 2u);
+}
+
+TEST(RtoEstimator, SteadyRttShrinksVariance) {
+  // A constant RTT should drive RTTVAR toward zero, so RTO converges
+  // down toward SRTT (bounded below by min_rto).
+  RtoEstimator rto(adaptive_cfg(), 1 * kSecond);
+  for (int i = 0; i < 200; ++i) rto.on_sample(40 * kMillisecond, false);
+  EXPECT_EQ(rto.srtt(), 40 * kMillisecond);
+  EXPECT_LT(rto.rttvar(), 1 * kMillisecond);
+  EXPECT_LT(rto.rto(), 45 * kMillisecond);
+}
+
+TEST(RtoEstimator, KarnRuleDiscardsRetransmittedSamples) {
+  RtoEstimator rto(adaptive_cfg(), 80 * kMillisecond);
+  rto.on_sample(500 * kMillisecond, /*retransmitted=*/true);
+  EXPECT_FALSE(rto.has_estimate());
+  EXPECT_EQ(rto.rto(), 80 * kMillisecond);  // untouched
+  EXPECT_EQ(rto.stats().samples_discarded, 1u);
+  EXPECT_EQ(rto.stats().samples_taken, 0u);
+}
+
+TEST(RtoEstimator, TimeoutsBackOffExponentiallyUpToCap) {
+  RtoConfig cfg = adaptive_cfg();
+  cfg.max_rto = 4 * kSecond;
+  RtoEstimator rto(cfg, 100 * kMillisecond);
+  EXPECT_EQ(rto.rto(), 100 * kMillisecond);
+  rto.on_timeout();
+  EXPECT_EQ(rto.rto(), 200 * kMillisecond);
+  rto.on_timeout();
+  EXPECT_EQ(rto.rto(), 400 * kMillisecond);
+  for (int i = 0; i < 20; ++i) rto.on_timeout();  // way past the cap
+  EXPECT_EQ(rto.rto(), 4 * kSecond);
+  EXPECT_EQ(rto.stats().backoffs, 22u);
+}
+
+TEST(RtoEstimator, ValidSampleResetsBackoff) {
+  RtoEstimator rto(adaptive_cfg(), 100 * kMillisecond);
+  rto.on_timeout();
+  rto.on_timeout();
+  EXPECT_EQ(rto.rto(), 400 * kMillisecond);
+  rto.on_sample(100 * kMillisecond, false);
+  EXPECT_EQ(rto.rto(), 300 * kMillisecond);  // 3R, no residual backoff
+}
+
+TEST(RtoEstimator, KarnDiscardedSampleKeepsBackoff) {
+  // An ambiguous ACK is not evidence the path is healthy: the backoff
+  // must survive it.
+  RtoEstimator rto(adaptive_cfg(), 100 * kMillisecond);
+  rto.on_timeout();
+  EXPECT_EQ(rto.rto(), 200 * kMillisecond);
+  rto.on_sample(100 * kMillisecond, /*retransmitted=*/true);
+  EXPECT_EQ(rto.rto(), 200 * kMillisecond);
+}
+
+TEST(RtoEstimator, RtoClampedToMinimum) {
+  RtoConfig cfg = adaptive_cfg();
+  cfg.min_rto = 5 * kMillisecond;
+  RtoEstimator rto(cfg, 100 * kMillisecond);
+  for (int i = 0; i < 50; ++i) rto.on_sample(100 * kMicrosecond, false);
+  EXPECT_GE(rto.rto(), 5 * kMillisecond);
+}
+
+// ------------------------------------------------------- end to end
+
+struct Harness {
+  Simulator sim;
+  Rng rng{1993};
+  std::unique_ptr<ChunkTransportReceiver> receiver;
+  std::unique_ptr<ChunkTransportSender> sender;
+  std::unique_ptr<Link> forward;
+  std::unique_ptr<Link> reverse;
+
+  Harness(LinkConfig fwd_cfg, RtoConfig rto, std::size_t stream_bytes,
+          SimTime fixed_timeout = 20 * kMillisecond) {
+    ReceiverConfig rc;
+    rc.connection_id = 7;
+    rc.app_buffer_bytes = stream_bytes;
+    rc.send_control = [this](Chunk ack) {
+      auto pkt = encode_packet(std::vector<Chunk>{std::move(ack)}, 1500);
+      SimPacket sp;
+      sp.bytes = std::move(pkt);
+      sp.id = sim.next_packet_id();
+      sp.created_at = sim.now();
+      reverse->send(std::move(sp));
+    };
+    receiver = std::make_unique<ChunkTransportReceiver>(sim, std::move(rc));
+    forward = std::make_unique<Link>(sim, fwd_cfg, *receiver, rng);
+
+    SenderConfig sc;
+    sc.framer.connection_id = 7;
+    sc.framer.tpdu_elements = 512;
+    sc.framer.xpdu_elements = 128;
+    sc.framer.max_chunk_elements = 64;
+    sc.mtu = fwd_cfg.mtu;
+    sc.retransmit_timeout = fixed_timeout;
+    sc.rto = rto;
+    sc.send_packet = [this](std::vector<std::uint8_t> bytes) {
+      SimPacket sp;
+      sp.bytes = std::move(bytes);
+      sp.id = sim.next_packet_id();
+      sp.created_at = sim.now();
+      forward->send(std::move(sp));
+    };
+    sender = std::make_unique<ChunkTransportSender>(sim, std::move(sc));
+
+    LinkConfig rev_cfg;
+    rev_cfg.prop_delay = fwd_cfg.prop_delay;
+    reverse = std::make_unique<Link>(sim, rev_cfg, *sender, rng);
+  }
+};
+
+std::vector<std::uint8_t> pattern(std::size_t n) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::uint8_t>((i * 2654435761u) >> 13);
+  }
+  return v;
+}
+
+TEST(AdaptiveRtoE2E, SamplesConvergeToPathRtt) {
+  // 10 ms each way: the estimator should learn an SRTT near 20 ms even
+  // though the configured fixed timeout is wildly wrong (2 s).
+  LinkConfig cfg;
+  cfg.mtu = 1500;
+  cfg.prop_delay = 10 * kMillisecond;
+  const auto stream = pattern(64 * 1024);
+  Harness h(cfg, adaptive_cfg(), stream.size(), /*fixed_timeout=*/2 * kSecond);
+  h.sender->send_stream(stream);
+  h.sim.run(30 * kSecond);
+
+  EXPECT_TRUE(h.sender->all_acked());
+  const auto& rto = h.sender->rto();
+  EXPECT_TRUE(rto.has_estimate());
+  EXPECT_GT(rto.stats().samples_taken, 0u);
+  EXPECT_GE(rto.srtt(), 20 * kMillisecond);
+  EXPECT_LT(rto.srtt(), 60 * kMillisecond);  // RTT + serialization, not 2 s
+}
+
+TEST(AdaptiveRtoE2E, SpuriousFixedTimeoutAvoidedByAdaptation) {
+  // On a 40 ms-RTT path, a 20 ms fixed timer retransmits every TPDU at
+  // least once; the adaptive sender (same initial 20 ms) learns better.
+  LinkConfig cfg;
+  cfg.mtu = 1500;
+  cfg.prop_delay = 20 * kMillisecond;
+  const auto stream = pattern(64 * 1024);
+
+  Harness fixed(cfg, RtoConfig{}, stream.size(), 20 * kMillisecond);
+  fixed.sender->send_stream(stream);
+  fixed.sim.run(30 * kSecond);
+
+  Harness adaptive(cfg, adaptive_cfg(), stream.size(), 20 * kMillisecond);
+  adaptive.sender->send_stream(stream);
+  adaptive.sim.run(30 * kSecond);
+
+  EXPECT_TRUE(fixed.sender->all_acked());
+  EXPECT_TRUE(adaptive.sender->all_acked());
+  EXPECT_GT(fixed.sender->stats().retransmissions, 0u);
+  EXPECT_LT(adaptive.sender->stats().retransmissions,
+            fixed.sender->stats().retransmissions);
+}
+
+TEST(AdaptiveRtoE2E, KarnSamplesDiscardedUnderLoss) {
+  LinkConfig cfg;
+  cfg.mtu = 1500;
+  cfg.loss_rate = 0.15;
+  const auto stream = pattern(64 * 1024);
+  Harness h(cfg, adaptive_cfg(), stream.size());
+  h.sender->send_stream(stream);
+  h.sim.run(60 * kSecond);
+
+  EXPECT_TRUE(h.sender->all_acked());
+  // With 15% loss some TPDUs retransmit, and their eventual ACKs must
+  // be discarded as ambiguous rather than poisoning the estimate.
+  EXPECT_GT(h.sender->rto().stats().samples_discarded, 0u);
+  EXPECT_GT(h.sender->rto().stats().samples_taken, 0u);
+}
+
+}  // namespace
+}  // namespace chunknet

@@ -38,7 +38,9 @@ TEST(SenderEdge, GivesUpAfterMaxRetransmits) {
   sim.run(10 * kSecond);
 
   EXPECT_EQ(sender.stats().gave_up, 1u);
-  EXPECT_TRUE(sender.all_acked());  // outstanding drained (by giving up)
+  EXPECT_TRUE(sender.finished());  // outstanding drained (by giving up)
+  EXPECT_TRUE(sender.failed());
+  EXPECT_FALSE(sender.all_acked());  // giving up is not delivery
   // initial + max_retransmits transmissions
   EXPECT_EQ(sender.stats().retransmissions, 3u);
 }
