@@ -1,0 +1,491 @@
+#include "src/chaos/harness.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "src/chunk/codec.hpp"
+#include "src/common/rng.hpp"
+#include "src/netsim/router.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/transport/sender.hpp"
+
+namespace chunknet {
+
+namespace {
+
+/// Deterministic stream content, independent of the run's Rng stream so
+/// the oracles can recompute any byte from (seed, index) alone.
+std::uint8_t stream_byte(std::uint64_t seed, std::size_t i) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (i + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return static_cast<std::uint8_t>(z >> 56);
+}
+
+LinkConfig to_link_config(const ChaosHop& h, ObsContext* obs,
+                          std::uint16_t site) {
+  LinkConfig cfg;
+  cfg.rate_bps = h.rate_bps;
+  cfg.prop_delay = h.prop_delay;
+  cfg.mtu = h.mtu;
+  cfg.loss_rate = h.loss_rate;
+  cfg.dup_rate = h.dup_rate;
+  cfg.jitter = h.jitter;
+  cfg.lanes = h.lanes;
+  cfg.lane_skew = h.lane_skew;
+  cfg.route_flap_interval = h.route_flap_interval;
+  cfg.obs = obs;
+  cfg.obs_site = site;
+  return cfg;
+}
+
+RelayFn make_relay(const ChaosHop& h, Rng& rng) {
+  switch (h.relay) {
+    case ChaosRelayKind::kTransparent: return transparent_relay();
+    case ChaosRelayKind::kRepack: return chunk_relay(RepackPolicy::kRepack);
+    case ChaosRelayKind::kReassembleRelay:
+      return chunk_relay(RepackPolicy::kReassemble);
+    case ChaosRelayKind::kRewriting: {
+      HeaderRewriteConfig cfg;
+      cfg.rewrite_rate = h.rewrite_rate;
+      cfg.field = h.rewrite_field;
+      return header_rewriting_relay(cfg, rng);
+    }
+  }
+  return transparent_relay();
+}
+
+std::string fmt(const char* f, std::uint64_t a) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, f, static_cast<unsigned long long>(a));
+  return buf;
+}
+
+std::string fmt(const char* f, std::uint64_t a, std::uint64_t b) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, f, static_cast<unsigned long long>(a),
+                static_cast<unsigned long long>(b));
+  return buf;
+}
+
+}  // namespace
+
+ChaosResult run_chaos(const ChaosScenario& sc) {
+  ChaosResult res;
+  Simulator sim;
+  // The run's randomness is a different stream than the generator's, so
+  // scenario knobs and link noise stay decoupled.
+  Rng rng(sc.seed ^ 0xC4A05C4A05ULL);
+  MetricsRegistry reg;
+  ObsContext obs{&reg, nullptr};
+
+  const std::size_t nbytes = sc.stream_bytes();
+  std::vector<std::uint8_t> stream(nbytes);
+  for (std::size_t i = 0; i < nbytes; ++i) stream[i] = stream_byte(sc.seed, i);
+
+  // ---- receiver
+  std::vector<TpduOutcome> outcomes;
+  ReceiverConfig rc;
+  rc.connection_id = 7;
+  rc.element_size = sc.element_size;
+  rc.first_conn_sn = sc.first_conn_sn;
+  rc.app_buffer_bytes = nbytes;
+  rc.mode = sc.mode;
+  rc.max_held_bytes = sc.max_held_bytes;
+  rc.max_open_tpdus = sc.max_open_tpdus;
+  rc.gap_nak_delay = sc.gap_nak_delay;
+  rc.max_gap_naks = sc.max_gap_naks;
+  rc.obs = &obs;
+  rc.on_tpdu = [&outcomes](const TpduOutcome& o) { outcomes.push_back(o); };
+
+  // ---- forward path, built back-to-front: the last hop delivers to
+  // the receiver; each earlier hop feeds a router applying that hop's
+  // relay; the fault injector sits right after the first hop.
+  const std::size_t nh = sc.hops.size();
+  std::vector<std::unique_ptr<Link>> links(nh);
+  std::vector<std::unique_ptr<Router>> routers;
+
+  // The reverse (ACK) link is wired up after the sender exists; the
+  // control lambda dereferences it at call time, never at capture time.
+  std::unique_ptr<Link> reverse;
+
+  rc.send_control = [&sim, &reverse](Chunk ack) {
+    auto pkt = encode_packet(std::vector<Chunk>{std::move(ack)}, 1500);
+    SimPacket sp;
+    sp.bytes = std::move(pkt);
+    sp.id = sim.next_packet_id();
+    sp.created_at = sim.now();
+    reverse->send(std::move(sp));
+  };
+  auto receiver =
+      std::make_unique<ChunkTransportReceiver>(sim, std::move(rc));
+
+  PacketSink* downstream = receiver.get();
+  for (std::size_t i = nh; i-- > 1;) {
+    links[i] = std::make_unique<Link>(
+        sim, to_link_config(sc.hops[i], &obs, static_cast<std::uint16_t>(i)),
+        *downstream, rng);
+    routers.push_back(std::make_unique<Router>(
+        sim, make_relay(sc.hops[i], rng), *links[i], &obs,
+        static_cast<std::uint16_t>(i)));
+    downstream = routers.back().get();
+  }
+
+  FaultConfig fc;
+  fc.gilbert_elliott = GilbertElliottConfig::with_mean_loss(
+      sc.fault_mean_loss, sc.fault_mean_burst);
+  fc.payload_flip_rate = sc.payload_flip_rate;
+  fc.header_flip_rate = sc.header_flip_rate;
+  fc.blackout_interval = sc.blackout_interval;
+  fc.blackout_duration = sc.blackout_duration;
+  fc.obs = &obs;
+  FaultInjector injector(sim, fc, *downstream, rng);
+
+  links[0] = std::make_unique<Link>(
+      sim, to_link_config(sc.hops[0], &obs, 0), injector, rng);
+
+  // ---- sender
+  SenderConfig sd;
+  sd.framer.connection_id = 7;
+  sd.framer.element_size = sc.element_size;
+  sd.framer.tpdu_elements = sc.tpdu_elements;
+  sd.framer.xpdu_elements = sc.xpdu_elements;
+  sd.framer.max_chunk_elements = sc.max_chunk_elements;
+  sd.framer.first_conn_sn = sc.first_conn_sn;
+  sd.mtu = sc.hops[0].mtu;
+  sd.max_retransmits = sc.max_retransmits;
+  sd.retransmit_timeout = sc.retransmit_timeout;
+  sd.rto.adaptive = sc.adaptive_rto;
+  sd.selective_retransmit = sc.selective_retransmit;
+  sd.obs = &obs;
+  sd.send_packet = [&sim, &links](std::vector<std::uint8_t> bytes) {
+    SimPacket sp;
+    sp.bytes = std::move(bytes);
+    sp.id = sim.next_packet_id();
+    sp.created_at = sim.now();
+    links[0]->send(std::move(sp));
+  };
+  auto sender = std::make_unique<ChunkTransportSender>(sim, std::move(sd));
+
+  LinkConfig rev_cfg;
+  rev_cfg.prop_delay = sc.hops[0].prop_delay;
+  rev_cfg.loss_rate = sc.ack_loss_rate;
+  reverse = std::make_unique<Link>(sim, rev_cfg, *sender, rng);
+
+  // ---- run to quiescence under the watchdog
+  sender->send_stream(stream);
+  sim.run(sc.watchdog);
+  res.sim_end = sim.now();
+
+  const auto& ss = sender->stats();
+  const auto gave_up = sender->gave_up_tpdus();
+  res.tpdus_gave_up = ss.gave_up;
+  res.retransmissions = ss.retransmissions;
+
+  // ---- oracle 4: no livelock / no retransmit storm
+  if (sim.pending()) {
+    res.fail("oracle-4: watchdog expired with events still pending "
+             "(livelock)");
+  }
+  if (!sender->finished()) {
+    res.fail("oracle-4: sender neither delivered nor abandoned every "
+             "TPDU at quiescence");
+  }
+  const std::uint64_t retx_budget =
+      ss.tpdus_sent * (static_cast<std::uint64_t>(sc.max_retransmits) + 1);
+  if (ss.retransmissions > retx_budget) {
+    res.fail(fmt("oracle-4: %llu retransmissions exceed the retry budget "
+                 "%llu (retransmit storm)",
+                 ss.retransmissions, retx_budget));
+  }
+
+  // ---- quiescence cleanup: the sender is done, so no unfinished
+  // receiver TPDU can ever complete. First abort what the sender
+  // abandoned, then — in scenarios whose faults can mint phantom TPDU
+  // ids (header corruption) or resurrect state past an evicted
+  // tombstone (duplication, open-cap eviction) — whatever garbage
+  // remains. In strict scenarios nothing may remain.
+  for (std::uint32_t id : gave_up) receiver->abort_tpdu(id);
+
+  bool strict_leak = !sc.corrupts_headers() && sc.max_open_tpdus == 0;
+  for (const ChaosHop& h : sc.hops) {
+    if (h.dup_rate > 0.0) strict_leak = false;
+  }
+  const auto leftovers = receiver->unfinished_tpdu_ids();
+  if (strict_leak && !leftovers.empty()) {
+    res.fail(fmt("oracle-3: %llu unfinished TPDU contexts remain after "
+                 "aborting the %llu given-up TPDUs",
+                 leftovers.size(), gave_up.size()));
+  }
+  for (std::uint32_t id : leftovers) receiver->abort_tpdu(id);
+
+  const auto& rs = receiver->stats();
+  res.tpdus_accepted = rs.tpdus_accepted;
+  res.tpdus_rejected = rs.tpdus_rejected;
+  res.data_chunks = rs.data_chunks;
+  res.acks_resent = rs.acks_resent;
+
+  // ---- oracle 3: no held state after cleanup
+  if (rs.held_bytes_now != 0) {
+    res.fail(fmt("oracle-3: %llu bytes still held after quiescence cleanup",
+                 rs.held_bytes_now));
+  }
+  if (receiver->reorder_queue_chunks() != 0) {
+    res.fail(fmt("oracle-3: %llu chunks still queued for reorder after "
+                 "quiescence cleanup",
+                 receiver->reorder_queue_chunks()));
+  }
+  if (receiver->unfinished_tpdus() != 0) {
+    res.fail(fmt("oracle-3: %llu unfinished TPDU contexts survived abort",
+                 receiver->unfinished_tpdus()));
+  }
+
+  // ---- oracle 2: conservation. Every data chunk the receiver triaged
+  // has exactly one disposition; with zero held after cleanup the
+  // balance must close exactly.
+  const std::uint64_t dispositions =
+      rs.framing_error_chunks + rs.duplicate_chunks + rs.overlap_chunks +
+      rs.chunks_placed + rs.oob_chunks + rs.dropped_unplaced_chunks;
+  if (rs.data_chunks != dispositions) {
+    res.fail(fmt("oracle-2: %llu data chunks vs %llu dispositions — the "
+                 "conservation balance does not close",
+                 rs.data_chunks, dispositions));
+  }
+  const auto& fs = injector.stats();
+  if (fs.offered !=
+      fs.delivered + fs.dropped_loss + fs.dropped_blackout) {
+    res.fail(fmt("oracle-2: fault injector offered %llu != delivered + "
+                 "dropped %llu",
+                 fs.offered,
+                 fs.delivered + fs.dropped_loss + fs.dropped_blackout));
+  }
+  if (ss.tpdus_sent != ss.tpdus_acked + ss.gave_up) {
+    res.fail(fmt("oracle-2: sender sent %llu TPDUs but acked+gave_up is "
+                 "%llu",
+                 ss.tpdus_sent, ss.tpdus_acked + ss.gave_up));
+  }
+  // Cross-check the PR 1 metrics registry against the struct counters:
+  // both views of the run must agree exactly.
+  const std::string p = std::string("receiver.") + to_string(sc.mode) + ".";
+  const struct {
+    const char* name;
+    std::uint64_t expect;
+  } reg_checks[] = {
+      {"data_chunks", rs.data_chunks},
+      {"chunks_placed", rs.chunks_placed},
+      {"dropped_unplaced_chunks", rs.dropped_unplaced_chunks},
+      {"dropped_unplaced_bytes", rs.dropped_unplaced_bytes},
+      {"duplicate_chunks", rs.duplicate_chunks},
+      {"tpdus_accepted", rs.tpdus_accepted},
+      {"tpdus_rejected", rs.tpdus_rejected},
+      {"acks_resent", rs.acks_resent},
+  };
+  for (const auto& c : reg_checks) {
+    const std::uint64_t v = reg.counter(p + c.name).value();
+    if (v != c.expect) {
+      res.fail(fmt((std::string("oracle-2: registry ") + p + c.name +
+                    " = %llu but receiver stats say %llu")
+                       .c_str(),
+                   v, c.expect));
+    }
+  }
+  if (reg.counter("sender.gave_up").value() != ss.gave_up) {
+    res.fail(fmt("oracle-2: registry sender.gave_up %llu != stats %llu",
+                 reg.counter("sender.gave_up").value(), ss.gave_up));
+  }
+  if (sc.adaptive_rto &&
+      reg.counter("sender.rto_backoffs").value() != ss.rto_backoffs) {
+    res.fail(fmt("oracle-2: registry sender.rto_backoffs %llu != stats "
+                 "%llu",
+                 reg.counter("sender.rto_backoffs").value(),
+                 ss.rto_backoffs));
+  }
+
+  // ---- oracle 1: truthful delivery. The sender reports every TPDU it
+  // did not give up on as delivered; each such TPDU must have been
+  // accepted by the receiver with exactly the transmitted bytes in
+  // application memory.
+  std::set<std::uint32_t> accepted_ids;
+  for (const TpduOutcome& o : outcomes) {
+    if (o.verdict == TpduVerdict::kAccepted) accepted_ids.insert(o.tpdu_id);
+  }
+  const std::set<std::uint32_t> gave_up_ids(gave_up.begin(), gave_up.end());
+  const std::uint32_t tpdu_count =
+      (sc.stream_elements + sc.tpdu_elements - 1) / sc.tpdu_elements;
+  const auto app = receiver->app_data();
+  for (std::uint32_t k = 0; k < tpdu_count; ++k) {
+    const std::uint32_t id = 1 + k;  // frame_stream's first_tpdu_id
+    if (gave_up_ids.count(id) != 0) continue;  // reported undelivered
+    if (accepted_ids.count(id) == 0) {
+      res.fail(fmt("oracle-1: TPDU %llu was positively acked but the "
+                   "receiver never reported it accepted",
+                   id));
+      continue;
+    }
+    const std::size_t lo =
+        static_cast<std::size_t>(k) * sc.tpdu_elements * sc.element_size;
+    const std::size_t hi =
+        std::min(nbytes, lo + static_cast<std::size_t>(sc.tpdu_elements) *
+                                  sc.element_size);
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (app[i] != stream[i]) {
+        res.fail(fmt("oracle-1: TPDU %llu reported delivered but byte %llu "
+                     "differs from the transmitted stream",
+                     id, i));
+        break;
+      }
+    }
+  }
+  if (gave_up.empty() && sender->all_acked()) {
+    if (!receiver->stream_complete(sc.stream_elements)) {
+      res.fail("oracle-1: every TPDU acked yet the element coverage map "
+               "reports the stream incomplete");
+    }
+  }
+
+  // ---- oracle 5: invariant soundness. Without any corruption source,
+  // arbitrary re-enveloping (splits, merges, repacking, disorder,
+  // loss-induced retransmission) must never produce a rejected TPDU or
+  // a NAK: WSC-2 over the fragmentation-invariant layout plus the SN
+  // consistency checks are exact under Appendix C/D transforms.
+  if (!sc.corrupts_anything()) {
+    if (rs.tpdus_rejected != 0) {
+      res.fail(fmt("oracle-5: %llu TPDUs rejected in a corruption-free "
+                   "scenario (false reject across re-enveloping)",
+                   rs.tpdus_rejected));
+    }
+    if (ss.naks != 0) {
+      res.fail(fmt("oracle-5: %llu NAKs in a corruption-free scenario",
+                   ss.naks));
+    }
+  }
+
+  return res;
+}
+
+// ------------------------------------------------------- minimization
+
+ChaosScenario minimize_scenario(const ChaosScenario& sc, int steps) {
+  using Pass = bool (*)(ChaosScenario&);
+  // Each pass tries one simplification; minimization keeps it only if
+  // the scenario still fails. Ordered most-destructive first so the
+  // greedy walk sheds whole subsystems before fiddling with rates.
+  static constexpr Pass passes[] = {
+      [](ChaosScenario& s) {
+        if (s.hops.size() <= 1) return false;
+        s.hops.resize(1);
+        return true;
+      },
+      [](ChaosScenario& s) {
+        bool changed = false;
+        for (ChaosHop& h : s.hops) {
+          if (h.relay != ChaosRelayKind::kTransparent) {
+            h.relay = ChaosRelayKind::kTransparent;
+            h.rewrite_rate = 0.0;
+            changed = true;
+          }
+        }
+        return changed;
+      },
+      [](ChaosScenario& s) {
+        if (s.blackout_interval == 0) return false;
+        s.blackout_interval = s.blackout_duration = 0;
+        return true;
+      },
+      [](ChaosScenario& s) {
+        if (s.header_flip_rate == 0.0) return false;
+        s.header_flip_rate = 0.0;
+        return true;
+      },
+      [](ChaosScenario& s) {
+        if (s.payload_flip_rate == 0.0) return false;
+        s.payload_flip_rate = 0.0;
+        return true;
+      },
+      [](ChaosScenario& s) {
+        if (s.fault_mean_loss == 0.0) return false;
+        s.fault_mean_loss = 0.0;
+        return true;
+      },
+      [](ChaosScenario& s) {
+        if (s.ack_loss_rate == 0.0) return false;
+        s.ack_loss_rate = 0.0;
+        return true;
+      },
+      [](ChaosScenario& s) {
+        bool changed = false;
+        for (ChaosHop& h : s.hops) {
+          if (h.loss_rate != 0.0 || h.dup_rate != 0.0 || h.jitter != 0 ||
+              h.route_flap_interval != 0) {
+            h.loss_rate = h.dup_rate = 0.0;
+            h.jitter = 0;
+            h.route_flap_interval = 0;
+            changed = true;
+          }
+        }
+        return changed;
+      },
+      [](ChaosScenario& s) {
+        bool changed = false;
+        for (ChaosHop& h : s.hops) {
+          if (h.lanes != 1) {
+            h.lanes = 1;
+            h.lane_skew = 0;
+            changed = true;
+          }
+        }
+        return changed;
+      },
+      [](ChaosScenario& s) {
+        if (!s.selective_retransmit && s.gap_nak_delay == 0) return false;
+        s.selective_retransmit = false;
+        s.gap_nak_delay = 0;
+        return true;
+      },
+      [](ChaosScenario& s) {
+        if (!s.adaptive_rto) return false;
+        s.adaptive_rto = false;
+        return true;
+      },
+      [](ChaosScenario& s) {
+        if (s.max_held_bytes == 0 && s.max_open_tpdus == 0) return false;
+        s.max_held_bytes = 0;
+        s.max_open_tpdus = 0;
+        return true;
+      },
+      [](ChaosScenario& s) {
+        if (s.first_conn_sn == 0) return false;
+        s.first_conn_sn = 0;
+        return true;
+      },
+      [](ChaosScenario& s) {
+        if (s.stream_elements <= 2 * s.tpdu_elements) return false;
+        s.stream_elements /= 2;
+        return true;
+      },
+  };
+
+  ChaosScenario best = sc;
+  if (run_chaos(best).ok) return best;  // nothing to minimize
+
+  bool progress = true;
+  while (progress && steps > 0) {
+    progress = false;
+    for (const Pass pass : passes) {
+      if (steps <= 0) break;
+      ChaosScenario candidate = best;
+      if (!pass(candidate)) continue;
+      --steps;
+      if (!run_chaos(candidate).ok) {
+        best = candidate;
+        progress = true;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace chunknet

@@ -1,0 +1,62 @@
+// The chaos harness: runs one ChaosScenario end-to-end and checks the
+// five robustness oracles.
+//
+//   1. Truthful delivery — every TPDU the receiver reported accepted
+//      has exactly the sender's bytes in application memory, and every
+//      TPDU is accounted for as accepted or given-up at quiescence.
+//   2. Conservation — chunk dispositions balance exactly: every data
+//      chunk the receiver triaged is placed, rejected by triage,
+//      out-of-buffer, dropped-unplaced, or still held — and the same
+//      numbers come back from the metrics registry.
+//   3. No held-state leak — after quiescence (and after aborting the
+//      TPDUs the sender gave up on) the receiver holds zero bytes, an
+//      empty reorder queue, and no unfinished TPDU state.
+//   4. No livelock — the event queue drains before the watchdog
+//      deadline and retransmission work is bounded by the configured
+//      retry budget.
+//   5. Invariant soundness — a corruption-free scenario must never
+//      reject a TPDU (WSC-2 over the fragmentation-invariant layout is
+//      exact across arbitrary re-enveloping chains); corrupting
+//      scenarios fall back to oracle 1 for no-false-accept.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/chaos/scenario.hpp"
+
+namespace chunknet {
+
+struct ChaosResult {
+  bool ok{true};
+  /// One line per violated oracle, prefixed "oracle-N:".
+  std::vector<std::string> failures;
+
+  // Run summary (for logs and tests).
+  std::uint64_t tpdus_accepted{0};
+  std::uint64_t tpdus_rejected{0};
+  std::uint64_t tpdus_gave_up{0};
+  std::uint64_t retransmissions{0};
+  std::uint64_t data_chunks{0};
+  std::uint64_t acks_resent{0};
+  SimTime sim_end{0};
+
+  void fail(std::string msg) {
+    ok = false;
+    failures.push_back(std::move(msg));
+  }
+};
+
+/// Runs the scenario to quiescence (or the watchdog) and evaluates all
+/// five oracles. Deterministic: the same scenario always returns the
+/// same result.
+ChaosResult run_chaos(const ChaosScenario& sc);
+
+/// Greedy scenario minimizer: repeatedly tries to disable features /
+/// shrink the workload while `run_chaos` still fails, and returns the
+/// smallest still-failing scenario. `steps` bounds the total number of
+/// candidate runs.
+ChaosScenario minimize_scenario(const ChaosScenario& sc, int steps = 64);
+
+}  // namespace chunknet

@@ -1,0 +1,130 @@
+// Seed-derived chaos scenarios.
+//
+// A ChaosScenario is a complete, self-contained description of one
+// randomized end-to-end run: the workload, the sender/receiver
+// configuration, a 1–3 hop topology (each hop with its own impairments
+// and relay behaviour), and a fault-injection schedule. Everything is
+// derived deterministically from one 64-bit master seed, so any failing
+// run replays bit-for-bit from `chaos_soak --replay <seed>` — the same
+// single-seed reproducibility contract the Rng header promises for the
+// benches, extended to whole adversarial scenarios.
+//
+// Scenarios also serialize to a human-readable key=value text form so a
+// minimized repro can be checked in under tests/chaos_repros/ and
+// replayed with --replay-file long after the generator's sampling
+// distribution has changed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/netsim/faults.hpp"
+#include "src/netsim/link.hpp"
+#include "src/netsim/simulator.hpp"
+#include "src/transport/receiver.hpp"
+
+namespace chunknet {
+
+/// What the router between two hops does to packets in flight.
+enum class ChaosRelayKind : std::uint8_t {
+  kTransparent = 0,  ///< forward unchanged (egress MTU drops oversize)
+  kRepack = 1,       ///< re-envelope chunks (Figure 4 method 2)
+  kReassembleRelay = 2,  ///< merge + re-envelope (Figure 4 method 3)
+  kRewriting = 3,    ///< misbehaving: rewrites one framing field
+};
+
+const char* to_string(ChaosRelayKind k);
+
+/// One hop of the forward path. The first hop has no relay in front of
+/// it (the sender injects straight into it); every later hop is fed by
+/// a router applying `relay`.
+struct ChaosHop {
+  double rate_bps{622e6};
+  SimTime prop_delay{1 * kMillisecond};
+  std::size_t mtu{1500};
+  double loss_rate{0.0};
+  double dup_rate{0.0};
+  SimTime jitter{0};
+  int lanes{1};
+  SimTime lane_skew{0};
+  SimTime route_flap_interval{0};
+  ChaosRelayKind relay{ChaosRelayKind::kTransparent};
+  double rewrite_rate{0.0};          ///< kRewriting only
+  ChunkField rewrite_field{ChunkField::kPayload};  ///< kRewriting only
+};
+
+struct ChaosScenario {
+  std::uint64_t seed{0};
+
+  // ---- workload
+  std::uint32_t stream_elements{4096};
+  std::uint16_t element_size{4};
+  std::uint32_t tpdu_elements{512};
+  std::uint32_t xpdu_elements{128};
+  std::uint16_t max_chunk_elements{64};
+  /// Near-wrap starts are sampled deliberately so every soak batch
+  /// exercises C.SN arithmetic across the 2^32 boundary.
+  std::uint32_t first_conn_sn{0};
+
+  // ---- sender
+  int max_retransmits{12};
+  SimTime retransmit_timeout{20 * kMillisecond};
+  bool adaptive_rto{false};
+  bool selective_retransmit{false};
+
+  // ---- receiver
+  DeliveryMode mode{DeliveryMode::kImmediate};
+  std::size_t max_held_bytes{0};
+  std::size_t max_open_tpdus{0};
+  SimTime gap_nak_delay{0};
+  int max_gap_naks{6};
+
+  // ---- fault injector (sits after the first hop)
+  double fault_mean_loss{0.0};
+  double fault_mean_burst{4.0};
+  double payload_flip_rate{0.0};
+  double header_flip_rate{0.0};
+  SimTime blackout_interval{0};
+  SimTime blackout_duration{0};
+
+  // ---- reverse (ACK) path
+  double ack_loss_rate{0.0};
+
+  std::vector<ChaosHop> hops{ChaosHop{}};
+
+  /// Simulator watchdog: a run still holding events at this simulated
+  /// time is declared livelocked (oracle 4).
+  SimTime watchdog{600 * kSecond};
+
+  /// True when some fault source can corrupt chunk HEADERS in flight
+  /// (bit flips in the header region or a framing-field-rewriting
+  /// relay). Such scenarios are only byte-exact-safe in kReassemble
+  /// delivery (immediate/reorder place data before the verdict — the
+  /// documented E11c trade-off), and the generator constrains them so.
+  bool corrupts_headers() const;
+  /// True when any source can corrupt bytes at all (headers or
+  /// payload); corruption-free scenarios must see zero rejected TPDUs
+  /// (oracle 5: no false rejects across arbitrary re-enveloping).
+  bool corrupts_anything() const;
+
+  std::size_t stream_bytes() const {
+    return static_cast<std::size_t>(stream_elements) * element_size;
+  }
+};
+
+/// Derives a full scenario from a master seed. Always returns a
+/// scenario whose oracle set is expected to hold (e.g. header-corrupting
+/// faults force kReassemble delivery).
+ChaosScenario make_scenario(std::uint64_t seed);
+
+/// Human-readable `key = value` serialization (one key per line,
+/// hops as hopN.field). Round-trips through parse_scenario_text.
+std::string to_text(const ChaosScenario& sc);
+
+/// Parses the to_text form. Unknown keys are errors (a repro file must
+/// mean what it says); missing keys keep their defaults.
+std::optional<ChaosScenario> parse_scenario_text(const std::string& text);
+
+}  // namespace chunknet

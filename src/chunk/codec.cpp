@@ -89,8 +89,14 @@ DecodeStatus decode_chunk_view(ByteReader& r, ChunkView& out) {
   out.h.tpdu.st = (flags & kFlagTst) != 0;
   out.h.xpdu.st = (flags & kFlagXst) != 0;
   if (out.h.size == 0 || out.h.len == 0) return DecodeStatus::kError;
-  const std::size_t payload = static_cast<std::size_t>(out.h.size) * out.h.len;
-  out.payload = r.bytes(payload);
+  // The declared extent is LEN·SIZE. Compute it in 64 bits and compare
+  // against the bytes actually present BEFORE forming a std::size_t, so
+  // a hostile header can neither wrap the product on 32-bit targets nor
+  // drive the reader past a truncated tail (fuzzer regression).
+  const std::uint64_t payload = static_cast<std::uint64_t>(out.h.size) *
+                                static_cast<std::uint64_t>(out.h.len);
+  if (payload > r.remaining()) return DecodeStatus::kError;
+  out.payload = r.bytes(static_cast<std::size_t>(payload));
   if (!r.ok()) return DecodeStatus::kError;
   return DecodeStatus::kOk;
 }

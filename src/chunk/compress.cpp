@@ -204,8 +204,13 @@ DecompressedPacket decompress_packet(std::span<const std::uint8_t> bytes,
     c.h.xpdu.st = (tag & kTagXst) != 0;
 
     if (!r.ok() || c.h.size == 0 || c.h.len == 0) return result;
-    const auto view =
-        r.bytes(static_cast<std::size_t>(c.h.size) * c.h.len);
+    // 64-bit extent, checked against the bytes present, so a hostile
+    // LEN·SIZE can neither wrap on 32-bit targets nor over-read a
+    // truncated tail (mirrors decode_chunk_view).
+    const std::uint64_t extent = static_cast<std::uint64_t>(c.h.size) *
+                                 static_cast<std::uint64_t>(c.h.len);
+    if (extent > r.remaining()) return result;
+    const auto view = r.bytes(static_cast<std::size_t>(extent));
     if (!r.ok()) return result;
     c.payload.assign(view.begin(), view.end());
 

@@ -4,7 +4,12 @@ namespace chunknet {
 
 PieceVerdict PduTracker::add(std::uint32_t sn, std::uint32_t len, bool stop) {
   if (len == 0) return PieceVerdict::kDuplicate;
-  const std::uint32_t last = sn + len - 1;
+  // 64-bit: a hostile piece at sn near 2^32 must not wrap `last` back
+  // below the stop position and dodge the after-stop check.
+  const std::uint64_t last = static_cast<std::uint64_t>(sn) + len - 1;
+  // SNs are 32-bit on the wire: a piece whose final element would sit
+  // past 2^32−1 cannot have been framed by any sender — misframing.
+  if (last > 0xFFFFFFFFull) return PieceVerdict::kAfterStop;
 
   if (stop_) {
     if (last > *stop_) return PieceVerdict::kAfterStop;
@@ -17,7 +22,7 @@ PieceVerdict PduTracker::add(std::uint32_t sn, std::uint32_t len, bool stop) {
                          ~std::uint64_t{0})) {
       return PieceVerdict::kStopConflict;
     }
-    stop_ = last;
+    stop_ = static_cast<std::uint32_t>(last);  // ≤ 2^32−1, checked above
   }
 
   switch (seen_.add(sn, static_cast<std::uint64_t>(sn) + len)) {

@@ -8,13 +8,18 @@ bool TpduInvariant::absorb(const ChunkHeader& h,
   if (h.size % 4 != 0) return false;  // data must be 32-bit symbols
 
   const std::uint32_t words_per_element = h.size / 4;
-  const std::uint32_t first_symbol = h.tpdu.sn * words_per_element;
-  const std::uint32_t symbol_count =
-      static_cast<std::uint32_t>(h.len) * words_per_element;
+  // A hostile T.SN can wrap 32-bit position arithmetic and slip a chunk
+  // past the layout bound (the wrapped product lands back inside
+  // [0, max_data_symbols)); do the extent check in 64 bits so rejection
+  // is decided on the true positions (fuzzer regression).
+  const std::uint64_t first_symbol =
+      static_cast<std::uint64_t>(h.tpdu.sn) * words_per_element;
+  const std::uint64_t symbol_count =
+      static_cast<std::uint64_t>(h.len) * words_per_element;
   if (first_symbol + symbol_count > cfg_.max_data_symbols) return false;
 
   // --- payload words at their fragmentation-invariant positions.
-  acc_.add_words(first_symbol, payload);
+  acc_.add_words(static_cast<std::uint32_t>(first_symbol), payload);
 
   // --- once-per-TPDU constants. T.ID and C.ID are identical in every
   // chunk of the TPDU, so encoding them on first contact is equivalent
@@ -38,6 +43,8 @@ bool TpduInvariant::absorb(const ChunkHeader& h,
   // pair is encoded once, with the X.ST value inside, so X.ST
   // corruption is detectable even then.
   if (h.xpdu.st || h.tpdu.st) {
+    // In range after the 64-bit extent check above (t < max_data_symbols),
+    // so the 32-bit pair-position arithmetic cannot wrap.
     const std::uint32_t last_element_sn = h.tpdu.sn + h.len - 1;
     const std::uint32_t t = last_element_sn * words_per_element;
     const std::uint32_t pair_pos = 2 * t + base + 3;

@@ -30,8 +30,7 @@ ChunkTransportReceiver::ChunkTransportReceiver(Simulator& sim,
                                                ReceiverConfig cfg)
     : sim_(sim),
       cfg_(std::move(cfg)),
-      app_buffer_(cfg_.app_buffer_bytes, 0),
-      next_release_sn_(cfg_.first_conn_sn) {
+      app_buffer_(cfg_.app_buffer_bytes, 0) {
   if (cfg_.obs != nullptr && cfg_.obs->metrics != nullptr) {
     MetricsRegistry& reg = *cfg_.obs->metrics;
     const std::string p =
@@ -46,6 +45,11 @@ ChunkTransportReceiver::ChunkTransportReceiver(Simulator& sim,
     m_.framing_error_chunks = &reg.counter(p + "framing_error_chunks");
     m_.tpdus_accepted = &reg.counter(p + "tpdus_accepted");
     m_.tpdus_rejected = &reg.counter(p + "tpdus_rejected");
+    m_.acks_resent = &reg.counter(p + "acks_resent");
+    m_.chunks_placed = &reg.counter(p + "chunks_placed");
+    m_.oob_chunks = &reg.counter(p + "oob_chunks");
+    m_.dropped_unplaced_chunks = &reg.counter(p + "dropped_unplaced_chunks");
+    m_.dropped_unplaced_bytes = &reg.counter(p + "dropped_unplaced_bytes");
     m_.bus_bytes = &reg.counter(p + "bus_bytes");
     m_.bytes_placed = &reg.counter(p + "bytes_placed");
     m_.tpdus_evicted = &reg.counter(p + "tpdus_evicted");
@@ -158,6 +162,15 @@ void ChunkTransportReceiver::unhold_bytes(std::uint64_t n) {
   obs_add(m_.held_bytes, -static_cast<std::int64_t>(n));
 }
 
+void ChunkTransportReceiver::drop_unplaced(std::size_t payload_bytes,
+                                           bool was_held) {
+  if (was_held) unhold_bytes(payload_bytes);
+  ++stats_.dropped_unplaced_chunks;
+  stats_.dropped_unplaced_bytes += payload_bytes;
+  obs_add(m_.dropped_unplaced_chunks);
+  obs_add(m_.dropped_unplaced_bytes, payload_bytes);
+}
+
 void ChunkTransportReceiver::handle_data_chunk(const ChunkView& v,
                                                SimTime packet_created_at,
                                                std::uint64_t packet_id) {
@@ -225,15 +238,21 @@ void ChunkTransportReceiver::handle_data_chunk(const ChunkView& v,
                   packet_id);
       break;
     case DeliveryMode::kReorder: {
-      if (v.h.conn.sn < next_release_sn_) {
+      // All ordering decisions happen in stream-offset space (wrapping
+      // distance from first_conn_sn), never on raw C.SN: a connection
+      // whose SNs cross the 2^32 boundary mid-stream would otherwise
+      // see post-wrap chunks compare "before" the release point and be
+      // re-placed out of turn (wraparound audit).
+      const std::uint64_t off = stream_offset(v.h.conn.sn);
+      if (off < next_release_off_) {
         // Retransmission of stream range already released (the original
         // TPDU was rejected): re-place directly, it cannot be queued.
         place_chunk(v.h, v.payload, packet_created_at, /*was_held=*/false,
                     packet_id);
-      } else if (v.h.conn.sn == next_release_sn_) {
+      } else if (off == next_release_off_) {
         place_chunk(v.h, v.payload, packet_created_at, /*was_held=*/false,
                     packet_id);
-        next_release_sn_ += v.h.len;
+        next_release_off_ += v.h.len;
         release_in_order();
       } else if (cfg_.max_held_bytes > 0 &&
                  stats_.held_bytes_now + v.payload.size() >
@@ -245,17 +264,24 @@ void ChunkTransportReceiver::handle_data_chunk(const ChunkView& v,
         flush_reorder_queue();
         place_chunk(v.h, v.payload, packet_created_at, /*was_held=*/false,
                     packet_id);
-        next_release_sn_ =
-            std::max(next_release_sn_, v.h.conn.sn + v.h.len);
+        next_release_off_ = std::max(next_release_off_, off + v.h.len);
       } else {
-        // Overwrite any stale entry at this C.SN (a retransmission
+        // Overwrite any stale entry at this offset (a retransmission
         // after rejection must supersede the queued original, which may
-        // be the corrupted copy that caused the rejection).
+        // be the corrupted copy that caused the rejection). The
+        // superseded copy is dropped unplaced — and its bytes un-held —
+        // so both hold accounting and the conservation balance close.
         trace_chunk(TraceEventKind::kChunkHeld, v.h, packet_id);
-        const auto [it, inserted] = reorder_queue_.insert_or_assign(
-            v.h.conn.sn, HeldChunk{v.to_chunk(), packet_created_at,
-                                   packet_id});
-        if (inserted) hold_bytes(it->second.chunk.payload.size());
+        if (const auto it = reorder_queue_.find(off);
+            it != reorder_queue_.end()) {
+          drop_unplaced(it->second.chunk.payload.size(), /*was_held=*/true);
+          it->second = HeldChunk{v.to_chunk(), packet_created_at, packet_id};
+          hold_bytes(it->second.chunk.payload.size());
+        } else {
+          const auto [ins, _] = reorder_queue_.emplace(
+              off, HeldChunk{v.to_chunk(), packet_created_at, packet_id});
+          hold_bytes(ins->second.chunk.payload.size());
+        }
       }
       break;
     }
@@ -267,8 +293,12 @@ void ChunkTransportReceiver::handle_data_chunk(const ChunkView& v,
           if (!evicted) break;  // nothing held: cap below one chunk
           // The incoming chunk's own TPDU was the oldest holder: its
           // state (this chunk included) is gone; the sender's
-          // retransmission will start it clean.
-          if (*evicted == tpdu_id) return;
+          // retransmission will start it clean. The chunk itself was
+          // triaged-accepted above, so account its disposition.
+          if (*evicted == tpdu_id) {
+            drop_unplaced(v.payload.size(), /*was_held=*/false);
+            return;
+          }
         }
       }
       hold_bytes(v.payload.size());
@@ -283,12 +313,28 @@ void ChunkTransportReceiver::handle_data_chunk(const ChunkView& v,
 
 void ChunkTransportReceiver::release_in_order() {
   auto it = reorder_queue_.begin();
-  while (it != reorder_queue_.end() && it->first == next_release_sn_) {
+  while (it != reorder_queue_.end()) {
+    const std::uint64_t off = it->first;
+    const std::uint64_t end = off + it->second.chunk.h.len;
+    if (end <= next_release_off_) {
+      // Fully covered by data already placed: a larger retransmitted
+      // chunk (or a direct re-placement) advanced the release point
+      // past this entry, e.g. a GapNak slice queued alongside the
+      // original. Without this branch the entry sits below the release
+      // point forever — a held-state leak.
+      drop_unplaced(it->second.chunk.payload.size(), /*was_held=*/true);
+      it = reorder_queue_.erase(it);
+      continue;
+    }
+    if (off > next_release_off_) break;
+    // off ≤ next_release_off_ < end: due (a partial overlap re-writes
+    // the already-placed prefix with identical bytes — placement is
+    // position-keyed).
     unhold_bytes(it->second.chunk.payload.size());
     place_chunk(it->second.chunk.h, it->second.chunk.payload,
                 it->second.packet_created_at,
                 /*was_held=*/true, it->second.packet_id);
-    next_release_sn_ += it->second.chunk.h.len;
+    next_release_off_ = end;
     it = reorder_queue_.erase(it);
   }
 }
@@ -296,9 +342,16 @@ void ChunkTransportReceiver::release_in_order() {
 void ChunkTransportReceiver::place_chunk(
     const ChunkHeader& h, std::span<const std::uint8_t> payload,
     SimTime packet_created_at, bool was_held, std::uint64_t packet_id) {
-  const std::uint64_t element_off = h.conn.sn - cfg_.first_conn_sn;
+  const std::uint64_t element_off = stream_offset(h.conn.sn);
   const std::uint64_t byte_off = element_off * cfg_.element_size;
-  if (byte_off + payload.size() > app_buffer_.size()) return;
+  if (byte_off + payload.size() > app_buffer_.size()) {
+    ++stats_.oob_chunks;
+    obs_add(m_.oob_chunks);
+    return;
+  }
+  ++stats_.chunks_placed;
+  stats_.bytes_placed += payload.size();
+  obs_add(m_.chunks_placed);
 
   std::copy(payload.begin(), payload.end(),
             app_buffer_.begin() + static_cast<std::ptrdiff_t>(byte_off));
@@ -328,6 +381,20 @@ void ChunkTransportReceiver::handle_ed_chunk(const ChunkView& v) {
     evict_for_open_cap();
   }
   TpduState& st = tpdus_[v.h.tpdu.id];
+  if (st.finished) {
+    // Finished tombstones exist only for ACCEPTED TPDUs (rejected state
+    // is erased). A re-arriving ED chunk means our positive ACK was
+    // lost: the sender is still retransmitting a TPDU we delivered.
+    // Re-ACK so it stops — otherwise it retries to give-up and the
+    // delivery report turns falsely negative (chaos oracle 1/4).
+    if (cfg_.send_control) {
+      ++stats_.acks_resent;
+      obs_add(m_.acks_resent);
+      cfg_.send_control(
+          make_ack_chunk(cfg_.connection_id, v.h.tpdu.id, /*accepted=*/true));
+    }
+    return;
+  }
   if (st.first_chunk_at == 0) st.first_chunk_at = sim_.now();
   st.received_code = parse_ed_chunk(v);
   arm_gap_nak_timer(v.h.tpdu.id, st);
@@ -354,10 +421,12 @@ void ChunkTransportReceiver::try_finish(std::uint32_t tpdu_id, TpduState& st) {
   // retransmission re-delivers the dropped bytes.
   if (cfg_.mode == DeliveryMode::kReassemble) {
     for (const HeldChunk& hc : st.held) {
-      unhold_bytes(hc.chunk.payload.size());
       if (verdict == TpduVerdict::kAccepted) {
+        unhold_bytes(hc.chunk.payload.size());
         place_chunk(hc.chunk.h, hc.chunk.payload, hc.packet_created_at,
                     /*was_held=*/true, hc.packet_id);
+      } else {
+        drop_unplaced(hc.chunk.payload.size(), /*was_held=*/true);
       }
     }
     st.held.clear();
@@ -441,7 +510,7 @@ void ChunkTransportReceiver::fire_gap_nak(std::uint32_t tpdu_id) {
 }
 
 void ChunkTransportReceiver::flush_reorder_queue() {
-  for (auto& [sn, hc] : reorder_queue_) {
+  for (auto& [off, hc] : reorder_queue_) {
     unhold_bytes(hc.chunk.payload.size());
     ++stats_.held_chunks_evicted;
     stats_.held_bytes_evicted += hc.chunk.payload.size();
@@ -450,8 +519,7 @@ void ChunkTransportReceiver::flush_reorder_queue() {
     trace_chunk(TraceEventKind::kChunkEvicted, hc.chunk.h, hc.packet_id, 1);
     place_chunk(hc.chunk.h, hc.chunk.payload, hc.packet_created_at,
                 /*was_held=*/true, hc.packet_id);
-    next_release_sn_ =
-        std::max(next_release_sn_, hc.chunk.h.conn.sn + hc.chunk.h.len);
+    next_release_off_ = std::max(next_release_off_, off + hc.chunk.h.len);
   }
   reorder_queue_.clear();
 }
@@ -468,7 +536,7 @@ std::optional<std::uint32_t> ChunkTransportReceiver::evict_oldest_holder() {
   if (victim == tpdus_.end()) return std::nullopt;
   const std::uint32_t id = victim->first;
   for (const HeldChunk& hc : victim->second.held) {
-    unhold_bytes(hc.chunk.payload.size());
+    drop_unplaced(hc.chunk.payload.size(), /*was_held=*/true);
     ++stats_.held_chunks_evicted;
     stats_.held_bytes_evicted += hc.chunk.payload.size();
     obs_add(m_.held_chunks_evicted);
@@ -495,7 +563,7 @@ void ChunkTransportReceiver::evict_for_open_cap() {
   }
   if (victim == tpdus_.end()) return;
   for (const HeldChunk& hc : victim->second.held) {
-    unhold_bytes(hc.chunk.payload.size());
+    drop_unplaced(hc.chunk.payload.size(), /*was_held=*/true);
     ++stats_.held_chunks_evicted;
     stats_.held_bytes_evicted += hc.chunk.payload.size();
     obs_add(m_.held_chunks_evicted);
@@ -508,12 +576,52 @@ void ChunkTransportReceiver::evict_for_open_cap() {
 }
 
 void ChunkTransportReceiver::abort_tpdu(std::uint32_t tpdu_id) {
-  auto it = tpdus_.find(tpdu_id);
-  if (it == tpdus_.end()) return;
-  for (const HeldChunk& hc : it->second.held) {
-    unhold_bytes(hc.chunk.payload.size());
+  // No early-out on a missing context entry: a rejected-then-abandoned
+  // TPDU was already erased by try_finish, but its chunks may still sit
+  // in the reorder queue below.
+  if (auto it = tpdus_.find(tpdu_id); it != tpdus_.end()) {
+    for (const HeldChunk& hc : it->second.held) {
+      drop_unplaced(hc.chunk.payload.size(), /*was_held=*/true);
+    }
+    tpdus_.erase(it);
   }
-  tpdus_.erase(it);
+  if (cfg_.mode != DeliveryMode::kReorder) return;
+  // Purge the aborted TPDU's queued chunks (they can never be released
+  // in order now), then skip the permanent hole the abort leaves: the
+  // sender will not resend this stream range, so anything queued behind
+  // it would otherwise wait forever (held-state leak). Placement is
+  // position-keyed, so releasing past the hole keeps bytes exact — the
+  // same ordering-degradation contract as flush_reorder_queue().
+  for (auto q = reorder_queue_.begin(); q != reorder_queue_.end();) {
+    if (q->second.chunk.h.tpdu.id == tpdu_id) {
+      drop_unplaced(q->second.chunk.payload.size(), /*was_held=*/true);
+      q = reorder_queue_.erase(q);
+    } else {
+      ++q;
+    }
+  }
+  if (!reorder_queue_.empty() &&
+      next_release_off_ < reorder_queue_.begin()->first) {
+    next_release_off_ = reorder_queue_.begin()->first;
+    release_in_order();
+  }
+}
+
+std::size_t ChunkTransportReceiver::unfinished_tpdus() const {
+  std::size_t n = 0;
+  for (const auto& [id, st] : tpdus_) {
+    if (!st.finished) ++n;
+  }
+  return n;
+}
+
+std::vector<std::uint32_t> ChunkTransportReceiver::unfinished_tpdu_ids()
+    const {
+  std::vector<std::uint32_t> ids;
+  for (const auto& [id, st] : tpdus_) {
+    if (!st.finished) ids.push_back(id);
+  }
+  return ids;
 }
 
 }  // namespace chunknet

@@ -153,6 +153,20 @@ class ChunkTransportReceiver final : public PacketSink {
     std::uint64_t framing_error_chunks{0};
     std::uint64_t tpdus_accepted{0};
     std::uint64_t tpdus_rejected{0};
+    /// Positive ACKs re-sent for an already-finished TPDU whose ED
+    /// chunk arrived again (the original ACK was lost in the network);
+    /// without this the sender retransmits a delivered TPDU to death.
+    std::uint64_t acks_resent{0};
+    /// Chunk disposition (mutually exclusive, for conservation checks):
+    /// every data chunk that passes framing/duplicate/overlap triage
+    /// ends up placed, out-of-range, dropped unplaced, or still held.
+    std::uint64_t chunks_placed{0};
+    std::uint64_t bytes_placed{0};
+    std::uint64_t oob_chunks{0};  ///< placement outside the app buffer
+    /// Held/queued chunks dropped without ever being placed: a rejected
+    /// TPDU's holds, reassemble-mode evictions, and aborts.
+    std::uint64_t dropped_unplaced_chunks{0};
+    std::uint64_t dropped_unplaced_bytes{0};
     /// Bytes moved across the memory bus in the data path. Immediate
     /// placement moves each byte once (interface → app memory); held
     /// bytes move twice (interface → hold buffer → app memory).
@@ -170,8 +184,16 @@ class ChunkTransportReceiver final : public PacketSink {
   const Stats& stats() const { return stats_; }
 
   /// Drops state of TPDUs that can no longer complete (sender gave
-  /// up). Used by long-running simulations to bound memory.
+  /// up). Used by long-running simulations to bound memory. Purges the
+  /// TPDU's held chunks AND its reorder-queue entries; the dropped data
+  /// is counted under dropped_unplaced_* so conservation still closes.
   void abort_tpdu(std::uint32_t tpdu_id);
+
+  /// State-leak probes for post-quiescence checks (chaos oracles).
+  std::size_t open_tpdus() const { return tpdus_.size(); }
+  std::size_t unfinished_tpdus() const;
+  std::vector<std::uint32_t> unfinished_tpdu_ids() const;
+  std::size_t reorder_queue_chunks() const { return reorder_queue_.size(); }
 
  private:
   struct HeldChunk {
@@ -207,7 +229,7 @@ class ChunkTransportReceiver final : public PacketSink {
   void release_in_order();
   void try_finish(std::uint32_t tpdu_id, TpduState& st);
   /// max_held_bytes pressure, reorder mode: force-places the whole
-  /// queue out of order and advances next_release_sn_ past it.
+  /// queue out of order and advances next_release_off_ past it.
   void flush_reorder_queue();
   /// max_held_bytes pressure, reassemble mode: aborts the unfinished
   /// TPDU with the oldest first chunk that holds bytes. Returns its id,
@@ -218,6 +240,10 @@ class ChunkTransportReceiver final : public PacketSink {
   void evict_for_open_cap();
   void hold_bytes(std::uint64_t n);
   void unhold_bytes(std::uint64_t n);
+  /// Counts a triaged-accepted chunk discarded without ever being
+  /// placed (rejection, eviction, abort, supersession); releases its
+  /// hold accounting when it was held.
+  void drop_unplaced(std::size_t payload_bytes, bool was_held);
   void trace_chunk(TraceEventKind kind, const ChunkHeader& h,
                    std::uint64_t packet_id, std::uint64_t aux = 0) const;
   void trace_packet(TraceEventKind kind, std::uint64_t packet_id) const;
@@ -233,6 +259,11 @@ class ChunkTransportReceiver final : public PacketSink {
     Counter* framing_error_chunks{nullptr};
     Counter* tpdus_accepted{nullptr};
     Counter* tpdus_rejected{nullptr};
+    Counter* acks_resent{nullptr};
+    Counter* chunks_placed{nullptr};
+    Counter* oob_chunks{nullptr};
+    Counter* dropped_unplaced_chunks{nullptr};
+    Counter* dropped_unplaced_bytes{nullptr};
     Counter* bus_bytes{nullptr};
     Counter* bytes_placed{nullptr};
     Counter* tpdus_evicted{nullptr};
@@ -252,9 +283,18 @@ class ChunkTransportReceiver final : public PacketSink {
   std::vector<std::uint8_t> app_buffer_;
   IntervalSet app_coverage_;  ///< element-granular, relative to first_conn_sn
   std::map<std::uint32_t, TpduState> tpdus_;
-  /// kReorder mode: chunks waiting for their turn, keyed by C.SN.
-  std::map<std::uint32_t, HeldChunk> reorder_queue_;
-  std::uint32_t next_release_sn_;
+  /// kReorder mode: chunks waiting for their turn, keyed by the
+  /// chunk's stream offset — the wrapping 32-bit distance from
+  /// first_conn_sn, widened to 64 bits. Ordering in offset space stays
+  /// correct when C.SN wraps past 2^32 mid-connection; ordering in raw
+  /// C.SN space does not.
+  std::map<std::uint64_t, HeldChunk> reorder_queue_;
+  std::uint64_t next_release_off_{0};
+  /// Stream offset of a data chunk: wrapping distance from the
+  /// connection's first C.SN.
+  std::uint64_t stream_offset(std::uint32_t conn_sn) const {
+    return static_cast<std::uint32_t>(conn_sn - cfg_.first_conn_sn);
+  }
   Stats stats_;
 };
 

@@ -24,6 +24,9 @@ ChunkTransportSender::ChunkTransportSender(Simulator& sim, SenderConfig cfg)
     m_.bytes_sent = &reg.counter("sender.bytes_sent");
     m_.gap_naks_honoured = &reg.counter("sender.gap_naks_honoured");
     m_.retx_payload_bytes = &reg.counter("sender.retx_payload_bytes");
+    m_.rto_samples = &reg.counter("sender.rto_samples");
+    m_.rto_discarded = &reg.counter("sender.rto_discarded");
+    m_.rto_backoffs = &reg.counter("sender.rto_backoffs");
   }
 }
 
@@ -100,10 +103,13 @@ void ChunkTransportSender::arm_timer(std::uint32_t tpdu_id) {
     if (it->second.attempts > cfg_.max_retransmits) {
       ++stats_.gave_up;
       obs_add(m_.gave_up);
+      gave_up_ids_.push_back(tpdu_id);
       outstanding_.erase(it);
       return;
     }
     rto_.on_timeout();
+    ++stats_.rto_backoffs;
+    obs_add(m_.rto_backoffs);
     ++stats_.retransmissions;
     obs_add(m_.retransmissions);
     transmit_tpdu(tpdu_id, it->second);
@@ -226,6 +232,15 @@ void ChunkTransportSender::on_packet(SimPacket pkt) {
     if (ack.positive) {
       rto_.on_sample(sim_.now() - it->second.last_sent,
                      it->second.retransmitted);
+      // Karn's rule: an ACK for a retransmitted TPDU is ambiguous, so
+      // the estimator discarded that sample.
+      if (it->second.retransmitted) {
+        ++stats_.rto_discarded;
+        obs_add(m_.rto_discarded);
+      } else {
+        ++stats_.rto_samples;
+        obs_add(m_.rto_samples);
+      }
       ++stats_.tpdus_acked;
       obs_add(m_.tpdus_acked);
       outstanding_.erase(it);
@@ -236,6 +251,7 @@ void ChunkTransportSender::on_packet(SimPacket pkt) {
       if (it->second.attempts > cfg_.max_retransmits) {
         ++stats_.gave_up;
         obs_add(m_.gave_up);
+        gave_up_ids_.push_back(ack.tpdu_id);
         outstanding_.erase(it);
         continue;
       }

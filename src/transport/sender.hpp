@@ -80,6 +80,14 @@ class ChunkTransportSender final : public PacketSink {
 
   const RtoEstimator& rto() const { return rto_; }
 
+  /// TPDU ids abandoned after max_retransmits, in give-up order. The
+  /// chaos conservation/leak oracles use this to tell the receiver to
+  /// abort matching held state and to exclude these TPDUs from the
+  /// truthful-delivery check.
+  const std::vector<std::uint32_t>& gave_up_tpdus() const {
+    return gave_up_ids_;
+  }
+
   struct Stats {
     std::uint64_t tpdus_sent{0};
     std::uint64_t tpdus_acked{0};
@@ -91,6 +99,11 @@ class ChunkTransportSender final : public PacketSink {
     std::uint64_t gap_naks_honoured{0};
     std::uint64_t selective_retx_elements{0};
     std::uint64_t retx_payload_bytes{0};  ///< payload resent (any kind)
+    /// Adaptive-RTO bookkeeping: RTT samples fed to the estimator,
+    /// samples discarded by Karn's rule, and timeout backoffs.
+    std::uint64_t rto_samples{0};
+    std::uint64_t rto_discarded{0};
+    std::uint64_t rto_backoffs{0};
   };
   const Stats& stats() const { return stats_; }
 
@@ -122,6 +135,9 @@ class ChunkTransportSender final : public PacketSink {
     Counter* bytes_sent{nullptr};
     Counter* gap_naks_honoured{nullptr};
     Counter* retx_payload_bytes{nullptr};
+    Counter* rto_samples{nullptr};
+    Counter* rto_discarded{nullptr};
+    Counter* rto_backoffs{nullptr};
   };
 
   Simulator& sim_;
@@ -129,6 +145,7 @@ class ChunkTransportSender final : public PacketSink {
   RtoEstimator rto_;
   ObsHandles m_;
   std::map<std::uint32_t, PendingTpdu> outstanding_;
+  std::vector<std::uint32_t> gave_up_ids_;
   bool started_{false};
   Stats stats_;
 };

@@ -1,0 +1,236 @@
+// Sequence-number wraparound audit: the 32-bit C.SN space is finite,
+// and a long-lived connection (or one that simply starts near the top)
+// crosses the 2^32 boundary mid-stream. Everything that maps SNs to
+// positions must do so in wrapping *offset* space (uint32 subtraction
+// from first_conn_sn, widened to 64 bits), never in raw SN space:
+// ordering, placement, the reorder queue, GapNak runs, and the SN
+// consistency deltas.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/chunk/codec.hpp"
+#include "src/common/interval_set.hpp"
+#include "src/netsim/link.hpp"
+#include "src/netsim/simulator.hpp"
+#include "src/reassembly/virtual_reassembly.hpp"
+#include "src/transport/invariant.hpp"
+#include "src/transport/receiver.hpp"
+#include "src/transport/sender.hpp"
+
+namespace chunknet {
+namespace {
+
+// ------------------------------------------------------- interval set
+
+TEST(Wraparound, IntervalSetIsExactAroundTheU32Boundary) {
+  // The set itself is 64-bit; the receiver feeds it stream offsets that
+  // may straddle exactly 2^32 when first_conn_sn is high. The boundary
+  // must not be special in any way.
+  const std::uint64_t wrap = 1ull << 32;
+  IntervalSet s;
+  EXPECT_EQ(s.add(wrap - 10, wrap + 10), IntervalSet::AddResult::kNew);
+  EXPECT_TRUE(s.covers(wrap - 10, wrap + 10));
+  EXPECT_EQ(s.add(wrap - 5, wrap + 5), IntervalSet::AddResult::kDuplicate);
+  EXPECT_EQ(s.add(wrap + 5, wrap + 20), IntervalSet::AddResult::kOverlap);
+  EXPECT_EQ(s.covered(), 30u);
+
+  const auto gaps = s.gaps_within(wrap - 20, wrap + 30);
+  ASSERT_EQ(gaps.size(), 2u);
+  EXPECT_EQ(gaps[0], std::make_pair(wrap - 20, wrap - 10));
+  EXPECT_EQ(gaps[1], std::make_pair(wrap + 20, wrap + 30));
+}
+
+TEST(Wraparound, IntervalSetNearTheU64Top) {
+  // Offsets can never legitimately reach 2^64 (stream offsets are a
+  // uint32 distance times a uint16 element size), but the structure
+  // must stay sane if handed extreme values.
+  const std::uint64_t top = ~0ull;
+  IntervalSet s;
+  EXPECT_EQ(s.add(top - 100, top), IntervalSet::AddResult::kNew);
+  EXPECT_TRUE(s.covers(top - 100, top));
+  EXPECT_FALSE(s.covers(top - 101, top));
+  EXPECT_EQ(s.first_gap(), 0u);
+}
+
+// ------------------------------------------------- consistency deltas
+
+TEST(Wraparound, SnConsistencyDeltaSurvivesTheWrap) {
+  // (C.SN − T.SN) is a wrapping 32-bit difference. A TPDU whose C.SNs
+  // cross 2^32 while its T.SNs stay small keeps the same wrapped delta,
+  // and the checker must agree.
+  SnConsistencyChecker chk;
+  ChunkHeader h;
+  h.size = 4;
+  h.len = 16;
+  h.conn = {1, 0xFFFFFFF0u, false};
+  h.tpdu = {1, 0, false};
+  h.xpdu = {1, 0, false};
+  EXPECT_TRUE(chk.check(h));
+
+  h.conn.sn = 0xFFFFFFF0u + 16;  // wraps to 0
+  h.tpdu.sn = 16;
+  h.xpdu.sn = 16;
+  EXPECT_TRUE(chk.check(h));
+  EXPECT_TRUE(chk.consistent());
+
+  // A genuinely diverged delta across the wrap must still be caught.
+  h.conn.sn = 42;  // should be 32 for delta constancy
+  h.tpdu.sn = 32;
+  h.xpdu.sn = 32;
+  EXPECT_FALSE(chk.check(h));
+  EXPECT_FALSE(chk.consistent());
+}
+
+// --------------------------------------------------- tracker hostility
+
+TEST(Wraparound, PduTrackerRejectsRunsProjectingPastU32) {
+  // T.SN + LEN overflowing 2^32 cannot be legitimate (T.SN space is per
+  // TPDU and far smaller); it must be classified as corrupt framing,
+  // not wrapped into low positions where it could shadow real data.
+  PduTracker t;
+  EXPECT_EQ(t.add(0xFFFFFFFFu, 2, false), PieceVerdict::kAfterStop);
+  EXPECT_EQ(t.add(0xFFFFFFF0u, 0xFFFF, false), PieceVerdict::kAfterStop);
+  // ...and a sane near-top run is still tracked exactly.
+  EXPECT_EQ(t.add(0xFFFFFF00u, 16, false), PieceVerdict::kAccept);
+  EXPECT_EQ(t.add(0xFFFFFF00u, 16, false), PieceVerdict::kDuplicate);
+}
+
+// ------------------------------------------------------ full transport
+
+struct WrapHarness {
+  Simulator sim;
+  Rng rng{1993};
+  std::unique_ptr<ChunkTransportReceiver> receiver;
+  std::unique_ptr<ChunkTransportSender> sender;
+  std::unique_ptr<Link> forward;
+  std::unique_ptr<Link> reverse;
+
+  WrapHarness(DeliveryMode mode, std::uint32_t first_conn_sn,
+              std::size_t stream_bytes, LinkConfig fwd_cfg,
+              SimTime gap_nak_delay = 0) {
+    ReceiverConfig rc;
+    rc.connection_id = 7;
+    rc.element_size = 4;
+    rc.first_conn_sn = first_conn_sn;
+    rc.mode = mode;
+    rc.app_buffer_bytes = stream_bytes;
+    rc.gap_nak_delay = gap_nak_delay;
+    rc.send_control = [this](Chunk ack) {
+      auto pkt = encode_packet(std::vector<Chunk>{std::move(ack)}, 1500);
+      SimPacket sp;
+      sp.bytes = std::move(pkt);
+      sp.id = sim.next_packet_id();
+      sp.created_at = sim.now();
+      reverse->send(std::move(sp));
+    };
+    receiver = std::make_unique<ChunkTransportReceiver>(sim, std::move(rc));
+
+    forward = std::make_unique<Link>(sim, fwd_cfg, *receiver, rng);
+
+    SenderConfig sc;
+    sc.framer.connection_id = 7;
+    sc.framer.element_size = 4;
+    sc.framer.tpdu_elements = 512;
+    sc.framer.xpdu_elements = 128;
+    sc.framer.max_chunk_elements = 64;
+    sc.framer.first_conn_sn = first_conn_sn;
+    sc.mtu = fwd_cfg.mtu;
+    sc.retransmit_timeout = 20 * kMillisecond;
+    sc.selective_retransmit = gap_nak_delay != 0;
+    sc.send_packet = [this](std::vector<std::uint8_t> bytes) {
+      SimPacket sp;
+      sp.bytes = std::move(bytes);
+      sp.id = sim.next_packet_id();
+      sp.created_at = sim.now();
+      forward->send(std::move(sp));
+    };
+    sender = std::make_unique<ChunkTransportSender>(sim, std::move(sc));
+
+    LinkConfig rev_cfg;
+    rev_cfg.prop_delay = 1 * kMillisecond;
+    reverse = std::make_unique<Link>(sim, rev_cfg, *sender, rng);
+  }
+};
+
+std::vector<std::uint8_t> pattern(std::size_t n) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::uint8_t>((i * 2654435761u) >> 13);
+  }
+  return v;
+}
+
+class WrapTransfer : public ::testing::TestWithParam<DeliveryMode> {};
+
+TEST_P(WrapTransfer, CleanTransferCrossesTheWrapByteExact) {
+  const auto stream = pattern(32 * 1024);  // 8192 elements
+  // Start 1000 elements below the boundary: the wrap lands mid-stream,
+  // inside the third TPDU.
+  const std::uint32_t first = 0xFFFFFFFFu - 1000u + 1u;
+  LinkConfig cfg;
+  cfg.mtu = 1500;
+  WrapHarness h(GetParam(), first, stream.size(), cfg);
+  h.sender->send_stream(stream);
+  h.sim.run();
+
+  EXPECT_TRUE(h.sender->all_acked());
+  EXPECT_TRUE(h.receiver->stream_complete(stream.size() / 4));
+  EXPECT_TRUE(std::equal(stream.begin(), stream.end(),
+                         h.receiver->app_data().begin()));
+  EXPECT_EQ(h.receiver->stats().tpdus_rejected, 0u);
+  EXPECT_EQ(h.receiver->stats().oob_chunks, 0u);
+}
+
+TEST_P(WrapTransfer, LossyDisorderedTransferCrossesTheWrap) {
+  const auto stream = pattern(32 * 1024);
+  const std::uint32_t first = 0xFFFFFFFFu - 4000u;
+  LinkConfig cfg;
+  cfg.mtu = 1500;
+  cfg.loss_rate = 0.25;
+  cfg.lanes = 4;
+  cfg.lane_skew = 300 * kMicrosecond;
+  WrapHarness h(GetParam(), first, stream.size(), cfg,
+                /*gap_nak_delay=*/10 * kMillisecond);
+  h.sender->send_stream(stream);
+  h.sim.run();
+
+  EXPECT_GT(h.forward->stats().lost, 0u);  // the loss actually bit
+  EXPECT_TRUE(h.sender->all_acked());
+  EXPECT_TRUE(h.receiver->stream_complete(stream.size() / 4));
+  EXPECT_TRUE(std::equal(stream.begin(), stream.end(),
+                         h.receiver->app_data().begin()));
+  // Retransmission happened (the point of the lossy run) yet nothing
+  // was misplaced across the boundary.
+  EXPECT_GT(h.sender->stats().retransmissions, 0u);
+  EXPECT_EQ(h.receiver->stats().oob_chunks, 0u);
+}
+
+TEST_P(WrapTransfer, StreamEndingExactlyAtTheBoundary) {
+  // The final element's SN is 0xFFFFFFFF; the *next* SN (never sent)
+  // would be 0. Completion accounting must not wrap into believing
+  // element 0 is pending.
+  const auto stream = pattern(4096 * 4);
+  const std::uint32_t first = 0xFFFFFFFFu - 4096u + 1u;
+  LinkConfig cfg;
+  cfg.mtu = 1500;
+  WrapHarness h(GetParam(), first, stream.size(), cfg);
+  h.sender->send_stream(stream);
+  h.sim.run();
+
+  EXPECT_TRUE(h.sender->all_acked());
+  EXPECT_TRUE(h.receiver->stream_complete(4096));
+  EXPECT_TRUE(std::equal(stream.begin(), stream.end(),
+                         h.receiver->app_data().begin()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, WrapTransfer,
+                         ::testing::Values(DeliveryMode::kImmediate,
+                                           DeliveryMode::kReorder,
+                                           DeliveryMode::kReassemble),
+                         [](const auto& param_info) {
+                           return std::string(to_string(param_info.param));
+                         });
+
+}  // namespace
+}  // namespace chunknet

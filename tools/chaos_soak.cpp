@@ -1,0 +1,247 @@
+// chaos_soak — seed-replayable robustness soak for the chunk transport.
+//
+// Modes (combinable; default is a 256-scenario soak plus a fuzz pass):
+//   --seeds N          soak N generated scenarios (default 256)
+//   --seed-base B      first master seed (default 1)
+//   --replay SEED      run exactly one scenario, verbosely
+//   --replay-file F    run a scenario from its checked-in text form
+//   --fuzz N           run N structure-aware codec fuzz iterations
+//   --fuzz-seed S      fuzzer RNG seed (default 1)
+//   --corpus PATH      corpus file or directory of *.hex files to replay
+//                      before fuzzing (repeatable)
+//   --repro-dir DIR    where failing repros are written
+//                      (default tests/chaos_repros)
+//
+// Every failure prints a one-line replay command; scenario failures are
+// additionally minimized and written to the repro dir as a text file
+// that replays via --replay-file long after the generator changes.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/chaos/fuzz.hpp"
+#include "src/chaos/harness.hpp"
+#include "src/chaos/scenario.hpp"
+
+namespace {
+
+using namespace chunknet;
+
+struct Options {
+  std::uint64_t seeds = 256;
+  std::uint64_t seed_base = 1;
+  std::uint64_t fuzz_iters = 0;
+  std::uint64_t fuzz_seed = 1;
+  bool soak = true;  // cleared when an explicit single mode is chosen
+  std::vector<std::uint64_t> replay_seeds;
+  std::vector<std::string> replay_files;
+  std::vector<std::string> corpus_paths;
+  std::string repro_dir = "tests/chaos_repros";
+};
+
+void print_result(std::uint64_t seed, const ChaosResult& r) {
+  std::printf(
+      "seed %llu: %s  accepted=%llu rejected=%llu gave_up=%llu "
+      "retx=%llu data_chunks=%llu acks_resent=%llu sim_end=%.3fs\n",
+      static_cast<unsigned long long>(seed), r.ok ? "OK" : "FAIL",
+      static_cast<unsigned long long>(r.tpdus_accepted),
+      static_cast<unsigned long long>(r.tpdus_rejected),
+      static_cast<unsigned long long>(r.tpdus_gave_up),
+      static_cast<unsigned long long>(r.retransmissions),
+      static_cast<unsigned long long>(r.data_chunks),
+      static_cast<unsigned long long>(r.acks_resent),
+      static_cast<double>(r.sim_end) / 1e9);
+  for (const std::string& f : r.failures) {
+    std::printf("  %s\n", f.c_str());
+  }
+}
+
+/// Minimizes a failing scenario and writes its text form under the
+/// repro dir. Returns the written path (empty on I/O failure).
+std::string write_repro(const ChaosScenario& sc, const Options& opt) {
+  std::fprintf(stderr, "minimizing scenario (seed %llu)...\n",
+               static_cast<unsigned long long>(sc.seed));
+  const ChaosScenario min = minimize_scenario(sc);
+  std::error_code ec;
+  std::filesystem::create_directories(opt.repro_dir, ec);
+  const std::string path =
+      opt.repro_dir + "/seed_" + std::to_string(min.seed) + ".txt";
+  std::ofstream out(path);
+  if (!out) return {};
+  out << to_text(min);
+  return out ? path : std::string{};
+}
+
+/// Runs one scenario; on failure prints the replay command and writes a
+/// minimized repro. Returns true when every oracle held.
+bool run_one(const ChaosScenario& sc, const Options& opt, bool verbose) {
+  const ChaosResult r = run_chaos(sc);
+  if (verbose || !r.ok) print_result(sc.seed, r);
+  if (!r.ok) {
+    std::printf("reproduce with: chaos_soak --replay %llu\n",
+                static_cast<unsigned long long>(sc.seed));
+    const std::string path = write_repro(sc, opt);
+    if (!path.empty()) {
+      std::printf("minimized repro written to %s "
+                  "(replay with: chaos_soak --replay-file %s)\n",
+                  path.c_str(), path.c_str());
+    }
+  }
+  return r.ok;
+}
+
+int soak_scenarios(const Options& opt) {
+  int failures = 0;
+  for (std::uint64_t i = 0; i < opt.seeds; ++i) {
+    const std::uint64_t seed = opt.seed_base + i;
+    if (!run_one(make_scenario(seed), opt, /*verbose=*/false)) ++failures;
+  }
+  std::printf("soak: %llu scenarios, %d failing\n",
+              static_cast<unsigned long long>(opt.seeds), failures);
+  return failures == 0 ? 0 : 1;
+}
+
+std::vector<std::vector<std::uint8_t>> load_corpus_path(
+    const std::string& path) {
+  std::vector<std::vector<std::uint8_t>> corpus;
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) {
+    std::vector<std::string> files;
+    for (const auto& e : std::filesystem::directory_iterator(path, ec)) {
+      if (e.path().extension() == ".hex") files.push_back(e.path().string());
+    }
+    std::sort(files.begin(), files.end());
+    for (const std::string& f : files) {
+      auto part = load_corpus(f);
+      corpus.insert(corpus.end(), part.begin(), part.end());
+    }
+  } else {
+    corpus = load_corpus(path);
+  }
+  return corpus;
+}
+
+int fuzz_codecs(const Options& opt) {
+  Rng rng(opt.fuzz_seed);
+  int failures = 0;
+  auto report = [&](std::span<const std::uint8_t> bytes,
+                    const std::string& why, const char* origin) {
+    ++failures;
+    std::printf("fuzz FAIL (%s): %s\n", origin, why.c_str());
+    std::printf("  input: %s\n", to_hex(bytes).c_str());
+    std::error_code ec;
+    std::filesystem::create_directories(opt.repro_dir, ec);
+    const std::string path = opt.repro_dir + "/fuzz_failures.hex";
+    if (append_corpus_entry(path, bytes, why)) {
+      std::printf("  appended to %s (replay with: chaos_soak --fuzz 0 "
+                  "--corpus %s)\n",
+                  path.c_str(), path.c_str());
+    }
+  };
+
+  // Replay the checked-in corpus first: every past regression, forever.
+  std::uint64_t corpus_inputs = 0;
+  for (const std::string& path : opt.corpus_paths) {
+    for (const auto& bytes : load_corpus_path(path)) {
+      ++corpus_inputs;
+      if (auto why = fuzz_one(bytes, rng)) {
+        report(bytes, *why, path.c_str());
+      }
+    }
+  }
+
+  // Then the generative loop: fresh packets, then mutation chains.
+  for (std::uint64_t i = 0; i < opt.fuzz_iters; ++i) {
+    std::vector<std::uint8_t> bytes = random_fuzz_packet(rng);
+    if (auto why = fuzz_one(bytes, rng)) {
+      report(bytes, *why, "generated");
+      continue;
+    }
+    const std::size_t rounds = 1 + rng.below(4);
+    for (std::size_t m = 0; m < rounds; ++m) {
+      mutate_packet(bytes, rng);
+      if (auto why = fuzz_one(bytes, rng)) {
+        report(bytes, *why, "mutated");
+        break;
+      }
+    }
+  }
+  std::printf("fuzz: %llu corpus inputs + %llu generated, %d failing\n",
+              static_cast<unsigned long long>(corpus_inputs),
+              static_cast<unsigned long long>(opt.fuzz_iters), failures);
+  return failures == 0 ? 0 : 1;
+}
+
+std::uint64_t parse_u64(const char* s) {
+  return std::strtoull(s, nullptr, 10);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--seeds") opt.seeds = parse_u64(next());
+    else if (a == "--seed-base") opt.seed_base = parse_u64(next());
+    else if (a == "--replay") {
+      opt.replay_seeds.push_back(parse_u64(next()));
+      opt.soak = false;
+    } else if (a == "--replay-file") {
+      opt.replay_files.push_back(next());
+      opt.soak = false;
+    } else if (a == "--fuzz") {
+      opt.fuzz_iters = parse_u64(next());
+      opt.soak = false;
+    } else if (a == "--fuzz-seed") opt.fuzz_seed = parse_u64(next());
+    else if (a == "--corpus") {
+      opt.corpus_paths.push_back(next());
+      opt.soak = false;
+    } else if (a == "--repro-dir") opt.repro_dir = next();
+    else {
+      std::fprintf(stderr, "unknown option %s\n", a.c_str());
+      return 2;
+    }
+  }
+
+  int rc = 0;
+  for (const std::uint64_t seed : opt.replay_seeds) {
+    if (!run_one(make_scenario(seed), opt, /*verbose=*/true)) rc = 1;
+  }
+  for (const std::string& file : opt.replay_files) {
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", file.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const auto sc = parse_scenario_text(text.str());
+    if (!sc) {
+      std::fprintf(stderr, "cannot parse scenario %s\n", file.c_str());
+      return 2;
+    }
+    const ChaosResult r = run_chaos(*sc);
+    print_result(sc->seed, r);
+    if (!r.ok) rc = 1;
+  }
+  if (opt.fuzz_iters > 0 || !opt.corpus_paths.empty()) {
+    if (fuzz_codecs(opt) != 0) rc = 1;
+  }
+  if (opt.soak) {
+    if (soak_scenarios(opt) != 0) rc = 1;
+  }
+  return rc;
+}
