@@ -2,14 +2,17 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <set>
 
 #include "src/chunk/codec.hpp"
+#include "src/common/resource_governor.hpp"
 #include "src/common/rng.hpp"
 #include "src/netsim/router.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/transport/demux.hpp"
 #include "src/transport/sender.hpp"
 
 namespace chunknet {
@@ -71,9 +74,20 @@ std::string fmt(const char* f, std::uint64_t a, std::uint64_t b) {
   return buf;
 }
 
+std::string fmt(const char* f, std::uint64_t a, std::uint64_t b,
+                const char* c) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf, f, static_cast<unsigned long long>(a),
+                static_cast<unsigned long long>(b), c);
+  return buf;
+}
+
+ChaosResult run_chaos_overload(const ChaosScenario& sc);
+
 }  // namespace
 
 ChaosResult run_chaos(const ChaosScenario& sc) {
+  if (sc.overloaded()) return run_chaos_overload(sc);
   ChaosResult res;
   Simulator sim;
   // The run's randomness is a different stream than the generator's, so
@@ -176,6 +190,26 @@ ChaosResult run_chaos(const ChaosScenario& sc) {
   reverse = std::make_unique<Link>(sim, rev_cfg, *sender, rng);
 
   // ---- run to quiescence under the watchdog
+  if (std::getenv("CHUNKNET_DEBUG_SOAK") != nullptr) {
+    auto probe = std::make_shared<std::function<void()>>();
+    *probe = [&sim, &sender, &receiver, probe]() {
+      const auto& ss = sender->stats();
+      const auto& rs = receiver->stats();
+      std::fprintf(stderr,
+                   "t=%.3fs retx=%llu sel_elems=%llu naks_rx=%llu "
+                   "held=%llu reorder=%zu unfinished=%zu acks_resent=%llu\n",
+                   static_cast<double>(sim.now()) / 1e9,
+                   static_cast<unsigned long long>(ss.retransmissions),
+                   static_cast<unsigned long long>(ss.selective_retx_elements),
+                   static_cast<unsigned long long>(ss.naks),
+                   static_cast<unsigned long long>(rs.held_bytes_now),
+                   receiver->reorder_queue_chunks(),
+                   receiver->unfinished_tpdus(),
+                   static_cast<unsigned long long>(rs.acks_resent));
+      sim.schedule_in(100 * kMillisecond, *probe);
+    };
+    sim.schedule_in(100 * kMillisecond, *probe);
+  }
   sender->send_stream(stream);
   sim.run(sc.watchdog);
   res.sim_end = sim.now();
@@ -210,15 +244,23 @@ ChaosResult run_chaos(const ChaosScenario& sc) {
   // remains. In strict scenarios nothing may remain.
   for (std::uint32_t id : gave_up) receiver->abort_tpdu(id);
 
-  bool strict_leak = !sc.corrupts_headers() && sc.max_open_tpdus == 0;
+  // Payload flips count as header corruption here: the flip region is
+  // everything past the envelope + FIRST chunk header, so a flip can
+  // land in a later chunk's header and mint a phantom TPDU id whose
+  // context never completes (production bounds that with eviction caps,
+  // disabled in strict scenarios).
+  bool strict_leak = !sc.corrupts_headers() && sc.payload_flip_rate == 0.0 &&
+                     sc.max_open_tpdus == 0;
   for (const ChaosHop& h : sc.hops) {
     if (h.dup_rate > 0.0) strict_leak = false;
   }
   const auto leftovers = receiver->unfinished_tpdu_ids();
   if (strict_leak && !leftovers.empty()) {
+    std::string ids;
+    for (std::uint32_t id : leftovers) ids += fmt(" %llu", id);
     res.fail(fmt("oracle-3: %llu unfinished TPDU contexts remain after "
-                 "aborting the %llu given-up TPDUs",
-                 leftovers.size(), gave_up.size()));
+                 "aborting the %llu given-up TPDUs (ids:%s)",
+                 leftovers.size(), gave_up.size(), ids.c_str()));
   }
   for (std::uint32_t id : leftovers) receiver->abort_tpdu(id);
 
@@ -366,6 +408,412 @@ ChaosResult run_chaos(const ChaosScenario& sc) {
   return res;
 }
 
+// ------------------------------------------------------- overload path
+
+namespace {
+
+/// Everything owned per connection on the overload path. The forward
+/// path (links, routers, fault injector, demultiplexer) is shared; the
+/// reverse (ACK/credit) link is private per connection.
+struct OverloadConn {
+  std::uint32_t id{0};
+  std::vector<std::uint8_t> stream;
+  std::vector<TpduOutcome> outcomes;
+  std::unique_ptr<ChunkTransportReceiver> receiver;
+  std::unique_ptr<ChunkTransportSender> sender;
+  std::unique_ptr<Link> reverse;
+};
+
+/// Multi-connection contention run: `sc.connections` senders share the
+/// forward path into one demultiplexer; receivers charge held state to
+/// a common ResourceGovernor; credit flow control (when enabled) turns
+/// overload into sender-side queueing. Evaluates oracles 1–5 per
+/// connection / in aggregate, plus the overload oracle 6.
+ChaosResult run_chaos_overload(const ChaosScenario& sc) {
+  ChaosResult res;
+  Simulator sim;
+  Rng rng(sc.seed ^ 0xC4A05C4A05ULL);
+  MetricsRegistry reg;
+  ObsContext obs{&reg, nullptr};
+
+  const std::uint32_t nconn = std::max<std::uint32_t>(1, sc.connections);
+  const std::size_t nbytes = sc.stream_bytes();
+
+  std::unique_ptr<ResourceGovernor> gov;
+  if (sc.governor_budget != 0) {
+    GovernorConfig gc;
+    gc.hard_watermark_bytes = sc.governor_budget;
+    gc.soft_watermark_bytes = sc.governor_budget * 3 / 4;
+    gc.policy = static_cast<ShedPolicy>(sc.governor_policy);
+    gc.obs = &obs;
+    gov = std::make_unique<ResourceGovernor>(gc);
+  }
+
+  ChunkDemultiplexer demux;
+  if (gov != nullptr) {
+    DemuxAdmissionConfig adm;
+    adm.governor = gov.get();
+    adm.reserve_bytes = 8 * 1024;
+    demux.configure_admission(std::move(adm));
+  }
+
+  // ---- shared forward path (same back-to-front construction as the
+  // single-connection run, ending at the demultiplexer). The offered-
+  // load multiplier divides the first hop's rate: >1 means aggregate
+  // demand exceeds the bottleneck.
+  const std::size_t nh = sc.hops.size();
+  std::vector<std::unique_ptr<Link>> links(nh);
+  std::vector<std::unique_ptr<Router>> routers;
+  PacketSink* downstream = &demux;
+  for (std::size_t i = nh; i-- > 1;) {
+    links[i] = std::make_unique<Link>(
+        sim, to_link_config(sc.hops[i], &obs, static_cast<std::uint16_t>(i)),
+        *downstream, rng);
+    routers.push_back(std::make_unique<Router>(
+        sim, make_relay(sc.hops[i], rng), *links[i], &obs,
+        static_cast<std::uint16_t>(i)));
+    downstream = routers.back().get();
+  }
+
+  FaultConfig fc;
+  fc.gilbert_elliott = GilbertElliottConfig::with_mean_loss(
+      sc.fault_mean_loss, sc.fault_mean_burst);
+  fc.payload_flip_rate = sc.payload_flip_rate;
+  fc.header_flip_rate = sc.header_flip_rate;
+  fc.blackout_interval = sc.blackout_interval;
+  fc.blackout_duration = sc.blackout_duration;
+  fc.obs = &obs;
+  FaultInjector injector(sim, fc, *downstream, rng);
+
+  LinkConfig hop0 = to_link_config(sc.hops[0], &obs, 0);
+  if (sc.offered_load > 0.0) hop0.rate_bps /= sc.offered_load;
+  links[0] = std::make_unique<Link>(sim, hop0, injector, rng);
+
+  // ---- per-connection endpoints
+  std::vector<OverloadConn> conns;
+  conns.reserve(nconn);
+  for (std::uint32_t i = 0; i < nconn; ++i) {
+    const std::uint32_t id = 7 + i;
+    if (gov != nullptr && !demux.try_admit(id)) continue;  // refused
+
+    conns.emplace_back();
+    OverloadConn& c = conns.back();
+    c.id = id;
+    c.stream.resize(nbytes);
+    const std::uint64_t stream_seed =
+        sc.seed ^ (0x5DEECE66DULL * (i + 1));
+    for (std::size_t b = 0; b < nbytes; ++b) {
+      c.stream[b] = stream_byte(stream_seed, b);
+    }
+
+    ReceiverConfig rc;
+    rc.connection_id = id;
+    rc.element_size = sc.element_size;
+    rc.first_conn_sn = sc.first_conn_sn;
+    rc.app_buffer_bytes = nbytes;
+    rc.mode = sc.mode;
+    rc.max_held_bytes = sc.max_held_bytes;
+    rc.max_open_tpdus = sc.max_open_tpdus;
+    rc.gap_nak_delay = sc.gap_nak_delay;
+    rc.max_gap_naks = sc.max_gap_naks;
+    rc.governor = gov.get();
+    rc.shed_priority = 1 + static_cast<int>(i % 3);
+    rc.grant_credit = sc.flow_control;
+    if (sc.governor_budget != 0) {
+      rc.credit_window_bytes = std::max<std::uint64_t>(
+          sc.governor_budget / nconn, 8 * 1024);
+    }
+    rc.obs = &obs;
+    OverloadConn* cp = &c;
+    rc.on_tpdu = [cp](const TpduOutcome& o) { cp->outcomes.push_back(o); };
+    rc.send_control = [&sim, cp](Chunk ack) {
+      auto pkt = encode_packet(std::vector<Chunk>{std::move(ack)}, 1500);
+      SimPacket sp;
+      sp.bytes = std::move(pkt);
+      sp.id = sim.next_packet_id();
+      sp.created_at = sim.now();
+      cp->reverse->send(std::move(sp));
+    };
+    c.receiver = std::make_unique<ChunkTransportReceiver>(sim, std::move(rc));
+    demux.attach(id, *c.receiver);
+
+    SenderConfig sd;
+    sd.framer.connection_id = id;
+    sd.framer.element_size = sc.element_size;
+    sd.framer.tpdu_elements = sc.tpdu_elements;
+    sd.framer.xpdu_elements = sc.xpdu_elements;
+    sd.framer.max_chunk_elements = sc.max_chunk_elements;
+    sd.framer.first_conn_sn = sc.first_conn_sn;
+    sd.mtu = sc.hops[0].mtu;
+    sd.max_retransmits = sc.max_retransmits;
+    sd.retransmit_timeout = sc.retransmit_timeout;
+    sd.rto.adaptive = sc.adaptive_rto;
+    sd.selective_retransmit = sc.selective_retransmit;
+    sd.flow.enabled = sc.flow_control;
+    sd.obs = &obs;
+    sd.send_packet = [&sim, &links](std::vector<std::uint8_t> bytes) {
+      SimPacket sp;
+      sp.bytes = std::move(bytes);
+      sp.id = sim.next_packet_id();
+      sp.created_at = sim.now();
+      links[0]->send(std::move(sp));
+    };
+    c.sender = std::make_unique<ChunkTransportSender>(sim, std::move(sd));
+
+    LinkConfig rev_cfg;
+    rev_cfg.prop_delay = sc.hops[0].prop_delay;
+    rev_cfg.loss_rate = sc.ack_loss_rate;
+    c.reverse = std::make_unique<Link>(sim, rev_cfg, *c.sender, rng);
+  }
+
+  // OverloadConn holds unique_ptrs only, but the lambdas above capture
+  // raw element addresses: the vector must never reallocate past this
+  // point (reserve(nconn) above guarantees it never does at all).
+
+  // ---- run to quiescence under the watchdog
+  for (OverloadConn& c : conns) c.sender->send_stream(c.stream);
+  sim.run(sc.watchdog);
+  res.sim_end = sim.now();
+
+  const auto& dstats = demux.stats();
+  res.connections_admitted =
+      gov != nullptr ? dstats.connections_admitted : conns.size();
+  res.connections_refused = dstats.connections_refused;
+
+  // ---- oracle 4 (aggregate livelock + per-sender completion/budget)
+  if (sim.pending()) {
+    res.fail("oracle-4: watchdog expired with events still pending "
+             "(livelock)");
+  }
+  const std::uint32_t tpdu_count =
+      (sc.stream_elements + sc.tpdu_elements - 1) / sc.tpdu_elements;
+  for (OverloadConn& c : conns) {
+    const auto& ss = c.sender->stats();
+    res.tpdus_gave_up += ss.gave_up;
+    res.retransmissions += ss.retransmissions;
+    if (!c.sender->finished()) {
+      res.fail(fmt("oracle-4: connection %llu neither delivered nor "
+                   "abandoned every TPDU at quiescence",
+                   c.id));
+    }
+    const std::uint64_t retx_budget =
+        ss.tpdus_sent * (static_cast<std::uint64_t>(sc.max_retransmits) + 1);
+    if (ss.retransmissions > retx_budget) {
+      res.fail(fmt("oracle-4: connection %llu: %llu retransmissions exceed "
+                   "the retry budget (retransmit storm)",
+                   c.id, ss.retransmissions));
+    }
+    if (ss.tpdus_sent != ss.tpdus_acked + ss.gave_up) {
+      res.fail(fmt("oracle-2: connection %llu sent TPDUs != acked+gave_up "
+                   "(%llu missing)",
+                   c.id, ss.tpdus_sent - ss.tpdus_acked - ss.gave_up));
+    }
+  }
+
+  // ---- quiescence cleanup, then oracle 3 per connection. Governor
+  // shedding and open-cap eviction can leave tombstone-resurrected
+  // state just like the single-connection eviction scenarios, so only
+  // the post-abort zero-held checks are strict here.
+  for (OverloadConn& c : conns) {
+    for (std::uint32_t id : c.sender->gave_up_tpdus()) {
+      c.receiver->abort_tpdu(id);
+    }
+    for (std::uint32_t id : c.receiver->unfinished_tpdu_ids()) {
+      c.receiver->abort_tpdu(id);
+    }
+    const auto& rs = c.receiver->stats();
+    if (rs.held_bytes_now != 0) {
+      res.fail(fmt("oracle-3: connection %llu still holds %llu bytes after "
+                   "quiescence cleanup",
+                   c.id, rs.held_bytes_now));
+    }
+    if (c.receiver->reorder_queue_chunks() != 0) {
+      res.fail(fmt("oracle-3: connection %llu still queues chunks for "
+                   "reorder after cleanup (%llu)",
+                   c.id, c.receiver->reorder_queue_chunks()));
+    }
+    if (c.receiver->unfinished_tpdus() != 0) {
+      res.fail(fmt("oracle-3: connection %llu has %llu unfinished TPDU "
+                   "contexts after abort",
+                   c.id, c.receiver->unfinished_tpdus()));
+    }
+  }
+
+  // ---- oracle 2: per-connection conservation + registry cross-check
+  // (every receiver shares the mode-prefixed counters, so the registry
+  // holds the SUM across connections).
+  std::uint64_t sum_data_chunks = 0, sum_placed = 0, sum_dropped = 0,
+                sum_dropped_bytes = 0, sum_dups = 0, sum_accepted = 0,
+                sum_rejected = 0, sum_acks_resent = 0, sum_gave_up = 0;
+  for (OverloadConn& c : conns) {
+    const auto& rs = c.receiver->stats();
+    const std::uint64_t dispositions =
+        rs.framing_error_chunks + rs.duplicate_chunks + rs.overlap_chunks +
+        rs.chunks_placed + rs.oob_chunks + rs.dropped_unplaced_chunks;
+    if (rs.data_chunks != dispositions) {
+      res.fail(fmt("oracle-2: connection %llu: %llu data chunks do not "
+                   "balance against dispositions",
+                   c.id, rs.data_chunks));
+    }
+    sum_data_chunks += rs.data_chunks;
+    sum_placed += rs.chunks_placed;
+    sum_dropped += rs.dropped_unplaced_chunks;
+    sum_dropped_bytes += rs.dropped_unplaced_bytes;
+    sum_dups += rs.duplicate_chunks;
+    sum_accepted += rs.tpdus_accepted;
+    sum_rejected += rs.tpdus_rejected;
+    sum_acks_resent += rs.acks_resent;
+    sum_gave_up += c.sender->stats().gave_up;
+    res.tpdus_accepted += rs.tpdus_accepted;
+    res.tpdus_rejected += rs.tpdus_rejected;
+    res.data_chunks += rs.data_chunks;
+    res.acks_resent += rs.acks_resent;
+  }
+  const auto& fs = injector.stats();
+  if (fs.offered != fs.delivered + fs.dropped_loss + fs.dropped_blackout) {
+    res.fail(fmt("oracle-2: fault injector offered %llu != delivered + "
+                 "dropped %llu",
+                 fs.offered,
+                 fs.delivered + fs.dropped_loss + fs.dropped_blackout));
+  }
+  const std::string p = std::string("receiver.") + to_string(sc.mode) + ".";
+  const struct {
+    const char* name;
+    std::uint64_t expect;
+  } reg_checks[] = {
+      {"data_chunks", sum_data_chunks},
+      {"chunks_placed", sum_placed},
+      {"dropped_unplaced_chunks", sum_dropped},
+      {"dropped_unplaced_bytes", sum_dropped_bytes},
+      {"duplicate_chunks", sum_dups},
+      {"tpdus_accepted", sum_accepted},
+      {"tpdus_rejected", sum_rejected},
+      {"acks_resent", sum_acks_resent},
+  };
+  for (const auto& ck : reg_checks) {
+    const std::uint64_t v = reg.counter(p + ck.name).value();
+    if (v != ck.expect) {
+      res.fail(fmt((std::string("oracle-2: registry ") + p + ck.name +
+                    " = %llu but summed receiver stats say %llu")
+                       .c_str(),
+                   v, ck.expect));
+    }
+  }
+  if (reg.counter("sender.gave_up").value() != sum_gave_up) {
+    res.fail(fmt("oracle-2: registry sender.gave_up %llu != summed stats "
+                 "%llu",
+                 reg.counter("sender.gave_up").value(), sum_gave_up));
+  }
+
+  // ---- oracle 1: truthful delivery, per connection against its own
+  // deterministic stream.
+  for (OverloadConn& c : conns) {
+    std::set<std::uint32_t> accepted_ids;
+    for (const TpduOutcome& o : c.outcomes) {
+      if (o.verdict == TpduVerdict::kAccepted) accepted_ids.insert(o.tpdu_id);
+    }
+    const auto gave_up = c.sender->gave_up_tpdus();
+    const std::set<std::uint32_t> gave_up_ids(gave_up.begin(), gave_up.end());
+    const auto app = c.receiver->app_data();
+    for (std::uint32_t k = 0; k < tpdu_count; ++k) {
+      const std::uint32_t id = 1 + k;
+      if (gave_up_ids.count(id) != 0) continue;
+      if (accepted_ids.count(id) == 0) {
+        res.fail(fmt("oracle-1: connection %llu TPDU %llu was positively "
+                     "acked but never reported accepted",
+                     c.id, id));
+        continue;
+      }
+      const std::size_t lo =
+          static_cast<std::size_t>(k) * sc.tpdu_elements * sc.element_size;
+      const std::size_t hi =
+          std::min(nbytes, lo + static_cast<std::size_t>(sc.tpdu_elements) *
+                                    sc.element_size);
+      for (std::size_t b = lo; b < hi; ++b) {
+        if (app[b] != c.stream[b]) {
+          res.fail(fmt("oracle-1: connection %llu TPDU %llu delivered with "
+                       "wrong bytes",
+                       c.id, id));
+          break;
+        }
+      }
+    }
+    if (gave_up.empty() && c.sender->all_acked() &&
+        !c.receiver->stream_complete(sc.stream_elements)) {
+      res.fail(fmt("oracle-1: connection %llu fully acked yet the element "
+                   "coverage map reports the stream incomplete",
+                   c.id));
+    }
+  }
+
+  // ---- oracle 5: invariant soundness (aggregate; generated overload
+  // scenarios are corruption-free by construction)
+  if (!sc.corrupts_anything()) {
+    if (sum_rejected != 0) {
+      res.fail(fmt("oracle-5: %llu TPDUs rejected in a corruption-free "
+                   "scenario",
+                   sum_rejected));
+      for (OverloadConn& c : conns) {
+        for (const TpduOutcome& o : c.outcomes) {
+          if (o.verdict != TpduVerdict::kAccepted) {
+            res.fail(std::string("oracle-5:   connection ") +
+                     std::to_string(c.id) + " TPDU " +
+                     std::to_string(o.tpdu_id) + " verdict " +
+                     to_string(o.verdict));
+          }
+        }
+      }
+    }
+    for (OverloadConn& c : conns) {
+      if (c.sender->stats().naks != 0) {
+        res.fail(fmt("oracle-5: connection %llu saw NAKs in a "
+                     "corruption-free scenario",
+                     c.id));
+      }
+    }
+  }
+
+  // ---- oracle 6: overload fairness. Governed memory stays under the
+  // hard watermark at its PEAK, drains at quiescence, admission
+  // accounting closes, and no admitted connection silently starves.
+  if (gov != nullptr) {
+    const auto gs = gov->stats();
+    res.governor_charged_peak = gs.charged_peak;
+    res.governor_sheds = gs.sheds;
+    if (gs.charged_peak > sc.governor_budget) {
+      res.fail(fmt("oracle-6: governor charged_peak %llu exceeded the hard "
+                   "watermark %llu",
+                   gs.charged_peak, sc.governor_budget));
+    }
+    if (gs.charged_now != 0) {
+      res.fail(fmt("oracle-6: governor still accounts %llu charged bytes "
+                   "after quiescence cleanup",
+                   gs.charged_now));
+    }
+    if (dstats.connections_admitted + dstats.connections_refused != nconn) {
+      res.fail(fmt("oracle-6: admission accounting does not close: "
+                   "admitted+refused %llu != offered %llu",
+                   dstats.connections_admitted + dstats.connections_refused,
+                   nconn));
+    }
+  }
+  for (OverloadConn& c : conns) {
+    std::uint64_t accepted = 0;
+    for (const TpduOutcome& o : c.outcomes) {
+      if (o.verdict == TpduVerdict::kAccepted) ++accepted;
+    }
+    if (accepted == 0 && c.sender->stats().gave_up < tpdu_count) {
+      res.fail(fmt("oracle-6: admitted connection %llu starved: zero TPDUs "
+                   "accepted and not every TPDU truthfully given up",
+                   c.id));
+    }
+  }
+
+  return res;
+}
+
+}  // namespace
+
 // ------------------------------------------------------- minimization
 
 ChaosScenario minimize_scenario(const ChaosScenario& sc, int steps) {
@@ -374,6 +822,38 @@ ChaosScenario minimize_scenario(const ChaosScenario& sc, int steps) {
   // the scenario still fails. Ordered most-destructive first so the
   // greedy walk sheds whole subsystems before fiddling with rates.
   static constexpr Pass passes[] = {
+      [](ChaosScenario& s) {
+        // Shed the whole overload dimension (back to the single-
+        // connection pipeline) in one step.
+        if (!s.overloaded()) return false;
+        s.connections = 1;
+        s.offered_load = 1.0;
+        s.governor_budget = 0;
+        s.governor_policy = 0;
+        s.flow_control = false;
+        return true;
+      },
+      [](ChaosScenario& s) {
+        if (s.connections <= 2) return false;
+        s.connections /= 2;
+        return true;
+      },
+      [](ChaosScenario& s) {
+        if (s.governor_budget == 0) return false;
+        s.governor_budget = 0;
+        s.governor_policy = 0;
+        return true;
+      },
+      [](ChaosScenario& s) {
+        if (!s.flow_control) return false;
+        s.flow_control = false;
+        return true;
+      },
+      [](ChaosScenario& s) {
+        if (s.offered_load == 1.0) return false;
+        s.offered_load = 1.0;
+        return true;
+      },
       [](ChaosScenario& s) {
         if (s.hops.size() <= 1) return false;
         s.hops.resize(1);

@@ -18,6 +18,13 @@
 //      reject a TPDU (WSC-2 over the fragmentation-invariant layout is
 //      exact across arbitrary re-enveloping chains); corrupting
 //      scenarios fall back to oracle 1 for no-false-accept.
+//   6. Overload fairness — multi-connection scenarios only: governed
+//      memory (receiver held-state charged to the ResourceGovernor)
+//      never exceeds the hard watermark (checked via charged_peak),
+//      drains to zero at quiescence, admission accounting closes
+//      (admitted + refused = offered), and no admitted connection
+//      starves — each one either accepts at least one TPDU or has its
+//      whole stream truthfully reported given-up by its sender.
 #pragma once
 
 #include <cstdint>
@@ -42,15 +49,21 @@ struct ChaosResult {
   std::uint64_t acks_resent{0};
   SimTime sim_end{0};
 
+  // Overload-path summary (zero on the single-connection path).
+  std::uint64_t connections_admitted{0};
+  std::uint64_t connections_refused{0};
+  std::uint64_t governor_charged_peak{0};
+  std::uint64_t governor_sheds{0};
+
   void fail(std::string msg) {
     ok = false;
     failures.push_back(std::move(msg));
   }
 };
 
-/// Runs the scenario to quiescence (or the watchdog) and evaluates all
-/// five oracles. Deterministic: the same scenario always returns the
-/// same result.
+/// Runs the scenario to quiescence (or the watchdog) and evaluates the
+/// oracles (1–5 always; 6 on the multi-connection overload path).
+/// Deterministic: the same scenario always returns the same result.
 ChaosResult run_chaos(const ChaosScenario& sc);
 
 /// Greedy scenario minimizer: repeatedly tries to disable features /

@@ -176,6 +176,41 @@ ChaosScenario make_scenario(std::uint64_t seed) {
     sc.max_gap_naks = static_cast<int>(g.range(2, 8));
     sc.selective_retransmit = true;
   }
+
+  // ---- overload dimension, drawn LAST: earlier draws are identical to
+  // the pre-overload generator, so non-overload seeds replay their old
+  // scenarios bit-for-bit. A quarter of the seeds become multi-
+  // connection contention runs: several senders share the bottleneck
+  // and a governor budget sized to a handful of TPDUs, with credit flow
+  // control keeping every admitted connection live (the no-starvation
+  // oracle). Corruption is zeroed here — overload runs probe resource
+  // arbitration, and the corruption oracles stay single-connection
+  // territory.
+  if (g.chance(0.25)) {
+    sc.connections = static_cast<std::uint32_t>(g.range(2, 6));
+    sc.offered_load = 0.5 + 3.5 * g.uniform();
+    sc.governor_budget = static_cast<std::size_t>(g.range(48, 160)) * 1024;
+    sc.governor_policy = static_cast<std::uint8_t>(g.below(3));
+    sc.flow_control = true;
+    sc.payload_flip_rate = 0.0;
+    sc.header_flip_rate = 0.0;
+    for (ChaosHop& h : sc.hops) {
+      if (h.relay == ChaosRelayKind::kRewriting) {
+        h.relay = ChaosRelayKind::kTransparent;
+        h.rewrite_rate = 0.0;
+        h.mtu = sc.hops.front().mtu;
+      }
+    }
+    // Held-state pressure is the point: reassemble-first delivery
+    // stages whole TPDUs, the state the governor arbitrates. Local
+    // caps come off so the GLOBAL budget is the binding constraint.
+    sc.mode = DeliveryMode::kReassemble;
+    sc.max_held_bytes = 0;
+    sc.max_open_tpdus = 0;
+    // A shared bottleneck plus eviction-driven retransmission needs a
+    // roomier retry budget than a private path.
+    sc.max_retransmits = std::max(sc.max_retransmits, 12);
+  }
   return sc;
 }
 
@@ -223,6 +258,11 @@ std::string to_text(const ChaosScenario& sc) {
   put(os, "blackout_interval", sc.blackout_interval);
   put(os, "blackout_duration", sc.blackout_duration);
   put(os, "ack_loss_rate", sc.ack_loss_rate);
+  put(os, "connections", sc.connections);
+  put(os, "offered_load", sc.offered_load);
+  put(os, "governor_budget", sc.governor_budget);
+  put(os, "governor_policy", sc.governor_policy);
+  put(os, "flow_control", static_cast<std::uint64_t>(sc.flow_control));
   put(os, "watchdog", sc.watchdog);
   put(os, "hops", sc.hops.size());
   for (std::size_t i = 0; i < sc.hops.size(); ++i) {
@@ -342,6 +382,14 @@ std::optional<ChaosScenario> parse_scenario_text(const std::string& text) {
     else if (key == "blackout_duration")
       sc.blackout_duration = static_cast<SimTime>(num);
     else if (key == "ack_loss_rate") sc.ack_loss_rate = num;
+    else if (key == "connections")
+      sc.connections = static_cast<std::uint32_t>(num);
+    else if (key == "offered_load") sc.offered_load = num;
+    else if (key == "governor_budget")
+      sc.governor_budget = static_cast<std::size_t>(num);
+    else if (key == "governor_policy")
+      sc.governor_policy = static_cast<std::uint8_t>(num);
+    else if (key == "flow_control") sc.flow_control = num != 0;
     else if (key == "watchdog") sc.watchdog = static_cast<SimTime>(num);
     else if (key == "hops") {
       sc.hops.resize(static_cast<std::size_t>(num));

@@ -92,6 +92,22 @@ struct ChaosScenario {
   // ---- reverse (ACK) path
   double ack_loss_rate{0.0};
 
+  // ---- overload dimension (docs/ROBUSTNESS.md, "Overload control"):
+  // `connections` senders share the forward path through one
+  // demultiplexer whose receivers charge a common ResourceGovernor.
+  // Drawn LAST by the generator so pre-overload seeds replay untouched.
+  std::uint32_t connections{1};
+  /// Offered-load multiplier: the first hop's rate is divided by this,
+  /// so >1 means aggregate demand exceeds the bottleneck.
+  double offered_load{1.0};
+  /// Governor hard watermark in bytes shared by every connection
+  /// (soft = 3/4 of it). 0 disables the governor.
+  std::size_t governor_budget{0};
+  std::uint8_t governor_policy{0};  ///< ShedPolicy numeric value
+  /// Credit-based flow control on every connection (sender window +
+  /// receiver grants).
+  bool flow_control{false};
+
   std::vector<ChaosHop> hops{ChaosHop{}};
 
   /// Simulator watchdog: a run still holding events at this simulated
@@ -108,6 +124,13 @@ struct ChaosScenario {
   /// payload); corruption-free scenarios must see zero rejected TPDUs
   /// (oracle 5: no false rejects across arbitrary re-enveloping).
   bool corrupts_anything() const;
+
+  /// True when the run takes the multi-connection overload path
+  /// (demux + governor + optional flow control) instead of the
+  /// single-connection pipeline.
+  bool overloaded() const {
+    return connections > 1 || governor_budget != 0 || flow_control;
+  }
 
   std::size_t stream_bytes() const {
     return static_cast<std::size_t>(stream_elements) * element_size;

@@ -16,6 +16,16 @@
 //    SimPacket); whoever ends up owning it calls `pool.release()` to
 //    close the recycle loop.
 //
+// The freelist is BOUNDED: `max_free_buffers` caps what a burst can
+// leave behind (excess releases free their storage immediately), and
+// `trim_tick()` implements a periodic decay — half of the buffers that
+// sat idle through the whole interval are freed, so the pool tracks
+// the working set instead of sticking at its high-water mark forever.
+// Retained (freelist) bytes can be charged to a ResourceGovernor and
+// are exported through the `pool.retained_bytes` gauge; the governor
+// may also reclaim pool memory via a shed hook that drops half the
+// freelist.
+//
 // Thread-safe (one mutex; the pool is not on the per-word hot path —
 // it is touched once per packet).
 #pragma once
@@ -23,6 +33,9 @@
 #include <cstdint>
 #include <mutex>
 #include <vector>
+
+#include "src/common/resource_governor.hpp"
+#include "src/obs/obs.hpp"
 
 namespace chunknet {
 
@@ -73,9 +86,21 @@ class PooledBuffer {
 class PacketBufferPool {
  public:
   /// `buffer_capacity` is the reserve given to freshly allocated
-  /// buffers (default: one jumbo frame).
-  explicit PacketBufferPool(std::size_t buffer_capacity = 9000)
-      : buffer_capacity_(buffer_capacity) {}
+  /// buffers (default: one jumbo frame). `max_free_buffers` bounds the
+  /// freelist: a release that would exceed it frees the storage instead
+  /// of retaining it (0 = unbounded, the pre-governor behaviour).
+  explicit PacketBufferPool(std::size_t buffer_capacity = 9000,
+                            std::size_t max_free_buffers = 0)
+      : buffer_capacity_(buffer_capacity), max_free_(max_free_buffers) {}
+
+  /// Charges retained freelist bytes to `governor` under `client` (class
+  /// kPool) and registers a shed hook that drops half the freelist.
+  /// Call before traffic starts; `governor` must outlive the pool.
+  void attach_governor(ResourceGovernor* governor, std::uint32_t client = 0);
+
+  /// Resolves the `pool.retained_bytes` gauge / `pool.trimmed_buffers`
+  /// counter (null-tolerant, like every other obs site).
+  void attach_obs(ObsContext* obs);
 
   /// Pops a free buffer (cleared, capacity retained) or allocates one.
   PooledBuffer acquire();
@@ -84,20 +109,41 @@ class PacketBufferPool {
   /// `take()`; also used directly to recycle SimPacket::bytes.
   void release(std::vector<std::uint8_t> storage);
 
+  /// Frees freelist storage down to `keep` buffers. Returns bytes freed.
+  std::uint64_t trim(std::size_t keep);
+
+  /// Periodic decay: frees half of the buffers that stayed idle through
+  /// the whole interval since the previous tick (the freelist's minimum
+  /// depth over the interval). Returns bytes freed.
+  std::uint64_t trim_tick();
+
   std::size_t free_buffers() const;
+  /// Bytes parked in the freelist right now.
+  std::uint64_t retained_bytes() const;
 
   struct Stats {
     std::uint64_t allocations{0};  ///< acquires that hit the heap
     std::uint64_t reuses{0};       ///< acquires served from the freelist
     std::uint64_t releases{0};
+    std::uint64_t trimmed{0};      ///< buffers freed by cap/trim/shed
   };
   Stats stats() const;
 
  private:
+  /// Pops up to `n` buffers' storage for freeing; returns bytes dropped.
+  std::uint64_t drop_locked(std::size_t n);
+
   std::size_t buffer_capacity_;
+  std::size_t max_free_;
   mutable std::mutex mu_;
   std::vector<std::vector<std::uint8_t>> free_;
+  std::uint64_t retained_{0};
+  std::size_t min_free_since_tick_{0};
   Stats stats_;
+  ResourceGovernor* governor_{nullptr};
+  std::uint32_t governor_client_{0};
+  Gauge* g_retained_{nullptr};
+  Counter* c_trimmed_{nullptr};
 };
 
 inline void PooledBuffer::reset() {

@@ -5,12 +5,14 @@
 
 namespace chunknet {
 
-IntervalSet::AddResult IntervalSet::add(std::uint64_t lo, std::uint64_t hi) {
+IntervalSet::AddResult IntervalSet::add(std::uint64_t lo, std::uint64_t hi,
+                                        bool merge_on_overlap) {
   if (lo >= hi) return AddResult::kDuplicate;  // empty range adds nothing
 
   // Classify against existing coverage first.
   const bool dup = covers(lo, hi);
   const bool overlap = !dup && intersects(lo, hi);
+  if (overlap && !merge_on_overlap) return AddResult::kOverlap;
 
   // Merge [lo, hi) into the interval map.
   auto it = ivs_.upper_bound(lo);

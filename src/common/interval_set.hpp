@@ -26,9 +26,16 @@ class IntervalSet {
 
   /// Adds [lo, hi). Overlapping/duplicate ranges are *not* merged into
   /// the covered set a second time; the caller decides what to do.
-  /// On kOverlap the novel portion is still recorded so coverage
-  /// accounting stays exact.
-  AddResult add(std::uint64_t lo, std::uint64_t hi);
+  /// With merge_on_overlap (the default) the novel portion of a
+  /// partially-overlapping range is still recorded — right for callers
+  /// that copy the whole range regardless of the verdict. Callers that
+  /// *reject* overlapping pieces (virtual reassembly: a partial overlap
+  /// cannot be partially absorbed into the incremental code) must pass
+  /// false so coverage only ever claims data that was actually kept;
+  /// otherwise a rejected piece leaves a phantom-covered gap that
+  /// completes the PDU with bytes missing.
+  AddResult add(std::uint64_t lo, std::uint64_t hi,
+                bool merge_on_overlap = true);
 
   /// True if [lo, hi) is entirely covered.
   bool covers(std::uint64_t lo, std::uint64_t hi) const;

@@ -22,6 +22,7 @@ Link::Link(Simulator& sim, LinkConfig cfg, PacketSink& sink, Rng& rng)
     m_.lost = &reg.counter(p + "lost");
     m_.duplicated = &reg.counter(p + "duplicated");
     m_.oversize_dropped = &reg.counter(p + "oversize_dropped");
+    m_.queue_dropped = &reg.counter(p + "queue_dropped");
     m_.bytes_delivered = &reg.counter(p + "bytes_delivered");
   }
 }
@@ -57,6 +58,15 @@ void Link::send(SimPacket pkt) {
     obs_add(m_.oversize_dropped);
     trace(TraceEventKind::kOversizeDropped, pkt, pkt.bytes.size());
     return;
+  }
+  if (cfg_.queue_limit_bytes != 0) {
+    const std::size_t backlog = backlog_bytes();
+    if (backlog > cfg_.queue_limit_bytes) {
+      ++stats_.queue_dropped;
+      obs_add(m_.queue_dropped);
+      trace(TraceEventKind::kQueueDropped, pkt, backlog);
+      return;
+    }
   }
   maybe_flap();
   if (rng_.chance(cfg_.loss_rate)) {
@@ -94,6 +104,18 @@ void Link::send(SimPacket pkt) {
         rng_.below(kMillisecond);
     deliver_copy(pkt, dup_arrive);
   }
+}
+
+std::size_t Link::backlog_bytes() const {
+  const SimTime now = sim_.now();
+  SimTime busy = 0;
+  for (const SimTime free_at : lane_free_at_) {
+    if (free_at > now) busy += free_at - now;
+  }
+  const double lane_rate =
+      cfg_.rate_bps / static_cast<double>(cfg_.lanes > 1 ? cfg_.lanes : 1);
+  return static_cast<std::size_t>(static_cast<double>(busy) * lane_rate /
+                                  8.0 / 1e9);
 }
 
 Link::LaneSlot Link::occupy_lane(std::size_t bytes) {

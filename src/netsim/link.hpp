@@ -19,6 +19,11 @@ struct LinkConfig {
   std::size_t mtu{1500};           ///< enforced: larger packets dropped
   double loss_rate{0.0};           ///< i.i.d. packet loss probability
   double dup_rate{0.0};            ///< probability of duplicate delivery
+  /// Drop-tail bound on the transmit queue (0 = unbounded). A packet
+  /// arriving while more than this many bytes are already waiting to
+  /// serialize is discarded — the finite router buffer that turns
+  /// sustained overload into loss instead of unbounded delay.
+  std::size_t queue_limit_bytes{0};
   SimTime jitter{0};               ///< uniform extra delay in [0, jitter]
   int lanes{1};                    ///< parallel physical lanes (striping)
   SimTime lane_skew{0};            ///< extra prop delay per lane index
@@ -47,6 +52,7 @@ class Link {
     std::uint64_t lost{0};
     std::uint64_t duplicated{0};
     std::uint64_t oversize_dropped{0};
+    std::uint64_t queue_dropped{0};
     std::uint64_t bytes_delivered{0};
   };
   const Stats& stats() const { return stats_; }
@@ -81,8 +87,12 @@ class Link {
     Counter* lost{nullptr};
     Counter* duplicated{nullptr};
     Counter* oversize_dropped{nullptr};
+    Counter* queue_dropped{nullptr};
     Counter* bytes_delivered{nullptr};
   };
+  /// Bytes still waiting to serialize across all lanes, derived from
+  /// each lane's busy time (no per-packet queue state needed).
+  std::size_t backlog_bytes() const;
 
   Simulator& sim_;
   LinkConfig cfg_;

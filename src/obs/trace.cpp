@@ -17,6 +17,7 @@ constexpr const char* kKindNames[] = {
     "chunk_held",         "invariant_absorbed", "duplicate_rejected",
     "overlap_rejected",   "framing_rejected",  "tpdu_accepted",
     "tpdu_rejected",      "chunk_skipped",     "chunk_evicted",
+    "queue_dropped",
 };
 constexpr std::size_t kKindCount =
     sizeof(kKindNames) / sizeof(kKindNames[0]);

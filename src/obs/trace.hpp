@@ -43,6 +43,8 @@ enum class TraceEventKind : std::uint8_t {
   kChunkEvicted,        ///< receiver cap pressure forced a held chunk
                         ///< out early (aux: 1 = placed out of order,
                         ///< 0 = dropped with its TPDU state)
+  kQueueDropped,        ///< drop-tail: the link's bounded queue was
+                        ///< full (aux = backlog bytes at arrival)
 };
 
 const char* to_string(TraceEventKind k);

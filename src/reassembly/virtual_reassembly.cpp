@@ -25,7 +25,12 @@ PieceVerdict PduTracker::add(std::uint32_t sn, std::uint32_t len, bool stop) {
     stop_ = static_cast<std::uint32_t>(last);  // ≤ 2^32−1, checked above
   }
 
-  switch (seen_.add(sn, static_cast<std::uint64_t>(sn) + len)) {
+  // merge_on_overlap=false: an overlapping piece is rejected whole (it
+  // cannot be partially absorbed into the incremental code), so coverage
+  // must not claim its novel portion — a retransmitted slice will fill
+  // the gap as kNew later.
+  switch (seen_.add(sn, static_cast<std::uint64_t>(sn) + len,
+                    /*merge_on_overlap=*/false)) {
     case IntervalSet::AddResult::kDuplicate:
       ++duplicates_;
       return PieceVerdict::kDuplicate;

@@ -4,6 +4,52 @@
 
 namespace chunknet {
 
+bool ChunkDemultiplexer::try_admit(std::uint32_t connection_id) {
+  if (admission_.governor != nullptr &&
+      !admission_.governor->try_admit(connection_id,
+                                      admission_.reserve_bytes,
+                                      admission_.priority)) {
+    ++stats_.connections_refused;
+    return false;
+  }
+  ++stats_.connections_admitted;
+  return true;
+}
+
+void ChunkDemultiplexer::handle_connection_open(const ChunkView& v) {
+  const Chunk c = v.to_chunk();
+  const auto open = parse_connection_open(c);
+  if (!open) return;
+  if (receivers_.count(open->connection_id) != 0) return;  // established
+  if (refused_.count(open->connection_id) != 0) return;    // already told no
+  bool admitted = try_admit(open->connection_id);
+  ChunkTransportReceiver* r = nullptr;
+  if (admitted) {
+    r = admission_.open_connection(*open);
+    if (r == nullptr) {
+      // The endpoint declined even with governor headroom; hand the
+      // reservation back so it does not leak.
+      if (admission_.governor != nullptr) {
+        admission_.governor->unbind_client(open->connection_id);
+      }
+      --stats_.connections_admitted;
+      ++stats_.connections_refused;
+      admitted = false;
+    }
+  }
+  if (!admitted) {
+    refused_[open->connection_id] = true;
+    if (admission_.send_refusal) {
+      ConnectionRefused refusal;
+      refusal.connection_id = open->connection_id;
+      refusal.retry_hint_bytes = admission_.reserve_bytes;
+      admission_.send_refusal(make_signal_chunk(refusal));
+    }
+    return;
+  }
+  receivers_[open->connection_id] = r;
+}
+
 void ChunkDemultiplexer::on_packet(SimPacket pkt) {
   ++stats_.packets;
   // The envelope is opened ONCE, into views over pkt.bytes: routing a
@@ -30,6 +76,12 @@ void ChunkDemultiplexer::on_packet(SimPacket pkt) {
       }
       case ChunkType::kAck:
       case ChunkType::kSignal: {
+        if (v.h.type == ChunkType::kSignal && admission_.open_connection &&
+            v.payload.size() >= 1 &&
+            v.payload[0] ==
+                static_cast<std::uint8_t>(SignalKind::kConnectionOpen)) {
+          handle_connection_open(v);
+        }
         if (control_ == nullptr) break;
         ++stats_.control_chunks_routed;
         SimPacket wrapped;

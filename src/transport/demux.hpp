@@ -14,13 +14,34 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <vector>
 
+#include "src/common/resource_governor.hpp"
 #include "src/netsim/simulator.hpp"
 #include "src/transport/receiver.hpp"
+#include "src/transport/signalling.hpp"
 
 namespace chunknet {
+
+/// Admission control for new connections (docs/ROBUSTNESS.md,
+/// "Overload control"): a ConnectionOpen for an unknown C.ID is
+/// admitted only if the governor can reserve `reserve_bytes` of
+/// headroom under its hard watermark; otherwise the demultiplexer
+/// answers with an explicit ConnectionRefused signal instead of letting
+/// the newcomer thrash established connections.
+struct DemuxAdmissionConfig {
+  ResourceGovernor* governor{nullptr};
+  std::uint64_t reserve_bytes{32 * 1024};
+  int priority{1};
+  /// Creates and attaches the receiver for an admitted connection
+  /// (ownership stays with the caller; return nullptr to refuse).
+  std::function<ChunkTransportReceiver*(const ConnectionOpen&)>
+      open_connection;
+  /// Carries the refusal signal back toward the would-be sender.
+  std::function<void(Chunk)> send_refusal;
+};
 
 class ChunkDemultiplexer final : public PacketSink {
  public:
@@ -29,10 +50,24 @@ class ChunkDemultiplexer final : public PacketSink {
     receivers_[connection_id] = &receiver;
   }
 
+  void detach(std::uint32_t connection_id) {
+    receivers_.erase(connection_id);
+  }
+
   /// Routes ACK and SIGNAL chunks (any connection) to `sink`; they are
   /// re-wrapped in a single-chunk packet since control consumers speak
   /// the PacketSink interface.
   void attach_control(PacketSink& sink) { control_ = &sink; }
+
+  /// Enables signal-driven admission control (see DemuxAdmissionConfig).
+  void configure_admission(DemuxAdmissionConfig admission) {
+    admission_ = std::move(admission);
+  }
+
+  /// Programmatic admission (benches / topology builders): reserves
+  /// governor headroom for `connection_id` without a ConnectionOpen
+  /// signal. True when admitted (always, if no governor is configured).
+  bool try_admit(std::uint32_t connection_id);
 
   void on_packet(SimPacket pkt) override;
 
@@ -42,12 +77,20 @@ class ChunkDemultiplexer final : public PacketSink {
     std::uint64_t data_chunks_routed{0};
     std::uint64_t control_chunks_routed{0};
     std::uint64_t unknown_connection{0};
+    std::uint64_t connections_admitted{0};
+    std::uint64_t connections_refused{0};
   };
   const Stats& stats() const { return stats_; }
 
  private:
+  void handle_connection_open(const ChunkView& v);
+
   std::map<std::uint32_t, ChunkTransportReceiver*> receivers_;
   PacketSink* control_{nullptr};
+  DemuxAdmissionConfig admission_;
+  /// Connections already refused: late data for them is dropped
+  /// silently (counted under unknown_connection), not re-refused.
+  std::map<std::uint32_t, bool> refused_;
   /// Reused across packets (no per-packet allocation at steady state).
   std::vector<ChunkView> view_scratch_;
   Stats stats_;

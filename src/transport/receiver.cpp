@@ -58,7 +58,78 @@ ChunkTransportReceiver::ChunkTransportReceiver(Simulator& sim,
     m_.held_bytes = &reg.gauge(p + "held_bytes");
     m_.held_bytes_peak = &reg.gauge(p + "held_bytes_peak");
     m_.delivery_latency = &reg.histogram(p + "delivery_latency_ns");
+    if (cfg_.governor != nullptr) {
+      m_.governor_refusals = &reg.counter(p + "governor_refusals");
+    }
+    if (cfg_.grant_credit) {
+      m_.grants_sent = &reg.counter("flow.grants_sent");
+    }
   }
+  if (cfg_.governor != nullptr) {
+    cfg_.governor->bind_client(cfg_.connection_id, cfg_.shed_priority,
+                               [this] { return shed_held(); });
+  }
+}
+
+ChunkTransportReceiver::~ChunkTransportReceiver() {
+  if (cfg_.governor != nullptr) {
+    cfg_.governor->unbind_client(cfg_.connection_id);
+  }
+}
+
+std::uint64_t ChunkTransportReceiver::shed_held() {
+  const std::uint64_t before = stats_.held_bytes_now;
+  switch (cfg_.mode) {
+    case DeliveryMode::kImmediate:
+      return 0;  // holds nothing — the paper's point
+    case DeliveryMode::kReorder:
+      if (reorder_queue_.empty()) return 0;
+      flush_reorder_queue();
+      break;
+    case DeliveryMode::kReassemble:
+      if (!evict_oldest_holder()) return 0;
+      break;
+  }
+  return before - stats_.held_bytes_now;
+}
+
+void ChunkTransportReceiver::abort_for_governor(std::uint32_t tpdu_id,
+                                                std::size_t incoming_bytes) {
+  ++stats_.governor_refusals;
+  obs_add(m_.governor_refusals);
+  if (auto it = tpdus_.find(tpdu_id); it != tpdus_.end()) {
+    for (const HeldChunk& hc : it->second.held) {
+      drop_unplaced(hc.chunk.payload.size(), /*was_held=*/true);
+      ++stats_.held_chunks_evicted;
+      stats_.held_bytes_evicted += hc.chunk.payload.size();
+      obs_add(m_.held_chunks_evicted);
+      obs_add(m_.held_bytes_evicted, hc.chunk.payload.size());
+    }
+    ++stats_.tpdus_evicted;
+    obs_add(m_.tpdus_evicted);
+    tpdus_.erase(it);
+  }
+  drop_unplaced(incoming_bytes, /*was_held=*/false);
+}
+
+void ChunkTransportReceiver::maybe_send_grant() {
+  if (!cfg_.grant_credit || !cfg_.send_control) return;
+  CreditGrant grant;
+  grant.connection_id = cfg_.connection_id;
+  grant.grant_seq = ++grant_seq_;
+  std::uint64_t window = cfg_.credit_window_bytes;
+  std::uint16_t slots = cfg_.credit_tpdu_slots;
+  if (cfg_.governor != nullptr) {
+    window = std::min(window, cfg_.governor->grant_hint(cfg_.connection_id));
+    if (cfg_.governor->over_soft()) {
+      slots = std::max<std::uint16_t>(slots / 2, 1);
+    }
+  }
+  grant.credit_limit_bytes = credited_bytes_ + window;
+  grant.tpdu_slots = slots;
+  ++stats_.credit_grants_sent;
+  obs_add(m_.grants_sent);
+  cfg_.send_control(make_signal_chunk(grant));
 }
 
 void ChunkTransportReceiver::trace_chunk(TraceEventKind kind,
@@ -155,11 +226,17 @@ void ChunkTransportReceiver::hold_bytes(std::uint64_t n) {
   obs_add(m_.held_bytes, static_cast<std::int64_t>(n));
   obs_set(m_.held_bytes_peak,
           static_cast<std::int64_t>(stats_.held_bytes_peak));
+  if (cfg_.governor != nullptr) {
+    cfg_.governor->charge(cfg_.connection_id, ResourceClass::kHeld, n);
+  }
 }
 
 void ChunkTransportReceiver::unhold_bytes(std::uint64_t n) {
   stats_.held_bytes_now -= n;
   obs_add(m_.held_bytes, -static_cast<std::int64_t>(n));
+  if (cfg_.governor != nullptr) {
+    cfg_.governor->release(cfg_.connection_id, ResourceClass::kHeld, n);
+  }
 }
 
 void ChunkTransportReceiver::drop_unplaced(std::size_t payload_bytes,
@@ -254,9 +331,13 @@ void ChunkTransportReceiver::handle_data_chunk(const ChunkView& v,
                     packet_id);
         next_release_off_ += v.h.len;
         release_in_order();
-      } else if (cfg_.max_held_bytes > 0 &&
-                 stats_.held_bytes_now + v.payload.size() >
-                     cfg_.max_held_bytes) {
+      } else if ((cfg_.max_held_bytes > 0 &&
+                  stats_.held_bytes_now + v.payload.size() >
+                      cfg_.max_held_bytes) ||
+                 (cfg_.governor != nullptr &&
+                  !cfg_.governor->fits(v.payload.size()) &&
+                  !cfg_.governor->make_room(v.payload.size(),
+                                            cfg_.connection_id))) {
         // Cap pressure: force-place the whole queue (placement is
         // position-keyed by C.SN, so out-of-order release keeps the
         // application bytes exact) and this chunk with it, rather than
@@ -299,6 +380,27 @@ void ChunkTransportReceiver::handle_data_chunk(const ChunkView& v,
             drop_unplaced(v.payload.size(), /*was_held=*/false);
             return;
           }
+        }
+      }
+      if (cfg_.governor != nullptr) {
+        // Hard-watermark gate: evict our own oldest holders first, then
+        // let the governor shed other clients under its policy. If no
+        // room can be made, abort THIS TPDU — the hard bound is never
+        // crossed, and the retransmission starts clean once the
+        // sender's credit recovers.
+        while (!cfg_.governor->fits(v.payload.size())) {
+          const auto evicted = evict_oldest_holder();
+          if (!evicted) break;
+          if (*evicted == tpdu_id) {
+            drop_unplaced(v.payload.size(), /*was_held=*/false);
+            return;
+          }
+        }
+        if (!cfg_.governor->fits(v.payload.size()) &&
+            !cfg_.governor->make_room(v.payload.size(),
+                                      cfg_.connection_id)) {
+          abort_for_governor(tpdu_id, v.payload.size());
+          return;
         }
       }
       hold_bytes(v.payload.size());
@@ -392,6 +494,9 @@ void ChunkTransportReceiver::handle_ed_chunk(const ChunkView& v) {
       obs_add(m_.acks_resent);
       cfg_.send_control(
           make_ack_chunk(cfg_.connection_id, v.h.tpdu.id, /*accepted=*/true));
+      // The grants sent with the original finish may be lost too —
+      // re-advertise so the sender's window re-opens.
+      maybe_send_grant();
     }
     return;
   }
@@ -466,6 +571,12 @@ void ChunkTransportReceiver::try_finish(std::uint32_t tpdu_id, TpduState& st) {
     cfg_.send_control(make_ack_chunk(cfg_.connection_id, tpdu_id,
                                      verdict == TpduVerdict::kAccepted));
   }
+  // Flow control: a finished TPDU's bytes leave the in-flight window
+  // (whatever the verdict — a rejected TPDU's retransmission reuses its
+  // already-consumed credit), so advance the cumulative base and
+  // advertise the fresh window.
+  credited_bytes_ += st.elements * cfg_.element_size;
+  maybe_send_grant();
   if (verdict != TpduVerdict::kAccepted) {
     // Drop poisoned state so a retransmission with the same identifiers
     // (§3.3) starts clean.
@@ -550,15 +661,25 @@ std::optional<std::uint32_t> ChunkTransportReceiver::evict_oldest_holder() {
 }
 
 void ChunkTransportReceiver::evict_for_open_cap() {
-  auto victim = tpdus_.end();
   // Finished tombstones go first (they hold no data and exist only to
-  // absorb late duplicates); among equals, oldest first chunk.
+  // absorb late duplicates), then INCOMPLETE unfinished TPDUs; a
+  // complete-but-not-yet-delivered TPDU (all data arrived, ED chunk
+  // still in flight) is the worst possible victim — evicting it throws
+  // away a full retransmission's worth of progress — so it goes last.
+  // Among equals, oldest first chunk.
+  const auto rank = [](const TpduState& st) {
+    if (st.finished) return 0;
+    return st.tracker.complete() ? 2 : 1;
+  };
+  auto victim = tpdus_.end();
+  int victim_rank = 3;
   for (auto it = tpdus_.begin(); it != tpdus_.end(); ++it) {
-    if (victim == tpdus_.end() ||
-        (it->second.finished && !victim->second.finished) ||
-        (it->second.finished == victim->second.finished &&
+    const int r = rank(it->second);
+    if (victim == tpdus_.end() || r < victim_rank ||
+        (r == victim_rank &&
          it->second.first_chunk_at < victim->second.first_chunk_at)) {
       victim = it;
+      victim_rank = r;
     }
   }
   if (victim == tpdus_.end()) return;

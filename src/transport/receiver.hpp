@@ -29,6 +29,7 @@
 #include "src/chunk/types.hpp"
 #include "src/common/buffer_pool.hpp"
 #include "src/common/interval_set.hpp"
+#include "src/common/resource_governor.hpp"
 #include "src/netsim/simulator.hpp"
 #include "src/obs/obs.hpp"
 #include "src/reassembly/virtual_reassembly.hpp"
@@ -95,9 +96,29 @@ struct ReceiverConfig {
   /// never evicts — the paper's point, stressed by bench E7/E11.
   std::size_t max_held_bytes{0};
   /// Cap on per-TPDU context entries (open + finished tombstones).
-  /// 0 = unbounded. Eviction prefers finished tombstones (oldest
-  /// first); evicting an unfinished TPDU aborts it.
+  /// 0 = unbounded. Eviction prefers finished tombstones, then
+  /// incomplete TPDUs, and only then complete-but-undelivered ones
+  /// (oldest first within a class); evicting an unfinished TPDU aborts
+  /// it.
   std::size_t max_open_tpdus{0};
+  /// Endpoint-wide overload control (docs/ROBUSTNESS.md, "Overload
+  /// control"): held bytes are charged to this governor under
+  /// `connection_id` (class kHeld), a chunk that would cross the hard
+  /// watermark triggers shedding (self first, then governor-selected
+  /// victims), and the receiver registers a shed hook so OTHER
+  /// connections' pressure can reclaim this one's holdings. The
+  /// governor must outlive the receiver.
+  ResourceGovernor* governor{nullptr};
+  /// Weight for the governor's priority-weighted shed policy
+  /// (higher = more protected).
+  int shed_priority{1};
+  /// Credit-based flow control: advertise credit to the sender (via
+  /// send_control) after every finished TPDU and re-ACK. The advertised
+  /// window is `credit_window_bytes` capped by the governor's headroom
+  /// share; slots halve while the governor is over its soft watermark.
+  bool grant_credit{false};
+  std::uint64_t credit_window_bytes{64 * 1024};
+  std::uint16_t credit_tpdu_slots{4};
   /// Observability (optional). Metric names are prefixed with
   /// "receiver.<mode>." so runs in different delivery modes stay
   /// distinguishable in one registry.
@@ -113,6 +134,7 @@ struct ReceiverConfig {
 class ChunkTransportReceiver final : public PacketSink {
  public:
   ChunkTransportReceiver(Simulator& sim, ReceiverConfig cfg);
+  ~ChunkTransportReceiver() override;
 
   void on_packet(SimPacket pkt) override;
 
@@ -177,6 +199,11 @@ class ChunkTransportReceiver final : public PacketSink {
     std::uint64_t tpdus_evicted{0};
     std::uint64_t held_chunks_evicted{0};
     std::uint64_t held_bytes_evicted{0};
+    /// Overload control: chunks whose TPDU was aborted because the
+    /// governor's hard watermark left no room even after shedding, and
+    /// credit grants advertised to the sender.
+    std::uint64_t governor_refusals{0};
+    std::uint64_t credit_grants_sent{0};
     /// Per-element delivery latency samples (ns), packet creation to
     /// placement in application memory.
     std::vector<double> delivery_latency_ns;
@@ -240,6 +267,15 @@ class ChunkTransportReceiver final : public PacketSink {
   void evict_for_open_cap();
   void hold_bytes(std::uint64_t n);
   void unhold_bytes(std::uint64_t n);
+  /// Governor shed hook: frees one round of holdings (reorder: flush
+  /// the queue; reassemble: evict the oldest holder) and returns the
+  /// bytes released.
+  std::uint64_t shed_held();
+  /// Aborts THIS TPDU under hard-watermark pressure (its holds and the
+  /// incoming chunk are dropped; retransmission starts clean).
+  void abort_for_governor(std::uint32_t tpdu_id, std::size_t incoming_bytes);
+  /// Advertises a CreditGrant reflecting current governor headroom.
+  void maybe_send_grant();
   /// Counts a triaged-accepted chunk discarded without ever being
   /// placed (rejection, eviction, abort, supersession); releases its
   /// hold accounting when it was held.
@@ -272,6 +308,8 @@ class ChunkTransportReceiver final : public PacketSink {
     Gauge* held_bytes{nullptr};
     Gauge* held_bytes_peak{nullptr};
     Histogram* delivery_latency{nullptr};
+    Counter* governor_refusals{nullptr};
+    Counter* grants_sent{nullptr};
   };
 
   Simulator& sim_;
@@ -296,6 +334,10 @@ class ChunkTransportReceiver final : public PacketSink {
     return static_cast<std::uint32_t>(conn_sn - cfg_.first_conn_sn);
   }
   Stats stats_;
+  /// Flow control: cumulative finished-TPDU payload bytes (the base of
+  /// every advertised credit limit) and the grant ordering sequence.
+  std::uint64_t credited_bytes_{0};
+  std::uint32_t grant_seq_{0};
 };
 
 }  // namespace chunknet

@@ -27,7 +27,28 @@ ChunkTransportSender::ChunkTransportSender(Simulator& sim, SenderConfig cfg)
     m_.rto_samples = &reg.counter("sender.rto_samples");
     m_.rto_discarded = &reg.counter("sender.rto_discarded");
     m_.rto_backoffs = &reg.counter("sender.rto_backoffs");
+    if (cfg_.flow.enabled) {
+      m_.credit_grants = &reg.counter("flow.credit_grants");
+      m_.flow_blocked = &reg.counter("flow.blocked");
+      m_.zero_credit_probes = &reg.counter("flow.zero_credit_probes");
+      m_.flow_backoffs = &reg.counter("flow.backoffs");
+      m_.credit_window = &reg.gauge("flow.credit_window_bytes");
+      m_.inflight_tpdus = &reg.gauge("flow.inflight_tpdus");
+    }
   }
+  if (cfg_.flow.enabled) {
+    credit_limit_ = cfg_.flow.initial_credit_bytes;
+    slots_ = std::max<std::uint16_t>(cfg_.flow.initial_tpdu_slots, 1);
+    publish_flow_gauges();
+  }
+}
+
+void ChunkTransportSender::publish_flow_gauges() {
+  obs_set(m_.credit_window,
+          static_cast<std::int64_t>(
+              credit_limit_ > credit_consumed_ ? credit_limit_ - credit_consumed_
+                                               : 0));
+  obs_set(m_.inflight_tpdus, static_cast<std::int64_t>(inflight_));
 }
 
 void ChunkTransportSender::trace_chunk(TraceEventKind kind, const Chunk& c,
@@ -67,12 +88,121 @@ void ChunkTransportSender::send_stream(std::span<const std::uint8_t> stream) {
     }
 
     PendingTpdu pending;
+    for (const Chunk& c : tpdu_chunks) {
+      if (c.h.type == ChunkType::kData) pending.payload_bytes += c.payload.size();
+    }
     pending.chunks = std::move(tpdu_chunks);
     auto [it, inserted] = outstanding_.emplace(tpdu_id, std::move(pending));
     ++stats_.tpdus_sent;
     obs_add(m_.tpdus_sent);
-    transmit_tpdu(tpdu_id, it->second);
+    if (cfg_.flow.enabled) {
+      send_queue_.push_back(tpdu_id);
+    } else {
+      it->second.admitted = true;
+      transmit_tpdu(tpdu_id, it->second);
+    }
   }
+  if (cfg_.flow.enabled) pump_queue();
+}
+
+void ChunkTransportSender::admit_tpdu(std::uint32_t tpdu_id, PendingTpdu& p) {
+  p.admitted = true;
+  credit_consumed_ += p.payload_bytes;
+  ++inflight_;
+  ++admit_epoch_;
+  transmit_tpdu(tpdu_id, p);
+}
+
+void ChunkTransportSender::pump_queue() {
+  while (!send_queue_.empty()) {
+    auto it = outstanding_.find(send_queue_.front());
+    if (it == outstanding_.end()) {  // retired before admission (shouldn't
+      send_queue_.pop_front();       // happen, but never wedge on it)
+      continue;
+    }
+    if (inflight_ >= slots_ ||
+        credit_consumed_ + it->second.payload_bytes > credit_limit_) {
+      break;
+    }
+    send_queue_.pop_front();
+    admit_tpdu(it->first, it->second);
+  }
+  const bool now_blocked = !send_queue_.empty();
+  if (now_blocked && !blocked_) {
+    ++stats_.flow_blocked;
+    obs_add(m_.flow_blocked);
+  }
+  blocked_ = now_blocked;
+  if (now_blocked) arm_probe();
+  publish_flow_gauges();
+}
+
+void ChunkTransportSender::arm_probe() {
+  if (probe_armed_) return;
+  probe_armed_ = true;
+  const std::uint64_t epoch = admit_epoch_;
+  sim_.schedule_in(cfg_.flow.probe_timeout, [this, epoch] {
+    probe_armed_ = false;
+    if (send_queue_.empty()) return;
+    if (admit_epoch_ != epoch) {
+      // Progress happened since arming; still blocked, so keep watch.
+      arm_probe();
+      return;
+    }
+    // Genuinely stalled: every grant since the last one we applied was
+    // lost, or the receiver went quiet. Decay the slot estimate
+    // (conservative restart) and force ONE TPDU through as a probe —
+    // its ACK or the grant it provokes re-opens the window.
+    slots_ = std::max<std::uint16_t>(slots_ / 2, 1);
+    ++stats_.zero_credit_probes;
+    obs_add(m_.zero_credit_probes);
+    auto it = outstanding_.find(send_queue_.front());
+    send_queue_.pop_front();
+    if (it != outstanding_.end()) admit_tpdu(it->first, it->second);
+    if (!send_queue_.empty()) arm_probe();
+    publish_flow_gauges();
+  });
+}
+
+void ChunkTransportSender::on_tpdu_retired(const PendingTpdu& p) {
+  if (!cfg_.flow.enabled || !p.admitted) return;
+  if (inflight_ > 0) --inflight_;
+}
+
+void ChunkTransportSender::handle_credit_grant(const Chunk& signal) {
+  const auto grant = parse_credit_grant(signal);
+  if (!grant || grant->connection_id != cfg_.framer.connection_id) return;
+  // Wrap-safe ordering: apply only grants newer than the last applied.
+  if (any_grant_ &&
+      static_cast<std::int32_t>(grant->grant_seq - grant_seq_seen_) <= 0) {
+    return;
+  }
+  any_grant_ = true;
+  grant_seq_seen_ = grant->grant_seq;
+  ++stats_.credit_grants;
+  obs_add(m_.credit_grants);
+
+  const std::uint64_t old_window =
+      credit_limit_ > credit_consumed_ ? credit_limit_ - credit_consumed_ : 0;
+  const std::uint64_t new_window = grant->credit_limit_bytes > credit_consumed_
+                                       ? grant->credit_limit_bytes - credit_consumed_
+                                       : 0;
+  const std::uint16_t offered_slots =
+      std::max<std::uint16_t>(grant->tpdu_slots, 1);
+  if (new_window < old_window || offered_slots < slots_) {
+    // The receiver is under pressure: back off multiplicatively rather
+    // than sliding gently to the offered window.
+    slots_ = std::max<std::uint16_t>(std::min(offered_slots,
+                                              static_cast<std::uint16_t>(
+                                                  slots_ / 2)),
+                                     1);
+    ++stats_.flow_backoffs;
+    obs_add(m_.flow_backoffs);
+  } else {
+    slots_ = offered_slots;
+  }
+  credit_limit_ = grant->credit_limit_bytes;
+  pump_queue();
 }
 
 void ChunkTransportSender::transmit_tpdu(std::uint32_t tpdu_id,
@@ -104,7 +234,9 @@ void ChunkTransportSender::arm_timer(std::uint32_t tpdu_id) {
       ++stats_.gave_up;
       obs_add(m_.gave_up);
       gave_up_ids_.push_back(tpdu_id);
+      on_tpdu_retired(it->second);
       outstanding_.erase(it);
+      if (cfg_.flow.enabled) pump_queue();
       return;
     }
     rto_.on_timeout();
@@ -177,6 +309,23 @@ void ChunkTransportSender::handle_gap_nak(const Chunk& signal) {
   if (!nak) return;
   const auto it = outstanding_.find(nak->tpdu_id);
   if (it == outstanding_.end()) return;  // already acked or abandoned
+  // An honoured gap NAK consumes a retransmit attempt. Without this the
+  // retry budget never trips on the selective path (each honoured NAK
+  // also quiets the whole-TPDU backstop below), and a receiver that
+  // keeps shedding held state under memory pressure re-arms its NAK
+  // budget with every recreated TPDU context — an unbounded
+  // NAK → slice → evict livelock. Over budget, give up truthfully
+  // exactly like the whole-TPDU retransmission path.
+  if (it->second.attempts > cfg_.max_retransmits) {
+    ++stats_.gave_up;
+    obs_add(m_.gave_up);
+    gave_up_ids_.push_back(nak->tpdu_id);
+    on_tpdu_retired(it->second);
+    outstanding_.erase(it);
+    if (cfg_.flow.enabled) pump_queue();
+    return;
+  }
+  ++it->second.attempts;
   ++stats_.gap_naks_honoured;
   obs_add(m_.gap_naks_honoured);
 
@@ -221,8 +370,12 @@ void ChunkTransportSender::on_packet(SimPacket pkt) {
   ParsedPacket parsed = decode_packet(pkt.bytes);
   if (!parsed.ok) return;
   for (const Chunk& c : parsed.chunks) {
-    if (c.h.type == ChunkType::kSignal && cfg_.selective_retransmit) {
-      handle_gap_nak(c);
+    if (c.h.type == ChunkType::kSignal) {
+      if (cfg_.flow.enabled && signal_kind(c) == SignalKind::kCreditGrant) {
+        handle_credit_grant(c);
+      } else if (cfg_.selective_retransmit) {
+        handle_gap_nak(c);
+      }
       continue;
     }
     if (c.h.type != ChunkType::kAck) continue;
@@ -243,7 +396,9 @@ void ChunkTransportSender::on_packet(SimPacket pkt) {
       }
       ++stats_.tpdus_acked;
       obs_add(m_.tpdus_acked);
+      on_tpdu_retired(it->second);
       outstanding_.erase(it);
+      if (cfg_.flow.enabled) pump_queue();
     } else {
       // NAK: retransmit immediately with the same identifiers.
       ++stats_.naks;
@@ -252,7 +407,9 @@ void ChunkTransportSender::on_packet(SimPacket pkt) {
         ++stats_.gave_up;
         obs_add(m_.gave_up);
         gave_up_ids_.push_back(ack.tpdu_id);
+        on_tpdu_retired(it->second);
         outstanding_.erase(it);
+        if (cfg_.flow.enabled) pump_queue();
         continue;
       }
       ++stats_.retransmissions;

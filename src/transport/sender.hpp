@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <span>
@@ -51,6 +52,26 @@ struct SenderConfig {
   /// syntax. Falls back to canonical per packet if a chunk is not
   /// representable under the profile.
   std::optional<CompressionProfile> compress_wire;
+  /// Credit-based end-to-end flow control (docs/ROBUSTNESS.md,
+  /// "Overload control"). When enabled, framed TPDUs wait in a send
+  /// queue until the receiver's advertised credit (cumulative payload
+  /// bytes + open-TPDU slots, carried in CreditGrant signal chunks)
+  /// admits them; overload becomes sender-side queueing instead of
+  /// receiver-side eviction storms.
+  struct FlowControlConfig {
+    bool enabled{false};
+    /// Credit assumed before the first grant arrives (bootstraps the
+    /// connection; one or two TPDUs' worth is typical).
+    std::uint64_t initial_credit_bytes{16 * 1024};
+    std::uint16_t initial_tpdu_slots{2};
+    /// Zero-credit probe: blocked this long with no admission progress,
+    /// the sender forces ONE TPDU through and halves its slot estimate
+    /// — the decay that keeps a connection live when every grant since
+    /// the last one was lost. Armed only while blocked, so an idle
+    /// sender schedules nothing.
+    SimTime probe_timeout{200 * kMillisecond};
+  };
+  FlowControlConfig flow{};
   /// Transmit a packet body into the network (first hop).
   std::function<void(std::vector<std::uint8_t>)> send_packet;
   /// Observability (optional). Metric names are prefixed "sender.".
@@ -104,8 +125,21 @@ class ChunkTransportSender final : public PacketSink {
     std::uint64_t rto_samples{0};
     std::uint64_t rto_discarded{0};
     std::uint64_t rto_backoffs{0};
+    /// Flow control: grants applied, blocked episodes, zero-credit
+    /// probes fired, and multiplicative backoffs on shrinking grants.
+    std::uint64_t credit_grants{0};
+    std::uint64_t flow_blocked{0};
+    std::uint64_t zero_credit_probes{0};
+    std::uint64_t flow_backoffs{0};
   };
   const Stats& stats() const { return stats_; }
+
+  /// Flow-control introspection (tests + benches).
+  std::size_t flow_queued() const { return send_queue_.size(); }
+  std::size_t flow_inflight() const { return inflight_; }
+  std::uint64_t credit_limit() const { return credit_limit_; }
+  std::uint64_t credit_consumed() const { return credit_consumed_; }
+  std::uint16_t flow_slots() const { return slots_; }
 
  private:
   struct PendingTpdu {
@@ -116,11 +150,23 @@ class ChunkTransportSender final : public PacketSink {
     /// an ACK can no longer be matched to one transmission, so Karn's
     /// rule discards its RTT sample.
     bool retransmitted{false};
+    /// Flow control: past the credit gate (transmitted at least once).
+    bool admitted{false};
+    std::uint64_t payload_bytes{0};  ///< data payload (credit currency)
   };
 
   void transmit_tpdu(std::uint32_t tpdu_id, PendingTpdu& p);
   void arm_timer(std::uint32_t tpdu_id);
   void handle_gap_nak(const Chunk& signal);
+  void handle_credit_grant(const Chunk& signal);
+  /// Admits queued TPDUs while credit and slots allow; arms the
+  /// zero-credit probe if the queue stays blocked.
+  void pump_queue();
+  void admit_tpdu(std::uint32_t tpdu_id, PendingTpdu& p);
+  void arm_probe();
+  /// An admitted TPDU left outstanding_ (acked or abandoned).
+  void on_tpdu_retired(const PendingTpdu& p);
+  void publish_flow_gauges();
   void send_chunks(std::vector<Chunk> chunks);
   void trace_chunk(TraceEventKind kind, const Chunk& c,
                    std::uint64_t aux = 0) const;
@@ -138,6 +184,12 @@ class ChunkTransportSender final : public PacketSink {
     Counter* rto_samples{nullptr};
     Counter* rto_discarded{nullptr};
     Counter* rto_backoffs{nullptr};
+    Counter* credit_grants{nullptr};
+    Counter* flow_blocked{nullptr};
+    Counter* zero_credit_probes{nullptr};
+    Counter* flow_backoffs{nullptr};
+    Gauge* credit_window{nullptr};
+    Gauge* inflight_tpdus{nullptr};
   };
 
   Simulator& sim_;
@@ -148,6 +200,18 @@ class ChunkTransportSender final : public PacketSink {
   std::vector<std::uint32_t> gave_up_ids_;
   bool started_{false};
   Stats stats_;
+
+  // Flow-control state (only mutated when cfg_.flow.enabled).
+  std::deque<std::uint32_t> send_queue_;
+  std::uint64_t credit_limit_{0};     ///< cumulative admit budget (bytes)
+  std::uint64_t credit_consumed_{0};  ///< payload bytes admitted so far
+  std::uint16_t slots_{0};            ///< open-TPDU window
+  std::size_t inflight_{0};           ///< admitted and not yet retired
+  std::uint32_t grant_seq_seen_{0};
+  bool any_grant_{false};
+  bool blocked_{false};
+  std::uint64_t admit_epoch_{0};  ///< bumps on every admission
+  bool probe_armed_{false};
 };
 
 }  // namespace chunknet

@@ -68,10 +68,30 @@ Chunk make_signal_chunk(const GapNak& nak) {
   return wrap(nak.connection_id, std::move(p));
 }
 
+Chunk make_signal_chunk(const CreditGrant& grant) {
+  std::vector<std::uint8_t> p;
+  ByteWriter w(p);
+  w.u8(static_cast<std::uint8_t>(SignalKind::kCreditGrant));
+  w.u32(grant.connection_id);
+  w.u32(grant.grant_seq);
+  w.u64(grant.credit_limit_bytes);
+  w.u16(grant.tpdu_slots);
+  return wrap(grant.connection_id, std::move(p));
+}
+
+Chunk make_signal_chunk(const ConnectionRefused& refused) {
+  std::vector<std::uint8_t> p;
+  ByteWriter w(p);
+  w.u8(static_cast<std::uint8_t>(SignalKind::kConnectionRefused));
+  w.u32(refused.connection_id);
+  w.u64(refused.retry_hint_bytes);
+  return wrap(refused.connection_id, std::move(p));
+}
+
 std::optional<SignalKind> signal_kind(const Chunk& c) {
   if (c.h.type != ChunkType::kSignal || c.payload.empty()) return std::nullopt;
   const std::uint8_t k = c.payload[0];
-  if (k < 1 || k > 3) return std::nullopt;
+  if (k < 1 || k > 5) return std::nullopt;
   return static_cast<SignalKind>(k);
 }
 
@@ -124,6 +144,30 @@ std::optional<GapNak> parse_gap_nak(const Chunk& c) {
   }
   if (!r.ok() || r.remaining() != 0) return std::nullopt;
   return nak;
+}
+
+std::optional<CreditGrant> parse_credit_grant(const Chunk& c) {
+  if (signal_kind(c) != SignalKind::kCreditGrant) return std::nullopt;
+  ByteReader r(c.payload);
+  r.u8();
+  CreditGrant grant;
+  grant.connection_id = r.u32();
+  grant.grant_seq = r.u32();
+  grant.credit_limit_bytes = r.u64();
+  grant.tpdu_slots = r.u16();
+  if (!r.ok() || r.remaining() != 0) return std::nullopt;
+  return grant;
+}
+
+std::optional<ConnectionRefused> parse_connection_refused(const Chunk& c) {
+  if (signal_kind(c) != SignalKind::kConnectionRefused) return std::nullopt;
+  ByteReader r(c.payload);
+  r.u8();
+  ConnectionRefused refused;
+  refused.connection_id = r.u32();
+  refused.retry_hint_bytes = r.u64();
+  if (!r.ok() || r.remaining() != 0) return std::nullopt;
+  return refused;
 }
 
 }  // namespace chunknet

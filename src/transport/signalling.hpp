@@ -32,6 +32,8 @@ enum class SignalKind : std::uint8_t {
   kConnectionOpen = 1,
   kConnectionClose = 2,
   kGapNak = 3,
+  kCreditGrant = 4,
+  kConnectionRefused = 5,
 };
 
 struct ConnectionOpen {
@@ -81,10 +83,38 @@ struct GapNak {
   friend bool operator==(const GapNak&, const GapNak&) = default;
 };
 
+/// A flow-control credit advertisement (receiver → sender). The limit
+/// is CUMULATIVE — "you may have admitted up to `credit_limit_bytes` of
+/// stream payload since the connection opened" — so a lost grant is
+/// simply superseded by the next one (same loss-tolerance trick as a
+/// TCP window / SCTP a_rwnd). `grant_seq` orders grants: a sender
+/// ignores any grant older than the newest it has applied.
+struct CreditGrant {
+  std::uint32_t connection_id{0};
+  std::uint32_t grant_seq{0};
+  std::uint64_t credit_limit_bytes{0};
+  std::uint16_t tpdu_slots{0};  ///< max unacknowledged TPDUs in flight
+
+  friend bool operator==(const CreditGrant&, const CreditGrant&) = default;
+};
+
+/// Admission-control refusal (endpoint → would-be sender): the governor
+/// had no headroom for a new connection. `retry_hint_bytes` tells the
+/// peer how much headroom admission would have needed.
+struct ConnectionRefused {
+  std::uint32_t connection_id{0};
+  std::uint64_t retry_hint_bytes{0};
+
+  friend bool operator==(const ConnectionRefused&,
+                         const ConnectionRefused&) = default;
+};
+
 /// Builds a SIGNAL chunk carrying the given message.
 Chunk make_signal_chunk(const ConnectionOpen& open);
 Chunk make_signal_chunk(const ConnectionClose& close);
 Chunk make_signal_chunk(const GapNak& nak);
+Chunk make_signal_chunk(const CreditGrant& grant);
+Chunk make_signal_chunk(const ConnectionRefused& refused);
 
 /// Returns the signal kind of a SIGNAL chunk (nullopt if malformed).
 std::optional<SignalKind> signal_kind(const Chunk& c);
@@ -93,5 +123,7 @@ std::optional<SignalKind> signal_kind(const Chunk& c);
 std::optional<ConnectionOpen> parse_connection_open(const Chunk& c);
 std::optional<ConnectionClose> parse_connection_close(const Chunk& c);
 std::optional<GapNak> parse_gap_nak(const Chunk& c);
+std::optional<CreditGrant> parse_credit_grant(const Chunk& c);
+std::optional<ConnectionRefused> parse_connection_refused(const Chunk& c);
 
 }  // namespace chunknet

@@ -91,6 +91,70 @@ TEST(BufferPool, ManyOutstandingBuffersAreIndependent) {
   EXPECT_EQ(pool.stats().allocations, 8u);
 }
 
+TEST(BufferPool, BoundedFreelistFreesExcessReleases) {
+  PacketBufferPool pool(1024, /*max_free_buffers=*/2);
+  {
+    std::vector<PooledBuffer> held;
+    for (int i = 0; i < 5; ++i) held.push_back(pool.acquire());
+  }  // five releases, only two may be retained
+  EXPECT_EQ(pool.free_buffers(), 2u);
+  EXPECT_EQ(pool.stats().trimmed, 3u);
+  EXPECT_EQ(pool.retained_bytes(), 2u * 1024u);
+}
+
+TEST(BufferPool, TrimTickDecaysIdleBuffers) {
+  PacketBufferPool pool(1024);
+  {
+    std::vector<PooledBuffer> held;
+    for (int i = 0; i < 8; ++i) held.push_back(pool.acquire());
+  }
+  EXPECT_EQ(pool.free_buffers(), 8u);
+  // The buffers were all in use during this first interval (the
+  // freelist's minimum depth was 0), so nothing decays yet.
+  EXPECT_EQ(pool.trim_tick(), 0u);
+  EXPECT_EQ(pool.free_buffers(), 8u);
+
+  // A whole interval of silence: all eight sat idle, half decay.
+  EXPECT_EQ(pool.trim_tick(), 4u * 1024u);
+  EXPECT_EQ(pool.free_buffers(), 4u);
+
+  // Next interval, two buffers cycle through the pool: the freelist
+  // dipped to 2, so only 1 (half of the idle minimum) is freed.
+  {
+    PooledBuffer a = pool.acquire();
+    PooledBuffer b = pool.acquire();
+  }
+  EXPECT_EQ(pool.trim_tick(), 1u * 1024u);
+  EXPECT_EQ(pool.free_buffers(), 3u);
+}
+
+TEST(BufferPool, GovernorIsChargedForRetainedBytesAndCanShed) {
+  GovernorConfig gc;
+  gc.soft_watermark_bytes = 3 * 1024;
+  gc.hard_watermark_bytes = 6 * 1024;
+  ResourceGovernor gov(gc);
+
+  PacketBufferPool pool(1024);
+  pool.attach_governor(&gov);
+  {
+    std::vector<PooledBuffer> held;
+    for (int i = 0; i < 4; ++i) held.push_back(pool.acquire());
+  }
+  // Retained freelist bytes are charged under class kPool.
+  EXPECT_EQ(gov.client_usage(0), 4u * 1024u);
+  EXPECT_EQ(gov.stats().charged_now, 4u * 1024u);
+
+  // trim releases its governor charge along with the storage.
+  pool.trim(/*keep=*/3);
+  EXPECT_EQ(gov.client_usage(0), 3u * 1024u);
+
+  // Governor pressure reclaims pool memory through the shed hook.
+  EXPECT_TRUE(gov.make_room(5 * 1024, /*exclude_client=*/1));
+  EXPECT_LT(pool.free_buffers(), 3u);
+  EXPECT_LE(gov.stats().charged_now, 1024u);
+  EXPECT_GT(gov.stats().sheds, 0u);
+}
+
 TEST(BufferPool, ThreadSafeAcquireRelease) {
   PacketBufferPool pool(1024);
   std::vector<std::thread> threads;

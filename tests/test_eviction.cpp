@@ -214,6 +214,39 @@ TEST(Eviction, OpenTpduCapPrefersFinishedTombstones) {
       std::equal(stream.begin(), stream.end(), rx.app_data().begin()));
 }
 
+TEST(Eviction, OpenTpduCapPrefersIncompleteOverCompleteUndelivered) {
+  // A complete-but-undelivered TPDU (every data chunk arrived, ED chunk
+  // still in flight) is one chunk away from acceptance: evicting it
+  // throws away a full retransmission's worth of progress. The open-cap
+  // victim ranking must prefer an INCOMPLETE TPDU — even a younger one.
+  const auto stream = pattern(96);
+  const auto tpdus = framed_tpdus(stream);
+  Simulator sim;
+  ReceiverConfig rc = base_config(stream.size(), DeliveryMode::kImmediate);
+  rc.max_open_tpdus = 2;
+  ChunkTransportReceiver rx(sim, std::move(rc));
+
+  // TPDU 0 (oldest): all data placed, awaiting only its ED chunk.
+  sim.schedule_at(1 * kMillisecond, [&] {
+    for (const auto& c : tpdus[0]) {
+      if (c.h.type == ChunkType::kData) rx.on_chunk(c, 0);
+    }
+  });
+  // TPDU 1 (younger): one chunk, incomplete.
+  sim.schedule_at(2 * kMillisecond, [&] { rx.on_chunk(tpdus[1][0], 0); });
+  // TPDU 2's first chunk forces an eviction at the cap.
+  sim.schedule_at(3 * kMillisecond, [&] { rx.on_chunk(tpdus[2][0], 0); });
+  sim.run();
+  EXPECT_EQ(rx.stats().tpdus_evicted, 1u);
+
+  // The ED chunk arrives late: TPDU 0 must still be there to accept it.
+  for (const auto& c : tpdus[0]) {
+    if (c.h.type == ChunkType::kErrorDetection) rx.on_chunk(c, 0);
+  }
+  EXPECT_EQ(rx.stats().tpdus_accepted, 1u);
+  EXPECT_EQ(rx.stats().tpdus_rejected, 0u);
+}
+
 TEST(Eviction, OpenTpduCapBoundsStateUnderTpduFlood) {
   // 32 TPDUs open and never finish (a hostile sender, or a long loss
   // tail). With the cap at 4, the table must keep evicting — the

@@ -58,6 +58,22 @@ TEST(IntervalSet, OverlapDetectedAndNovelPartRecorded) {
   EXPECT_TRUE(s.covers(0, 15));
 }
 
+TEST(IntervalSet, OverlapWithoutMergeLeavesCoverageUntouched) {
+  IntervalSet s;
+  s.add(0, 10);
+  EXPECT_EQ(s.add(5, 15, /*merge_on_overlap=*/false),
+            IntervalSet::AddResult::kOverlap);
+  EXPECT_EQ(s.covered(), 10u);  // novel portion [10,15) NOT claimed
+  EXPECT_FALSE(s.covers(10, 15));
+  // The gap is still fillable as new data afterwards.
+  EXPECT_EQ(s.add(10, 15, /*merge_on_overlap=*/false),
+            IntervalSet::AddResult::kNew);
+  EXPECT_EQ(s.covered(), 15u);
+  // Duplicates classify the same either way.
+  EXPECT_EQ(s.add(2, 8, /*merge_on_overlap=*/false),
+            IntervalSet::AddResult::kDuplicate);
+}
+
 TEST(IntervalSet, BridgingAddMergesMultipleIntervals) {
   IntervalSet s;
   s.add(0, 5);

@@ -1,0 +1,250 @@
+// Tests for the ResourceGovernor: exact byte accounting across clients
+// and resource classes, watermark semantics (soft pressure, the hard
+// budget `fits()` gates on), admission reserves, and victim selection
+// under each shed policy (docs/ROBUSTNESS.md, "Overload control").
+#include "src/common/resource_governor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/obs/obs.hpp"
+
+namespace chunknet {
+namespace {
+
+GovernorConfig config(std::uint64_t soft, std::uint64_t hard,
+                      ShedPolicy policy = ShedPolicy::kLargestHolderFirst) {
+  GovernorConfig gc;
+  gc.soft_watermark_bytes = soft;
+  gc.hard_watermark_bytes = hard;
+  gc.policy = policy;
+  return gc;
+}
+
+TEST(ResourceGovernor, AccountingIsExactAcrossClientsAndClasses) {
+  ResourceGovernor gov(config(50, 100));
+  gov.charge(1, ResourceClass::kPool, 10);
+  gov.charge(1, ResourceClass::kHeld, 20);
+  gov.charge(2, ResourceClass::kStaging, 5);
+  EXPECT_EQ(gov.stats().charged_now, 35u);
+  EXPECT_EQ(gov.client_usage(1), 30u);
+  EXPECT_EQ(gov.client_usage(2), 5u);
+
+  gov.release(1, ResourceClass::kHeld, 20);
+  EXPECT_EQ(gov.stats().charged_now, 15u);
+  EXPECT_EQ(gov.client_usage(1), 10u);
+
+  // Classes are separate ledgers: releasing kHeld again cannot touch
+  // the kPool bytes client 1 still holds.
+  gov.release(1, ResourceClass::kHeld, 10);
+  EXPECT_EQ(gov.client_usage(1), 10u);
+  EXPECT_EQ(gov.stats().charged_now, 15u);
+}
+
+TEST(ResourceGovernor, ReleaseNeverUnderflows) {
+  ResourceGovernor gov(config(50, 100));
+  gov.charge(1, ResourceClass::kHeld, 8);
+  gov.release(1, ResourceClass::kHeld, 1000);  // clamps to what is held
+  EXPECT_EQ(gov.stats().charged_now, 0u);
+  gov.release(99, ResourceClass::kHeld, 7);  // unknown client: no-op
+  EXPECT_EQ(gov.stats().charged_now, 0u);
+}
+
+TEST(ResourceGovernor, FitsIsExactAtTheHardBoundary) {
+  ResourceGovernor gov(config(50, 100));
+  gov.charge(1, ResourceClass::kHeld, 60);
+  EXPECT_TRUE(gov.fits(40));   // lands exactly on the watermark
+  EXPECT_FALSE(gov.fits(41));  // one byte over
+  EXPECT_EQ(gov.headroom(), 40u);
+}
+
+TEST(ResourceGovernor, ChargedPeakTracksTheHighWaterMark) {
+  ResourceGovernor gov(config(50, 100));
+  gov.charge(1, ResourceClass::kHeld, 70);
+  gov.release(1, ResourceClass::kHeld, 70);
+  gov.charge(1, ResourceClass::kHeld, 10);
+  const auto s = gov.stats();
+  EXPECT_EQ(s.charged_now, 10u);
+  EXPECT_EQ(s.charged_peak, 70u);
+}
+
+TEST(ResourceGovernor, SoftCrossingsCountEpisodesNotCharges) {
+  ResourceGovernor gov(config(50, 100));
+  gov.charge(1, ResourceClass::kHeld, 40);
+  EXPECT_FALSE(gov.over_soft());
+  EXPECT_EQ(gov.stats().soft_crossings, 0u);
+  gov.charge(1, ResourceClass::kHeld, 20);  // 60 > 50: crossed
+  EXPECT_TRUE(gov.over_soft());
+  gov.charge(1, ResourceClass::kHeld, 10);  // still over: same episode
+  EXPECT_EQ(gov.stats().soft_crossings, 1u);
+  gov.release(1, ResourceClass::kHeld, 40);  // back under
+  gov.charge(1, ResourceClass::kHeld, 30);   // crossed again
+  EXPECT_EQ(gov.stats().soft_crossings, 2u);
+}
+
+TEST(ResourceGovernor, AdmissionReservesHeadroomUntilUnbind) {
+  ResourceGovernor gov(config(50, 100));
+  EXPECT_TRUE(gov.try_admit(1, 40));
+  EXPECT_TRUE(gov.try_admit(2, 40));
+  EXPECT_FALSE(gov.try_admit(3, 40));  // 80 + 40 > 100
+  auto s = gov.stats();
+  EXPECT_EQ(s.admissions, 2u);
+  EXPECT_EQ(s.admission_refused, 1u);
+  EXPECT_EQ(s.reserved_now, 80u);
+
+  gov.unbind_client(2);
+  EXPECT_TRUE(gov.try_admit(3, 40));
+  EXPECT_EQ(gov.stats().reserved_now, 80u);
+}
+
+TEST(ResourceGovernor, AdmissionCountsLiveChargesAgainstTheBudget) {
+  ResourceGovernor gov(config(50, 100));
+  gov.charge(1, ResourceClass::kHeld, 80);
+  EXPECT_FALSE(gov.try_admit(2, 30));  // 80 charged + 30 reserve > 100
+  EXPECT_TRUE(gov.try_admit(2, 20));
+}
+
+TEST(ResourceGovernor, ReAdmissionReplacesTheOldReserve) {
+  ResourceGovernor gov(config(50, 100));
+  EXPECT_TRUE(gov.try_admit(1, 40));
+  EXPECT_TRUE(gov.try_admit(1, 20));  // not 40 + 20
+  EXPECT_EQ(gov.stats().reserved_now, 20u);
+}
+
+/// Binds `id` with a hook that frees ALL its holdings and records the
+/// shed order.
+void bind_shedder(ResourceGovernor& gov, std::uint32_t id, int priority,
+                  std::vector<std::uint32_t>& order) {
+  gov.bind_client(id, priority, [&gov, id, &order]() -> std::uint64_t {
+    order.push_back(id);
+    const std::uint64_t freed = gov.client_usage(id);
+    gov.release(id, ResourceClass::kHeld, freed);
+    return freed;
+  });
+}
+
+TEST(ResourceGovernor, LargestHolderPaysFirst) {
+  ResourceGovernor gov(config(50, 100, ShedPolicy::kLargestHolderFirst));
+  std::vector<std::uint32_t> order;
+  bind_shedder(gov, 1, 1, order);
+  bind_shedder(gov, 2, 1, order);
+  bind_shedder(gov, 3, 1, order);
+  gov.charge(1, ResourceClass::kHeld, 30);
+  gov.charge(2, ResourceClass::kHeld, 50);
+  gov.charge(3, ResourceClass::kHeld, 15);
+
+  EXPECT_TRUE(gov.make_room(40, /*exclude_client=*/0));
+  ASSERT_FALSE(order.empty());
+  EXPECT_EQ(order.front(), 2u);  // 50 bytes: biggest holder
+  EXPECT_LE(gov.stats().charged_now, 60u);
+}
+
+TEST(ResourceGovernor, PriorityWeightedProtectsHighPriorityClients) {
+  ResourceGovernor gov(config(50, 100, ShedPolicy::kPriorityWeighted));
+  std::vector<std::uint32_t> order;
+  bind_shedder(gov, 1, /*priority=*/10, order);  // 90 / 10 = 9
+  bind_shedder(gov, 2, /*priority=*/1, order);   // 10 / 1 = 10
+  gov.charge(1, ResourceClass::kHeld, 90);
+  gov.charge(2, ResourceClass::kHeld, 10);
+
+  gov.make_room(5, 0);
+  ASSERT_FALSE(order.empty());
+  // The small low-priority holder pays before the big protected one.
+  EXPECT_EQ(order.front(), 2u);
+}
+
+TEST(ResourceGovernor, OldestFirstShedsByRegistrationOrder) {
+  ResourceGovernor gov(config(50, 100, ShedPolicy::kOldestFirst));
+  std::vector<std::uint32_t> order;
+  bind_shedder(gov, 7, 1, order);
+  bind_shedder(gov, 8, 1, order);
+  gov.charge(7, ResourceClass::kHeld, 10);
+  gov.charge(8, ResourceClass::kHeld, 80);
+
+  gov.make_room(20, 0);
+  ASSERT_FALSE(order.empty());
+  EXPECT_EQ(order.front(), 7u);  // registered first, despite holding less
+}
+
+TEST(ResourceGovernor, MakeRoomNeverShedsTheExcludedClient) {
+  ResourceGovernor gov(config(50, 100, ShedPolicy::kLargestHolderFirst));
+  std::vector<std::uint32_t> order;
+  bind_shedder(gov, 1, 1, order);
+  bind_shedder(gov, 2, 1, order);
+  gov.charge(1, ResourceClass::kHeld, 90);
+  gov.charge(2, ResourceClass::kHeld, 10);
+
+  // Client 1 (the biggest holder) asks for room: only client 2 may pay,
+  // and its 10 bytes cannot make 30 fit.
+  EXPECT_FALSE(gov.make_room(30, /*exclude_client=*/1));
+  for (const std::uint32_t id : order) EXPECT_NE(id, 1u);
+  EXPECT_EQ(gov.client_usage(1), 90u);
+}
+
+TEST(ResourceGovernor, MakeRoomStopsWhenHooksMakeNoProgress) {
+  ResourceGovernor gov(config(50, 100));
+  int calls = 0;
+  gov.bind_client(1, 1, [&calls]() -> std::uint64_t {
+    ++calls;
+    return 0;  // nothing left to shed
+  });
+  gov.charge(1, ResourceClass::kHeld, 95);
+  EXPECT_FALSE(gov.make_room(50, 0));
+  EXPECT_EQ(calls, 1);  // no retry spin on a dry hook
+}
+
+TEST(ResourceGovernor, ShedToSoftReachesTheSoftWatermark) {
+  ResourceGovernor gov(config(50, 100));
+  std::vector<std::uint32_t> order;
+  bind_shedder(gov, 1, 1, order);
+  bind_shedder(gov, 2, 1, order);
+  gov.charge(1, ResourceClass::kHeld, 45);
+  gov.charge(2, ResourceClass::kHeld, 40);
+
+  const std::uint64_t freed = gov.shed_to_soft();
+  EXPECT_GT(freed, 0u);
+  EXPECT_LE(gov.stats().charged_now, 50u);
+  EXPECT_FALSE(gov.over_soft());
+  EXPECT_EQ(gov.stats().shed_bytes, freed);
+}
+
+TEST(ResourceGovernor, GrantHintSharesHeadroomAndCollapsesUnderPressure) {
+  ResourceGovernor gov(config(50, 100));
+  gov.bind_client(1);
+  gov.bind_client(2);
+  gov.charge(1, ResourceClass::kHeld, 20);
+  // Under the soft watermark: an equal share of the 80-byte headroom.
+  EXPECT_EQ(gov.grant_hint(1), 40u);
+
+  gov.charge(1, ResourceClass::kHeld, 40);  // 60 > soft
+  // Over it: the share collapses to a quarter (the shrinking grant is
+  // the sender's multiplicative-backoff signal).
+  EXPECT_EQ(gov.grant_hint(1), 5u);  // (100-60)/2/4
+}
+
+TEST(ResourceGovernor, PublishesGaugesAndCounters) {
+  MetricsRegistry reg;
+  ObsContext obs{&reg, nullptr};
+  GovernorConfig gc = config(50, 100);
+  gc.obs = &obs;
+  ResourceGovernor gov(gc);
+  EXPECT_TRUE(gov.try_admit(1, 10));
+  gov.charge(1, ResourceClass::kHeld, 60);
+
+  const Gauge* charged = reg.find_gauge("governor.charged_bytes");
+  ASSERT_NE(charged, nullptr);
+  EXPECT_EQ(charged->value(), 60);
+  const Gauge* reserved = reg.find_gauge("governor.reserved_bytes");
+  ASSERT_NE(reserved, nullptr);
+  EXPECT_EQ(reserved->value(), 10);
+  const Counter* crossings = reg.find_counter("governor.soft_crossings");
+  ASSERT_NE(crossings, nullptr);
+  EXPECT_EQ(crossings->value(), 1u);
+  const Gauge* hard = reg.find_gauge("governor.hard_watermark");
+  ASSERT_NE(hard, nullptr);
+  EXPECT_EQ(hard->value(), 100);
+}
+
+}  // namespace
+}  // namespace chunknet

@@ -187,6 +187,66 @@ TEST(SelectiveRetx, FarLessDataResentThanWholeTpduMode) {
   EXPECT_LT(selective_bytes * 2, whole_bytes);
 }
 
+// Regression: honoured gap NAKs must consume the retry budget. A
+// receiver thrashing under memory pressure recreates its TPDU context
+// (and with it a fresh NAK allowance) every time eviction erases it, so
+// without a sender-side bound the NAK → slice → evict loop never
+// terminates (chaos seed 356 livelocked exactly this way). After the
+// budget the sender gives up truthfully, like the whole-TPDU path.
+TEST(SelectiveRetx, HonouredNaksConsumeRetryBudget) {
+  Simulator sim;
+  std::vector<std::vector<std::uint8_t>> sent;
+  SenderConfig sc;
+  sc.framer.connection_id = 7;
+  sc.framer.element_size = 4;
+  sc.framer.tpdu_elements = 256;
+  sc.framer.xpdu_elements = 64;
+  sc.framer.max_chunk_elements = 64;
+  sc.mtu = 1500;
+  sc.retransmit_timeout = 200 * kMillisecond;
+  sc.max_retransmits = 3;
+  sc.selective_retransmit = true;
+  sc.send_packet = [&sent](std::vector<std::uint8_t> b) {
+    sent.push_back(std::move(b));
+  };
+  ChunkTransportSender sender(sim, std::move(sc));
+  sender.send_stream(pattern(1024));  // one TPDU
+  ASSERT_FALSE(sent.empty());
+
+  ParsedPacket first = decode_packet(sent[0]);
+  ASSERT_TRUE(first.ok);
+  std::uint32_t tid = 0;
+  bool found = false;
+  for (const Chunk& c : first.chunks) {
+    if (c.h.type == ChunkType::kData) {
+      tid = c.h.tpdu.id;
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found);
+
+  GapNak nak;
+  nak.connection_id = 7;
+  nak.tpdu_id = tid;
+  nak.gaps.push_back({0, 8});
+  int fed = 0;
+  while (!sender.finished() && fed < 50) {
+    SimPacket sp;
+    sp.bytes =
+        encode_packet(std::vector<Chunk>{make_signal_chunk(nak)}, 1500);
+    sp.id = sim.next_packet_id();
+    sp.created_at = sim.now();
+    sender.on_packet(std::move(sp));
+    ++fed;
+  }
+  EXPECT_TRUE(sender.finished());
+  EXPECT_EQ(sender.stats().gave_up, 1u);
+  EXPECT_LE(sender.stats().gap_naks_honoured,
+            3u);  // bounded by max_retransmits
+  EXPECT_LT(fed, 50);
+}
+
 TEST(SelectiveRetx, DisabledReceiverSendsNoNaks) {
   const auto stream = pattern(8 * 1024);
   Harness h(stream.size(), /*selective=*/false);

@@ -69,10 +69,36 @@ TEST(Signalling, EmptyGapListAllowed) {
   EXPECT_FALSE(parsed->need_tail);
 }
 
+TEST(Signalling, CreditGrantRoundTrip) {
+  CreditGrant grant;
+  grant.connection_id = 9;
+  grant.grant_seq = 0xFFFFFFFE;  // near wrap: the codec must not care
+  grant.credit_limit_bytes = 5'000'000'123ull;  // > 32 bits
+  grant.tpdu_slots = 17;
+  const Chunk c = make_signal_chunk(grant);
+  EXPECT_EQ(signal_kind(c), SignalKind::kCreditGrant);
+  const auto parsed = parse_credit_grant(c);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, grant);
+}
+
+TEST(Signalling, ConnectionRefusedRoundTrip) {
+  ConnectionRefused refused;
+  refused.connection_id = 11;
+  refused.retry_hint_bytes = 48 * 1024;
+  const Chunk c = make_signal_chunk(refused);
+  EXPECT_EQ(signal_kind(c), SignalKind::kConnectionRefused);
+  const auto parsed = parse_connection_refused(c);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, refused);
+}
+
 TEST(Signalling, KindMismatchRejected) {
   const Chunk open = make_signal_chunk(ConnectionOpen{});
   EXPECT_FALSE(parse_connection_close(open).has_value());
   EXPECT_FALSE(parse_gap_nak(open).has_value());
+  EXPECT_FALSE(parse_credit_grant(open).has_value());
+  EXPECT_FALSE(parse_connection_refused(open).has_value());
 }
 
 TEST(Signalling, NonSignalChunkRejected) {
@@ -112,6 +138,8 @@ TEST(Signalling, FuzzedPayloadsNeverCrash) {
     (void)parse_connection_open(c);
     (void)parse_connection_close(c);
     (void)parse_gap_nak(c);
+    (void)parse_credit_grant(c);
+    (void)parse_connection_refused(c);
   }
 }
 

@@ -49,6 +49,28 @@ TEST(PduTracker, RejectsPartialOverlap) {
   EXPECT_EQ(t.overlaps(), 1u);
 }
 
+// Regression: a rejected partial overlap must not leave its novel
+// portion phantom-covered. A reassembling relay can merge a duplicate
+// of an accepted chunk with fresh data into one chunk; the receiver
+// rejects that merged piece whole, so the tracker must keep the fresh
+// range open for a later retransmitted slice — otherwise complete()
+// fires with elements missing and the ED code mismatches (chaos seed
+// 235 found this).
+TEST(PduTracker, RejectedOverlapLeavesGapOpen) {
+  PduTracker t;
+  EXPECT_EQ(t.add(0, 4, false), PieceVerdict::kAccept);
+  // Relay-merged piece: duplicate [0,4) fused with novel [4,6), stop.
+  EXPECT_EQ(t.add(0, 6, true), PieceVerdict::kOverlap);
+  EXPECT_FALSE(t.complete());
+  const auto runs = t.missing_runs();
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].first, 4u);
+  EXPECT_EQ(runs[0].second, 6u);
+  // A clean retransmitted slice of exactly the gap completes the PDU.
+  EXPECT_EQ(t.add(4, 2, true), PieceVerdict::kAccept);
+  EXPECT_TRUE(t.complete());
+}
+
 TEST(PduTracker, DataBeyondStopIsFramingError) {
   PduTracker t;
   t.add(5, 3, true);  // stop at element 7
