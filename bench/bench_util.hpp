@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -136,16 +137,26 @@ inline std::string json_cell(const std::string& s) {
 
 }  // namespace detail
 
-/// Writes BENCH_<name>.json (into $CHUNKNET_BENCH_DIR, default the
-/// current directory) from the recorded sections. Returns the path
-/// written, or "" on I/O failure.
+/// Writes BENCH_<name>.json from the recorded sections and returns the
+/// path written ("" on I/O failure). Destination, in priority order:
+/// $CHUNKNET_BENCH_DIR; else bench/results/ when that directory exists
+/// under the cwd (the canonical committed-baseline location — running a
+/// bench from the repo root refreshes its baseline in place; see
+/// docs/PERFORMANCE.md); else the current directory.
 inline std::string write_bench_json(
     const std::string& name,
     const std::vector<BenchSection>& rows = bench_record()) {
   const char* dir = std::getenv("CHUNKNET_BENCH_DIR");
-  std::string path = (dir != nullptr && dir[0] != '\0')
-                         ? std::string(dir) + "/BENCH_" + name + ".json"
-                         : "BENCH_" + name + ".json";
+  std::string prefix;
+  if (dir != nullptr && dir[0] != '\0') {
+    prefix = std::string(dir) + "/";
+  } else {
+    std::error_code ec;
+    if (std::filesystem::is_directory("bench/results", ec)) {
+      prefix = "bench/results/";
+    }
+  }
+  std::string path = prefix + "BENCH_" + name + ".json";
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return "";
   out << "{\n  \"bench\": \"" << detail::json_escape(name)

@@ -12,6 +12,9 @@
 #include "src/common/rng.hpp"
 #include "src/netsim/router.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/spans.hpp"
+#include "src/obs/timeseries.hpp"
+#include "src/obs/trace.hpp"
 #include "src/transport/demux.hpp"
 #include "src/transport/sender.hpp"
 
@@ -82,12 +85,67 @@ std::string fmt(const char* f, std::uint64_t a, std::uint64_t b,
   return buf;
 }
 
-ChaosResult run_chaos_overload(const ChaosScenario& sc);
+ChaosResult run_chaos_overload(const ChaosScenario& sc,
+                               ChaosCapture* capture);
+
+/// Flight-recorder instrumentation for one run: owns the rings and the
+/// sampler, wires them into the shared ObsContext, and serializes the
+/// bundle artefacts at the end. Inert when no capture was requested.
+struct CaptureRig {
+  std::unique_ptr<ChunkTracer> tracer;
+  std::unique_ptr<SpanRecorder> spans;
+  std::unique_ptr<TimeSeriesSampler> sampler;
+
+  void arm(const ChaosCapture& cap, ObsContext& obs,
+           const MetricsRegistry& reg, const ChaosScenario& sc,
+           Simulator& sim) {
+    tracer = std::make_unique<ChunkTracer>(cap.trace_capacity);
+    spans = std::make_unique<SpanRecorder>(cap.span_capacity);
+    obs.tracer = tracer.get();
+    obs.spans = spans.get();
+    TimeSeriesConfig ts;
+    ts.interval = cap.sample_interval;
+    sampler = std::make_unique<TimeSeriesSampler>(reg, ts);
+    // Tracked metrics resolve lazily, so names that never materialize
+    // in this run (governor/flow on the single path) just read 0.
+    const std::string p =
+        std::string("receiver.") + to_string(sc.mode) + ".";
+    sampler->track_counter(p + "data_chunks");
+    sampler->track_counter(p + "chunks_placed");
+    sampler->track_counter(p + "tpdus_accepted");
+    sampler->track_counter(p + "tpdus_rejected");
+    sampler->track_counter(p + "dropped_unplaced_bytes");
+    sampler->track_gauge(p + "held_bytes");
+    sampler->track_quantile(p + "delivery_latency_ns", 50.0);
+    sampler->track_counter("sender.retransmissions");
+    sampler->track_counter("sender.gave_up");
+    sampler->track_counter("sender.tpdus_acked");
+    sampler->track_gauge("governor.charged_bytes");
+    sampler->track_counter("governor.sheds");
+    sampler->track_counter("flow.grants_sent");
+    attach_sampler(sim, *sampler);
+  }
+
+  void finish(ChaosCapture& cap, Simulator& sim,
+              const MetricsRegistry& reg) {
+    // Final row AFTER quiescence cleanup: the bundle's last sample
+    // agrees exactly with the registry snapshot beside it.
+    sampler->sample(sim.now());
+    cap.trace_json = trace_to_json(*tracer);
+    cap.timeseries_json = sampler->to_json();
+    cap.chrome_json = spans_to_chrome_json(*spans, sampler.get());
+    cap.metrics_json = metrics_to_json(reg);
+  }
+};
 
 }  // namespace
 
 ChaosResult run_chaos(const ChaosScenario& sc) {
-  if (sc.overloaded()) return run_chaos_overload(sc);
+  return run_chaos(sc, nullptr);
+}
+
+ChaosResult run_chaos(const ChaosScenario& sc, ChaosCapture* capture) {
+  if (sc.overloaded()) return run_chaos_overload(sc, capture);
   ChaosResult res;
   Simulator sim;
   // The run's randomness is a different stream than the generator's, so
@@ -95,6 +153,8 @@ ChaosResult run_chaos(const ChaosScenario& sc) {
   Rng rng(sc.seed ^ 0xC4A05C4A05ULL);
   MetricsRegistry reg;
   ObsContext obs{&reg, nullptr};
+  CaptureRig rig;
+  if (capture != nullptr) rig.arm(*capture, obs, reg, sc, sim);
 
   const std::size_t nbytes = sc.stream_bytes();
   std::vector<std::uint8_t> stream(nbytes);
@@ -405,6 +465,7 @@ ChaosResult run_chaos(const ChaosScenario& sc) {
     }
   }
 
+  if (capture != nullptr) rig.finish(*capture, sim, reg);
   return res;
 }
 
@@ -429,12 +490,15 @@ struct OverloadConn {
 /// a common ResourceGovernor; credit flow control (when enabled) turns
 /// overload into sender-side queueing. Evaluates oracles 1–5 per
 /// connection / in aggregate, plus the overload oracle 6.
-ChaosResult run_chaos_overload(const ChaosScenario& sc) {
+ChaosResult run_chaos_overload(const ChaosScenario& sc,
+                               ChaosCapture* capture) {
   ChaosResult res;
   Simulator sim;
   Rng rng(sc.seed ^ 0xC4A05C4A05ULL);
   MetricsRegistry reg;
   ObsContext obs{&reg, nullptr};
+  CaptureRig rig;
+  if (capture != nullptr) rig.arm(*capture, obs, reg, sc, sim);
 
   const std::uint32_t nconn = std::max<std::uint32_t>(1, sc.connections);
   const std::size_t nbytes = sc.stream_bytes();
@@ -446,10 +510,12 @@ ChaosResult run_chaos_overload(const ChaosScenario& sc) {
     gc.soft_watermark_bytes = sc.governor_budget * 3 / 4;
     gc.policy = static_cast<ShedPolicy>(sc.governor_policy);
     gc.obs = &obs;
+    gc.now = [&sim] { return static_cast<std::uint64_t>(sim.now()); };
     gov = std::make_unique<ResourceGovernor>(gc);
   }
 
   ChunkDemultiplexer demux;
+  demux.set_obs(&obs, &sim);
   if (gov != nullptr) {
     DemuxAdmissionConfig adm;
     adm.governor = gov.get();
@@ -809,6 +875,7 @@ ChaosResult run_chaos_overload(const ChaosScenario& sc) {
     }
   }
 
+  if (capture != nullptr) rig.finish(*capture, sim, reg);
   return res;
 }
 

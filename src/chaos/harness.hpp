@@ -61,10 +61,36 @@ struct ChaosResult {
   }
 };
 
+/// Flight-recorder capture: pass to run_chaos to instrument the run
+/// with a bounded trace ring, a causal span recorder, and a time-series
+/// sampler over the run's registry, and get the serialized artefacts
+/// back. Normal (uninstrumented) runs pay nothing; a failed soak run is
+/// re-run deterministically with a capture to produce the bundle
+/// (docs/OBSERVABILITY.md, "Flight recorder").
+struct ChaosCapture {
+  // Knobs.
+  SimTime sample_interval{5 * kMillisecond};
+  std::size_t trace_capacity{1 << 15};
+  std::size_t span_capacity{1 << 14};
+
+  // Outputs, filled in when run_chaos returns. The last time-series row
+  // is sampled after quiescence cleanup, so it matches the final
+  // registry snapshot in metrics_json exactly.
+  std::string trace_json;       ///< ChunkTracer ring (trace_to_json)
+  std::string timeseries_json;  ///< sampled curves (TimeSeriesSampler)
+  std::string chrome_json;      ///< Chrome trace-event JSON (Perfetto)
+  std::string metrics_json;     ///< full registry snapshot
+};
+
 /// Runs the scenario to quiescence (or the watchdog) and evaluates the
 /// oracles (1–5 always; 6 on the multi-connection overload path).
 /// Deterministic: the same scenario always returns the same result.
 ChaosResult run_chaos(const ChaosScenario& sc);
+
+/// As above, with flight-recorder instrumentation; `capture` may be
+/// null (then identical to the plain overload). Instrumentation never
+/// changes the verdict — only the event ring/sampler observe the run.
+ChaosResult run_chaos(const ChaosScenario& sc, ChaosCapture* capture);
 
 /// Greedy scenario minimizer: repeatedly tries to disable features /
 /// shrink the workload while `run_chaos` still fails, and returns the

@@ -156,12 +156,12 @@ std::uint64_t ResourceGovernor::shed_until_goal(
   std::uint64_t total_freed = 0;
   for (;;) {
     ShedFn hook;
+    std::uint32_t victim_id = 0;
     {
       std::lock_guard<std::mutex> lk(mu_);
       if (charged_ <= goal_charged) break;
-      std::uint32_t victim = 0;
-      if (!pick_victim_locked(exclude, victim)) break;
-      hook = clients_[victim].shed;  // copy: hook may unbind itself
+      if (!pick_victim_locked(exclude, victim_id)) break;
+      hook = clients_[victim_id].shed;  // copy: hook may unbind itself
     }
     const std::uint64_t freed = hook();
     {
@@ -170,6 +170,14 @@ std::uint64_t ResourceGovernor::shed_until_goal(
       stats_.shed_bytes += freed;
       obs_add(c_sheds_);
       obs_add(c_shed_bytes_, freed);
+    }
+    if (cfg_.obs != nullptr && cfg_.obs->spans != nullptr) {
+      SpanEvent e;
+      e.t = cfg_.now ? cfg_.now() : 0;
+      e.kind = SpanEventKind::kGovernorShed;
+      e.connection_id = victim_id;
+      e.aux = freed;
+      cfg_.obs->spans->record(e);
     }
     if (freed == 0) break;  // no progress: stop rather than spin
     total_freed += freed;

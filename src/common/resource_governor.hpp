@@ -56,6 +56,9 @@ struct GovernorConfig {
   std::uint64_t hard_watermark_bytes{1024 * 1024};
   ShedPolicy policy{ShedPolicy::kLargestHolderFirst};
   ObsContext* obs{nullptr};
+  /// Clock for span timestamps (the governor itself has no simulator
+  /// dependency); null = spans are stamped 0.
+  std::function<std::uint64_t()> now;
 };
 
 class ResourceGovernor {

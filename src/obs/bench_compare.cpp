@@ -1,0 +1,257 @@
+#include "src/obs/bench_compare.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <initializer_list>
+
+namespace chunknet {
+
+namespace {
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool contains_any(const std::string& hay,
+                  std::initializer_list<const char*> needles) {
+  for (const char* n : needles) {
+    if (hay.find(n) != std::string::npos) return true;
+  }
+  return false;
+}
+
+std::string fmt_num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string normalize_claim_text(std::string_view text) {
+  const auto pos = text.rfind(" (measured ");
+  if (pos != std::string_view::npos && !text.empty() &&
+      text.back() == ')') {
+    return std::string(text.substr(0, pos));
+  }
+  return std::string(text);
+}
+
+MetricDirection metric_direction(std::string_view name,
+                                 std::string_view unit) {
+  const std::string n = lower(name);
+  const std::string u = lower(unit);
+  // Rates and speedups: more is better.
+  if (u == "x" || contains_any(u, {"b/s", "ops/s", "pkts/s", "elem/s"})) {
+    return MetricDirection::kHigherBetter;
+  }
+  if (contains_any(n, {"speedup", "goodput", "throughput", "rate_mbps",
+                       "delivered", "accepted"})) {
+    return MetricDirection::kHigherBetter;
+  }
+  // Durations and waste: less is better.
+  if (u == "ns" || u == "us" || u == "ms" || u == "s" ||
+      contains_any(u, {"ns/", "bytes/"})) {
+    return MetricDirection::kLowerBetter;
+  }
+  if (contains_any(n, {"latency", "_ns", "_ms", "time", "delay", "cost",
+                       "retransmiss", "overhead", "evict", "dropped"})) {
+    return MetricDirection::kLowerBetter;
+  }
+  return MetricDirection::kUnknown;
+}
+
+namespace {
+
+const JsonValue* find_section(const JsonValue& doc, const std::string& id) {
+  const JsonValue* sections = doc.find("sections");
+  if (sections == nullptr || sections->kind != JsonValue::Kind::kArray) {
+    return nullptr;
+  }
+  for (const JsonValue& s : sections->arr) {
+    const JsonValue* sid = s.find("id");
+    if (sid != nullptr && sid->str == id) return &s;
+  }
+  return nullptr;
+}
+
+const JsonValue* find_named(const JsonValue& sec, const char* list_key,
+                            const char* name_key, const std::string& name) {
+  const JsonValue* list = sec.find(list_key);
+  if (list == nullptr || list->kind != JsonValue::Kind::kArray) {
+    return nullptr;
+  }
+  for (const JsonValue& m : list->arr) {
+    const JsonValue* n = m.find(name_key);
+    if (n != nullptr && n->str == name) return &m;
+  }
+  return nullptr;
+}
+
+/// Claims match on their normalized text (measured-ratio suffix
+/// stripped), so a fresh run's different measurement is the same claim.
+const JsonValue* find_claim(const JsonValue& sec,
+                            const std::string& norm_text) {
+  const JsonValue* list = sec.find("claims");
+  if (list == nullptr || list->kind != JsonValue::Kind::kArray) {
+    return nullptr;
+  }
+  for (const JsonValue& c : list->arr) {
+    const JsonValue* t = c.find("text");
+    if (t != nullptr && normalize_claim_text(t->str) == norm_text) {
+      return &c;
+    }
+  }
+  return nullptr;
+}
+
+double tolerance_for(const std::string& where,
+                     const BenchCheckOptions& opt) {
+  double tol = opt.tolerance;
+  for (const auto& [pattern, t] : opt.per_metric) {
+    if (where.find(pattern) != std::string::npos) tol = t;
+  }
+  return tol;
+}
+
+void check_metric(const JsonValue& base_m, const JsonValue& fresh_m,
+                  const std::string& where, const BenchCheckOptions& opt,
+                  BenchCheckReport& rep) {
+  const JsonValue* bv = base_m.find("value");
+  const JsonValue* fv = fresh_m.find("value");
+  if (bv == nullptr || fv == nullptr) return;
+  ++rep.metrics_compared;
+  if (bv->kind != JsonValue::Kind::kNumber ||
+      fv->kind != JsonValue::Kind::kNumber) {
+    // Non-numeric values (e.g. "yes") must simply not change class.
+    if (bv->kind == JsonValue::Kind::kString &&
+        fv->kind == JsonValue::Kind::kString && bv->str != fv->str) {
+      rep.issues.push_back({false, where,
+                            "value changed: \"" + bv->str + "\" -> \"" +
+                                fv->str + "\""});
+    }
+    return;
+  }
+  const double base = bv->number;
+  const double fresh = fv->number;
+  if (base == 0.0) return;  // no relative scale to judge against
+  const JsonValue* unit = base_m.find("unit");
+  const JsonValue* mn = base_m.find("name");
+  const MetricDirection dir = metric_direction(
+      mn != nullptr ? mn->str : "", unit != nullptr ? unit->str : "");
+  const double tol = tolerance_for(where, opt);
+  switch (dir) {
+    case MetricDirection::kHigherBetter:
+      // Divisive, not subtractive: `base * (1 - tol)` goes negative at
+      // tolerances >= 1 (the quick gate's 1.5) and could never fail.
+      // fresh*(1+tol) < base mirrors the lower-better fresh > base*(1+tol).
+      if (fresh * (1.0 + tol) < base) {
+        rep.issues.push_back(
+            {true, where,
+             "regressed: " + fmt_num(base) + " -> " + fmt_num(fresh) +
+                 " (higher is better, tolerance " + fmt_num(tol * 100) +
+                 "%)"});
+      }
+      break;
+    case MetricDirection::kLowerBetter:
+      if (fresh > base * (1.0 + tol)) {
+        rep.issues.push_back(
+            {true, where,
+             "regressed: " + fmt_num(base) + " -> " + fmt_num(fresh) +
+                 " (lower is better, tolerance " + fmt_num(tol * 100) +
+                 "%)"});
+      }
+      break;
+    case MetricDirection::kUnknown: {
+      const double ratio =
+          fresh > base ? fresh / base : base / std::max(fresh, 1e-300);
+      if (ratio > opt.unknown_drift) {
+        rep.issues.push_back(
+            {false, where,
+             "drifted " + fmt_num(ratio) + "x: " + fmt_num(base) + " -> " +
+                 fmt_num(fresh) + " (direction unknown; informational)"});
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+BenchCheckReport check_bench(const JsonValue& baseline,
+                             const JsonValue& fresh,
+                             const BenchCheckOptions& opt) {
+  BenchCheckReport rep;
+  const JsonValue* base_sections = baseline.find("sections");
+  if (base_sections == nullptr ||
+      base_sections->kind != JsonValue::Kind::kArray) {
+    rep.issues.push_back({true, "/", "baseline has no sections array"});
+    return rep;
+  }
+  for (const JsonValue& bsec : base_sections->arr) {
+    const JsonValue* sid = bsec.find("id");
+    const std::string id = sid != nullptr ? sid->str : "";
+    if (id.empty()) continue;  // preamble
+    const JsonValue* fsec = find_section(fresh, id);
+    if (fsec == nullptr) {
+      rep.issues.push_back(
+          {true, id, "section missing from the fresh record"});
+      continue;
+    }
+    // Claims: a baseline PASS must stay a PASS.
+    const JsonValue* bclaims = bsec.find("claims");
+    if (bclaims != nullptr && bclaims->kind == JsonValue::Kind::kArray) {
+      for (const JsonValue& bc : bclaims->arr) {
+        const JsonValue* text = bc.find("text");
+        const JsonValue* ok = bc.find("ok");
+        if (text == nullptr || ok == nullptr || !ok->boolean) continue;
+        ++rep.claims_compared;
+        const JsonValue* fc =
+            find_claim(*fsec, normalize_claim_text(text->str));
+        if (fc == nullptr) {
+          rep.issues.push_back(
+              {true, id + "/claim", "claim dropped: " + text->str});
+          continue;
+        }
+        const JsonValue* fok = fc->find("ok");
+        if (fok == nullptr || !fok->boolean) {
+          rep.issues.push_back(
+              {true, id + "/claim", "claim now FAILS: " + text->str});
+        }
+      }
+    }
+    // Metrics: present and not regressed.
+    const JsonValue* bmetrics = bsec.find("metrics");
+    if (bmetrics != nullptr && bmetrics->kind == JsonValue::Kind::kArray) {
+      for (const JsonValue& bm : bmetrics->arr) {
+        const JsonValue* name = bm.find("name");
+        if (name == nullptr) continue;
+        if (opt.ratio_metrics_only) {
+          const JsonValue* unit = bm.find("unit");
+          if (unit == nullptr || unit->str != "x") {
+            ++rep.metrics_skipped;
+            continue;
+          }
+        }
+        const std::string where = id + "/" + name->str;
+        const JsonValue* fm =
+            find_named(*fsec, "metrics", "name", name->str);
+        if (fm == nullptr) {
+          rep.issues.push_back(
+              {true, where, "metric missing from the fresh record"});
+          continue;
+        }
+        check_metric(bm, *fm, where, opt, rep);
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace chunknet

@@ -1,0 +1,87 @@
+// Perf-regression gate over the BENCH_*.json records that bench_util
+// writes: compares a freshly measured record against the committed
+// baseline in bench/results/ and reports regressions. The rules:
+//
+//  - a claim that passed in the baseline must still pass (fatal);
+//  - every baseline section and metric must still be present (fatal);
+//  - a numeric metric whose better-direction is known from its name or
+//    unit may not regress by more than its tolerance (fatal);
+//  - an unknown-direction metric only warns, and only on large drift
+//    (benches measure on shared CI machines — noise is expected, so
+//    the tolerances are wide and direction-aware, not equality).
+//
+// Tables are informational and not compared. tools/bench_check is the
+// CLI over this; tests drive the library directly.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/obs/json.hpp"
+
+namespace chunknet {
+
+enum class MetricDirection : std::uint8_t {
+  kHigherBetter,
+  kLowerBetter,
+  kUnknown,
+};
+
+/// Heuristic better-direction from the metric's name and unit
+/// ("Mb/s" / "speedup" → higher; "ns" / "latency" → lower).
+MetricDirection metric_direction(std::string_view name,
+                                 std::string_view unit);
+
+/// Claim identity for baseline↔fresh matching. Benches embed the
+/// measured ratio in the claim line — "pool beats spawning (measured
+/// 4.06x)" — which changes run to run; the invariant prefix is the
+/// claim. Strips one trailing " (measured ...)" parenthetical.
+std::string normalize_claim_text(std::string_view text);
+
+struct BenchCheckOptions {
+  /// Allowed fractional regression for direction-known metrics (0.25 =
+  /// 25% worse still passes).
+  double tolerance{0.25};
+  /// Unknown-direction metrics warn (non-fatal) when they drift by more
+  /// than this factor in either direction.
+  double unknown_drift{4.0};
+  /// Compare only ratio metrics (unit "x"). Quick-mode records measure
+  /// CI-sized workloads, so their absolute numbers (ns per stream,
+  /// bytes held, ...) are not commensurable with the committed
+  /// full-mode baselines — only workload-independent ratios and claims
+  /// are. Skipped metrics are counted in BenchCheckReport.
+  bool ratio_metrics_only{false};
+  /// Per-metric overrides: (substring pattern, tolerance). The last
+  /// pattern contained in "<section>/<metric>" wins.
+  std::vector<std::pair<std::string, double>> per_metric;
+};
+
+struct BenchIssue {
+  bool fatal{false};
+  std::string where;  ///< "<section id>/<metric or claim>"
+  std::string message;
+};
+
+struct BenchCheckReport {
+  std::vector<BenchIssue> issues;
+  std::size_t claims_compared{0};
+  std::size_t metrics_compared{0};
+  std::size_t metrics_skipped{0};  ///< out of scope (ratio_metrics_only)
+  bool ok() const {
+    for (const BenchIssue& i : issues) {
+      if (i.fatal) return false;
+    }
+    return true;
+  }
+};
+
+/// Compares one fresh BENCH record against its baseline (both as parsed
+/// by parse_json). A record compared against itself always passes.
+BenchCheckReport check_bench(const JsonValue& baseline,
+                             const JsonValue& fresh,
+                             const BenchCheckOptions& opt = {});
+
+}  // namespace chunknet

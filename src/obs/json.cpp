@@ -1,6 +1,7 @@
 #include "src/obs/json.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -53,6 +54,11 @@ std::uint64_t JsonValue::u64_or(std::string_view key,
 }
 
 namespace {
+
+/// Nesting cap: recursive descent uses one stack frame per level, so
+/// unbounded depth lets a hostile document (e.g. 100k '[') overflow the
+/// stack instead of failing the parse.
+constexpr int kMaxDepth = 256;
 
 class Parser {
  public:
@@ -128,7 +134,8 @@ class Parser {
     return std::nullopt;  // unterminated
   }
 
-  std::optional<JsonValue> value() {
+  std::optional<JsonValue> value(int depth = 0) {
+    if (depth >= kMaxDepth) return std::nullopt;
     skip_ws();
     if (pos_ >= s_.size()) return std::nullopt;
     JsonValue v;
@@ -141,7 +148,7 @@ class Parser {
       while (true) {
         auto key = string_body();
         if (!key || !eat(':')) return std::nullopt;
-        auto member = value();
+        auto member = value(depth + 1);
         if (!member) return std::nullopt;
         v.obj.emplace_back(std::move(*key), std::move(*member));
         if (eat(',')) continue;
@@ -155,7 +162,7 @@ class Parser {
       skip_ws();
       if (eat(']')) return v;
       while (true) {
-        auto element = value();
+        auto element = value(depth + 1);
         if (!element) return std::nullopt;
         v.arr.push_back(std::move(*element));
         if (eat(',')) continue;
@@ -181,12 +188,36 @@ class Parser {
       return v;
     }
     if (literal("null")) return v;
-    // Number.
-    const char* begin = s_.data() + pos_;
-    char* end = nullptr;
-    const double num = std::strtod(begin, &end);
-    if (end == begin) return std::nullopt;
-    pos_ += static_cast<std::size_t>(end - begin);
+    // Number. Scan the JSON number grammar explicitly — strtod alone
+    // also accepts spellings that are not JSON ("inf", "nan", hex like
+    // "0x10") — then convert only the scanned token. The isfinite
+    // check rejects overflow like 1e999, so kNumber is always finite.
+    if (c != '-' && (c < '0' || c > '9')) return std::nullopt;
+    std::size_t p = pos_;
+    if (s_[p] == '-') ++p;
+    const auto digits = [this, &p] {
+      const std::size_t start = p;
+      while (p < s_.size() && s_[p] >= '0' && s_[p] <= '9') ++p;
+      return p > start;
+    };
+    if (p < s_.size() && s_[p] == '0') {
+      ++p;  // a leading zero takes no further integer digits in JSON
+    } else if (!digits()) {
+      return std::nullopt;
+    }
+    if (p < s_.size() && s_[p] == '.') {
+      ++p;
+      if (!digits()) return std::nullopt;
+    }
+    if (p < s_.size() && (s_[p] == 'e' || s_[p] == 'E')) {
+      ++p;
+      if (p < s_.size() && (s_[p] == '+' || s_[p] == '-')) ++p;
+      if (!digits()) return std::nullopt;
+    }
+    const std::string token(s_.substr(pos_, p - pos_));
+    const double num = std::strtod(token.c_str(), nullptr);
+    if (!std::isfinite(num)) return std::nullopt;
+    pos_ = p;
     v.kind = JsonValue::Kind::kNumber;
     v.number = num;
     return v;

@@ -35,7 +35,8 @@ struct JsonValue {
 };
 
 /// Parses one JSON document (trailing whitespace allowed); nullopt on
-/// any syntax error.
+/// any syntax error, on trailing garbage, on non-finite numbers
+/// ("inf"/"nan"/1e999 are not JSON), and past 256 nesting levels.
 std::optional<JsonValue> parse_json(std::string_view text);
 
 }  // namespace chunknet

@@ -1,0 +1,140 @@
+#include "src/obs/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/obs/json.hpp"
+
+namespace chunknet {
+
+namespace {
+
+/// Integral values print exactly (the consistency tests compare sampled
+/// counters against registry totals), everything else at plot fidelity.
+std::string fmt_value(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[40];
+  if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+TimeSeriesSampler::TimeSeriesSampler(const MetricsRegistry& reg,
+                                     TimeSeriesConfig cfg)
+    : reg_(reg), cfg_(cfg) {
+  cfg_.capacity = std::max<std::size_t>(cfg_.capacity, 1);
+  cfg_.interval = std::max<SimTime>(cfg_.interval, 1);
+}
+
+void TimeSeriesSampler::track_counter(std::string_view name) {
+  cols_.push_back({Column::Kind::kCounter, std::string(name), 0.0, nullptr});
+  labels_.push_back(std::string(name));
+}
+
+void TimeSeriesSampler::track_gauge(std::string_view name) {
+  cols_.push_back({Column::Kind::kGauge, std::string(name), 0.0, nullptr});
+  labels_.push_back(std::string(name));
+}
+
+void TimeSeriesSampler::track_quantile(std::string_view name,
+                                       double percentile) {
+  cols_.push_back(
+      {Column::Kind::kQuantile, std::string(name), percentile, nullptr});
+  char suffix[24];
+  std::snprintf(suffix, sizeof suffix, ".p%g", percentile);
+  labels_.push_back(std::string(name) + suffix);
+}
+
+double TimeSeriesSampler::read(Column& c) const {
+  switch (c.kind) {
+    case Column::Kind::kCounter: {
+      if (c.handle == nullptr) c.handle = reg_.find_counter(c.name);
+      const auto* h = static_cast<const Counter*>(c.handle);
+      return h != nullptr ? static_cast<double>(h->value()) : 0.0;
+    }
+    case Column::Kind::kGauge: {
+      if (c.handle == nullptr) c.handle = reg_.find_gauge(c.name);
+      const auto* h = static_cast<const Gauge*>(c.handle);
+      return h != nullptr ? static_cast<double>(h->value()) : 0.0;
+    }
+    case Column::Kind::kQuantile: {
+      if (c.handle == nullptr) c.handle = reg_.find_histogram(c.name);
+      const auto* h = static_cast<const Histogram*>(c.handle);
+      return h != nullptr ? h->percentile(c.percentile) : 0.0;
+    }
+  }
+  return 0.0;
+}
+
+void TimeSeriesSampler::sample(SimTime now) {
+  Row row;
+  row.t = now;
+  row.values.reserve(cols_.size());
+  for (Column& c : cols_) row.values.push_back(read(c));
+  if (ring_.size() < cfg_.capacity) {
+    ring_.push_back(std::move(row));
+  } else {
+    ring_[taken_ % cfg_.capacity] = std::move(row);
+  }
+  ++taken_;
+}
+
+std::size_t TimeSeriesSampler::rows() const noexcept {
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(taken_, cfg_.capacity));
+}
+
+std::uint64_t TimeSeriesSampler::rows_dropped() const noexcept {
+  return taken_ > cfg_.capacity ? taken_ - cfg_.capacity : 0;
+}
+
+SimTime TimeSeriesSampler::time_at(std::size_t row) const {
+  // Oldest retained row is taken_ - rows() in absolute order.
+  const std::uint64_t abs = taken_ - rows() + row;
+  return ring_[abs % cfg_.capacity].t;
+}
+
+double TimeSeriesSampler::value_at(std::size_t row, std::size_t col) const {
+  const std::uint64_t abs = taken_ - rows() + row;
+  return ring_[abs % cfg_.capacity].values[col];
+}
+
+std::string TimeSeriesSampler::to_json() const {
+  std::string out = "{\n  \"interval_ns\": ";
+  char buf[64];
+  std::snprintf(buf, sizeof buf,
+                "%llu,\n  \"samples\": %llu,\n  \"dropped\": %llu,\n",
+                static_cast<unsigned long long>(cfg_.interval),
+                static_cast<unsigned long long>(taken_),
+                static_cast<unsigned long long>(rows_dropped()));
+  out += buf;
+  out += "  \"series\": [";
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    out += i == 0 ? "\"" : ", \"";
+    out += json_escape(labels_[i]);
+    out += "\"";
+  }
+  out += "],\n  \"rows\": [";
+  const std::size_t n = rows();
+  for (std::size_t r = 0; r < n; ++r) {
+    out += r == 0 ? "\n    [" : ",\n    [";
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(time_at(r)));
+    out += buf;
+    for (std::size_t c = 0; c < cols_.size(); ++c) {
+      out += ", ";
+      out += fmt_value(value_at(r, c));
+    }
+    out += "]";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace chunknet

@@ -4,15 +4,31 @@
 
 namespace chunknet {
 
+void ChunkDemultiplexer::span(SpanEventKind kind,
+                              std::uint32_t connection_id,
+                              std::uint64_t aux) const {
+  if (obs_ == nullptr || obs_->spans == nullptr || sim_ == nullptr) return;
+  SpanEvent e;
+  e.t = sim_->now();
+  e.kind = kind;
+  e.connection_id = connection_id;
+  e.aux = aux;
+  obs_->spans->record(e);
+}
+
 bool ChunkDemultiplexer::try_admit(std::uint32_t connection_id) {
   if (admission_.governor != nullptr &&
       !admission_.governor->try_admit(connection_id,
                                       admission_.reserve_bytes,
                                       admission_.priority)) {
     ++stats_.connections_refused;
+    span(SpanEventKind::kConnRefused, connection_id,
+         admission_.reserve_bytes);
     return false;
   }
   ++stats_.connections_admitted;
+  span(SpanEventKind::kConnAdmitted, connection_id,
+       admission_.reserve_bytes);
   return true;
 }
 
@@ -20,6 +36,7 @@ void ChunkDemultiplexer::handle_connection_open(const ChunkView& v) {
   const Chunk c = v.to_chunk();
   const auto open = parse_connection_open(c);
   if (!open) return;
+  span(SpanEventKind::kConnOpenSeen, open->connection_id);
   if (receivers_.count(open->connection_id) != 0) return;  // established
   if (refused_.count(open->connection_id) != 0) return;    // already told no
   bool admitted = try_admit(open->connection_id);
@@ -34,6 +51,7 @@ void ChunkDemultiplexer::handle_connection_open(const ChunkView& v) {
       }
       --stats_.connections_admitted;
       ++stats_.connections_refused;
+      span(SpanEventKind::kConnRefused, open->connection_id, 0);
       admitted = false;
     }
   }

@@ -64,6 +64,14 @@ class ChunkDemultiplexer final : public PacketSink {
     admission_ = std::move(admission);
   }
 
+  /// Observability (optional): connection-admission span events are
+  /// recorded against `sim`'s clock. Read dynamically — admission is a
+  /// cold path.
+  void set_obs(ObsContext* obs, Simulator* sim) {
+    obs_ = obs;
+    sim_ = sim;
+  }
+
   /// Programmatic admission (benches / topology builders): reserves
   /// governor headroom for `connection_id` without a ConnectionOpen
   /// signal. True when admitted (always, if no governor is configured).
@@ -84,9 +92,13 @@ class ChunkDemultiplexer final : public PacketSink {
 
  private:
   void handle_connection_open(const ChunkView& v);
+  void span(SpanEventKind kind, std::uint32_t connection_id,
+            std::uint64_t aux = 0) const;
 
   std::map<std::uint32_t, ChunkTransportReceiver*> receivers_;
   PacketSink* control_{nullptr};
+  ObsContext* obs_{nullptr};
+  Simulator* sim_{nullptr};
   DemuxAdmissionConfig admission_;
   /// Connections already refused: late data for them is dropped
   /// silently (counted under unknown_connection), not re-refused.

@@ -31,6 +31,7 @@ ChunkTransportReceiver::ChunkTransportReceiver(Simulator& sim,
     : sim_(sim),
       cfg_(std::move(cfg)),
       app_buffer_(cfg_.app_buffer_bytes, 0) {
+  if (cfg_.obs != nullptr) spans_ = cfg_.obs->spans;
   if (cfg_.obs != nullptr && cfg_.obs->metrics != nullptr) {
     MetricsRegistry& reg = *cfg_.obs->metrics;
     const std::string p =
@@ -109,6 +110,7 @@ void ChunkTransportReceiver::abort_for_governor(std::uint32_t tpdu_id,
     obs_add(m_.tpdus_evicted);
     tpdus_.erase(it);
   }
+  span(SpanEventKind::kTpduEvicted, tpdu_id, 1);
   drop_unplaced(incoming_bytes, /*was_held=*/false);
 }
 
@@ -129,6 +131,7 @@ void ChunkTransportReceiver::maybe_send_grant() {
   grant.tpdu_slots = slots;
   ++stats_.credit_grants_sent;
   obs_add(m_.grants_sent);
+  span(SpanEventKind::kCreditGrant, 0, grant.credit_limit_bytes);
   cfg_.send_control(make_signal_chunk(grant));
 }
 
@@ -158,6 +161,18 @@ void ChunkTransportReceiver::trace_packet(TraceEventKind kind,
   e.site = cfg_.obs_site;
   e.packet_id = packet_id;
   cfg_.obs->tracer->record(e);
+}
+
+void ChunkTransportReceiver::span(SpanEventKind kind, std::uint32_t tpdu_id,
+                                  std::uint64_t aux) const {
+  if (spans_ == nullptr) return;
+  SpanEvent e;
+  e.t = sim_.now();
+  e.kind = kind;
+  e.connection_id = cfg_.connection_id;
+  e.tpdu_id = tpdu_id;
+  e.aux = aux;
+  spans_->record(e);
 }
 
 void ChunkTransportReceiver::on_packet(SimPacket pkt) {
@@ -267,6 +282,7 @@ void ChunkTransportReceiver::handle_data_chunk(const ChunkView& v,
   TpduState& st = tpdus_[v.h.tpdu.id];
   if (st.elements == 0 && st.first_chunk_at == 0) {
     st.first_chunk_at = sim_.now();
+    span(SpanEventKind::kTpduFirstChunk, v.h.tpdu.id);
   }
   arm_gap_nak_timer(v.h.tpdu.id, st);
 
@@ -281,9 +297,19 @@ void ChunkTransportReceiver::handle_data_chunk(const ChunkView& v,
       trace_chunk(TraceEventKind::kDuplicateRejected, v.h, packet_id);
       return;
     case PieceVerdict::kOverlap:
+      // Two conflicting framings of the same elements: one of them is
+      // corrupt (e.g. a rewritten LEN shrank an accepted piece, and
+      // this is the honest copy that can now never fit). Without the
+      // framing_error flag the TPDU wedges open forever — the tracker
+      // can't complete, every canonical retransmission re-overlaps,
+      // and no verdict ever fires. Flagging it routes the TPDU through
+      // the ReassemblyError reject → erase → clean-retransmission
+      // recovery path, same as the other framing corruptions.
       ++stats_.overlap_chunks;
       obs_add(m_.overlap_chunks);
       trace_chunk(TraceEventKind::kOverlapRejected, v.h, packet_id);
+      st.framing_error = true;
+      try_finish(v.h.tpdu.id, st);
       return;
     case PieceVerdict::kAfterStop:
     case PieceVerdict::kStopConflict:
@@ -291,6 +317,9 @@ void ChunkTransportReceiver::handle_data_chunk(const ChunkView& v,
       obs_add(m_.framing_error_chunks);
       trace_chunk(TraceEventKind::kFramingRejected, v.h, packet_id);
       st.framing_error = true;
+      // If the ED chunk already landed, resolve now rather than waiting
+      // for the next (possibly never-arriving) chunk to trigger it.
+      try_finish(v.h.tpdu.id, st);
       return;
   }
   st.elements += v.h.len;
@@ -500,7 +529,10 @@ void ChunkTransportReceiver::handle_ed_chunk(const ChunkView& v) {
     }
     return;
   }
-  if (st.first_chunk_at == 0) st.first_chunk_at = sim_.now();
+  if (st.first_chunk_at == 0) {
+    st.first_chunk_at = sim_.now();
+    span(SpanEventKind::kTpduFirstChunk, v.h.tpdu.id);
+  }
   st.received_code = parse_ed_chunk(v);
   arm_gap_nak_timer(v.h.tpdu.id, st);
   try_finish(v.h.tpdu.id, st);
@@ -541,9 +573,13 @@ void ChunkTransportReceiver::try_finish(std::uint32_t tpdu_id, TpduState& st) {
   if (verdict == TpduVerdict::kAccepted) {
     ++stats_.tpdus_accepted;
     obs_add(m_.tpdus_accepted);
+    span(SpanEventKind::kTpduDelivered, tpdu_id,
+         static_cast<std::uint64_t>(verdict));
   } else {
     ++stats_.tpdus_rejected;
     obs_add(m_.tpdus_rejected);
+    span(SpanEventKind::kTpduRejected, tpdu_id,
+         static_cast<std::uint64_t>(verdict));
   }
   if (cfg_.obs != nullptr && cfg_.obs->tracer != nullptr) {
     TraceEvent e;
@@ -656,6 +692,7 @@ std::optional<std::uint32_t> ChunkTransportReceiver::evict_oldest_holder() {
   }
   ++stats_.tpdus_evicted;
   obs_add(m_.tpdus_evicted);
+  span(SpanEventKind::kTpduEvicted, id, 0);
   tpdus_.erase(victim);
   return id;
 }
@@ -693,6 +730,7 @@ void ChunkTransportReceiver::evict_for_open_cap() {
   }
   ++stats_.tpdus_evicted;
   obs_add(m_.tpdus_evicted);
+  span(SpanEventKind::kTpduEvicted, victim->first, 0);
   tpdus_.erase(victim);
 }
 

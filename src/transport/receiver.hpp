@@ -283,6 +283,8 @@ class ChunkTransportReceiver final : public PacketSink {
   void trace_chunk(TraceEventKind kind, const ChunkHeader& h,
                    std::uint64_t packet_id, std::uint64_t aux = 0) const;
   void trace_packet(TraceEventKind kind, std::uint64_t packet_id) const;
+  void span(SpanEventKind kind, std::uint32_t tpdu_id,
+            std::uint64_t aux = 0) const;
 
   struct ObsHandles {
     Counter* packets{nullptr};
@@ -315,6 +317,7 @@ class ChunkTransportReceiver final : public PacketSink {
   Simulator& sim_;
   ReceiverConfig cfg_;
   ObsHandles m_;
+  SpanRecorder* spans_{nullptr};  ///< resolved once; hot path
   /// Reused across packets by on_packet so steady-state receive does
   /// no per-packet allocation (capacity sticks at the high-water mark).
   std::vector<ChunkView> view_scratch_;

@@ -13,6 +13,7 @@ ChunkTransportSender::ChunkTransportSender(Simulator& sim, SenderConfig cfg)
     : sim_(sim),
       cfg_(std::move(cfg)),
       rto_(cfg_.rto, cfg_.retransmit_timeout) {
+  if (cfg_.obs != nullptr) spans_ = cfg_.obs->spans;
   if (cfg_.obs != nullptr && cfg_.obs->metrics != nullptr) {
     MetricsRegistry& reg = *cfg_.obs->metrics;
     m_.tpdus_sent = &reg.counter("sender.tpdus_sent");
@@ -65,6 +66,18 @@ void ChunkTransportSender::trace_chunk(TraceEventKind kind, const Chunk& c,
   cfg_.obs->tracer->record(e);
 }
 
+void ChunkTransportSender::span(SpanEventKind kind, std::uint32_t tpdu_id,
+                                std::uint64_t aux) const {
+  if (spans_ == nullptr) return;
+  SpanEvent e;
+  e.t = sim_.now();
+  e.kind = kind;
+  e.connection_id = cfg_.framer.connection_id;
+  e.tpdu_id = tpdu_id;
+  e.aux = aux;
+  spans_->record(e);
+}
+
 void ChunkTransportSender::send_stream(std::span<const std::uint8_t> stream) {
   started_ = true;
   auto chunks = frame_stream(stream, cfg_.framer);
@@ -95,6 +108,7 @@ void ChunkTransportSender::send_stream(std::span<const std::uint8_t> stream) {
     auto [it, inserted] = outstanding_.emplace(tpdu_id, std::move(pending));
     ++stats_.tpdus_sent;
     obs_add(m_.tpdus_sent);
+    span(SpanEventKind::kTpduFramed, tpdu_id, it->second.payload_bytes);
     if (cfg_.flow.enabled) {
       send_queue_.push_back(tpdu_id);
     } else {
@@ -110,6 +124,7 @@ void ChunkTransportSender::admit_tpdu(std::uint32_t tpdu_id, PendingTpdu& p) {
   credit_consumed_ += p.payload_bytes;
   ++inflight_;
   ++admit_epoch_;
+  span(SpanEventKind::kTpduAdmitted, tpdu_id, p.payload_bytes);
   transmit_tpdu(tpdu_id, p);
 }
 
@@ -181,6 +196,7 @@ void ChunkTransportSender::handle_credit_grant(const Chunk& signal) {
   grant_seq_seen_ = grant->grant_seq;
   ++stats_.credit_grants;
   obs_add(m_.credit_grants);
+  span(SpanEventKind::kCreditGrant, 0, grant->credit_limit_bytes);
 
   const std::uint64_t old_window =
       credit_limit_ > credit_consumed_ ? credit_limit_ - credit_consumed_ : 0;
@@ -233,6 +249,7 @@ void ChunkTransportSender::arm_timer(std::uint32_t tpdu_id) {
     if (it->second.attempts > cfg_.max_retransmits) {
       ++stats_.gave_up;
       obs_add(m_.gave_up);
+      span(SpanEventKind::kTpduGaveUp, tpdu_id);
       gave_up_ids_.push_back(tpdu_id);
       on_tpdu_retired(it->second);
       outstanding_.erase(it);
@@ -319,6 +336,7 @@ void ChunkTransportSender::handle_gap_nak(const Chunk& signal) {
   if (it->second.attempts > cfg_.max_retransmits) {
     ++stats_.gave_up;
     obs_add(m_.gave_up);
+    span(SpanEventKind::kTpduGaveUp, nak->tpdu_id);
     gave_up_ids_.push_back(nak->tpdu_id);
     on_tpdu_retired(it->second);
     outstanding_.erase(it);
@@ -396,6 +414,7 @@ void ChunkTransportSender::on_packet(SimPacket pkt) {
       }
       ++stats_.tpdus_acked;
       obs_add(m_.tpdus_acked);
+      span(SpanEventKind::kTpduAcked, ack.tpdu_id);
       on_tpdu_retired(it->second);
       outstanding_.erase(it);
       if (cfg_.flow.enabled) pump_queue();
@@ -406,6 +425,7 @@ void ChunkTransportSender::on_packet(SimPacket pkt) {
       if (it->second.attempts > cfg_.max_retransmits) {
         ++stats_.gave_up;
         obs_add(m_.gave_up);
+        span(SpanEventKind::kTpduGaveUp, ack.tpdu_id);
         gave_up_ids_.push_back(ack.tpdu_id);
         on_tpdu_retired(it->second);
         outstanding_.erase(it);

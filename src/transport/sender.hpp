@@ -170,6 +170,8 @@ class ChunkTransportSender final : public PacketSink {
   void send_chunks(std::vector<Chunk> chunks);
   void trace_chunk(TraceEventKind kind, const Chunk& c,
                    std::uint64_t aux = 0) const;
+  void span(SpanEventKind kind, std::uint32_t tpdu_id,
+            std::uint64_t aux = 0) const;
 
   struct ObsHandles {
     Counter* tpdus_sent{nullptr};
@@ -196,6 +198,7 @@ class ChunkTransportSender final : public PacketSink {
   SenderConfig cfg_;
   RtoEstimator rto_;
   ObsHandles m_;
+  SpanRecorder* spans_{nullptr};  ///< resolved once; hot path
   std::map<std::uint32_t, PendingTpdu> outstanding_;
   std::vector<std::uint32_t> gave_up_ids_;
   bool started_{false};

@@ -1,0 +1,221 @@
+// Tests for the perf-regression gate: direction heuristics, the
+// self-compare identity (every committed baseline in bench/results/
+// passes against itself), and synthetic regressions that must trip it.
+#include "src/obs/bench_compare.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.hpp"
+
+namespace chunknet {
+namespace {
+
+TEST(MetricDirection, Heuristics) {
+  EXPECT_EQ(metric_direction("goodput", "Mb/s"),
+            MetricDirection::kHigherBetter);
+  EXPECT_EQ(metric_direction("pack speedup", "x"),
+            MetricDirection::kHigherBetter);
+  EXPECT_EQ(metric_direction("tpdus_accepted", ""),
+            MetricDirection::kHigherBetter);
+  EXPECT_EQ(metric_direction("delivery latency p99", "ns"),
+            MetricDirection::kLowerBetter);
+  EXPECT_EQ(metric_direction("retransmissions", ""),
+            MetricDirection::kLowerBetter);
+  EXPECT_EQ(metric_direction("per-chunk cost", "ns/chunk"),
+            MetricDirection::kLowerBetter);
+  EXPECT_EQ(metric_direction("chunks", ""), MetricDirection::kUnknown);
+}
+
+JsonValue parse_or_die(const std::string& text) {
+  auto doc = parse_json(text);
+  EXPECT_TRUE(doc.has_value());
+  return doc.value_or(JsonValue{});
+}
+
+const char* kRecord = R"({
+  "bench": "t",
+  "sections": [
+    {"id": "T1", "title": "synthetic",
+     "claims": [{"ok": true, "text": "stays correct"}],
+     "metrics": [
+       {"name": "goodput", "value": 100.0, "unit": "Mb/s"},
+       {"name": "latency p50", "value": 2000, "unit": "ns"},
+       {"name": "chunks", "value": 64, "unit": ""}
+     ],
+     "tables": []}
+  ]
+})";
+
+TEST(BenchCheck, SelfCompareAlwaysPasses) {
+  const JsonValue doc = parse_or_die(kRecord);
+  const BenchCheckReport rep = check_bench(doc, doc);
+  EXPECT_TRUE(rep.ok());
+  EXPECT_TRUE(rep.issues.empty());
+  EXPECT_EQ(rep.claims_compared, 1u);
+  EXPECT_EQ(rep.metrics_compared, 3u);
+}
+
+TEST(BenchCheck, ClaimFlipIsFatal) {
+  const JsonValue base = parse_or_die(kRecord);
+  std::string flipped = kRecord;
+  flipped.replace(flipped.find("\"ok\": true"), 10, "\"ok\": false");
+  const BenchCheckReport rep = check_bench(base, parse_or_die(flipped));
+  ASSERT_FALSE(rep.ok());
+  EXPECT_NE(rep.issues[0].message.find("claim now FAILS"),
+            std::string::npos);
+}
+
+TEST(BenchCheck, DirectionAwareRegressionIsFatal) {
+  const JsonValue base = parse_or_die(kRecord);
+  std::string worse = kRecord;
+  // goodput (higher better) down 40% — outside the 25% default.
+  worse.replace(worse.find("\"value\": 100.0"), 14, "\"value\": 60.0");
+  BenchCheckReport rep = check_bench(base, parse_or_die(worse));
+  ASSERT_FALSE(rep.ok());
+  EXPECT_EQ(rep.issues[0].where, "T1/goodput");
+
+  // The same drop is fine inside a widened tolerance (the --quick mode).
+  BenchCheckOptions wide;
+  wide.tolerance = 1.5;
+  EXPECT_TRUE(check_bench(base, parse_or_die(worse), wide).ok());
+
+  // latency (lower better) up 3x is fatal; goodput UP 3x is not.
+  std::string slower = kRecord;
+  slower.replace(slower.find("\"value\": 2000"), 13, "\"value\": 6000");
+  EXPECT_FALSE(check_bench(base, parse_or_die(slower)).ok());
+  std::string faster = kRecord;
+  faster.replace(faster.find("\"value\": 100.0"), 14, "\"value\": 300.0");
+  EXPECT_TRUE(check_bench(base, parse_or_die(faster)).ok());
+}
+
+TEST(BenchCheck, UnknownDirectionOnlyWarns) {
+  const JsonValue base = parse_or_die(kRecord);
+  std::string drifted = kRecord;
+  // chunks (unknown direction) up 8x: warn, not fatal.
+  drifted.replace(drifted.find("\"value\": 64"), 11, "\"value\": 512");
+  const BenchCheckReport rep = check_bench(base, parse_or_die(drifted));
+  EXPECT_TRUE(rep.ok());
+  ASSERT_EQ(rep.issues.size(), 1u);
+  EXPECT_FALSE(rep.issues[0].fatal);
+}
+
+TEST(BenchCheck, MissingMetricAndSectionAreFatal) {
+  const JsonValue base = parse_or_die(kRecord);
+  std::string renamed = kRecord;
+  renamed.replace(renamed.find("\"goodput\""), 9, "\"goodput2\"");
+  BenchCheckReport rep = check_bench(base, parse_or_die(renamed));
+  ASSERT_FALSE(rep.ok());
+  EXPECT_NE(rep.issues[0].message.find("metric missing"),
+            std::string::npos);
+
+  std::string gone = kRecord;
+  gone.replace(gone.find("\"id\": \"T1\""), 10, "\"id\": \"T9\"");
+  rep = check_bench(base, parse_or_die(gone));
+  ASSERT_FALSE(rep.ok());
+  EXPECT_NE(rep.issues[0].message.find("section missing"),
+            std::string::npos);
+}
+
+TEST(BenchCheck, PerMetricToleranceOverride) {
+  const JsonValue base = parse_or_die(kRecord);
+  std::string worse = kRecord;
+  worse.replace(worse.find("\"value\": 100.0"), 14, "\"value\": 60.0");
+  BenchCheckOptions opt;
+  // allow down to base/1.7 ≈ 59 on this one
+  opt.per_metric.emplace_back("goodput", 0.7);
+  EXPECT_TRUE(check_bench(base, parse_or_die(worse), opt).ok());
+  opt.per_metric.emplace_back("T1/", 0.1);  // later, tighter match wins
+  EXPECT_FALSE(check_bench(base, parse_or_die(worse), opt).ok());
+}
+
+TEST(BenchCheck, ClaimsMatchOnMeasuredSuffixNormalizedText) {
+  // Benches embed the measured ratio in the claim line; a fresh run's
+  // different measurement is still the same claim, pass or fail.
+  EXPECT_EQ(normalize_claim_text("pool beats spawning (measured 4.06x)"),
+            "pool beats spawning");
+  EXPECT_EQ(normalize_claim_text("stays correct"), "stays correct");
+  EXPECT_EQ(normalize_claim_text("odd (measured but unterminated"),
+            "odd (measured but unterminated");
+
+  std::string base_text = kRecord;
+  base_text.replace(base_text.find("stays correct"), 13,
+                    "pool wins (measured 4.1x)");
+  std::string fresh_text = kRecord;
+  fresh_text.replace(fresh_text.find("stays correct"), 13,
+                     "pool wins (measured 3.2x)");
+  const BenchCheckReport rep =
+      check_bench(parse_or_die(base_text), parse_or_die(fresh_text));
+  EXPECT_TRUE(rep.ok()) << (rep.issues.empty() ? "" : rep.issues[0].message);
+  EXPECT_EQ(rep.claims_compared, 1u);
+
+  // A genuinely dropped claim is still fatal.
+  std::string gone = kRecord;
+  gone.replace(gone.find("stays correct"), 13, "something else");
+  EXPECT_FALSE(check_bench(parse_or_die(base_text),
+                           parse_or_die(gone)).ok());
+}
+
+TEST(BenchCheck, RatioOnlyModeSkipsAbsoluteMetrics) {
+  // Quick-mode records measure CI-sized workloads; their absolute
+  // numbers are incommensurable with full-mode baselines. Ratio-only
+  // mode compares claims and unit-"x" metrics and skips the rest.
+  const JsonValue base = parse_or_die(kRecord);
+  std::string slower = kRecord;
+  slower.replace(slower.find("\"value\": 2000"), 13, "\"value\": 9000");
+  BenchCheckOptions opt;
+  opt.ratio_metrics_only = true;
+  const BenchCheckReport rep = check_bench(base, parse_or_die(slower), opt);
+  EXPECT_TRUE(rep.ok());  // the 4.5x "regression" is out of scope
+  EXPECT_EQ(rep.metrics_compared, 0u);  // no unit-"x" metric in fixture
+  EXPECT_EQ(rep.metrics_skipped, 3u);
+
+  // A ratio metric still gates: add one and regress it past tolerance.
+  std::string with_ratio = kRecord;
+  const char* kRatio = R"({"name": "speedup", "value": 4.0, "unit": "x"},
+       {"name": "goodput")";
+  with_ratio.replace(with_ratio.find("{\"name\": \"goodput\""), 18, kRatio);
+  std::string ratio_worse = with_ratio;
+  ratio_worse.replace(ratio_worse.find("\"value\": 4.0"), 12,
+                      "\"value\": 1.0");
+  opt.tolerance = 1.5;  // the quick gate's setting
+  EXPECT_TRUE(check_bench(parse_or_die(with_ratio),
+                          parse_or_die(with_ratio), opt).ok());
+  const BenchCheckReport worse = check_bench(
+      parse_or_die(with_ratio), parse_or_die(ratio_worse), opt);
+  EXPECT_FALSE(worse.ok());
+  EXPECT_EQ(worse.metrics_compared, 1u);
+}
+
+// Every committed baseline must pass against itself — the property the
+// CI gate's green path rests on.
+TEST(BenchCheck, CommittedBaselinesSelfCompare) {
+  const std::filesystem::path dir =
+      std::filesystem::path(CHUNKNET_SOURCE_DIR) / "bench" / "results";
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  std::size_t checked = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    if (e.path().extension() != ".json") continue;
+    std::ifstream in(e.path(), std::ios::binary);
+    ASSERT_TRUE(in.good()) << e.path();
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const auto doc = parse_json(ss.str());
+    ASSERT_TRUE(doc.has_value()) << e.path() << " is not valid JSON";
+    const BenchCheckReport rep = check_bench(*doc, *doc);
+    EXPECT_TRUE(rep.ok()) << e.path();
+    for (const BenchIssue& i : rep.issues) {
+      ADD_FAILURE() << e.path() << ": " << i.where << ": " << i.message;
+    }
+    ++checked;
+  }
+  EXPECT_GE(checked, 10u);
+}
+
+}  // namespace
+}  // namespace chunknet

@@ -67,10 +67,12 @@ TEST(ChaosScenario, GeneratorRespectsModeSafetyConstraints) {
 /// immediate-mode delivery. A flipped low-order C.SN byte redirects a
 /// chunk's placement into a neighbouring TPDU's already-delivered
 /// region (the E11c trade-off); reassemble-first delivery is the safe
-/// mode. Seed 1003 deterministically exhibits the scribble.
+/// mode. Seed 1005 deterministically exhibits the scribble. (Seed 1003
+/// did, until overlap-as-framing-evidence rejection changed the
+/// retransmission dynamics under corruption and that seed went clean.)
 ChaosScenario unsafe_header_corruption_scenario() {
   ChaosScenario sc;
-  sc.seed = 1003;
+  sc.seed = 1005;
   sc.stream_elements = 4096;
   sc.element_size = 4;
   sc.tpdu_elements = 512;

@@ -1,0 +1,151 @@
+// Tests for the chaos flight recorder: run_chaos(sc, &capture) must
+// fill all four artefacts, instrumentation must not change the
+// verdict, and — the key consistency property — the LAST time-series
+// row must agree exactly with the final registry snapshot in
+// metrics_json, on passing and on deliberately failing runs alike.
+#include "src/chaos/harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "src/chaos/scenario.hpp"
+#include "src/obs/json.hpp"
+
+namespace chunknet {
+namespace {
+
+ChaosScenario small_scenario() {
+  ChaosScenario sc;
+  sc.seed = 11;
+  sc.stream_elements = 1024;
+  sc.tpdu_elements = 256;
+  return sc;
+}
+
+// Asserts that every column of the capture's last time-series row
+// equals the corresponding metric in the final registry snapshot.
+void expect_last_row_matches_registry(const ChaosCapture& cap) {
+  const auto ts = parse_json(cap.timeseries_json);
+  const auto metrics = parse_json(cap.metrics_json);
+  ASSERT_TRUE(ts.has_value());
+  ASSERT_TRUE(metrics.has_value());
+  const JsonValue* series = ts->find("series");
+  const JsonValue* rows = ts->find("rows");
+  ASSERT_NE(series, nullptr);
+  ASSERT_NE(rows, nullptr);
+  ASSERT_FALSE(rows->arr.empty());
+  const JsonValue& last = rows->arr.back();
+  ASSERT_EQ(last.arr.size(), series->arr.size() + 1);  // [t, v...]
+
+  const JsonValue* counters = metrics->find("counters");
+  const JsonValue* gauges = metrics->find("gauges");
+  const JsonValue* histograms = metrics->find("histograms");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(gauges, nullptr);
+  ASSERT_NE(histograms, nullptr);
+
+  for (std::size_t i = 0; i < series->arr.size(); ++i) {
+    const std::string& label = series->arr[i].str;
+    const double sampled = last.arr[i + 1].number;
+    const auto dot_p = label.rfind(".p50");
+    if (dot_p != std::string::npos && dot_p == label.size() - 4) {
+      const JsonValue* h = histograms->find(label.substr(0, dot_p));
+      if (h != nullptr) {
+        const double want = h->num_or("p50");
+        EXPECT_NEAR(sampled, want, 1e-9 * std::max(1.0, std::abs(want)))
+            << label;
+      } else {
+        EXPECT_DOUBLE_EQ(sampled, 0.0) << label;  // never resolved
+      }
+      continue;
+    }
+    if (const JsonValue* c = counters->find(label)) {
+      EXPECT_DOUBLE_EQ(sampled, c->number) << label;
+    } else if (const JsonValue* g = gauges->find(label)) {
+      EXPECT_DOUBLE_EQ(sampled, g->number) << label;
+    } else {
+      // Tracked but never created on this path (e.g. governor metrics
+      // on a single-connection run): samples as 0.
+      EXPECT_DOUBLE_EQ(sampled, 0.0) << label;
+    }
+  }
+}
+
+TEST(FlightRecorder, PassingRunFillsAllArtefacts) {
+  const ChaosScenario sc = small_scenario();
+  ChaosCapture cap;
+  const ChaosResult res = run_chaos(sc, &cap);
+  EXPECT_TRUE(res.ok) << (res.failures.empty() ? "" : res.failures[0]);
+
+  ASSERT_FALSE(cap.trace_json.empty());
+  ASSERT_FALSE(cap.timeseries_json.empty());
+  ASSERT_FALSE(cap.chrome_json.empty());
+  ASSERT_FALSE(cap.metrics_json.empty());
+  EXPECT_TRUE(parse_json(cap.trace_json).has_value());
+  const auto chrome = parse_json(cap.chrome_json);
+  ASSERT_TRUE(chrome.has_value());
+  EXPECT_NE(chrome->find("traceEvents"), nullptr);
+
+  expect_last_row_matches_registry(cap);
+}
+
+TEST(FlightRecorder, CaptureDoesNotChangeTheVerdict) {
+  const ChaosScenario sc = small_scenario();
+  const ChaosResult bare = run_chaos(sc);
+  ChaosCapture cap;
+  const ChaosResult instrumented = run_chaos(sc, &cap);
+  EXPECT_EQ(bare.ok, instrumented.ok);
+  EXPECT_EQ(bare.tpdus_accepted, instrumented.tpdus_accepted);
+  EXPECT_EQ(bare.retransmissions, instrumented.retransmissions);
+  EXPECT_EQ(bare.sim_end, instrumented.sim_end);
+}
+
+// The acceptance case: a deliberately failing scenario (watchdog far
+// too small for the workload) still produces a complete, internally
+// consistent bundle.
+TEST(FlightRecorder, FailingRunBundleIsConsistent) {
+  ChaosScenario sc = small_scenario();
+  sc.watchdog = kMillisecond;  // expires mid-transfer -> oracle-4
+
+  ChaosCapture cap;
+  cap.sample_interval = 100 * 1000;  // 100 µs: several rows before death
+  const ChaosResult res = run_chaos(sc, &cap);
+  ASSERT_FALSE(res.ok);
+  bool watchdog_fired = false;
+  for (const std::string& f : res.failures) {
+    if (f.rfind("oracle-4:", 0) == 0) watchdog_fired = true;
+  }
+  EXPECT_TRUE(watchdog_fired);
+
+  ASSERT_FALSE(cap.timeseries_json.empty());
+  ASSERT_FALSE(cap.metrics_json.empty());
+  ASSERT_FALSE(cap.chrome_json.empty());
+  ASSERT_TRUE(parse_json(cap.chrome_json).has_value());
+  expect_last_row_matches_registry(cap);
+}
+
+TEST(FlightRecorder, OverloadPathCapturesGovernorAndFlowSeries) {
+  ChaosScenario sc = small_scenario();
+  sc.connections = 2;
+  sc.flow_control = true;
+  sc.governor_budget = 64 * 1024;
+
+  ChaosCapture cap;
+  const ChaosResult res = run_chaos(sc, &cap);
+  EXPECT_TRUE(res.ok) << (res.failures.empty() ? "" : res.failures[0]);
+  expect_last_row_matches_registry(cap);
+
+  const auto ts = parse_json(cap.timeseries_json);
+  ASSERT_TRUE(ts.has_value());
+  bool has_grants = false;
+  for (const JsonValue& s : ts->find("series")->arr) {
+    if (s.str == "flow.grants_sent") has_grants = true;
+  }
+  EXPECT_TRUE(has_grants);
+}
+
+}  // namespace
+}  // namespace chunknet

@@ -1,0 +1,109 @@
+// Edge-case tests for the minimal JSON parser behind the observability
+// exporters: nesting depth, escape round-trips, non-finite and
+// malformed number rejection, and trailing-garbage rejection.
+#include "src/obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace chunknet {
+namespace {
+
+std::string nested_arrays(std::size_t depth) {
+  std::string s;
+  s.reserve(2 * depth + 1);
+  s.append(depth, '[');
+  s += '1';
+  s.append(depth, ']');
+  return s;
+}
+
+TEST(ObsJson, DeepNestingWithinLimitParses) {
+  const auto doc = parse_json(nested_arrays(255));
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* v = &*doc;
+  while (v->kind == JsonValue::Kind::kArray) v = &v->arr[0];
+  EXPECT_DOUBLE_EQ(v->number, 1.0);
+}
+
+TEST(ObsJson, PastDepthLimitFailsGracefully) {
+  // Must return nullopt, not crash the stack.
+  EXPECT_FALSE(parse_json(nested_arrays(257)).has_value());
+  EXPECT_FALSE(parse_json(nested_arrays(10000)).has_value());
+  std::string objs;
+  for (int i = 0; i < 300; ++i) objs += "{\"k\":";
+  objs += "1";
+  for (int i = 0; i < 300; ++i) objs += "}";
+  EXPECT_FALSE(parse_json(objs).has_value());
+}
+
+TEST(ObsJson, EscapeRoundTrip) {
+  const std::string raw = "a\"b\\c\nd\te\x01 f/unicode \xc3\xa9";
+  const std::string doc = "{\"k\": \"" + json_escape(raw) + "\"}";
+  const auto parsed = parse_json(doc);
+  ASSERT_TRUE(parsed.has_value());
+  const JsonValue* v = parsed->find("k");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->str, raw);
+}
+
+TEST(ObsJson, RejectsNonFiniteNumbers) {
+  EXPECT_FALSE(parse_json("inf").has_value());
+  EXPECT_FALSE(parse_json("-inf").has_value());
+  EXPECT_FALSE(parse_json("Infinity").has_value());
+  EXPECT_FALSE(parse_json("nan").has_value());
+  EXPECT_FALSE(parse_json("NaN").has_value());
+  EXPECT_FALSE(parse_json("1e999").has_value());   // overflows to +inf
+  EXPECT_FALSE(parse_json("-1e999").has_value());
+  EXPECT_FALSE(parse_json("[1, 1e999]").has_value());
+}
+
+TEST(ObsJson, RejectsMalformedNumbers) {
+  EXPECT_FALSE(parse_json("+5").has_value());
+  EXPECT_FALSE(parse_json("0x10").has_value());   // strtod hex is not JSON
+  EXPECT_FALSE(parse_json("[0x10]").has_value());
+  EXPECT_FALSE(parse_json("--1").has_value());
+  EXPECT_FALSE(parse_json(".5").has_value());
+  EXPECT_FALSE(parse_json("1.").has_value());
+  EXPECT_FALSE(parse_json("1e").has_value());
+  // Valid forms still parse.
+  EXPECT_TRUE(parse_json("-0.5e2").has_value());
+  EXPECT_TRUE(parse_json("1e308").has_value());
+}
+
+TEST(ObsJson, RejectsTrailingGarbage) {
+  EXPECT_FALSE(parse_json("{} extra").has_value());
+  EXPECT_FALSE(parse_json("[1,2]]").has_value());
+  EXPECT_FALSE(parse_json("1 2").has_value());
+  EXPECT_FALSE(parse_json("{\"a\": 1}{").has_value());
+  // Trailing whitespace is fine.
+  EXPECT_TRUE(parse_json("{\"a\": 1}  \n\t").has_value());
+}
+
+TEST(ObsJson, RejectsTruncatedDocuments) {
+  EXPECT_FALSE(parse_json("").has_value());
+  EXPECT_FALSE(parse_json("{\"a\": ").has_value());
+  EXPECT_FALSE(parse_json("[1, 2").has_value());
+  EXPECT_FALSE(parse_json("\"unterminated").has_value());
+  EXPECT_FALSE(parse_json("tru").has_value());
+}
+
+TEST(ObsJson, ObjectOrderAndLookups) {
+  const auto doc = parse_json(
+      "{\"z\": 1, \"a\": 2.5, \"flag\": true, \"s\": \"x\", "
+      "\"nil\": null, \"big\": 9007199254740991}");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_EQ(doc->obj.size(), 6u);
+  EXPECT_EQ(doc->obj[0].first, "z");  // insertion order preserved
+  EXPECT_EQ(doc->obj[1].first, "a");
+  EXPECT_DOUBLE_EQ(doc->num_or("a"), 2.5);
+  EXPECT_DOUBLE_EQ(doc->num_or("missing", -1.0), -1.0);
+  EXPECT_EQ(doc->u64_or("big"), 9007199254740991ull);
+  EXPECT_TRUE(doc->find("flag")->boolean);
+  EXPECT_EQ(doc->find("nil")->kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(doc->find("s")->str, "x");
+}
+
+}  // namespace
+}  // namespace chunknet

@@ -1,0 +1,183 @@
+// Tests for the causal span recorder and its Chrome trace-event
+// export: ring semantics, kind name round-trip, export structure
+// (per-connection pid tracks, b/e pairing, counters), and an
+// instrumented end-to-end chaos run producing one track per
+// connection.
+#include "src/obs/spans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/chaos/harness.hpp"
+#include "src/chaos/scenario.hpp"
+#include "src/obs/json.hpp"
+#include "src/obs/timeseries.hpp"
+
+namespace chunknet {
+namespace {
+
+SpanEvent make_event(SpanEventKind kind, std::uint64_t t,
+                     std::uint32_t conn, std::uint32_t tpdu,
+                     std::uint64_t aux = 0) {
+  SpanEvent e;
+  e.kind = kind;
+  e.t = t;
+  e.connection_id = conn;
+  e.tpdu_id = tpdu;
+  e.aux = aux;
+  return e;
+}
+
+TEST(Spans, RingOverwritesOldest) {
+  SpanRecorder rec(4);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    rec.record(make_event(SpanEventKind::kTpduFramed, i, 1, i));
+  }
+  EXPECT_EQ(rec.recorded(), 10u);
+  EXPECT_EQ(rec.dropped(), 6u);
+  const auto ev = rec.events();
+  ASSERT_EQ(ev.size(), 4u);
+  EXPECT_EQ(ev.front().tpdu_id, 6u);
+  EXPECT_EQ(ev.back().tpdu_id, 9u);
+}
+
+TEST(Spans, KindNamesRoundTrip) {
+  for (int k = 0; k <= static_cast<int>(SpanEventKind::kGovernorShed); ++k) {
+    const auto kind = static_cast<SpanEventKind>(k);
+    const char* name = to_string(kind);
+    ASSERT_NE(name, nullptr);
+    const auto back = span_event_kind_from_string(name);
+    ASSERT_TRUE(back.has_value()) << name;
+    EXPECT_EQ(*back, kind);
+  }
+  EXPECT_FALSE(span_event_kind_from_string("no_such_kind").has_value());
+}
+
+TEST(Spans, PlainJsonExport) {
+  SpanRecorder rec;
+  rec.record(make_event(SpanEventKind::kConnAdmitted, 1000, 7, 0, 4096));
+  rec.record(make_event(SpanEventKind::kTpduDelivered, 2000, 7, 3, 1));
+  const auto doc = parse_json(spans_to_json(rec));
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->u64_or("recorded"), 2u);
+  const JsonValue* events = doc->find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->arr.size(), 2u);
+  EXPECT_EQ(events->arr[0].find("kind")->str, "conn_admitted");
+  EXPECT_EQ(events->arr[1].u64_or("tpdu"), 3u);
+  EXPECT_EQ(events->arr[1].u64_or("aux"), 1u);
+}
+
+TEST(Spans, ChromeExportHasTracksPairsAndCounters) {
+  SpanRecorder rec;
+  rec.record(make_event(SpanEventKind::kConnOpenSeen, 500, 7, 0));
+  rec.record(make_event(SpanEventKind::kConnAdmitted, 1000, 7, 0, 4096));
+  rec.record(make_event(SpanEventKind::kTpduFramed, 1500, 7, 1, 256));
+  rec.record(make_event(SpanEventKind::kCreditGrant, 1750, 7, 0, 8192));
+  rec.record(make_event(SpanEventKind::kTpduFirstChunk, 2000, 7, 1));
+  rec.record(make_event(SpanEventKind::kTpduAcked, 2500, 7, 1));
+  rec.record(make_event(SpanEventKind::kTpduDelivered, 3000, 7, 1, 1));
+  rec.record(make_event(SpanEventKind::kConnRefused, 3500, 9, 0, 4096));
+
+  const auto doc = parse_json(spans_to_chrome_json(rec));
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  std::map<std::uint64_t, std::string> process_names;
+  std::multiset<std::string> phases;
+  std::set<std::uint64_t> pids;
+  for (const JsonValue& e : events->arr) {
+    pids.insert(e.u64_or("pid"));
+    const JsonValue* ph = e.find("ph");
+    ASSERT_NE(ph, nullptr);
+    phases.insert(ph->str);
+    if (ph->str == "M") {
+      const JsonValue* args = e.find("args");
+      ASSERT_NE(args, nullptr);
+      process_names[e.u64_or("pid")] = args->find("name")->str;
+    }
+  }
+  // One named track per connection that appeared.
+  EXPECT_EQ(process_names[7], "connection 7");
+  EXPECT_EQ(process_names[9], "connection 9");
+  // Sender (framed->acked) and receiver (first chunk->delivered) spans
+  // both open and close.
+  EXPECT_EQ(phases.count("b"), 2u);
+  EXPECT_EQ(phases.count("e"), 2u);
+  // Credit is a counter sample; open/admit/refuse are instants.
+  EXPECT_GE(phases.count("C"), 1u);
+  EXPECT_GE(phases.count("i"), 3u);
+
+  // b/e events of the same (cat, id) pair up with non-decreasing ts.
+  std::map<std::string, double> open_ts;
+  for (const JsonValue& e : events->arr) {
+    const std::string ph = e.find("ph")->str;
+    if (ph != "b" && ph != "e") continue;
+    const std::string key =
+        e.find("cat")->str + "#" + std::to_string(e.u64_or("id"));
+    if (ph == "b") {
+      open_ts[key] = e.num_or("ts");
+    } else {
+      ASSERT_TRUE(open_ts.count(key)) << "unmatched end " << key;
+      EXPECT_GE(e.num_or("ts"), open_ts[key]);
+    }
+  }
+}
+
+TEST(Spans, ChromeExportEmbedsTimeSeriesCounters) {
+  SpanRecorder rec;
+  rec.record(make_event(SpanEventKind::kTpduFramed, 1000, 7, 1));
+  MetricsRegistry reg;
+  reg.counter("sender.retransmissions").add(2);
+  TimeSeriesSampler ts(reg);
+  ts.track_counter("sender.retransmissions");
+  ts.sample(0);
+  ts.sample(kMillisecond);
+
+  const auto doc = parse_json(spans_to_chrome_json(rec, &ts));
+  ASSERT_TRUE(doc.has_value());
+  std::size_t series_counters = 0;
+  for (const JsonValue& e : doc->find("traceEvents")->arr) {
+    if (e.find("ph")->str == "C" && e.find("cat") != nullptr &&
+        e.find("cat")->str == "timeseries") {
+      ++series_counters;
+      EXPECT_EQ(e.u64_or("pid"), 0u);
+      EXPECT_EQ(e.find("name")->str, "sender.retransmissions");
+    }
+  }
+  EXPECT_EQ(series_counters, 2u);
+}
+
+// End-to-end: an instrumented multi-connection chaos run must yield a
+// Chrome trace with one process track per admitted connection.
+TEST(Spans, TracedOverloadRunHasPerConnectionTracks) {
+  ChaosScenario sc;
+  sc.seed = 6;
+  sc.stream_elements = 1024;
+  sc.tpdu_elements = 256;
+  sc.connections = 3;
+  sc.flow_control = true;
+
+  ChaosCapture cap;
+  const ChaosResult res = run_chaos(sc, &cap);
+  EXPECT_TRUE(res.ok);
+
+  const auto doc = parse_json(cap.chrome_json);
+  ASSERT_TRUE(doc.has_value());
+  std::set<std::uint64_t> conn_tracks;
+  for (const JsonValue& e : doc->find("traceEvents")->arr) {
+    if (e.find("ph")->str != "M") continue;
+    const std::string name = e.find("args")->find("name")->str;
+    if (name.rfind("connection ", 0) == 0) {
+      conn_tracks.insert(e.u64_or("pid"));
+    }
+  }
+  EXPECT_EQ(conn_tracks.size(), 3u);
+}
+
+}  // namespace
+}  // namespace chunknet

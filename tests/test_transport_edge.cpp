@@ -3,11 +3,16 @@
 // control traffic.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <utility>
+#include <vector>
 
+#include "src/chunk/builder.hpp"
 #include "src/chunk/codec.hpp"
 #include "src/netsim/link.hpp"
 #include "src/netsim/simulator.hpp"
+#include "src/transport/invariant.hpp"
 #include "src/transport/receiver.hpp"
 #include "src/transport/sender.hpp"
 #include "src/transport/signalling.hpp"
@@ -205,6 +210,72 @@ TEST(ReceiverEdge, ForeignConnectionChunksCounted) {
   c.payload.assign(4, 1);
   rx.on_chunk(std::move(c), 0);
   EXPECT_EQ(rx.stats().foreign_chunks, 1u);
+}
+
+TEST(ReceiverEdge, MisframedOverlapRejectsTpduInsteadOfWedging) {
+  // A corrupted-LEN copy of a non-final chunk claims a bogus element
+  // range in the tracker; the honest retransmission can then only ever
+  // overlap it. The overlap is framing evidence: the TPDU must reject
+  // (reassembly error) and erase its state so the sender's clean full
+  // retransmission recovers. Without the framing_error flag the TPDU
+  // wedges open forever — the tracker can never complete, and every
+  // retransmission re-overlaps until the sender gives up.
+  Simulator sim;
+  std::vector<std::pair<std::uint32_t, TpduVerdict>> outcomes;
+  ReceiverConfig rc;
+  rc.connection_id = 1;
+  rc.element_size = 4;
+  rc.mode = DeliveryMode::kReassemble;
+  rc.app_buffer_bytes = 128;  // 32 elements
+  rc.on_tpdu = [&](const TpduOutcome& o) {
+    outcomes.emplace_back(o.tpdu_id, o.verdict);
+  };
+  ChunkTransportReceiver rx(sim, std::move(rc));
+
+  const std::vector<std::uint8_t> stream = pattern(128);
+  auto data = [&](std::uint32_t sn, std::uint32_t len, bool st) {
+    Chunk c;
+    c.h.type = ChunkType::kData;
+    c.h.size = 4;
+    c.h.len = len;
+    c.h.conn = {1, sn, false};
+    c.h.tpdu = {5, sn, st};
+    c.h.xpdu = {1, sn, st};  // keep the C/X SN delta constant
+    c.payload.assign(stream.begin() + sn * 4,
+                     stream.begin() + (sn + len) * 4);
+    return c;
+  };
+  const Chunk a = data(0, 16, false);
+  const Chunk b = data(16, 16, true);
+  TpduInvariant inv;
+  inv.absorb(a);
+  inv.absorb(b);
+  const Chunk ed = make_ed_chunk(1, 5, 0, inv.value());
+
+  // The relay rewrote a's LEN 16 → 9: the tracker accepts [0, 9).
+  Chunk corrupt = data(0, 9, false);
+  rx.on_chunk(std::move(corrupt), 0);
+  rx.on_chunk(Chunk{b}, 0);
+  rx.on_chunk(Chunk{ed}, 0);  // code known; [9, 16) missing: no verdict
+  EXPECT_TRUE(outcomes.empty());
+
+  // The honest copy of a overlaps the bogus range: reject, now.
+  rx.on_chunk(Chunk{a}, 0);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].first, 5u);
+  EXPECT_EQ(outcomes[0].second, TpduVerdict::kReassemblyError);
+  EXPECT_EQ(rx.open_tpdus(), 0u);  // poisoned state erased
+  EXPECT_EQ(rx.stats().held_bytes_now, 0u);
+
+  // The full clean retransmission completes byte-exact.
+  rx.on_chunk(Chunk{a}, 0);
+  rx.on_chunk(Chunk{b}, 0);
+  rx.on_chunk(Chunk{ed}, 0);
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[1].second, TpduVerdict::kAccepted);
+  EXPECT_TRUE(rx.stream_complete(32));
+  EXPECT_TRUE(
+      std::equal(stream.begin(), stream.end(), rx.app_data().begin()));
 }
 
 }  // namespace

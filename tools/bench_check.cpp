@@ -1,0 +1,174 @@
+// bench_check — the perf-regression gate. Compares freshly measured
+// BENCH_*.json records (written by bench_util) against the committed
+// baselines in bench/results/ and fails when a baseline claim stops
+// passing or a direction-known metric regresses past its tolerance
+// (src/obs/bench_compare.hpp has the exact rules).
+//
+// Usage:  bench_check --fresh-dir DIR [--baseline-dir DIR]
+//                     [--tolerance F] [--quick]
+//                     [--metric-tolerance PATTERN=F]...
+//
+//   --baseline-dir DIR        committed baselines (default bench/results)
+//   --fresh-dir DIR           freshly measured records to gate
+//   --tolerance F             default fractional tolerance (default 0.25)
+//   --quick                   gate a CHUNKNET_BENCH_QUICK run: compare
+//                             claims and ratio metrics (unit "x") only,
+//                             at tolerance 1.5. Quick workloads are
+//                             CI-sized, so absolute numbers (ns per
+//                             stream, bytes held, ...) are not
+//                             commensurable with the committed
+//                             full-mode baselines — and shared CI
+//                             machines are noisy besides
+//   --metric-tolerance P=F    override for metrics whose
+//                             "<section>/<name>" contains P (repeatable;
+//                             last match wins)
+//
+// A fresh record without a baseline is skipped with a note (new benches
+// land before their baseline is committed); a baseline without a fresh
+// record is NOT an error here — the gate checks what was measured, CI
+// decides what to measure. Exit 0 = no fatal issue, 1 = regression,
+// 2 = usage/IO error.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/bench_compare.hpp"
+#include "src/obs/json.hpp"
+
+namespace {
+
+using namespace chunknet;
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return std::move(ss).str();
+}
+
+std::vector<std::string> bench_files(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& e : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = e.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 &&
+        e.path().extension() == ".json") {
+      names.push_back(name);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_dir = "bench/results";
+  std::string fresh_dir;
+  BenchCheckOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--baseline-dir") baseline_dir = next();
+    else if (a == "--fresh-dir") fresh_dir = next();
+    else if (a == "--tolerance") opt.tolerance = std::atof(next());
+    else if (a == "--quick") {
+      opt.tolerance = 1.5;
+      opt.ratio_metrics_only = true;
+    }
+    else if (a == "--metric-tolerance") {
+      const std::string v = next();
+      const auto eq = v.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "--metric-tolerance wants PATTERN=F, got %s\n",
+                     v.c_str());
+        return 2;
+      }
+      opt.per_metric.emplace_back(v.substr(0, eq),
+                                  std::atof(v.c_str() + eq + 1));
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", a.c_str());
+      return 2;
+    }
+  }
+  if (fresh_dir.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_check --fresh-dir DIR [--baseline-dir DIR] "
+                 "[--tolerance F] [--quick] "
+                 "[--metric-tolerance PATTERN=F]...\n");
+    return 2;
+  }
+
+  const std::vector<std::string> fresh = bench_files(fresh_dir);
+  if (fresh.empty()) {
+    std::fprintf(stderr, "no BENCH_*.json records in %s\n",
+                 fresh_dir.c_str());
+    return 2;
+  }
+
+  int fatal = 0, compared = 0, skipped = 0;
+  for (const std::string& name : fresh) {
+    const std::string base_path = baseline_dir + "/" + name;
+    const std::string fresh_path = fresh_dir + "/" + name;
+    const auto base_text = read_file(base_path);
+    if (!base_text) {
+      std::printf("%s: no baseline in %s — skipped (commit one to gate "
+                  "this bench)\n",
+                  name.c_str(), baseline_dir.c_str());
+      ++skipped;
+      continue;
+    }
+    const auto fresh_text = read_file(fresh_path);
+    if (!fresh_text) {
+      std::fprintf(stderr, "cannot read %s\n", fresh_path.c_str());
+      return 2;
+    }
+    const auto base_doc = parse_json(*base_text);
+    if (!base_doc) {
+      std::fprintf(stderr, "%s: baseline is not valid JSON\n",
+                   base_path.c_str());
+      return 2;
+    }
+    const auto fresh_doc = parse_json(*fresh_text);
+    if (!fresh_doc) {
+      std::fprintf(stderr, "%s: not valid JSON\n", fresh_path.c_str());
+      return 2;
+    }
+    const BenchCheckReport rep = check_bench(*base_doc, *fresh_doc, opt);
+    ++compared;
+    if (rep.metrics_skipped > 0) {
+      std::printf("%s: %s (%zu claims, %zu metrics compared, %zu "
+                  "non-ratio metrics out of scope)\n",
+                  name.c_str(), rep.ok() ? "OK" : "REGRESSED",
+                  rep.claims_compared, rep.metrics_compared,
+                  rep.metrics_skipped);
+    } else {
+      std::printf("%s: %s (%zu claims, %zu metrics compared)\n",
+                  name.c_str(), rep.ok() ? "OK" : "REGRESSED",
+                  rep.claims_compared, rep.metrics_compared);
+    }
+    for (const BenchIssue& issue : rep.issues) {
+      std::printf("  %s %s: %s\n", issue.fatal ? "FAIL" : "warn",
+                  issue.where.c_str(), issue.message.c_str());
+      if (issue.fatal) ++fatal;
+    }
+  }
+  std::printf("bench_check: %d records compared, %d skipped, %d fatal "
+              "issues (tolerance %.0f%%)\n",
+              compared, skipped, fatal, opt.tolerance * 100.0);
+  return fatal == 0 ? 0 : 1;
+}

@@ -77,8 +77,42 @@ std::string write_repro(const ChaosScenario& sc, const Options& opt) {
   return out ? path : std::string{};
 }
 
+/// Flight recorder: re-runs the failing scenario deterministically with
+/// instrumentation armed and writes the bundle (trace window, span
+/// timeline, time series, registry snapshot, scenario text) next to the
+/// repros. Returns the bundle directory (empty on I/O failure).
+std::string write_bundle(const ChaosScenario& sc, const Options& opt) {
+  ChaosCapture cap;
+  (void)run_chaos(sc, &cap);  // same seed → same run, now instrumented
+  const std::string dir =
+      opt.repro_dir + "/bundle_seed_" + std::to_string(sc.seed);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return {};
+  const struct {
+    const char* name;
+    const std::string* body;
+  } files[] = {
+      {"trace.json", &cap.trace_json},
+      {"timeseries.json", &cap.timeseries_json},
+      {"chrome_trace.json", &cap.chrome_json},
+      {"metrics.json", &cap.metrics_json},
+  };
+  for (const auto& f : files) {
+    std::ofstream out(dir + "/" + f.name);
+    if (!out) return {};
+    out << *f.body;
+    if (!out) return {};
+  }
+  std::ofstream sc_out(dir + "/scenario.txt");
+  if (!sc_out) return {};
+  sc_out << to_text(sc);
+  return sc_out ? dir : std::string{};
+}
+
 /// Runs one scenario; on failure prints the replay command and writes a
-/// minimized repro. Returns true when every oracle held.
+/// minimized repro plus a flight-recorder bundle. Returns true when
+/// every oracle held.
 bool run_one(const ChaosScenario& sc, const Options& opt, bool verbose) {
   const ChaosResult r = run_chaos(sc);
   if (verbose || !r.ok) print_result(sc.seed, r);
@@ -90,6 +124,12 @@ bool run_one(const ChaosScenario& sc, const Options& opt, bool verbose) {
       std::printf("minimized repro written to %s "
                   "(replay with: chaos_soak --replay-file %s)\n",
                   path.c_str(), path.c_str());
+    }
+    const std::string bundle = write_bundle(sc, opt);
+    if (!bundle.empty()) {
+      std::printf("flight-recorder bundle written to %s "
+                  "(load %s/chrome_trace.json in Perfetto)\n",
+                  bundle.c_str(), bundle.c_str());
     }
   }
   return r.ok;
@@ -233,9 +273,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot parse scenario %s\n", file.c_str());
       return 2;
     }
-    const ChaosResult r = run_chaos(*sc);
-    print_result(sc->seed, r);
-    if (!r.ok) rc = 1;
+    if (!run_one(*sc, opt, /*verbose=*/true)) rc = 1;
   }
   if (opt.fuzz_iters > 0 || !opt.corpus_paths.empty()) {
     if (fuzz_codecs(opt) != 0) rc = 1;

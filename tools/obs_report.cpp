@@ -8,10 +8,17 @@
 //     enqueued earlier on the same link;
 //   * chunk lifecycle and TPDU verdict counts;
 //   * bus crossings per DeliveryMode (from "receiver.<mode>.bus_bytes"
-//     in the metrics dump).
+//     in the metrics dump);
+//   * --timeline: per-series summary of a TimeSeriesSampler export
+//     (first/last/min/max/mean per tracked metric).
 //
 // Usage:  obs_report <trace.json> [metrics.json]
-//         (files as written by examples/internetwork_relay)
+//         obs_report --timeline <timeseries.json>
+//         (files as written by examples/internetwork_relay and the
+//         chaos flight recorder)
+//
+// Malformed or truncated input is an error (exit 2) — a flight-recorder
+// bundle cut short by a crash must not silently report zero events.
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -205,14 +212,80 @@ void bus_crossings(const JsonValue& metrics) {
   }
 }
 
+/// `obs_report --timeline <timeseries.json>`: summarises each tracked
+/// series of a TimeSeriesSampler export.
+int timeline_report(const char* path) {
+  const auto text = read_file(path);
+  if (!text) {
+    std::fprintf(stderr, "cannot read %s\n", path);
+    return 2;
+  }
+  const auto doc = parse_json(*text);
+  if (!doc) {
+    std::fprintf(stderr, "%s: not valid JSON\n", path);
+    return 2;
+  }
+  const JsonValue* series = doc->find("series");
+  const JsonValue* rows = doc->find("rows");
+  if (series == nullptr || series->kind != JsonValue::Kind::kArray ||
+      rows == nullptr || rows->kind != JsonValue::Kind::kArray) {
+    std::fprintf(stderr,
+                 "%s: malformed time series: missing \"series\"/\"rows\" "
+                 "arrays (truncated export?)\n",
+                 path);
+    return 2;
+  }
+  std::printf("%s: %zu series, %zu rows (interval %.3f ms, dropped %llu)\n",
+              path, series->arr.size(), rows->arr.size(),
+              doc->num_or("interval_ns") / 1e6,
+              static_cast<unsigned long long>(doc->u64_or("dropped")));
+  TextTable t({"series", "first", "last", "min", "max", "mean"});
+  for (std::size_t c = 0; c < series->arr.size(); ++c) {
+    Summary s;
+    double first = 0.0, last = 0.0;
+    bool any = false;
+    for (const JsonValue& row : rows->arr) {
+      // Row layout: [t_ns, v0, v1, ...].
+      if (row.kind != JsonValue::Kind::kArray || row.arr.size() <= c + 1 ||
+          row.arr[c + 1].kind != JsonValue::Kind::kNumber) {
+        continue;
+      }
+      const double v = row.arr[c + 1].number;
+      if (!any) first = v;
+      last = v;
+      any = true;
+      s.add(v);
+    }
+    const std::string label =
+        series->arr[c].kind == JsonValue::Kind::kString ? series->arr[c].str
+                                                        : "?";
+    t.add_row({label, TextTable::num(first, 3), TextTable::num(last, 3),
+               TextTable::num(any ? s.min() : 0.0, 3),
+               TextTable::num(any ? s.max() : 0.0, 3),
+               TextTable::num(s.mean(), 3)});
+  }
+  std::printf("%s", t.render().c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace chunknet
 
 int main(int argc, char** argv) {
   using namespace chunknet;
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <trace.json> [metrics.json]\n", argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s <trace.json> [metrics.json]\n"
+                 "       %s --timeline <timeseries.json>\n",
+                 argv[0], argv[0]);
     return 2;
+  }
+  if (std::string(argv[1]) == "--timeline") {
+    if (argc < 3) {
+      std::fprintf(stderr, "--timeline needs a timeseries.json path\n");
+      return 2;
+    }
+    return timeline_report(argv[2]);
   }
   const auto trace_text = read_file(argv[1]);
   if (!trace_text) {
@@ -222,6 +295,15 @@ int main(int argc, char** argv) {
   const auto doc = parse_json(*trace_text);
   if (!doc) {
     std::fprintf(stderr, "%s: not valid JSON\n", argv[1]);
+    return 2;
+  }
+  const JsonValue* events_arr = doc->find("events");
+  if (events_arr == nullptr ||
+      events_arr->kind != JsonValue::Kind::kArray) {
+    std::fprintf(stderr,
+                 "%s: malformed trace: no \"events\" array (truncated "
+                 "export?)\n",
+                 argv[1]);
     return 2;
   }
   const std::vector<TraceEvent> events = parse_trace(*doc);
