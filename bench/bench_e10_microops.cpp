@@ -3,13 +3,19 @@
 // variants, chunk codec, fragmentation/reassembly, packetization,
 // header compression, and the ILP layered-vs-integrated processing
 // loops (google-benchmark), plus the zero-copy acceptance sections
-// (owning vs view decode, scalar vs slice-by-4 WSC-2) whose claims
-// land in BENCH_e10.json. A custom main runs the acceptance sections
+// (owning vs view decode, the WSC-2 kernel roofline, GF multiply
+// variants, batched header codec, and the gather-encode TX path) whose
+// claims land in BENCH_e10.json. A custom main runs the acceptance sections
 // first — CHUNKNET_BENCH_QUICK=1 shrinks them and skips the long
 // google-benchmark sweep (the CI perf-smoke mode).
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string_view>
+
 #include "bench_util.hpp"
+
+#include "src/chunk/gather.hpp"
 
 #include "src/chunk/builder.hpp"
 #include "src/chunk/codec.hpp"
@@ -320,9 +326,11 @@ void view_vs_owning_decode() {
 }
 
 void wsc2_scalar_vs_sliced() {
-  print_heading("E10.wsc2",
-                "WSC-2 add_words — scalar Horner vs slice-by-4 "
-                "(64 KiB, 16384 symbols)");
+  const std::string wsc2_title =
+      std::string("WSC-2 add_words — scalar Horner vs dispatched kernel "
+                  "(64 KiB, 16384 symbols; dispatched: ") +
+      wsc2_kernels::selected_kernel_name() + ")";
+  print_heading("E10.wsc2", wsc2_title.c_str());
   const auto data = pattern_stream(64 * 1024, 11);
   const std::size_t iters = bench_quick() ? 50 : 2000;
 
@@ -331,7 +339,7 @@ void wsc2_scalar_vs_sliced() {
   Wsc2Accumulator sliced;
   sliced.add_words(0, data);
   print_claim(ref.value() == sliced.value(),
-              "slice-by-4 kernel produces bit-identical P0/P1");
+              "dispatched kernel produces bit-identical P0/P1");
 
   Wsc2Accumulator a;
   const double ns_scalar =
@@ -347,15 +355,284 @@ void wsc2_scalar_vs_sliced() {
   TextTable t({"kernel", "ns/64KiB", "GB/s", "speedup"});
   t.add_row({"scalar Horner", TextTable::num(ns_scalar, 0),
              TextTable::num(bytes / ns_scalar, 2), TextTable::num(1.0, 2)});
-  t.add_row({"slice-by-4", TextTable::num(ns_sliced, 0),
+  t.add_row({"dispatched", TextTable::num(ns_sliced, 0),
              TextTable::num(bytes / ns_sliced, 2), TextTable::num(ratio, 2)});
   print_table(t);
   record_metric("wsc2_scalar_ns_per_64k", ns_scalar, "ns");
   record_metric("wsc2_sliced_ns_per_64k", ns_sliced, "ns");
   record_metric("wsc2_sliced_speedup", ratio, "x");
   print_claim(ratio >= 1.5,
-              "slice-by-4 WSC-2 is >= 1.5x faster than scalar "
+              "dispatched WSC-2 kernel is >= 1.5x faster than scalar "
               "(measured " + TextTable::num(ratio, 2) + "x)");
+}
+
+/// Per-kernel roofline table: every registered WSC-2 kernel (scalar,
+/// slice-by-4/8, and the native carry-less-multiply variant when the
+/// CPU has one) against the scalar oracle and a memcpy roofline row.
+/// The registry is dispatch-independent, so this table is identical
+/// under CHUNKNET_FORCE_SCALAR (which only pins what add_words USES).
+void wsc2_kernel_roofline() {
+  const std::string kern_title =
+      std::string("WSC-2 kernels — per-variant GB/s roofline (64 KiB, "
+                  "dispatched: ") +
+      wsc2_kernels::selected_kernel_name() + ")";
+  print_heading("E10.kern", kern_title.c_str());
+  const auto data = pattern_stream(64 * 1024, 13);
+  const std::size_t words = data.size() / 4;
+  const std::size_t iters = bench_quick() ? 50 : 2000;
+  const double bytes = static_cast<double>(data.size());
+
+  const auto kernels = wsc2_kernels::available_kernels();
+  const wsc2_kernels::RunSum want =
+      wsc2_kernels::run_scalar(data.data(), words);
+  bool all_match = true;
+  for (const auto& k : kernels) {
+    const wsc2_kernels::RunSum got = k.fn(data.data(), words);
+    all_match &= got.x == want.x && got.h == want.h;
+  }
+  print_claim(all_match,
+              "every WSC-2 kernel variant is bit-identical to the scalar "
+              "oracle on this machine");
+
+  TextTable t({"kernel", "ns/64KiB", "GB/s", "vs scalar"});
+  double scalar_ns = 0.0;
+  double sliced4_ns = 0.0;
+  double best_ns = 0.0;  // widest kernel = last registry entry
+  for (const auto& k : kernels) {
+    wsc2_kernels::RunSum sink{};
+    const double ns = time_ns_per_iter(
+        [&] {
+          const auto rs = k.fn(data.data(), words);
+          sink.x ^= rs.x;
+          sink.h ^= rs.h;
+        },
+        iters);
+    benchmark::DoNotOptimize(sink);
+    if (std::string_view(k.name) == "scalar") scalar_ns = ns;
+    if (std::string_view(k.name) == "sliced4") sliced4_ns = ns;
+    best_ns = ns;
+    t.add_row({k.name, TextTable::num(ns, 0), TextTable::num(bytes / ns, 2),
+               TextTable::num(scalar_ns > 0 ? scalar_ns / ns : 1.0, 2)});
+    record_metric(std::string("wsc2_") + k.name + "_gbps", bytes / ns,
+                  "GB/s");
+  }
+  // The machine's streaming ceiling, for reading the GB/s column.
+  std::vector<std::uint8_t> dst(data.size());
+  const double memcpy_ns = time_ns_per_iter(
+      [&] {
+        std::memcpy(dst.data(), data.data(), data.size());
+        benchmark::DoNotOptimize(dst.data());
+      },
+      iters);
+  t.add_row({"memcpy roofline", TextTable::num(memcpy_ns, 0),
+             TextTable::num(bytes / memcpy_ns, 2), "-"});
+  print_table(t);
+
+  const double widened = sliced4_ns > 0 && best_ns > 0
+                             ? sliced4_ns / best_ns
+                             : 1.0;
+  record_metric("wsc2_widest_over_sliced4", widened, "x");
+  print_claim(widened >= 1.5,
+              "widest WSC-2 kernel is >= 1.5x the slice-by-4 kernel "
+              "(measured " + TextTable::num(widened, 2) + "x)");
+}
+
+/// GF(2^32) multiply variants: bit-serial shift oracle, the 4-bit
+/// windowed table walk, and the dispatched kernel (PCLMUL/PMULL when
+/// the CPU has it — the name in the table says which ran here).
+void gf_mul_variants() {
+  const std::string gf_title =
+      std::string("GF(2^32) multiply — shift vs windowed vs dispatched (") +
+      gf32::mul_kernel_name() + ")";
+  print_heading("E10.gf", gf_title.c_str());
+  const std::size_t iters = bench_quick() ? 20000 : 2000000;
+
+  Rng rng(17);
+  bool agree = true;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint32_t a = rng.u32();
+    const std::uint32_t b = rng.u32();
+    const std::uint32_t want = gf32::mul_shift(a, b);
+    agree &= gf32::mul(a, b) == want && gf32::mul_windowed(a, b) == want;
+  }
+  print_claim(agree, "dispatched and windowed multiplies are bit-identical "
+                     "to the shift-and-reduce oracle");
+
+  // Serial dependent chains so the measurement is latency, not ILP.
+  auto chain = [&](auto mul_fn) {
+    std::uint32_t a = 0xDEADBEEF;
+    return time_ns_per_iter(
+        [&] {
+          a = mul_fn(a, 0x9E3779B9u);
+          benchmark::DoNotOptimize(a);
+        },
+        iters);
+  };
+  const double ns_shift = chain([](std::uint32_t a, std::uint32_t b) {
+    return gf32::mul_shift(a, b);
+  });
+  const double ns_win = chain([](std::uint32_t a, std::uint32_t b) {
+    return gf32::mul_windowed(a, b);
+  });
+  const double ns_disp = chain([](std::uint32_t a, std::uint32_t b) {
+    return gf32::mul(a, b);
+  });
+
+  TextTable t({"variant", "ns/mul", "vs windowed"});
+  t.add_row({"shift-and-reduce", TextTable::num(ns_shift, 2),
+             TextTable::num(ns_win / ns_shift, 2)});
+  t.add_row({"windowed (4-bit)", TextTable::num(ns_win, 2),
+             TextTable::num(1.0, 2)});
+  t.add_row({std::string("dispatched: ") + gf32::mul_kernel_name(),
+             TextTable::num(ns_disp, 2), TextTable::num(ns_win / ns_disp, 2)});
+  print_table(t);
+  record_metric("gf_mul_shift_ns", ns_shift, "ns");
+  record_metric("gf_mul_windowed_ns", ns_win, "ns");
+  record_metric("gf_mul_dispatched_ns", ns_disp, "ns");
+  record_metric("gf_mul_dispatched_speedup", ns_win / ns_disp, "x");
+}
+
+/// Batched header codec: the pointer-walk encode_packet_into (reused
+/// aligned buffer, one bounds check per packet) against the allocating
+/// encode_packet, plus the raw 34-byte header store/load batch rate.
+void header_codec_batched() {
+  print_heading("E10.hdr",
+                "packet encode — allocating vs batched into a reused "
+                "buffer (32-chunk packet)");
+  std::vector<Chunk> chunks;
+  const auto packet = make_32chunk_packet(&chunks);
+  const std::size_t iters = bench_quick() ? 5000 : 100000;
+  const double bytes = static_cast<double>(packet.size());
+
+  PacketBytes reused;
+  bool ok = encode_packet_into(chunks, 1 << 20, reused);
+  ok = ok && reused.size() == packet.size() &&
+       std::equal(packet.begin(), packet.end(), reused.data());
+  print_claim(ok, "batched encode_packet_into is byte-identical to "
+                  "encode_packet");
+
+  std::size_t sink = 0;
+  const double ns_alloc = time_ns_per_iter(
+      [&] { sink += encode_packet(chunks, 1 << 20).size(); }, iters);
+  const double ns_batched = time_ns_per_iter(
+      [&] {
+        encode_packet_into(chunks, 1 << 20, reused);
+        sink += reused.size();
+      },
+      iters);
+  benchmark::DoNotOptimize(sink);
+
+  // Raw header batch: all 32 canonical headers stored then re-loaded
+  // through the shared primitives the packet codec and gather path use.
+  std::vector<std::uint8_t> hdrs(chunks.size() * kChunkHeaderBytes);
+  ChunkHeader scratch;
+  const double ns_hdr_batch = time_ns_per_iter(
+      [&] {
+        std::uint8_t* p = hdrs.data();
+        for (const Chunk& c : chunks) {
+          store_chunk_header(p, c.h);
+          p += kChunkHeaderBytes;
+        }
+        const std::uint8_t* q = hdrs.data();
+        for (std::size_t i = 0; i < chunks.size(); ++i) {
+          load_chunk_header(q, scratch);
+          q += kChunkHeaderBytes;
+        }
+        benchmark::DoNotOptimize(scratch);
+      },
+      iters);
+
+  const double ratio = ns_alloc / ns_batched;
+  TextTable t({"encoder", "ns/packet", "GB/s", "speedup"});
+  t.add_row({"allocating encode_packet", TextTable::num(ns_alloc, 1),
+             TextTable::num(bytes / ns_alloc, 2), TextTable::num(1.0, 2)});
+  t.add_row({"batched encode_packet_into", TextTable::num(ns_batched, 1),
+             TextTable::num(bytes / ns_batched, 2),
+             TextTable::num(ratio, 2)});
+  print_table(t);
+  record_metric("encode_alloc_ns_per_packet", ns_alloc, "ns");
+  record_metric("encode_batched_ns_per_packet", ns_batched, "ns");
+  record_metric("encode_batched_speedup", ratio, "x");
+  record_metric("header_batch_ns_per_header",
+                ns_hdr_batch / (2.0 * static_cast<double>(chunks.size())),
+                "ns");
+}
+
+/// The gather-encode TX path against the materializing packetizer on
+/// the same chunk set. "assemble" builds arena + segment list only
+/// (payload untouched — what a scatter-gather NIC would transmit);
+/// "+linearize" adds the software copy-out our SimPacket needs.
+void gather_tx_path() {
+  print_heading("E10.tx",
+                "TX path — materializing packetize vs gather-encode "
+                "(32 chunks, MTU 1500)");
+  std::vector<Chunk> chunks;
+  make_32chunk_packet(&chunks);
+  std::vector<ChunkView> views;
+  views.reserve(chunks.size());
+  std::size_t payload_total = 0;
+  for (const Chunk& c : chunks) {
+    views.push_back(as_view(c));
+    payload_total += c.payload.size();
+  }
+  PacketizerOptions opts;
+  opts.mtu = 1500;
+  const std::size_t iters = bench_quick() ? 2000 : 50000;
+
+  // Parity + the zero-copy accounting, before any timing.
+  const PacketizeResult flat = packetize(chunks, opts);
+  const GatherResult gathered = gather_packetize(views, opts);
+  bool same = gathered.packets.size() == flat.packets.size();
+  std::size_t borrowed = 0;
+  for (std::size_t i = 0; same && i < flat.packets.size(); ++i) {
+    const PacketBytes lin = gathered.packets[i].linearize();
+    same = gathered.packets[i].wire_size == flat.packets[i].size() &&
+           std::equal(flat.packets[i].begin(), flat.packets[i].end(),
+                      lin.data());
+    borrowed += gathered.packets[i].borrowed_payload_bytes;
+  }
+  print_claim(same, "gather-encode emits byte-identical wire packets to "
+                    "the materializing packetizer");
+  print_claim(borrowed == payload_total,
+              "gather assembly borrows every payload byte by reference "
+              "(zero payload copies before the NIC/DMA boundary)");
+
+  double wire_bytes = 0;
+  for (const auto& p : flat.packets) {
+    wire_bytes += static_cast<double>(p.size());
+  }
+  std::size_t sink = 0;
+  const double ns_mat = time_ns_per_iter(
+      [&] { sink += packetize(chunks, opts).packets.size(); }, iters);
+  const double ns_gather = time_ns_per_iter(
+      [&] { sink += gather_packetize(views, opts).packets.size(); }, iters);
+  PacketBytes out;
+  const double ns_gather_lin = time_ns_per_iter(
+      [&] {
+        const GatherResult r = gather_packetize(views, opts);
+        for (const auto& p : r.packets) {
+          p.linearize_into(out);
+          sink += out.size();
+        }
+      },
+      iters);
+  benchmark::DoNotOptimize(sink);
+
+  const double ratio = ns_mat / ns_gather;
+  TextTable t({"path", "ns/burst", "GB/s", "speedup"});
+  t.add_row({"materializing packetize", TextTable::num(ns_mat, 0),
+             TextTable::num(wire_bytes / ns_mat, 2), TextTable::num(1.0, 2)});
+  t.add_row({"gather assemble", TextTable::num(ns_gather, 0),
+             TextTable::num(wire_bytes / ns_gather, 2),
+             TextTable::num(ratio, 2)});
+  t.add_row({"gather assemble + linearize", TextTable::num(ns_gather_lin, 0),
+             TextTable::num(wire_bytes / ns_gather_lin, 2),
+             TextTable::num(ns_mat / ns_gather_lin, 2)});
+  print_table(t);
+  record_metric("tx_materializing_ns_per_burst", ns_mat, "ns");
+  record_metric("tx_gather_ns_per_burst", ns_gather, "ns");
+  record_metric("tx_gather_linearize_ns_per_burst", ns_gather_lin, "ns");
+  record_metric("tx_gather_assemble_speedup", ratio, "x");
 }
 
 }  // namespace
@@ -364,6 +641,10 @@ void wsc2_scalar_vs_sliced() {
 int main(int argc, char** argv) {
   chunknet::bench::view_vs_owning_decode();
   chunknet::bench::wsc2_scalar_vs_sliced();
+  chunknet::bench::wsc2_kernel_roofline();
+  chunknet::bench::gf_mul_variants();
+  chunknet::bench::header_codec_batched();
+  chunknet::bench::gather_tx_path();
   chunknet::bench::write_bench_json("e10");
   if (!chunknet::bench::bench_quick()) {
     benchmark::Initialize(&argc, argv);

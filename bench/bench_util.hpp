@@ -18,8 +18,11 @@
 #include <vector>
 
 #include "src/chunk/codec.hpp"
+#include "src/common/cpu.hpp"
 #include "src/common/rng.hpp"
 #include "src/common/stats.hpp"
+#include "src/edc/wsc2_kernels.hpp"
+#include "src/gf/gf32.hpp"
 #include "src/netsim/link.hpp"
 #include "src/netsim/simulator.hpp"
 #include "src/transport/receiver.hpp"
@@ -160,7 +163,17 @@ inline std::string write_bench_json(
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return "";
   out << "{\n  \"bench\": \"" << detail::json_escape(name)
-      << "\",\n  \"sections\": [";
+      // Measurement provenance: absolute numbers from one ISA (or one
+      // kernel variant) are not commensurable with another's, so
+      // tools/bench_check refuses cross-ISA absolute comparisons and
+      // falls back to claims + ratio metrics when `meta.isa` differs.
+      << "\",\n  \"meta\": {\"isa\": \"" << detail::json_escape(cpu_isa())
+      << "\", \"cpu\": \"" << detail::json_escape(cpu_summary())
+      << "\", \"gf_kernel\": \"" << detail::json_escape(gf32::mul_kernel_name())
+      << "\", \"wsc2_kernel\": \""
+      << detail::json_escape(wsc2_kernels::selected_kernel_name())
+      << "\", \"force_scalar\": " << (force_scalar() ? "true" : "false")
+      << "},\n  \"sections\": [";
   for (std::size_t s = 0; s < rows.size(); ++s) {
     const BenchSection& sec = rows[s];
     out << (s == 0 ? "" : ",") << "\n    {\"id\": \""

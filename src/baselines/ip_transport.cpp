@@ -40,9 +40,9 @@ DecodedIpFragment decode_ip_fragment(std::span<const std::uint8_t> bytes) {
 }
 
 RelayFn ip_fragment_relay(RelayStats* stats) {
-  return [stats](std::vector<std::uint8_t> bytes, std::size_t egress_mtu) {
+  return [stats](PacketBytes bytes, std::size_t egress_mtu) {
     if (stats != nullptr) ++stats->packets_in;
-    std::vector<std::vector<std::uint8_t>> out;
+    std::vector<PacketBytes> out;
     if (bytes.size() <= egress_mtu) {
       out.push_back(std::move(bytes));
       if (stats != nullptr) ++stats->packets_out;

@@ -7,6 +7,9 @@
 #include "src/chunk/codec.hpp"
 #include "src/chunk/compress.hpp"
 #include "src/chunk/fragment.hpp"
+#include "src/edc/wsc2.hpp"
+#include "src/edc/wsc2_kernels.hpp"
+#include "src/gf/gf32.hpp"
 
 namespace chunknet {
 
@@ -272,11 +275,75 @@ std::optional<std::string> compress_roundtrip(
   return std::nullopt;
 }
 
+std::optional<std::string> simd_differential(
+    std::span<const std::uint8_t> bytes, Rng& rng) {
+  // Bare kernels over a fuzz-chosen word range: varying the start and
+  // length reaches every remainder path and small-group fallback.
+  const std::size_t words = bytes.size() / 4;
+  const std::size_t start = words == 0 ? 0 : rng.below(words + 1);
+  const std::size_t span_words = words - start;
+  const std::uint8_t* base = bytes.data() + start * 4;
+  const wsc2_kernels::RunSum want = wsc2_kernels::run_scalar(base, span_words);
+  for (const wsc2_kernels::NamedKernel& k :
+       wsc2_kernels::available_kernels()) {
+    const wsc2_kernels::RunSum got = k.fn(base, span_words);
+    if (got.x != want.x || got.h != want.h) {
+      return std::string("simd: WSC-2 kernel '") + k.name +
+             "' diverges from the scalar reference (" +
+             fmt("words=%llu start=%llu", span_words, start) + ")";
+    }
+  }
+
+  // Full accumulator at a random absolute position: the dispatched
+  // add_words (partial-tail grafting included) against the scalar loop.
+  const std::uint32_t pos =
+      static_cast<std::uint32_t>(rng.below(kWsc2PositionLimit - (1u << 16)));
+  Wsc2Accumulator fast;
+  Wsc2Accumulator slow;
+  fast.add_words(pos, bytes);
+  slow.add_words_scalar(pos, bytes);
+  if (!(fast.value() == slow.value())) {
+    return fmt("simd: add_words diverges from add_words_scalar at pos=%llu",
+               pos);
+  }
+
+  // GF(2^32): the dispatched (possibly carry-less-multiply) and
+  // windowed multiplies, plus the widened ×α⁸/×α¹⁶ steps, against the
+  // bit-serial shift-and-reduce oracle on words drawn from the input.
+  const gf32::PowerLadder& ladder = gf32::PowerLadder::shared();
+  std::uint32_t prev = 0x00000001u;
+  const std::size_t cap = std::min<std::size_t>(words, 64);
+  for (std::size_t i = 0; i < cap; ++i) {
+    const std::uint32_t w = (static_cast<std::uint32_t>(bytes[4 * i]) << 24) |
+                            (static_cast<std::uint32_t>(bytes[4 * i + 1]) << 16) |
+                            (static_cast<std::uint32_t>(bytes[4 * i + 2]) << 8) |
+                            static_cast<std::uint32_t>(bytes[4 * i + 3]);
+    const std::uint32_t oracle = gf32::mul_shift(w, prev);
+    if (gf32::mul(w, prev) != oracle) {
+      return fmt("simd: dispatched gf32::mul(%#llx, %#llx) != shift oracle", w,
+                 prev);
+    }
+    if (gf32::mul_windowed(w, prev) != oracle) {
+      return fmt("simd: gf32::mul_windowed(%#llx, %#llx) != shift oracle", w,
+                 prev);
+    }
+    if (gf32::times_alpha8(w) != gf32::mul_shift(w, ladder.alpha_pow(8))) {
+      return fmt("simd: times_alpha8(%#llx) != w * alpha^8", w);
+    }
+    if (gf32::times_alpha16(w) != gf32::mul_shift(w, ladder.alpha_pow(16))) {
+      return fmt("simd: times_alpha16(%#llx) != w * alpha^16", w);
+    }
+    prev = w | 1u;  // keep the second operand nonzero
+  }
+  return std::nullopt;
+}
+
 std::optional<std::string> fuzz_one(std::span<const std::uint8_t> bytes,
                                     Rng& rng) {
   if (auto d = differential_decode(bytes)) return d;
   if (auto d = fragment_roundtrip(bytes, rng)) return d;
   if (auto d = compress_roundtrip(bytes, rng)) return d;
+  if (auto d = simd_differential(bytes, rng)) return d;
   return std::nullopt;
 }
 

@@ -61,6 +61,17 @@ std::optional<std::string> fragment_roundtrip(
 std::optional<std::string> compress_roundtrip(
     std::span<const std::uint8_t> bytes, Rng& rng);
 
+/// SIMD-vs-scalar differential oracle: treats the input as raw symbol
+/// data and checks every registered WSC-2 kernel (slice-by-4/8, AVX2+
+/// PCLMUL 16-word) against the scalar Horner reference — both the bare
+/// kernel RunSum and the full Wsc2Accumulator at a fuzz-chosen start
+/// position — and the dispatched/windowed GF(2^32) multiplies (plus the
+/// widened ×α⁸/×α¹⁶ steps) against the shift-and-reduce oracle on word
+/// pairs drawn from the input. nullopt = every variant agrees
+/// bit-for-bit.
+std::optional<std::string> simd_differential(
+    std::span<const std::uint8_t> bytes, Rng& rng);
+
 /// Runs every oracle above on one input; first failure wins.
 std::optional<std::string> fuzz_one(std::span<const std::uint8_t> bytes,
                                     Rng& rng);

@@ -1,6 +1,7 @@
 #include "src/chunk/codec.hpp"
 
 #include <cstdio>
+#include <cstring>
 
 namespace chunknet {
 
@@ -43,7 +44,66 @@ constexpr std::uint8_t kFlagCst = 0x01;
 constexpr std::uint8_t kFlagTst = 0x02;
 constexpr std::uint8_t kFlagXst = 0x04;
 
+inline void store_be16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
+}
+
+inline void store_be32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+inline std::uint16_t load_be16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((static_cast<std::uint16_t>(p[0]) << 8) |
+                                    p[1]);
+}
+
+inline std::uint32_t load_be32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
 }  // namespace
+
+void store_chunk_header(std::uint8_t* p, const ChunkHeader& h) {
+  p[0] = static_cast<std::uint8_t>(h.type);
+  std::uint8_t flags = 0;
+  if (h.conn.st) flags |= kFlagCst;
+  if (h.tpdu.st) flags |= kFlagTst;
+  if (h.xpdu.st) flags |= kFlagXst;
+  p[1] = flags;
+  store_be16(p + 2, h.size);
+  store_be16(p + 4, h.len);
+  store_be32(p + 6, h.conn.id);
+  store_be32(p + 10, h.conn.sn);
+  store_be32(p + 14, h.tpdu.id);
+  store_be32(p + 18, h.tpdu.sn);
+  store_be32(p + 22, h.xpdu.id);
+  store_be32(p + 26, h.xpdu.sn);
+  store_be32(p + 30, 0);  // spare / future use
+}
+
+void load_chunk_header(const std::uint8_t* p, ChunkHeader& h) {
+  h.type = static_cast<ChunkType>(p[0]);
+  const std::uint8_t flags = p[1];
+  h.size = load_be16(p + 2);
+  h.len = load_be16(p + 4);
+  h.conn.id = load_be32(p + 6);
+  h.conn.sn = load_be32(p + 10);
+  h.tpdu.id = load_be32(p + 14);
+  h.tpdu.sn = load_be32(p + 18);
+  h.xpdu.id = load_be32(p + 22);
+  h.xpdu.sn = load_be32(p + 26);
+  // p+30..p+33 is the spare word; ignored on load.
+  h.conn.st = (flags & kFlagCst) != 0;
+  h.tpdu.st = (flags & kFlagTst) != 0;
+  h.xpdu.st = (flags & kFlagXst) != 0;
+}
 
 void encode_chunk(ByteWriter& w, const Chunk& c) {
   w.u8(static_cast<std::uint8_t>(c.h.type));
@@ -117,24 +177,51 @@ std::size_t packed_size(std::span<const Chunk> chunks) {
   return total;
 }
 
-bool encode_packet_into(std::span<const Chunk> chunks, std::size_t capacity,
-                        std::vector<std::uint8_t>& out) {
+namespace {
+
+// Batched encode: the total wire size is known up front (packed_size),
+// so the buffer is sized ONCE and every chunk header lands via raw
+// big-endian stores — no per-byte push_back bounds churn. ~2x faster
+// than the ByteWriter loop on multi-chunk packets (bench E10.hdr).
+template <typename Buffer>
+bool encode_packet_into_impl(std::span<const Chunk> chunks,
+                             std::size_t capacity, Buffer& out) {
   out.clear();
   const std::size_t body = packed_size(chunks);
   if (body > capacity) return false;
-  out.reserve(body + 1);
-  ByteWriter w(out);
-  w.u8(kPacketMagic);
-  w.u8(kPacketVersion);
-  w.u16(0);  // patched below
-  for (const Chunk& c : chunks) encode_chunk(w, c);
-  if (out.size() < capacity) {
-    w.u8(static_cast<std::uint8_t>(ChunkType::kTerminator));
+  const bool terminator = body < capacity;
+  const std::size_t total = body + (terminator ? 1 : 0);
+  if constexpr (requires { out.resize_uninitialized(total); }) {
+    out.resize_uninitialized(total);
+  } else {
+    out.resize(total);
   }
-  const std::size_t length = out.size() - kPacketHeaderBytes;
-  out[2] = static_cast<std::uint8_t>(length >> 8);
-  out[3] = static_cast<std::uint8_t>(length);
+  std::uint8_t* p = out.data();
+  p[0] = kPacketMagic;
+  p[1] = kPacketVersion;
+  store_be16(p + 2, static_cast<std::uint16_t>(total - kPacketHeaderBytes));
+  p += kPacketHeaderBytes;
+  for (const Chunk& c : chunks) {
+    store_chunk_header(p, c.h);
+    if (!c.payload.empty()) {
+      std::memcpy(p + kChunkHeaderBytes, c.payload.data(), c.payload.size());
+    }
+    p += kChunkHeaderBytes + c.payload.size();
+  }
+  if (terminator) *p = static_cast<std::uint8_t>(ChunkType::kTerminator);
   return true;
+}
+
+}  // namespace
+
+bool encode_packet_into(std::span<const Chunk> chunks, std::size_t capacity,
+                        std::vector<std::uint8_t>& out) {
+  return encode_packet_into_impl(chunks, capacity, out);
+}
+
+bool encode_packet_into(std::span<const Chunk> chunks, std::size_t capacity,
+                        PacketBytes& out) {
+  return encode_packet_into_impl(chunks, capacity, out);
 }
 
 std::vector<std::uint8_t> encode_packet(std::span<const Chunk> chunks,
@@ -146,28 +233,49 @@ std::vector<std::uint8_t> encode_packet(std::span<const Chunk> chunks,
 
 bool decode_packet_views(std::span<const std::uint8_t> bytes,
                          std::vector<ChunkView>& out) {
+  // Pointer-walk version of the ByteReader loop: one bounds check per
+  // chunk, then a batched raw header load. Accept/reject decisions are
+  // byte-for-byte those of decode_chunk_view (property-tested).
   out.clear();
-  ByteReader r(bytes);
-  const std::uint8_t magic = r.u8();
-  const std::uint8_t version = r.u8();
-  const std::uint16_t length = r.u16();
-  if (!r.ok() || magic != kPacketMagic || version != kPacketVersion ||
-      length != r.remaining()) {
+  if (bytes.size() < kPacketHeaderBytes || bytes[0] != kPacketMagic ||
+      bytes[1] != kPacketVersion) {
     return false;
   }
-  for (;;) {
+  const std::uint16_t length = static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(bytes[2]) << 8) | bytes[3]);
+  if (length != bytes.size() - kPacketHeaderBytes) return false;
+  const std::uint8_t* p = bytes.data() + kPacketHeaderBytes;
+  const std::uint8_t* const end = bytes.data() + bytes.size();
+  while (p < end) {
+    const std::uint8_t type = *p;
+    if (type == static_cast<std::uint8_t>(ChunkType::kTerminator)) {
+      return true;  // bytes after the terminator are dead space
+    }
+    if (type > static_cast<std::uint8_t>(ChunkType::kAck) ||
+        static_cast<std::size_t>(end - p) < kChunkHeaderBytes) {
+      out.clear();
+      return false;
+    }
     ChunkView v;
-    const DecodeStatus s = decode_chunk_view(r, v);
-    if (s == DecodeStatus::kOk) {
-      out.push_back(v);
-      continue;
+    load_chunk_header(p, v.h);
+    if (v.h.size == 0 || v.h.len == 0) {
+      out.clear();
+      return false;
     }
-    if (s == DecodeStatus::kTerminator || s == DecodeStatus::kEnd) {
-      return true;
+    // LEN·SIZE in 64 bits before any size_t conversion, exactly like
+    // decode_chunk_view's overflow guard.
+    const std::uint64_t payload = static_cast<std::uint64_t>(v.h.size) *
+                                  static_cast<std::uint64_t>(v.h.len);
+    if (payload > static_cast<std::uint64_t>(end - p) - kChunkHeaderBytes) {
+      out.clear();
+      return false;
     }
-    out.clear();
-    return false;
+    v.payload = std::span<const std::uint8_t>(
+        p + kChunkHeaderBytes, static_cast<std::size_t>(payload));
+    out.push_back(v);
+    p += kChunkHeaderBytes + static_cast<std::size_t>(payload);
   }
+  return true;  // exhausted exactly at a chunk boundary (kEnd)
 }
 
 ParsedPacket decode_packet(std::span<const std::uint8_t> bytes) {

@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "src/common/aligned.hpp"
 #include "src/common/bytes.hpp"
 #include "src/chunk/types.hpp"
 
@@ -72,6 +73,17 @@ bool decode_packet_views(std::span<const std::uint8_t> bytes,
 /// Returns false and leaves `out` empty if the chunks exceed capacity.
 bool encode_packet_into(std::span<const Chunk> chunks, std::size_t capacity,
                         std::vector<std::uint8_t>& out);
+
+/// Same, into aligned packet storage (the TX-path flavour).
+bool encode_packet_into(std::span<const Chunk> chunks, std::size_t capacity,
+                        PacketBytes& out);
+
+/// Raw batched header stores/loads: the 34-byte canonical chunk header
+/// written/read directly at `p` (caller guarantees the bounds). These
+/// are the per-chunk primitives the batched packet encode/decode and
+/// the gather-encode TX path share; `p` need not be aligned.
+void store_chunk_header(std::uint8_t* p, const ChunkHeader& h);
+void load_chunk_header(const std::uint8_t* p, ChunkHeader& h);
 
 /// Wire bytes needed to carry the given chunks in one packet,
 /// including envelope header (terminator excluded — it only occupies

@@ -27,15 +27,29 @@ namespace chunknet {
 /// 0 < head_len < c.h.len.
 std::pair<Chunk, Chunk> split_chunk(const Chunk& c, std::uint16_t head_len);
 
+/// The same Appendix-C split on a non-owning view: all header
+/// manipulation (SN advance, ST bit placement) is identical to
+/// `split_chunk`, but the payload halves are SUBSPANS of the original
+/// — no payload byte moves. This is what makes splitting free on the
+/// gather-encode transmit path: fragmentation is header math.
+std::pair<ChunkView, ChunkView> split_view(const ChunkView& v,
+                                           std::uint16_t head_len);
+
 /// Largest number of elements of `c` that fit in `budget_bytes` of wire
 /// space (including the chunk header). Zero if not even one element fits.
 std::uint16_t elements_that_fit(const Chunk& c, std::size_t budget_bytes);
+std::uint16_t elements_that_fit(const ChunkView& v, std::size_t budget_bytes);
 
 /// Splits `c` into the minimum number of chunks such that each encodes
 /// into at most `max_wire_bytes` (header + payload). Splitting respects
 /// element (SIZE) boundaries. Returns {c} unchanged if it already fits.
 /// Returns an empty vector if even a single element cannot fit.
 std::vector<Chunk> split_to_fit(const Chunk& c, std::size_t max_wire_bytes);
+
+/// View analogue of `split_to_fit`: every piece borrows a subspan of
+/// the original payload.
+std::vector<ChunkView> split_view_to_fit(const ChunkView& v,
+                                         std::size_t max_wire_bytes);
 
 /// Counts how many framing tuples a split manipulates — the paper's
 /// §3.2 cost note: chunk fragmentation touches multiple framing levels

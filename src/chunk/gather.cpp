@@ -1,0 +1,143 @@
+#include "src/chunk/gather.hpp"
+
+#include <cstring>
+#include <deque>
+
+#include "src/chunk/codec.hpp"
+#include "src/chunk/fragment.hpp"
+
+namespace chunknet {
+
+void GatherPacket::linearize_into(PacketBytes& out) const {
+  out.resize_uninitialized(wire_size);
+  std::uint8_t* p = out.data();
+  for (const GatherSegment& s : segments) {
+    const std::uint8_t* src =
+        s.external != nullptr ? s.external : arena.data() + s.arena_off;
+    std::memcpy(p, src, s.len);
+    p += s.len;
+  }
+}
+
+GatherPacket gather_encode_packet(std::span<const ChunkView> chunks,
+                                  std::size_t capacity) {
+  GatherPacket pkt;
+  std::size_t body = kPacketHeaderBytes;
+  for (const ChunkView& v : chunks) body += v.wire_size();
+  if (body > capacity) return pkt;  // wire_size == 0 signals failure
+  const bool terminator = body < capacity;
+  const std::size_t total = body + (terminator ? 1 : 0);
+
+  // Arena layout: packet envelope, then every chunk header back to
+  // back, then the terminator byte. Payload never enters the arena.
+  pkt.arena.resize_uninitialized(kPacketHeaderBytes +
+                                 chunks.size() * kChunkHeaderBytes +
+                                 (terminator ? 1 : 0));
+  std::uint8_t* a = pkt.arena.data();
+  a[0] = kPacketMagic;
+  a[1] = kPacketVersion;
+  const std::uint16_t length =
+      static_cast<std::uint16_t>(total - kPacketHeaderBytes);
+  a[2] = static_cast<std::uint8_t>(length >> 8);
+  a[3] = static_cast<std::uint8_t>(length);
+
+  pkt.segments.reserve(2 * chunks.size() + 2);
+  pkt.segments.push_back(
+      {nullptr, 0, static_cast<std::uint32_t>(kPacketHeaderBytes)});
+  std::uint32_t off = kPacketHeaderBytes;
+  for (const ChunkView& v : chunks) {
+    store_chunk_header(a + off, v.h);
+    pkt.segments.push_back(
+        {nullptr, off, static_cast<std::uint32_t>(kChunkHeaderBytes)});
+    off += kChunkHeaderBytes;
+    if (!v.payload.empty()) {
+      pkt.segments.push_back({v.payload.data(), 0,
+                              static_cast<std::uint32_t>(v.payload.size())});
+      pkt.borrowed_payload_bytes += v.payload.size();
+    }
+  }
+  if (terminator) {
+    a[off] = static_cast<std::uint8_t>(ChunkType::kTerminator);
+    pkt.segments.push_back({nullptr, off, 1});
+  }
+  pkt.wire_size = total;
+  return pkt;
+}
+
+bool gather_supported(RepackPolicy policy) {
+  return policy == RepackPolicy::kOnePerPacket ||
+         policy == RepackPolicy::kRepack;
+}
+
+GatherResult gather_packetize(std::span<const ChunkView> chunks,
+                              const PacketizerOptions& opts) {
+  // Deliberately the same loop as packetize() — every packing,
+  // splitting, and drop decision must coincide so the linearized
+  // output is byte-for-byte identical. Only the chunk representation
+  // differs: views split by header math instead of payload copies.
+  GatherResult result;
+  for (const ChunkView& v : chunks) result.payload_bytes += v.payload.size();
+
+  std::deque<ChunkView> queue(chunks.begin(), chunks.end());
+  std::vector<ChunkView> current;
+  std::size_t used = kPacketHeaderBytes;
+
+  auto flush = [&] {
+    if (current.empty()) return;
+    result.packets.push_back(gather_encode_packet(current, opts.mtu));
+    current.clear();
+    used = kPacketHeaderBytes;
+  };
+
+  while (!queue.empty()) {
+    ChunkView v = queue.front();
+    queue.pop_front();
+
+    const std::size_t room = opts.mtu - used;
+    if (v.wire_size() <= room) {
+      used += v.wire_size();
+      current.push_back(v);
+      if (opts.policy == RepackPolicy::kOnePerPacket) flush();
+      continue;
+    }
+
+    if (opts.split_to_fill && opts.policy != RepackPolicy::kOnePerPacket &&
+        v.h.len > 1) {
+      const std::uint16_t fit = elements_that_fit(v, room);
+      if (fit > 0 && fit < v.h.len) {
+        auto [head, tail] = split_view(v, fit);
+        ++result.splits;
+        used += head.wire_size();
+        current.push_back(head);
+        flush();
+        queue.push_front(tail);
+        continue;
+      }
+    }
+
+    flush();
+    if (v.wire_size() > opts.mtu - kPacketHeaderBytes) {
+      auto pieces = split_view_to_fit(v, opts.mtu - kPacketHeaderBytes);
+      if (pieces.empty()) {
+        result.payload_bytes -= v.payload.size();  // undeliverable, drop
+        continue;
+      }
+      result.splits += pieces.size() - 1;
+      for (auto it = pieces.rbegin(); it != pieces.rend(); ++it) {
+        queue.push_front(*it);
+      }
+      continue;
+    }
+    used += v.wire_size();
+    current.push_back(v);
+    if (opts.policy == RepackPolicy::kOnePerPacket) flush();
+  }
+  flush();
+
+  std::uint64_t wire = 0;
+  for (const auto& p : result.packets) wire += p.wire_size;
+  result.header_bytes = wire - result.payload_bytes;
+  return result;
+}
+
+}  // namespace chunknet

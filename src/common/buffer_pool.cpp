@@ -41,7 +41,7 @@ void PacketBufferPool::attach_obs(ObsContext* obs) {
 }
 
 PooledBuffer PacketBufferPool::acquire() {
-  std::vector<std::uint8_t> storage;
+  PacketBytes storage;
   std::uint64_t popped = 0;
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -62,10 +62,13 @@ PooledBuffer PacketBufferPool::acquire() {
   }
   if (storage.capacity() == 0) storage.reserve(buffer_capacity_);
   storage.clear();
+  // The whole point of PacketBytes-backed storage: SIMD kernels and the
+  // gather TX path may assume cache-line alignment of pooled packets.
+  assert(is_packet_aligned(storage.data()));
   return PooledBuffer(this, std::move(storage));
 }
 
-void PacketBufferPool::release(std::vector<std::uint8_t> storage) {
+void PacketBufferPool::release(PacketBytes storage) {
   storage.clear();
   const std::uint64_t cap = storage.capacity();
   bool retained = false;

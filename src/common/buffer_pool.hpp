@@ -26,6 +26,11 @@
 // may also reclaim pool memory via a shed hook that drops half the
 // freelist.
 //
+// Buffers are `PacketBytes` (src/common/aligned.hpp): every allocation
+// the pool hands out starts on a 64-byte boundary, so the SIMD kernels
+// and the gather-encode TX path can assume cache-line-aligned packet
+// storage instead of allocator luck. acquire() asserts the alignment.
+//
 // Thread-safe (one mutex; the pool is not on the per-word hot path —
 // it is touched once per packet).
 #pragma once
@@ -34,6 +39,7 @@
 #include <mutex>
 #include <vector>
 
+#include "src/common/aligned.hpp"
 #include "src/common/resource_governor.hpp"
 #include "src/obs/obs.hpp"
 
@@ -46,7 +52,7 @@ class PacketBufferPool;
 class PooledBuffer {
  public:
   PooledBuffer() = default;
-  PooledBuffer(PacketBufferPool* pool, std::vector<std::uint8_t> storage)
+  PooledBuffer(PacketBufferPool* pool, PacketBytes storage)
       : pool_(pool), storage_(std::move(storage)) {}
   PooledBuffer(PooledBuffer&& o) noexcept
       : pool_(o.pool_), storage_(std::move(o.storage_)) {
@@ -65,12 +71,12 @@ class PooledBuffer {
   PooledBuffer& operator=(const PooledBuffer&) = delete;
   ~PooledBuffer() { reset(); }
 
-  std::vector<std::uint8_t>& bytes() { return storage_; }
-  const std::vector<std::uint8_t>& bytes() const { return storage_; }
+  PacketBytes& bytes() { return storage_; }
+  const PacketBytes& bytes() const { return storage_; }
 
   /// Detaches the storage (handle becomes empty; nothing returns to the
-  /// pool until someone hands the vector back via release()).
-  std::vector<std::uint8_t> take() {
+  /// pool until someone hands the buffer back via release()).
+  PacketBytes take() {
     pool_ = nullptr;
     return std::move(storage_);
   }
@@ -80,7 +86,7 @@ class PooledBuffer {
 
  private:
   PacketBufferPool* pool_{nullptr};
-  std::vector<std::uint8_t> storage_;
+  PacketBytes storage_;
 };
 
 class PacketBufferPool {
@@ -103,11 +109,12 @@ class PacketBufferPool {
   void attach_obs(ObsContext* obs);
 
   /// Pops a free buffer (cleared, capacity retained) or allocates one.
+  /// The storage is always 64-byte aligned (asserted).
   PooledBuffer acquire();
 
   /// Hands a buffer's storage back to the freelist. The recycle half of
   /// `take()`; also used directly to recycle SimPacket::bytes.
-  void release(std::vector<std::uint8_t> storage);
+  void release(PacketBytes storage);
 
   /// Frees freelist storage down to `keep` buffers. Returns bytes freed.
   std::uint64_t trim(std::size_t keep);
@@ -136,7 +143,7 @@ class PacketBufferPool {
   std::size_t buffer_capacity_;
   std::size_t max_free_;
   mutable std::mutex mu_;
-  std::vector<std::vector<std::uint8_t>> free_;
+  std::vector<PacketBytes> free_;
   std::uint64_t retained_{0};
   std::size_t min_free_since_tick_{0};
   Stats stats_;

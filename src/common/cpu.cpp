@@ -1,0 +1,81 @@
+#include "src/common/cpu.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <cpuid.h>
+#define CHUNKNET_X86_64 1
+#elif defined(__aarch64__)
+#if defined(__linux__)
+#include <sys/auxv.h>
+#endif
+#define CHUNKNET_AARCH64 1
+#endif
+
+namespace chunknet {
+
+namespace {
+
+CpuFeatures detect() {
+  CpuFeatures f;
+#if defined(CHUNKNET_X86_64)
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx)) {
+    f.pclmul = (ecx & (1u << 1)) != 0;   // PCLMULQDQ
+  }
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+    f.avx2 = (ebx & (1u << 5)) != 0;     // AVX2
+  }
+#elif defined(CHUNKNET_AARCH64) && defined(__linux__)
+  // HWCAP_PMULL = bit 4 of AT_HWCAP on aarch64 Linux.
+  const unsigned long hwcap = getauxval(AT_HWCAP);
+  f.neon_pmull = (hwcap & (1ul << 4)) != 0;
+#endif
+  return f;
+}
+
+std::string build_summary(const CpuFeatures& f) {
+  std::string s = cpu_isa();
+  if (force_scalar()) {
+    s += " (forced scalar)";
+    return s;
+  }
+  if (f.pclmul) s += "+pclmul";
+  if (f.avx2) s += "+avx2";
+  if (f.neon_pmull) s += "+pmull";
+  return s;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures f = detect();
+  return f;
+}
+
+bool force_scalar() {
+  static const bool forced = [] {
+    const char* v = std::getenv("CHUNKNET_FORCE_SCALAR");
+    return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+  }();
+  return forced;
+}
+
+const char* cpu_isa() {
+#if defined(CHUNKNET_X86_64)
+  return "x86-64";
+#elif defined(CHUNKNET_AARCH64)
+  return "aarch64";
+#else
+  return "other";
+#endif
+}
+
+const char* cpu_summary() {
+  static const std::string s = build_summary(cpu_features());
+  return s.c_str();
+}
+
+}  // namespace chunknet

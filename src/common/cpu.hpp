@@ -1,0 +1,36 @@
+// Runtime CPU feature detection for the SIMD kernel dispatch layer.
+//
+// The GF(2^32) carry-less-multiply kernels (src/gf/gf32_clmul.cpp) and
+// the widened WSC-2 slicers (src/edc/wsc2.cpp) pick their fastest
+// variant once, at first use, from what the machine actually supports:
+// PCLMULQDQ/AVX2 on x86-64, the crypto extension (PMULL) on aarch64.
+// The scalar kernels always remain available — they are the
+// differential oracle every variant is tested against — and the
+// CHUNKNET_FORCE_SCALAR environment variable pins dispatch to them
+// (CI runs a forced-scalar leg so the fallback path stays exercised).
+#pragma once
+
+namespace chunknet {
+
+struct CpuFeatures {
+  bool pclmul{false};     ///< x86-64 PCLMULQDQ
+  bool avx2{false};       ///< x86-64 AVX2 (256-bit integer ops)
+  bool neon_pmull{false}; ///< aarch64 crypto extension (vmull_p64)
+};
+
+/// Detected features of the running CPU (cached after the first call).
+const CpuFeatures& cpu_features();
+
+/// True when CHUNKNET_FORCE_SCALAR is set to a non-empty, non-"0"
+/// value: every dispatch table must select its scalar kernel.
+bool force_scalar();
+
+/// Short ISA tag for bench metadata: "x86-64", "aarch64", or "other".
+const char* cpu_isa();
+
+/// Human-readable summary of the detected features, e.g.
+/// "x86-64+pclmul+avx2" or "x86-64 (forced scalar)". Stable enough to
+/// embed in BENCH_*.json metadata.
+const char* cpu_summary();
+
+}  // namespace chunknet

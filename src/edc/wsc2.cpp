@@ -1,5 +1,7 @@
 #include "src/edc/wsc2.hpp"
 
+#include "src/edc/wsc2_kernels.hpp"
+
 namespace chunknet {
 
 namespace {
@@ -60,67 +62,34 @@ void Wsc2Accumulator::add_words_scalar(std::uint32_t pos,
 
 void Wsc2Accumulator::add_words(std::uint32_t pos,
                                 std::span<const std::uint8_t> bytes) {
-  // Slice-by-4: the scalar loop's `horner = α·horner ⊕ d` is a serial
-  // dependency chain, so it runs at the ×α latency per word no matter
-  // how wide the core is. Split the word sequence by index mod 4:
-  //     H = Σ_w α^w·d_w = Σ_{r<4} α^r · H_r,   H_r = Σ_q (α⁴)^q·d_{4q+r}
-  // Each H_r is its own Horner chain in α⁴ (one shift + one 16-entry
-  // table fold per step, gf32::times_alpha4), and the four chains are
-  // independent — the CPU overlaps them, retiring ~4 words per chain
-  // latency. Remainder words and any partial tail run through the
-  // scalar recurrence and are grafted on with one weight multiply.
+  // The scalar loop's `horner = α·horner ⊕ d` is a serial dependency
+  // chain, so it runs at the ×α latency per word no matter how wide
+  // the core is. The run of whole words therefore goes through the
+  // dispatched kernel (src/edc/wsc2_kernels.hpp): slice-by-4/8 Horner
+  // chains on portable hardware, 16-word unreduced SIMD groups on
+  // AVX2+PCLMUL machines — all computing the exact same pair
+  //     x = ⊕ d_w,   h = Σ α^w ⊗ d_w
+  // over GF(2^32), hence bit-identical to this function's historical
+  // output (differential-tested against add_words_scalar). A partial
+  // tail symbol is grafted at offset `words` with one ladder multiply,
+  // exactly where the scalar recurrence would have placed it.
   const std::size_t words = bytes.size() / 4;
-  const std::size_t groups = words / 4;
-  if (groups < 2) {  // too short for slicing to pay for the combine
-    add_words_scalar(pos, bytes);
+  std::uint32_t tail = 0;
+  const bool has_tail = bytes.size() % 4 != 0;
+  if (has_tail) {
+    tail = partial_tail_symbol(bytes);
+    p0_ ^= tail;
+  } else if (words == 0) {
     return;
   }
-  const std::uint8_t* base = bytes.data();
-  const std::size_t rem_start = groups * 4;
 
-  // rem = Σ_{j} α^j·d_{rem_start+j} (+ partial tail at the far end),
-  // i.e. the scalar Horner of everything past the sliced region.
-  std::uint32_t rem = 0;
-  if (bytes.size() % 4 != 0) {
-    const std::uint32_t d = partial_tail_symbol(bytes);
-    p0_ ^= d;
-    rem = d;
-  }
-  for (std::size_t w = words; w-- > rem_start;) {
-    const std::uint32_t d = load_be32(base + w * 4);
-    p0_ ^= d;
-    rem = gf32::times_alpha(rem) ^ d;
-  }
-
-  std::uint32_t h0 = 0, h1 = 0, h2 = 0, h3 = 0;
-  std::uint32_t x0 = 0, x1 = 0, x2 = 0, x3 = 0;
-  for (std::size_t g = groups; g-- > 0;) {
-    const std::uint8_t* p = base + g * 16;
-    const std::uint32_t d0 = load_be32(p);
-    const std::uint32_t d1 = load_be32(p + 4);
-    const std::uint32_t d2 = load_be32(p + 8);
-    const std::uint32_t d3 = load_be32(p + 12);
-    x0 ^= d0;
-    x1 ^= d1;
-    x2 ^= d2;
-    x3 ^= d3;
-    h0 = gf32::times_alpha4(h0) ^ d0;
-    h1 = gf32::times_alpha4(h1) ^ d1;
-    h2 = gf32::times_alpha4(h2) ^ d2;
-    h3 = gf32::times_alpha4(h3) ^ d3;
-  }
-  p0_ ^= x0 ^ x1 ^ x2 ^ x3;
-
-  // H = H_0 ⊕ α·H_1 ⊕ α²·H_2 ⊕ α³·H_3, then graft the remainder at
-  // its true offset: total = H ⊕ α^(4·groups)·rem.
-  std::uint32_t horner = h0 ^ gf32::times_alpha(h1) ^
-                         gf32::times_alpha(gf32::times_alpha(h2)) ^
-                         gf32::times_alpha(
-                             gf32::times_alpha(gf32::times_alpha(h3)));
-  if (rem != 0) {
+  const wsc2_kernels::RunSum rs = wsc2_kernels::dispatch()(bytes.data(), words);
+  p0_ ^= rs.x;
+  std::uint32_t horner = rs.h;
+  if (has_tail) {
     horner ^= gf32::mul(gf32::PowerLadder::shared().alpha_pow(
-                            static_cast<std::uint32_t>(4 * groups)),
-                        rem);
+                            static_cast<std::uint32_t>(words)),
+                        tail);
   }
   p1_ ^= gf32::mul(gf32::PowerLadder::shared().alpha_pow(pos), horner);
 }

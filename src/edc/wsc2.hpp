@@ -62,9 +62,10 @@ class Wsc2Accumulator {
   /// Absorbs a run of 32-bit symbols starting at `pos`, reading
   /// big-endian words from `bytes`. `bytes.size()` must be a multiple
   /// of 4 (SIZE % 4 == 0 is enforced upstream for EDC-covered chunks).
-  /// Uses the slice-by-4 Horner kernel: four independent accumulators
-  /// advance by α⁴ per step (gf32::times_alpha4), breaking the serial
-  /// ×α dependency chain of the word-at-a-time loop. Bit-identical to
+  /// Dispatches to the widest kernel the CPU supports (slice-by-8
+  /// Horner chains portably, 16-word AVX2+PCLMUL groups on x86-64 —
+  /// see src/edc/wsc2_kernels.hpp); CHUNKNET_FORCE_SCALAR pins the
+  /// scalar chain. Every kernel is bit-identical to
   /// `add_words_scalar` (tested).
   void add_words(std::uint32_t pos, std::span<const std::uint8_t> bytes);
 

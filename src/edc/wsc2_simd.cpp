@@ -1,0 +1,152 @@
+// The native SIMD WSC-2 kernel: 16-word groups via AVX2 + PCLMUL.
+//
+// The trick that makes WSC-2 vectorizable is working on UNREDUCED
+// polynomials. A group of 16 words at relative offsets j < 16 sums to
+//
+//     U_g = Σ_j  d_j · x^j        (carry-less, degree ≤ 31 + 15 = 46)
+//
+// which fits one 64-bit lane: zero-extend each big-endian word to 64
+// bits and shift it left by its offset (_mm256_sllv_epi64 gives every
+// lane its own shift count), then XOR-reduce. One PCLMUL fold brings
+// U_g back into the field (the ≥ x^32 part is ≤ 15 bits, and
+// 15 + 7 < 32 means a single fold suffices), and a Horner chain in
+// α¹⁶ — a shift plus two table folds per 64-byte group, far off the
+// throughput path — stitches the groups together:
+//
+//     h = Σ_g α^(16g) ⊗ reduce(U_g)
+//
+// P0 never needs the field at all: XOR the raw vectors and byte-swap
+// once at the end (XOR commutes with the byte shuffle).
+//
+// Compiled with per-function target attributes so this TU builds on
+// baseline x86-64; dispatch() only selects the kernel after
+// cpu_features() confirms AVX2 and PCLMUL at runtime.
+#include "src/common/cpu.hpp"
+#include "src/edc/wsc2_kernels.hpp"
+#include "src/gf/gf32.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define CHUNKNET_WSC2_X86 1
+#include <immintrin.h>
+#endif
+
+namespace chunknet::wsc2_kernels {
+
+#if defined(CHUNKNET_WSC2_X86)
+
+namespace {
+
+inline std::uint32_t load_be32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+__attribute__((target("avx2,pclmul"))) RunSum run_clmul16(
+    const std::uint8_t* base, std::size_t words) {
+  const std::size_t groups = words / 16;
+  if (groups < 4) return run_sliced8(base, words);
+
+  RunSum rs;
+  const std::size_t rem_start = groups * 16;
+
+  // Scalar Horner over the trailing words past the group region.
+  std::uint32_t rem = 0;
+  for (std::size_t w = words; w-- > rem_start;) {
+    const std::uint32_t d = load_be32(base + w * 4);
+    rs.x ^= d;
+    rem = gf32::times_alpha(rem) ^ d;
+  }
+
+  // Per-128-bit-lane byte reverse of each 32-bit element (BE → host).
+  const __m256i bswap32 = _mm256_setr_epi8(
+      3, 2, 1, 0, 7, 6, 5, 4, 11, 10, 9, 8, 15, 14, 13, 12,  //
+      3, 2, 1, 0, 7, 6, 5, 4, 11, 10, 9, 8, 15, 14, 13, 12);
+  // Each lane's shift = its word offset j within the 16-word group.
+  const __m256i sh0 = _mm256_setr_epi64x(0, 1, 2, 3);
+  const __m256i sh1 = _mm256_setr_epi64x(4, 5, 6, 7);
+  const __m256i sh2 = _mm256_setr_epi64x(8, 9, 10, 11);
+  const __m256i sh3 = _mm256_setr_epi64x(12, 13, 14, 15);
+  const __m128i vr =
+      _mm_cvtsi32_si128(static_cast<int>(gf32::kReduction));
+
+  __m256i xacc = _mm256_setzero_si256();
+  std::uint32_t h = 0;
+  for (std::size_t g = groups; g-- > 0;) {
+    const std::uint8_t* p = base + g * 64;
+    const __m256i lo =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+    const __m256i hi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + 32));
+    xacc = _mm256_xor_si256(xacc, _mm256_xor_si256(lo, hi));
+
+    const __m256i los = _mm256_shuffle_epi8(lo, bswap32);
+    const __m256i his = _mm256_shuffle_epi8(hi, bswap32);
+    const __m256i w0 =
+        _mm256_cvtepu32_epi64(_mm256_castsi256_si128(los));
+    const __m256i w1 =
+        _mm256_cvtepu32_epi64(_mm256_extracti128_si256(los, 1));
+    const __m256i w2 =
+        _mm256_cvtepu32_epi64(_mm256_castsi256_si128(his));
+    const __m256i w3 =
+        _mm256_cvtepu32_epi64(_mm256_extracti128_si256(his, 1));
+    const __m256i u = _mm256_xor_si256(
+        _mm256_xor_si256(_mm256_sllv_epi64(w0, sh0),
+                         _mm256_sllv_epi64(w1, sh1)),
+        _mm256_xor_si256(_mm256_sllv_epi64(w2, sh2),
+                         _mm256_sllv_epi64(w3, sh3)));
+    const __m128i u128 = _mm_xor_si128(_mm256_castsi256_si128(u),
+                                       _mm256_extracti128_si256(u, 1));
+    const std::uint64_t U =
+        static_cast<std::uint64_t>(_mm_extract_epi64(u128, 0)) ^
+        static_cast<std::uint64_t>(_mm_extract_epi64(u128, 1));
+
+    // One fold: the ≥ x^32 part of U is ≤ 15 bits, and its product
+    // with the degree-7 reduction polynomial stays below x^32.
+    const __m128i vhi = _mm_cvtsi64_si128(static_cast<long long>(U >> 32));
+    const __m128i f = _mm_clmulepi64_si128(vhi, vr, 0x00);
+    const std::uint32_t u32 =
+        static_cast<std::uint32_t>(_mm_cvtsi128_si64(f)) ^
+        static_cast<std::uint32_t>(U);
+
+    h = gf32::times_alpha16(h) ^ u32;
+  }
+
+  // Horizontal XOR of the raw accumulator; one byte swap at the end.
+  const __m128i x128 = _mm_xor_si128(_mm256_castsi256_si128(xacc),
+                                     _mm256_extracti128_si256(xacc, 1));
+  const std::uint64_t xq =
+      static_cast<std::uint64_t>(_mm_extract_epi64(x128, 0)) ^
+      static_cast<std::uint64_t>(_mm_extract_epi64(x128, 1));
+  const std::uint32_t xw = static_cast<std::uint32_t>(xq) ^
+                           static_cast<std::uint32_t>(xq >> 32);
+  rs.x ^= __builtin_bswap32(xw);
+
+  rs.h = h;
+  if (rem != 0) {
+    rs.h ^= gf32::mul(gf32::PowerLadder::shared().alpha_pow(
+                          static_cast<std::uint32_t>(rem_start)),
+                      rem);
+  }
+  return rs;
+}
+
+}  // namespace
+
+KernelFn native_kernel() {
+  const CpuFeatures& f = cpu_features();
+  return (f.avx2 && f.pclmul) ? &run_clmul16 : nullptr;
+}
+
+const char* native_kernel_name() { return "clmul16"; }
+
+#else
+
+KernelFn native_kernel() { return nullptr; }
+
+const char* native_kernel_name() { return "none"; }
+
+#endif
+
+}  // namespace chunknet::wsc2_kernels

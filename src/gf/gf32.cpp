@@ -1,8 +1,10 @@
 #include "src/gf/gf32.hpp"
 
+#include "src/common/cpu.hpp"
+
 namespace chunknet::gf32 {
 
-std::uint32_t mul(std::uint32_t a, std::uint32_t b) {
+std::uint32_t mul_windowed(std::uint32_t a, std::uint32_t b) {
   // Window the multiplier into nibbles: precompute b·n for n in [0,16),
   // then combine eight shifted table entries. ~3x the throughput of the
   // bitwise reference on scalar hardware, with no target intrinsics.
@@ -22,6 +24,31 @@ std::uint32_t mul(std::uint32_t a, std::uint32_t b) {
   r ^= tab[(a >> 24) & 0xFu] << 24;
   r ^= tab[(a >> 28) & 0xFu] << 28;
   return reduce(r);
+}
+
+namespace {
+
+detail::MulFn resolve_mul() {
+  if (!force_scalar()) {
+    if (detail::MulFn fn = detail::native_clmul_kernel()) return fn;
+  }
+  return &mul_windowed;
+}
+
+detail::MulFn dispatched_mul() {
+  static const detail::MulFn fn = resolve_mul();
+  return fn;
+}
+
+}  // namespace
+
+std::uint32_t mul(std::uint32_t a, std::uint32_t b) {
+  return dispatched_mul()(a, b);
+}
+
+const char* mul_kernel_name() {
+  return dispatched_mul() == &mul_windowed ? "windowed"
+                                           : detail::native_clmul_name();
 }
 
 std::uint32_t pow(std::uint32_t a, std::uint64_t e) {

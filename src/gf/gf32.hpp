@@ -88,6 +88,31 @@ constexpr std::uint32_t times_alpha4(std::uint32_t a) {
   return (a << 4) ^ kAlpha4Fold[a >> 28];
 }
 
+/// 256-entry fold table: kAlpha8Fold[h] = h ⊗ kReduction for the 8-bit
+/// overflow h of a left-shift past x^32. Degree ≤ 7 + 7 = 14, already
+/// reduced. 1 KiB — lives comfortably in L1 next to the data stream.
+inline constexpr std::array<std::uint32_t, 256> kAlpha8Fold = [] {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t h = 0; h < 256; ++h) {
+    t[h] = static_cast<std::uint32_t>(clmul(h, kReduction));
+  }
+  return t;
+}();
+
+/// Multiplication by α⁸: one shift and one 256-entry table fold — the
+/// slice-by-8 WSC-2 kernel's per-chain stride.
+constexpr std::uint32_t times_alpha8(std::uint32_t a) {
+  return (a << 8) ^ kAlpha8Fold[a >> 24];
+}
+
+/// Multiplication by α¹⁶: the 16-bit overflow folds as two bytes
+/// (carry-less multiplication distributes over XOR), so the stride of a
+/// 16-word SIMD group costs one shift, two loads, and two XORs.
+constexpr std::uint32_t times_alpha16(std::uint32_t a) {
+  return (a << 16) ^ (kAlpha8Fold[a >> 24] << 8) ^
+         kAlpha8Fold[(a >> 16) & 0xFFu];
+}
+
 /// Reference multiply: shift-and-reduce. Used to validate `mul`.
 constexpr std::uint32_t mul_shift(std::uint32_t a, std::uint32_t b) {
   std::uint32_t r = 0;
@@ -101,8 +126,29 @@ constexpr std::uint32_t mul_shift(std::uint32_t a, std::uint32_t b) {
   return r;
 }
 
-/// Fast multiply: 4-bit-window carry-less product, then fold reduction.
+/// Fast multiply. Dispatches once, at first call, to the best kernel
+/// the CPU supports: a single-instruction carry-less multiply
+/// (PCLMULQDQ on x86-64, PMULL on aarch64) when available, else the
+/// portable windowed kernel. CHUNKNET_FORCE_SCALAR pins the windowed
+/// kernel (src/common/cpu.hpp). All kernels are bit-identical —
+/// mul_shift is the oracle (tested exhaustively against both).
 std::uint32_t mul(std::uint32_t a, std::uint32_t b);
+
+/// The portable 4-bit-window kernel (always available; the dispatch
+/// fallback and the benchmarkable named variant).
+std::uint32_t mul_windowed(std::uint32_t a, std::uint32_t b);
+
+/// Name of the kernel mul() dispatches to: "pclmul", "pmull", or
+/// "windowed". Recorded in BENCH_*.json metadata.
+const char* mul_kernel_name();
+
+namespace detail {
+using MulFn = std::uint32_t (*)(std::uint32_t, std::uint32_t);
+/// The native carry-less-multiply kernel, or nullptr when the CPU (or
+/// the build target) lacks one. Defined in gf32_clmul.cpp.
+MulFn native_clmul_kernel();
+const char* native_clmul_name();
+}  // namespace detail
 
 /// a^e by square-and-multiply. pow(a, 0) == 1.
 std::uint32_t pow(std::uint32_t a, std::uint64_t e);

@@ -1,0 +1,86 @@
+// Native carry-less-multiply kernels for GF(2^32).
+//
+// One multiply is a single PCLMULQDQ (x86-64) or PMULL (aarch64)
+// instruction plus a two-fold reduction — two more carry-less
+// multiplies by the degree-7 reduction polynomial. The kernels are
+// compiled with per-function target attributes so the translation unit
+// builds on baseline machines; gf32::mul only ever calls them after
+// cpu_features() has confirmed support. Bit-identical to mul_shift and
+// mul_windowed (differential-tested in tests/test_gf32.cpp and the
+// chaos fuzzers).
+#include "src/common/cpu.hpp"
+#include "src/gf/gf32.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define CHUNKNET_GF32_X86 1
+#include <immintrin.h>
+#elif defined(__aarch64__)
+#define CHUNKNET_GF32_AARCH64 1
+#include <arm_neon.h>
+#endif
+
+namespace chunknet::gf32::detail {
+
+#if defined(CHUNKNET_GF32_X86)
+
+__attribute__((target("pclmul"))) static std::uint32_t mul_pclmul(
+    std::uint32_t a, std::uint32_t b) {
+  const __m128i va = _mm_cvtsi32_si128(static_cast<int>(a));
+  const __m128i vb = _mm_cvtsi32_si128(static_cast<int>(b));
+  const __m128i vr = _mm_cvtsi32_si128(static_cast<int>(kReduction));
+  const __m128i mask32 = _mm_cvtsi64_si128(0xFFFFFFFFll);
+  // Full 63-bit product in the low qword.
+  const __m128i prod = _mm_clmulepi64_si128(va, vb, 0x00);
+  // Fold 1: the ≥ x^32 part contributes hi ⊗ kReduction (degree ≤ 38).
+  const __m128i hi = _mm_srli_epi64(prod, 32);
+  const __m128i f1 = _mm_clmulepi64_si128(hi, vr, 0x00);
+  const __m128i t = _mm_xor_si128(_mm_and_si128(prod, mask32), f1);
+  // Fold 2: the ≤ 7-bit residual high part finishes the reduction. Only
+  // the low 32 bits are extracted, so the x^32-aligned terms vanish.
+  const __m128i hi2 = _mm_srli_epi64(t, 32);
+  const __m128i f2 = _mm_clmulepi64_si128(hi2, vr, 0x00);
+  return static_cast<std::uint32_t>(
+      _mm_cvtsi128_si32(_mm_xor_si128(t, f2)));
+}
+
+MulFn native_clmul_kernel() {
+  return cpu_features().pclmul ? &mul_pclmul : nullptr;
+}
+
+const char* native_clmul_name() { return "pclmul"; }
+
+#elif defined(CHUNKNET_GF32_AARCH64)
+
+__attribute__((target("+crypto"))) static std::uint64_t clmul64(
+    std::uint64_t a, std::uint64_t b) {
+  return vgetq_lane_u64(
+      vreinterpretq_u64_p128(vmull_p64(static_cast<poly64_t>(a),
+                                       static_cast<poly64_t>(b))),
+      0);
+}
+
+__attribute__((target("+crypto"))) static std::uint32_t mul_pmull(
+    std::uint32_t a, std::uint32_t b) {
+  const std::uint64_t prod = clmul64(a, b);
+  const std::uint32_t hi = static_cast<std::uint32_t>(prod >> 32);
+  const std::uint64_t t =
+      clmul64(hi, kReduction) ^ (prod & 0xFFFFFFFFull);
+  const std::uint32_t hi2 = static_cast<std::uint32_t>(t >> 32);
+  return static_cast<std::uint32_t>(t ^ clmul64(hi2, kReduction));
+}
+
+MulFn native_clmul_kernel() {
+  return cpu_features().neon_pmull ? &mul_pmull : nullptr;
+}
+
+const char* native_clmul_name() { return "pmull"; }
+
+#else
+
+MulFn native_clmul_kernel() { return nullptr; }
+
+const char* native_clmul_name() { return "windowed"; }
+
+#endif
+
+}  // namespace chunknet::gf32::detail

@@ -161,7 +161,7 @@ namespace {
 
 /// Byte offsets (within `bytes`) of each data chunk's first header byte.
 std::vector<std::size_t> data_chunk_offsets(
-    const std::vector<std::uint8_t>& bytes) {
+    std::span<const std::uint8_t> bytes) {
   std::vector<std::size_t> offs;
   if (bytes.size() < kPacketHeaderBytes || bytes[0] != kPacketMagic) {
     return offs;
@@ -187,7 +187,7 @@ std::vector<std::size_t> data_chunk_offsets(
 
 }  // namespace
 
-bool rewrite_chunk_field(std::vector<std::uint8_t>& bytes, ChunkField field,
+bool rewrite_chunk_field(std::span<std::uint8_t> bytes, ChunkField field,
                          Rng& rng) {
   const std::vector<std::size_t> offs = data_chunk_offsets(bytes);
   if (offs.empty()) return false;
@@ -201,20 +201,21 @@ bool rewrite_chunk_field(std::vector<std::uint8_t>& bytes, ChunkField field,
 
 RelayFn header_rewriting_relay(HeaderRewriteConfig cfg, Rng& rng,
                                HeaderRewriteStats* stats) {
-  return [cfg, &rng, stats](std::vector<std::uint8_t> bytes,
-                            std::size_t /*egress_mtu*/) {
+  return [cfg, &rng, stats](PacketBytes bytes, std::size_t /*egress_mtu*/) {
     if (stats != nullptr) {
       ++stats->packets_in;
       ++stats->packets_out;
     }
     if (cfg.rewrite_rate > 0 && rng.chance(cfg.rewrite_rate) &&
-        rewrite_chunk_field(bytes, cfg.field, rng)) {
+        rewrite_chunk_field(std::span<std::uint8_t>(bytes.data(),
+                                                    bytes.size()),
+                            cfg.field, rng)) {
       if (stats != nullptr) {
         ++stats->rewrites;
         ++stats->by_field[static_cast<std::size_t>(cfg.field)];
       }
     }
-    std::vector<std::vector<std::uint8_t>> out;
+    std::vector<PacketBytes> out;
     out.push_back(std::move(bytes));
     return out;
   };

@@ -191,7 +191,7 @@ struct HeaderRewriteStats {
 /// the canonical-syntax packet `bytes` (in place). Returns false if the
 /// packet has no rewritable chunk (malformed, compressed syntax, or no
 /// data chunk when a payload/ST rewrite needs one).
-bool rewrite_chunk_field(std::vector<std::uint8_t>& bytes, ChunkField field,
+bool rewrite_chunk_field(std::span<std::uint8_t> bytes, ChunkField field,
                          Rng& rng);
 
 /// A misbehaving router relay: forwards packets unchanged except that

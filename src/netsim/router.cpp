@@ -5,21 +5,20 @@
 namespace chunknet {
 
 RelayFn transparent_relay() {
-  return [](std::vector<std::uint8_t> bytes, std::size_t /*egress_mtu*/) {
-    std::vector<std::vector<std::uint8_t>> out;
+  return [](PacketBytes bytes, std::size_t /*egress_mtu*/) {
+    std::vector<PacketBytes> out;
     out.push_back(std::move(bytes));
     return out;
   };
 }
 
 RelayFn chunk_relay(RepackPolicy policy, RelayStats* stats) {
-  return [policy, stats](std::vector<std::uint8_t> bytes,
-                         std::size_t egress_mtu) {
+  return [policy, stats](PacketBytes bytes, std::size_t egress_mtu) {
     if (stats != nullptr) ++stats->packets_in;
     ParsedPacket parsed = decode_packet(bytes);
     if (!parsed.ok) {
       if (stats != nullptr) ++stats->parse_failures;
-      return std::vector<std::vector<std::uint8_t>>{};
+      return std::vector<PacketBytes>{};
     }
     PacketizerOptions opts;
     opts.mtu = egress_mtu;
@@ -30,7 +29,12 @@ RelayFn chunk_relay(RepackPolicy policy, RelayStats* stats) {
       stats->merges += repacked.merges;
       stats->packets_out += repacked.packets.size();
     }
-    return std::move(repacked.packets);
+    // Re-enveloping materializes fresh packet bodies; the copy into
+    // aligned storage is part of that cost.
+    std::vector<PacketBytes> out;
+    out.reserve(repacked.packets.size());
+    for (auto& p : repacked.packets) out.emplace_back(std::move(p));
+    return out;
   };
 }
 
@@ -173,7 +177,7 @@ ChainTopology::ChainTopology(Simulator& sim, Rng& rng,
   }
 }
 
-void ChainTopology::inject(std::vector<std::uint8_t> bytes) {
+void ChainTopology::inject(PacketBytes bytes) {
   SimPacket pkt;
   pkt.bytes = std::move(bytes);
   pkt.id = sim_.next_packet_id();

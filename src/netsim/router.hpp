@@ -24,9 +24,11 @@
 namespace chunknet {
 
 /// Rewrites one arriving packet body into packet bodies for an egress
-/// MTU. Returning an empty vector drops the packet.
-using RelayFn = std::function<std::vector<std::vector<std::uint8_t>>(
-    std::vector<std::uint8_t> bytes, std::size_t egress_mtu)>;
+/// MTU. Returning an empty vector drops the packet. Bodies are
+/// PacketBytes so a transparent relay forwards the arriving (aligned)
+/// storage without copying it.
+using RelayFn = std::function<std::vector<PacketBytes>(
+    PacketBytes bytes, std::size_t egress_mtu)>;
 
 /// Forward unchanged; the egress link enforces its MTU by dropping.
 RelayFn transparent_relay();
@@ -110,7 +112,7 @@ class ChainTopology {
                 ObsContext* obs = nullptr);
 
   /// Sends application packet bytes into the first hop.
-  void inject(std::vector<std::uint8_t> bytes);
+  void inject(PacketBytes bytes);
 
   const Link& hop(std::size_t i) const { return *links_[i]; }
   std::size_t hops() const { return links_.size(); }

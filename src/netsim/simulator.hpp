@@ -14,6 +14,8 @@
 #include <queue>
 #include <vector>
 
+#include "src/common/aligned.hpp"
+
 namespace chunknet {
 
 /// Simulated time in nanoseconds.
@@ -24,8 +26,10 @@ inline constexpr SimTime kMillisecond = 1'000'000;
 inline constexpr SimTime kSecond = 1'000'000'000;
 
 /// A packet in flight: opaque bytes plus bookkeeping for latency traces.
+/// The bytes are PacketBytes (64-byte aligned) so pooled buffers travel
+/// through the simulator without losing their alignment guarantee.
 struct SimPacket {
-  std::vector<std::uint8_t> bytes;
+  PacketBytes bytes;
   std::uint64_t id{0};         ///< unique per simulator (trace key)
   SimTime created_at{0};       ///< first transmission time
   int hops{0};                 ///< links traversed so far

@@ -184,10 +184,76 @@ void check_metric(const JsonValue& base_m, const JsonValue& fresh_m,
 
 }  // namespace
 
+namespace {
+
+/// "meta.<key>" of a BENCH record, or "" (records predating the meta
+/// block parse as empty and compare as same-ISA for compatibility).
+std::string meta_str(const JsonValue& doc, const char* key) {
+  const JsonValue* meta = doc.find("meta");
+  if (meta == nullptr) return "";
+  const JsonValue* v = meta->find(key);
+  return v != nullptr && v->kind == JsonValue::Kind::kString ? v->str : "";
+}
+
+}  // namespace
+
 BenchCheckReport check_bench(const JsonValue& baseline,
                              const JsonValue& fresh,
-                             const BenchCheckOptions& opt) {
+                             const BenchCheckOptions& opt_in) {
+  BenchCheckOptions opt = opt_in;
   BenchCheckReport rep;
+  // Absolute numbers measured on one ISA are not commensurable with
+  // another's (different kernels, different machine class), so a
+  // baseline↔fresh ISA mismatch demotes the comparison to claims +
+  // ratio metrics — the refusal is reported, not silent.
+  const std::string base_isa = meta_str(baseline, "isa");
+  const std::string fresh_isa = meta_str(fresh, "isa");
+  if (!base_isa.empty() && !fresh_isa.empty() && base_isa != fresh_isa) {
+    rep.cross_isa = true;
+    opt.ratio_metrics_only = true;
+    rep.issues.push_back(
+        {false, "meta/isa",
+         "baseline ISA \"" + base_isa + "\" != fresh ISA \"" + fresh_isa +
+             "\": absolute metrics skipped, comparing claims and ratio "
+             "metrics only"});
+  }
+  // A CHUNKNET_FORCE_SCALAR mismatch pins kernel dispatch on one side
+  // only: dispatch-dependent claims ("dispatched kernel is >= Nx") and
+  // even the ratio metrics measure a deliberately different
+  // configuration, so NOTHING numeric is comparable. Only record
+  // structure (sections present, parseable) is still checked.
+  bool skip_all = false;
+  {
+    const JsonValue* bmeta = baseline.find("meta");
+    const JsonValue* fmeta = fresh.find("meta");
+    const JsonValue* bfs =
+        bmeta != nullptr ? bmeta->find("force_scalar") : nullptr;
+    const JsonValue* ffs =
+        fmeta != nullptr ? fmeta->find("force_scalar") : nullptr;
+    const bool b = bfs != nullptr && bfs->boolean;
+    const bool f = ffs != nullptr && ffs->boolean;
+    if (b != f) {
+      skip_all = true;
+      rep.issues.push_back(
+          {false, "meta/force_scalar",
+           std::string("kernel dispatch pinned in the ") +
+               (f ? "fresh" : "baseline") +
+               " record only: claims and metrics not comparable, checking "
+               "record structure only"});
+    }
+  }
+  // A kernel-variant change on the SAME ISA (e.g. a FORCE_SCALAR
+  // baseline vs a SIMD fresh run) is worth a note: ratios survive,
+  // absolute GB/s rows will shift legitimately.
+  for (const char* key : {"gf_kernel", "wsc2_kernel"}) {
+    const std::string b = meta_str(baseline, key);
+    const std::string f = meta_str(fresh, key);
+    if (!b.empty() && !f.empty() && b != f) {
+      rep.issues.push_back({false, std::string("meta/") + key,
+                            "kernel changed: \"" + b + "\" -> \"" + f +
+                                "\" (informational)"});
+    }
+  }
   const JsonValue* base_sections = baseline.find("sections");
   if (base_sections == nullptr ||
       base_sections->kind != JsonValue::Kind::kArray) {
@@ -204,6 +270,7 @@ BenchCheckReport check_bench(const JsonValue& baseline,
           {true, id, "section missing from the fresh record"});
       continue;
     }
+    if (skip_all) continue;  // dispatch-pinned: structure checked only
     // Claims: a baseline PASS must stay a PASS.
     const JsonValue* bclaims = bsec.find("claims");
     if (bclaims != nullptr && bclaims->kind == JsonValue::Kind::kArray) {

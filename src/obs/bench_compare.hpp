@@ -70,6 +70,10 @@ struct BenchCheckReport {
   std::size_t claims_compared{0};
   std::size_t metrics_compared{0};
   std::size_t metrics_skipped{0};  ///< out of scope (ratio_metrics_only)
+  /// The records' `meta.isa` fields disagree: absolute metrics were
+  /// refused and only claims + ratio metrics were compared (the bench
+  /// was measured on a different CPU architecture than the baseline).
+  bool cross_isa{false};
   bool ok() const {
     for (const BenchIssue& i : issues) {
       if (i.fatal) return false;

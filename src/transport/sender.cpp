@@ -25,6 +25,8 @@ ChunkTransportSender::ChunkTransportSender(Simulator& sim, SenderConfig cfg)
     m_.bytes_sent = &reg.counter("sender.bytes_sent");
     m_.gap_naks_honoured = &reg.counter("sender.gap_naks_honoured");
     m_.retx_payload_bytes = &reg.counter("sender.retx_payload_bytes");
+    m_.tx_bytes_copied = &reg.counter("sender.tx_bytes_copied");
+    m_.tx_gather_bytes = &reg.counter("sender.tx_gather_bytes");
     m_.rto_samples = &reg.counter("sender.rto_samples");
     m_.rto_discarded = &reg.counter("sender.rto_discarded");
     m_.rto_backoffs = &reg.counter("sender.rto_backoffs");
@@ -52,16 +54,17 @@ void ChunkTransportSender::publish_flow_gauges() {
   obs_set(m_.inflight_tpdus, static_cast<std::int64_t>(inflight_));
 }
 
-void ChunkTransportSender::trace_chunk(TraceEventKind kind, const Chunk& c,
+void ChunkTransportSender::trace_chunk(TraceEventKind kind,
+                                       const ChunkHeader& h,
                                        std::uint64_t aux) const {
   if (cfg_.obs == nullptr || cfg_.obs->tracer == nullptr) return;
   TraceEvent e;
   e.t = sim_.now();
   e.kind = kind;
   e.site = cfg_.obs_site;
-  e.tpdu_id = c.h.tpdu.id;
-  e.conn_sn = c.h.conn.sn;
-  e.len = c.h.len;
+  e.tpdu_id = h.tpdu.id;
+  e.conn_sn = h.conn.sn;
+  e.len = h.len;
   e.aux = aux;
   cfg_.obs->tracer->record(e);
 }
@@ -97,7 +100,7 @@ void ChunkTransportSender::send_stream(std::span<const std::uint8_t> stream) {
     tpdu_chunks.push_back(make_ed_chunk(cfg_.framer.connection_id, tpdu_id,
                                         conn_sn, inv.value()));
     for (const Chunk& c : tpdu_chunks) {
-      trace_chunk(TraceEventKind::kChunkBuilt, c);
+      trace_chunk(TraceEventKind::kChunkBuilt, c.h);
     }
 
     PendingTpdu pending;
@@ -234,7 +237,16 @@ void ChunkTransportSender::transmit_tpdu(std::uint32_t tpdu_id,
       }
     }
   }
-  send_chunks(p.chunks);  // copies: the originals stay for retransmission
+  if (use_gather()) {
+    // Zero-copy: packets borrow the pending chunks' payload bytes, so
+    // a retransmission re-references the same bytes it sent last time.
+    std::vector<ChunkView> views;
+    views.reserve(p.chunks.size());
+    for (const Chunk& c : p.chunks) views.push_back(as_view(c));
+    send_chunk_views(views);
+  } else {
+    send_chunks(p.chunks);  // copies: the originals stay for retransmission
+  }
   arm_timer(tpdu_id);
 }
 
@@ -267,34 +279,65 @@ void ChunkTransportSender::arm_timer(std::uint32_t tpdu_id) {
 
 namespace {
 
-/// Cuts the piece of `c` covering elements [lo, hi) in T.SN space, or
+/// Cuts the piece of `v` covering elements [lo, hi) in T.SN space, or
 /// nullopt if they don't intersect. Appendix-C splits keep every header
 /// field (SNs, ST bits) exact, so the receiver accepts the piece as if
-/// it had been fragmented in the network.
-std::optional<Chunk> slice_chunk(const Chunk& c, std::uint64_t lo,
-                                 std::uint64_t hi) {
-  const std::uint64_t s = c.h.tpdu.sn;
-  const std::uint64_t e = s + c.h.len;
+/// it had been fragmented in the network. Views make the cut pure
+/// header math — the payload halves are subspans of the original.
+std::optional<ChunkView> slice_view(const ChunkView& v, std::uint64_t lo,
+                                    std::uint64_t hi) {
+  const std::uint64_t s = v.h.tpdu.sn;
+  const std::uint64_t e = s + v.h.len;
   const std::uint64_t a = std::max(lo, s);
   const std::uint64_t b = std::min(hi, e);
   if (a >= b) return std::nullopt;
-  Chunk piece = c;
+  ChunkView piece = v;
   if (a > s) {
-    piece = split_chunk(piece, static_cast<std::uint16_t>(a - s)).second;
+    piece = split_view(piece, static_cast<std::uint16_t>(a - s)).second;
   }
   if (b < e) {
-    piece = split_chunk(piece, static_cast<std::uint16_t>(b - a)).first;
+    piece = split_view(piece, static_cast<std::uint16_t>(b - a)).first;
   }
   return piece;
 }
 
 }  // namespace
 
+void ChunkTransportSender::send_chunk_views(std::span<const ChunkView> views) {
+  PacketizerOptions opts;
+  opts.mtu = cfg_.mtu;
+  opts.policy = cfg_.pack_policy;
+  GatherResult packed = gather_packetize(views, opts);
+  for (const GatherPacket& gp : packed.packets) {
+    stats_.bytes_sent += gp.wire_size;
+    ++stats_.packets_sent;
+    stats_.tx_gather_bytes += gp.borrowed_payload_bytes;
+    obs_add(m_.packets_sent);
+    obs_add(m_.bytes_sent, gp.wire_size);
+    obs_add(m_.tx_gather_bytes, gp.borrowed_payload_bytes);
+    if (cfg_.obs != nullptr && cfg_.obs->tracer != nullptr) {
+      TraceEvent e;
+      e.t = sim_.now();
+      e.kind = TraceEventKind::kPacketized;
+      e.site = cfg_.obs_site;
+      e.aux = gp.wire_size;
+      cfg_.obs->tracer->record(e);
+    }
+    // Linearization is the scatter-gather DMA analogue at the network
+    // handoff — the sender itself copied no payload bytes.
+    if (cfg_.send_packet) cfg_.send_packet(gp.linearize());
+  }
+}
+
 void ChunkTransportSender::send_chunks(std::vector<Chunk> chunks) {
   PacketizerOptions opts;
   opts.mtu = cfg_.mtu;
   opts.policy = cfg_.pack_policy;
   PacketizeResult packed = packetize(std::move(chunks), opts);
+  // Materializing assembly copies every (deliverable) payload byte
+  // into the flat packet buffers.
+  stats_.tx_bytes_copied += packed.payload_bytes;
+  obs_add(m_.tx_bytes_copied, packed.payload_bytes);
   for (auto& pkt : packed.packets) {
     if (cfg_.compress_wire) {
       // Re-encode the packet in the compact negotiated syntax; the
@@ -347,40 +390,50 @@ void ChunkTransportSender::handle_gap_nak(const Chunk& signal) {
   ++stats_.gap_naks_honoured;
   obs_add(m_.gap_naks_honoured);
 
-  std::vector<Chunk> resend;
+  // Slices are views over the pending chunks: the cut is header math
+  // plus a payload subspan, so building the resend list copies nothing.
+  std::vector<ChunkView> resend;
   for (const Chunk& c : it->second.chunks) {
     if (c.h.type == ChunkType::kErrorDetection) {
-      if (nak->need_ed_chunk) resend.push_back(c);
+      if (nak->need_ed_chunk) resend.push_back(as_view(c));
       continue;
     }
     if (c.h.type != ChunkType::kData) continue;
+    const ChunkView v = as_view(c);
     bool taken = false;
     for (const GapRange& g : nak->gaps) {
-      if (auto piece = slice_chunk(c, g.first_sn,
-                                   static_cast<std::uint64_t>(g.first_sn) +
-                                       g.length)) {
+      if (auto piece = slice_view(v, g.first_sn,
+                                  static_cast<std::uint64_t>(g.first_sn) +
+                                      g.length)) {
         stats_.selective_retx_elements += piece->h.len;
         stats_.retx_payload_bytes += piece->payload.size();
         obs_add(m_.retx_payload_bytes, piece->payload.size());
-        trace_chunk(TraceEventKind::kChunkBuilt, *piece, 1);
-        resend.push_back(std::move(*piece));
+        trace_chunk(TraceEventKind::kChunkBuilt, piece->h, 1);
+        resend.push_back(*piece);
         taken = true;
       }
     }
     if (!taken && nak->need_tail) {
-      if (auto piece = slice_chunk(c, nak->tail_from, ~std::uint64_t{0})) {
+      if (auto piece = slice_view(v, nak->tail_from, ~std::uint64_t{0})) {
         stats_.selective_retx_elements += piece->h.len;
         stats_.retx_payload_bytes += piece->payload.size();
         obs_add(m_.retx_payload_bytes, piece->payload.size());
-        trace_chunk(TraceEventKind::kChunkBuilt, *piece, 1);
-        resend.push_back(std::move(*piece));
+        trace_chunk(TraceEventKind::kChunkBuilt, piece->h, 1);
+        resend.push_back(*piece);
       }
     }
   }
   if (resend.empty()) return;
   it->second.last_sent = sim_.now();  // quiet the whole-TPDU backstop
   it->second.retransmitted = true;    // Karn: later ACK is ambiguous
-  send_chunks(std::move(resend));
+  if (use_gather()) {
+    send_chunk_views(resend);
+  } else {
+    std::vector<Chunk> owned;
+    owned.reserve(resend.size());
+    for (const ChunkView& piece : resend) owned.push_back(piece.to_chunk());
+    send_chunks(std::move(owned));
+  }
   arm_timer(nak->tpdu_id);
 }
 

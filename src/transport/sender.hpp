@@ -22,6 +22,7 @@
 
 #include "src/chunk/builder.hpp"
 #include "src/chunk/compress.hpp"
+#include "src/chunk/gather.hpp"
 #include "src/chunk/packetizer.hpp"
 #include "src/netsim/simulator.hpp"
 #include "src/obs/obs.hpp"
@@ -72,8 +73,19 @@ struct SenderConfig {
     SimTime probe_timeout{200 * kMillisecond};
   };
   FlowControlConfig flow{};
-  /// Transmit a packet body into the network (first hop).
-  std::function<void(std::vector<std::uint8_t>)> send_packet;
+  /// Gather-encode transmit path (src/chunk/gather.hpp): packets are
+  /// assembled iovec-style, borrowing payload bytes from the pending
+  /// TPDU store, so transmission — and in particular RETRANSMISSION —
+  /// copies zero payload bytes on the sender (stats().tx_bytes_copied
+  /// stays flat; linearization is the NIC DMA analogue and is not
+  /// charged). Automatically falls back to the materializing path for
+  /// kReassemble packing and compressed wire syntax, which both
+  /// re-encode payload bytes by nature.
+  bool gather_tx{true};
+  /// Transmit a packet body into the network (first hop). Bodies are
+  /// PacketBytes (64-byte aligned) so pooled/gathered packets travel
+  /// without re-copying.
+  std::function<void(PacketBytes)> send_packet;
   /// Observability (optional). Metric names are prefixed "sender.".
   ObsContext* obs{nullptr};
   std::uint16_t obs_site{0};
@@ -120,6 +132,13 @@ class ChunkTransportSender final : public PacketSink {
     std::uint64_t gap_naks_honoured{0};
     std::uint64_t selective_retx_elements{0};
     std::uint64_t retx_payload_bytes{0};  ///< payload resent (any kind)
+    /// Payload bytes COPIED during sender-side packet assembly (the
+    /// materializing encode path). Zero on the gather path — the
+    /// zero-copy proof the lossy-link retransmission test pins.
+    std::uint64_t tx_bytes_copied{0};
+    /// Payload bytes transmitted by reference through gather segments
+    /// (the bytes that would have been copied without the gather path).
+    std::uint64_t tx_gather_bytes{0};
     /// Adaptive-RTO bookkeeping: RTT samples fed to the estimator,
     /// samples discarded by Karn's rule, and timeout backoffs.
     std::uint64_t rto_samples{0};
@@ -168,7 +187,15 @@ class ChunkTransportSender final : public PacketSink {
   void on_tpdu_retired(const PendingTpdu& p);
   void publish_flow_gauges();
   void send_chunks(std::vector<Chunk> chunks);
-  void trace_chunk(TraceEventKind kind, const Chunk& c,
+  /// The zero-copy transmit: gather-packetizes views over chunks owned
+  /// by the pending store and hands linearized bodies to send_packet.
+  void send_chunk_views(std::span<const ChunkView> views);
+  /// True when this sender's configuration can use the gather path.
+  bool use_gather() const {
+    return cfg_.gather_tx && !cfg_.compress_wire &&
+           gather_supported(cfg_.pack_policy);
+  }
+  void trace_chunk(TraceEventKind kind, const ChunkHeader& h,
                    std::uint64_t aux = 0) const;
   void span(SpanEventKind kind, std::uint32_t tpdu_id,
             std::uint64_t aux = 0) const;
@@ -183,6 +210,8 @@ class ChunkTransportSender final : public PacketSink {
     Counter* bytes_sent{nullptr};
     Counter* gap_naks_honoured{nullptr};
     Counter* retx_payload_bytes{nullptr};
+    Counter* tx_bytes_copied{nullptr};
+    Counter* tx_gather_bytes{nullptr};
     Counter* rto_samples{nullptr};
     Counter* rto_discarded{nullptr};
     Counter* rto_backoffs{nullptr};

@@ -71,6 +71,86 @@ TEST(BenchCheck, ClaimFlipIsFatal) {
             std::string::npos);
 }
 
+// A record as bench_util now writes it: meta block with ISA + kernels.
+std::string with_meta(const std::string& isa, const std::string& wsc2,
+                      double goodput) {
+  std::ostringstream os;
+  os << R"({"bench": "t", "meta": {"isa": ")" << isa
+     << R"(", "cpu": ")" << isa << R"(+stuff", "gf_kernel": "pclmul",)"
+     << R"( "wsc2_kernel": ")" << wsc2 << R"(", "force_scalar": false},)"
+     << R"( "sections": [{"id": "T1", "title": "synthetic",)"
+     << R"( "claims": [{"ok": true, "text": "stays correct"}],)"
+     << R"( "metrics": [{"name": "goodput", "value": )" << goodput
+     << R"(, "unit": "Mb/s"},)"
+     << R"( {"name": "speedup", "value": 3.0, "unit": "x"}],)"
+     << R"( "tables": []}]})";
+  return os.str();
+}
+
+TEST(BenchCheck, CrossIsaRefusesAbsoluteComparisons) {
+  // Same bench measured on another architecture: the 10x "regression"
+  // in absolute goodput is not comparable and must NOT be fatal — the
+  // gate demotes to claims + ratio metrics and says so.
+  const JsonValue base = parse_or_die(with_meta("x86-64", "clmul16", 100.0));
+  const JsonValue fresh = parse_or_die(with_meta("aarch64", "sliced8", 10.0));
+  const BenchCheckReport rep = check_bench(base, fresh);
+  EXPECT_TRUE(rep.ok());
+  EXPECT_TRUE(rep.cross_isa);
+  EXPECT_EQ(rep.metrics_compared, 1u);  // the ratio metric only
+  EXPECT_EQ(rep.metrics_skipped, 1u);   // goodput refused
+  ASSERT_FALSE(rep.issues.empty());
+  EXPECT_NE(rep.issues[0].message.find("absolute metrics skipped"),
+            std::string::npos);
+}
+
+TEST(BenchCheck, SameIsaStillComparesAbsolutes) {
+  const JsonValue base = parse_or_die(with_meta("x86-64", "clmul16", 100.0));
+  const JsonValue fresh = parse_or_die(with_meta("x86-64", "clmul16", 10.0));
+  const BenchCheckReport rep = check_bench(base, fresh);
+  EXPECT_FALSE(rep.ok());  // genuine same-ISA regression stays fatal
+  EXPECT_FALSE(rep.cross_isa);
+}
+
+TEST(BenchCheck, KernelChangeOnSameIsaIsInformational) {
+  // FORCE_SCALAR baseline vs SIMD fresh run: noted, not fatal (the
+  // fresh numbers only got better; regressions still gate).
+  const JsonValue base = parse_or_die(with_meta("x86-64", "scalar", 100.0));
+  const JsonValue fresh = parse_or_die(with_meta("x86-64", "clmul16", 300.0));
+  const BenchCheckReport rep = check_bench(base, fresh);
+  EXPECT_TRUE(rep.ok());
+  ASSERT_FALSE(rep.issues.empty());
+  EXPECT_EQ(rep.issues[0].where, "meta/wsc2_kernel");
+  EXPECT_NE(rep.issues[0].message.find("kernel changed"), std::string::npos);
+}
+
+TEST(BenchCheck, ForceScalarMismatchSkipsClaimsAndMetrics) {
+  // A CHUNKNET_FORCE_SCALAR CI leg measured against the SIMD baseline:
+  // dispatch-dependent claims legitimately fail and ratios collapse to
+  // ~1x, so nothing numeric may gate — only record structure.
+  const JsonValue base = parse_or_die(with_meta("x86-64", "clmul16", 100.0));
+  std::string forced = with_meta("x86-64", "scalar", 5.0);
+  forced.replace(forced.find("\"force_scalar\": false"), 21,
+                 "\"force_scalar\": true");
+  forced.replace(forced.find("\"ok\": true"), 10, "\"ok\": false");
+  const BenchCheckReport rep = check_bench(base, parse_or_die(forced));
+  EXPECT_TRUE(rep.ok());
+  EXPECT_EQ(rep.claims_compared, 0u);
+  EXPECT_EQ(rep.metrics_compared, 0u);
+  ASSERT_FALSE(rep.issues.empty());
+  EXPECT_EQ(rep.issues[0].where, "meta/force_scalar");
+}
+
+TEST(BenchCheck, RecordsWithoutMetaCompareAsSameIsa) {
+  // Committed baselines predate the meta block; they must keep gating
+  // absolutes rather than being treated as cross-ISA.
+  const JsonValue base = parse_or_die(kRecord);
+  const JsonValue fresh = parse_or_die(with_meta("x86-64", "clmul16", 100.0));
+  std::string worse = kRecord;
+  worse.replace(worse.find("\"value\": 100.0"), 14, "\"value\": 60.0");
+  EXPECT_FALSE(check_bench(base, parse_or_die(worse)).ok());
+  EXPECT_FALSE(check_bench(base, fresh).cross_isa);
+}
+
 TEST(BenchCheck, DirectionAwareRegressionIsFatal) {
   const JsonValue base = parse_or_die(kRecord);
   std::string worse = kRecord;

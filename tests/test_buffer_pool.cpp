@@ -34,6 +34,18 @@ TEST(BufferPool, AcquireAllocatesThenReuses) {
   EXPECT_EQ(s.releases, 2u);
 }
 
+TEST(BufferPool, EveryAcquireIsSixtyFourByteAligned) {
+  // SIMD kernels (and the gather arena) assume PacketBytes storage, so
+  // pooled buffers must start on a 64-byte boundary — fresh from the
+  // heap AND recycled through the freelist.
+  PacketBufferPool pool(1500);
+  for (int i = 0; i < 16; ++i) {
+    PooledBuffer b = pool.acquire();
+    b.bytes().resize(1500, 0x5A);
+    EXPECT_TRUE(is_packet_aligned(b.bytes().data())) << "round " << i;
+  }
+}
+
 TEST(BufferPool, SteadyStateLoopNeverAllocatesAgain) {
   PacketBufferPool pool(2048);
   for (int i = 0; i < 1000; ++i) {

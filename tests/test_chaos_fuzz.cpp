@@ -96,6 +96,22 @@ TEST(ChaosFuzz, GenerativeLoopHoldsAllOracles) {
   }
 }
 
+TEST(ChaosFuzz, SimdDifferentialHoldsOnRawBuffers) {
+  // The SIMD-vs-scalar oracle on unstructured data: sizes straddle
+  // every kernel's group width (4/8/16 words) and include ragged
+  // non-multiple-of-4 tails, which exercise add_words' partial-tail
+  // grafting under the dispatched kernel.
+  Rng rng(7);
+  for (const std::size_t n :
+       {0u, 1u, 3u, 4u, 7u, 16u, 31u, 32u, 63u, 64u, 65u, 127u, 255u, 256u,
+        257u, 1023u, 4096u, 4099u}) {
+    std::vector<std::uint8_t> bytes(n);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.u32());
+    const auto why = simd_differential(bytes, rng);
+    ASSERT_FALSE(why.has_value()) << "n=" << n << ": " << *why;
+  }
+}
+
 TEST(ChaosFuzz, HexRoundTrips) {
   const std::vector<std::uint8_t> bytes = {0x00, 0x01, 0xAB, 0xFF, 0xC4};
   const std::string hex = to_hex(bytes);

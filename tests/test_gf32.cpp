@@ -155,6 +155,56 @@ TEST(Gf32, TimesAlpha4EqualsFourAlphaSteps) {
   }
 }
 
+TEST(Gf32, AllMulKernelsMatchShiftOracle) {
+  // The dispatched mul, the portable windowed kernel, and (when the
+  // CPU has one) the native carry-less-multiply kernel must all be
+  // bit-identical to the shift-and-reduce reference.
+  const detail::MulFn native = detail::native_clmul_kernel();
+  Rng rng(11);
+  const std::uint32_t edge[] = {0u,          1u,          2u,
+                                kReduction,  0x80000000u, 0xFFFFFFFFu,
+                                0x7FFFFFFFu, 0x00010001u};
+  for (const std::uint32_t a : edge) {
+    for (const std::uint32_t b : edge) {
+      const std::uint32_t want = mul_shift(a, b);
+      ASSERT_EQ(mul(a, b), want) << a << " * " << b;
+      ASSERT_EQ(mul_windowed(a, b), want) << a << " * " << b;
+      if (native != nullptr) {
+        ASSERT_EQ(native(a, b), want) << a << " * " << b;
+      }
+    }
+  }
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint32_t a = rng.u32();
+    const std::uint32_t b = rng.u32();
+    const std::uint32_t want = mul_shift(a, b);
+    ASSERT_EQ(mul_windowed(a, b), want) << a << " * " << b;
+    if (native != nullptr) {
+      ASSERT_EQ(native(a, b), want) << a << " * " << b;
+    }
+  }
+}
+
+TEST(Gf32, WidenedAlphaStepsMatchFullMultiply) {
+  // times_alpha8/times_alpha16 (the slice-by-8 and 16-word-group
+  // strides) must agree with a full multiply by α⁸/α¹⁶.
+  const std::uint32_t alpha8 = PowerLadder::shared().alpha_pow(8);
+  const std::uint32_t alpha16 = PowerLadder::shared().alpha_pow(16);
+  Rng rng(12);
+  const std::uint32_t edge[] = {0u, 1u, 0x80000000u, 0xF0000000u,
+                                0xFFFF0000u, 0x0000FFFFu, 0xFFFFFFFFu,
+                                kReduction};
+  for (const std::uint32_t a : edge) {
+    EXPECT_EQ(times_alpha8(a), mul(a, alpha8));
+    EXPECT_EQ(times_alpha16(a), mul(a, alpha16));
+  }
+  for (int i = 0; i < 500; ++i) {
+    const std::uint32_t a = rng.u32();
+    ASSERT_EQ(times_alpha8(a), mul(a, alpha8)) << a;
+    ASSERT_EQ(times_alpha16(a), mul(a, alpha16)) << a;
+  }
+}
+
 TEST(Gf32, ReduceHandlesHighDegreeProducts) {
   // reduce(clmul(a,b)) must equal the reference multiply for maximal
   // inputs (degree-62 products exercise the double fold).

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/edc/wsc2_kernels.hpp"
+
 #include <algorithm>
 #include <numeric>
 #include <vector>
@@ -232,6 +234,48 @@ TEST(Wsc2, SlicedKernelMatchesScalarOnRandomSlices) {
     scalar.add_words_scalar(pos, data);
     ASSERT_EQ(sliced.value(), scalar.value()) << "trial " << trial;
   }
+}
+
+TEST(Wsc2, EveryKernelMatchesScalarOracle) {
+  // Every kernel this machine can run — sliced4, sliced8, and the
+  // native SIMD kernel when present — must produce the exact (x, h)
+  // pair of the word-at-a-time scalar chain, across size classes
+  // (below each kernel's internal fallback threshold, exact group
+  // multiples, remainder words) and misaligned base pointers (payload
+  // spans start at arbitrary packet offsets).
+  Rng rng(11);
+  const std::size_t word_counts[] = {0,  1,  2,   3,   4,   7,   8,  9,
+                                     15, 16, 17,  31,  32,  33,  48, 63,
+                                     64, 65, 127, 128, 129, 255, 256, 1025};
+  for (const auto& kernel : wsc2_kernels::available_kernels()) {
+    for (const std::size_t words : word_counts) {
+      for (const std::size_t offset : {0u, 1u, 3u}) {
+        std::vector<std::uint8_t> buf(words * 4 + offset);
+        for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next());
+        const std::uint8_t* base = buf.data() + offset;
+        const auto want = wsc2_kernels::run_scalar(base, words);
+        const auto got = kernel.fn(base, words);
+        ASSERT_EQ(got.x, want.x)
+            << kernel.name << " words=" << words << " off=" << offset;
+        ASSERT_EQ(got.h, want.h)
+            << kernel.name << " words=" << words << " off=" << offset;
+      }
+    }
+  }
+}
+
+TEST(Wsc2, DispatchedKernelIsListed) {
+  // Whatever dispatch() picked must be one of the advertised kernels,
+  // and the selected name must round-trip through the registry.
+  const wsc2_kernels::KernelFn fn = wsc2_kernels::dispatch();
+  bool found = false;
+  for (const auto& k : wsc2_kernels::available_kernels()) {
+    if (k.fn == fn) {
+      found = true;
+      EXPECT_STREQ(wsc2_kernels::selected_kernel_name(), k.name);
+    }
+  }
+  EXPECT_TRUE(found);
 }
 
 TEST(Wsc2, ResetClears) {
