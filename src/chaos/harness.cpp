@@ -17,6 +17,7 @@
 #include "src/obs/trace.hpp"
 #include "src/transport/demux.hpp"
 #include "src/transport/sender.hpp"
+#include "src/transport/signalling.hpp"
 
 namespace chunknet {
 
@@ -514,12 +515,55 @@ ChaosResult run_chaos_overload(const ChaosScenario& sc,
     gov = std::make_unique<ResourceGovernor>(gc);
   }
 
-  ChunkDemultiplexer demux;
+  // Sharded connection table (4 shards here: enough to spread the
+  // connection ids across shards every run without dwarfing the small
+  // connection counts). Churn runs additionally get the timer wheel so
+  // remembered refusals age out on their TTL mid-run.
+  const std::uint32_t churn_n = sc.churn_connections;
+  const SimTime churn_step =
+      sc.churn_interval > 0 ? sc.churn_interval : kMillisecond;
+  SimTimerWheel wheel(sim);
+  DemuxConfig dcfg;
+  dcfg.shards = 4;
+  if (churn_n > 0) {
+    dcfg.timers = &wheel;
+    dcfg.refused_ttl =
+        std::max<SimTime>(40 * churn_step, 100 * kMillisecond);
+  }
+  ChunkDemultiplexer demux(dcfg);
   demux.set_obs(&obs, &sim);
-  if (gov != nullptr) {
+
+  // Churn connections are opened through the SIGNAL path (a real
+  // ConnectionOpen chunk through the demultiplexer), so they exercise
+  // admission, the refused-connection memory, and the sharded flow
+  // table the same way a remote endpoint would. Their receivers carry
+  // no data; the interesting state is the demultiplexer's.
+  std::vector<std::unique_ptr<ChunkTransportReceiver>> churn_rxs;
+  std::set<std::uint32_t> churn_live;
+  std::uint64_t churn_admitted = 0;
+  std::uint64_t churn_refused = 0;
+
+  if (gov != nullptr || churn_n > 0) {
     DemuxAdmissionConfig adm;
     adm.governor = gov.get();
     adm.reserve_bytes = 8 * 1024;
+    if (churn_n > 0) {
+      adm.open_connection =
+          [&](const ConnectionOpen& open) -> ChunkTransportReceiver* {
+        ReceiverConfig crc;
+        crc.connection_id = open.connection_id;
+        crc.element_size = sc.element_size;
+        crc.first_conn_sn = open.first_conn_sn;
+        crc.app_buffer_bytes = 1024;
+        crc.mode = sc.mode;
+        churn_rxs.push_back(
+            std::make_unique<ChunkTransportReceiver>(sim, std::move(crc)));
+        ++churn_admitted;
+        churn_live.insert(open.connection_id);
+        return churn_rxs.back().get();
+      };
+      adm.send_refusal = [&churn_refused](Chunk) { ++churn_refused; };
+    }
     demux.configure_admission(std::move(adm));
   }
 
@@ -635,6 +679,36 @@ ChaosResult run_chaos_overload(const ChaosScenario& sc,
   // OverloadConn holds unique_ptrs only, but the lambdas above capture
   // raw element addresses: the vector must never reallocate past this
   // point (reserve(nconn) above guarantees it never does at all).
+
+  // ---- churn schedule: one ConnectionOpen per churn_interval. Ids
+  // repeat (half as many distinct ids as opens) so re-opens hit the
+  // established fast path and the refused-memory fast path, not just
+  // fresh admissions; each open schedules its own close a few intervals
+  // later, which hands the admission reservation back to the governor.
+  if (churn_n > 0) {
+    const std::uint32_t distinct = std::max<std::uint32_t>(1, churn_n / 2);
+    const SimTime close_after = 5 * churn_step;
+    for (std::uint32_t k = 0; k < churn_n; ++k) {
+      const std::uint32_t cid = 0x40000000u + (k % distinct);
+      sim.schedule_at(
+          (k + 1) * churn_step,
+          [&sim, &demux, &churn_live, &gov, cid, close_after] {
+            ConnectionOpen open;
+            open.connection_id = cid;
+            SimPacket sp;
+            sp.bytes = encode_packet(
+                std::vector<Chunk>{make_signal_chunk(open)}, 1500);
+            sp.id = sim.next_packet_id();
+            sp.created_at = sim.now();
+            demux.on_packet(std::move(sp));
+            sim.schedule_in(close_after, [&demux, &churn_live, &gov, cid] {
+              if (churn_live.erase(cid) == 0) return;  // refused / closed
+              demux.detach(cid);
+              if (gov != nullptr) gov->unbind_client(cid);
+            });
+          });
+    }
+  }
 
   // ---- run to quiescence under the watchdog
   for (OverloadConn& c : conns) c.sender->send_stream(c.stream);
@@ -856,11 +930,35 @@ ChaosResult run_chaos_overload(const ChaosScenario& sc,
                    "after quiescence cleanup",
                    gs.charged_now));
     }
-    if (dstats.connections_admitted + dstats.connections_refused != nconn) {
+    // Every main connection gets exactly one admission decision; every
+    // churn decision was observed through the open/refusal callbacks —
+    // the two independent tallies must agree with the shard counters.
+    if (dstats.connections_admitted + dstats.connections_refused !=
+        nconn + churn_admitted + churn_refused) {
       res.fail(fmt("oracle-6: admission accounting does not close: "
                    "admitted+refused %llu != offered %llu",
                    dstats.connections_admitted + dstats.connections_refused,
-                   nconn));
+                   nconn + churn_admitted + churn_refused));
+    }
+  }
+  if (churn_n > 0) {
+    // Churn must not leak connection-table state: every ephemeral flow
+    // was closed, and every remembered refusal aged out on its TTL.
+    if (demux.flows() != conns.size()) {
+      res.fail(fmt("oracle-3: connection table holds %llu flows after the "
+                   "churn drained but only %llu long-lived connections "
+                   "exist",
+                   demux.flows(), conns.size()));
+    }
+    if (demux.refused_size() != 0) {
+      res.fail(fmt("oracle-3: %llu refused-connection entries survived "
+                   "their TTL",
+                   demux.refused_size()));
+    }
+    if (churn_admitted + churn_refused == 0) {
+      res.fail(fmt("oracle-6: churn dimension requested (%llu opens) but "
+                   "no admission decision was ever made",
+                   churn_n));
     }
   }
   for (OverloadConn& c : conns) {
@@ -898,6 +996,14 @@ ChaosScenario minimize_scenario(const ChaosScenario& sc, int steps) {
         s.governor_budget = 0;
         s.governor_policy = 0;
         s.flow_control = false;
+        s.churn_connections = 0;
+        s.churn_interval = 0;
+        return true;
+      },
+      [](ChaosScenario& s) {
+        if (s.churn_connections == 0) return false;
+        s.churn_connections = 0;
+        s.churn_interval = 0;
         return true;
       },
       [](ChaosScenario& s) {

@@ -211,6 +211,17 @@ ChaosScenario make_scenario(std::uint64_t seed) {
     // roomier retry budget than a private path.
     sc.max_retransmits = std::max(sc.max_retransmits, 12);
   }
+
+  // ---- connection churn, drawn after everything above (the same
+  // appended-last contract the overload block honours): half the
+  // overload runs also cycle ephemeral connections through the
+  // demultiplexer — admission decisions, remembered refusals aging out
+  // on the timer wheel, explicit closes — while the long-lived
+  // transfers contend for the governor budget.
+  if (sc.overloaded() && g.chance(0.5)) {
+    sc.churn_connections = static_cast<std::uint32_t>(g.range(8, 48));
+    sc.churn_interval = g.range(2, 20) * kMillisecond;
+  }
   return sc;
 }
 
@@ -263,6 +274,8 @@ std::string to_text(const ChaosScenario& sc) {
   put(os, "governor_budget", sc.governor_budget);
   put(os, "governor_policy", sc.governor_policy);
   put(os, "flow_control", static_cast<std::uint64_t>(sc.flow_control));
+  put(os, "churn_connections", sc.churn_connections);
+  put(os, "churn_interval", sc.churn_interval);
   put(os, "watchdog", sc.watchdog);
   put(os, "hops", sc.hops.size());
   for (std::size_t i = 0; i < sc.hops.size(); ++i) {
@@ -390,6 +403,10 @@ std::optional<ChaosScenario> parse_scenario_text(const std::string& text) {
     else if (key == "governor_policy")
       sc.governor_policy = static_cast<std::uint8_t>(num);
     else if (key == "flow_control") sc.flow_control = num != 0;
+    else if (key == "churn_connections")
+      sc.churn_connections = static_cast<std::uint32_t>(num);
+    else if (key == "churn_interval")
+      sc.churn_interval = static_cast<SimTime>(num);
     else if (key == "watchdog") sc.watchdog = static_cast<SimTime>(num);
     else if (key == "hops") {
       sc.hops.resize(static_cast<std::size_t>(num));

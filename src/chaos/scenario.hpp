@@ -107,6 +107,15 @@ struct ChaosScenario {
   /// Credit-based flow control on every connection (sender window +
   /// receiver grants).
   bool flow_control{false};
+  /// Connection churn (drawn after the overload block — new knobs are
+  /// appended, never inserted, so earlier seeds replay bit-for-bit):
+  /// this many ephemeral ConnectionOpen signals cycle through the
+  /// demultiplexer while the long-lived transfers run — admissions,
+  /// TTL'd refusals, and explicit closes, all against the sharded
+  /// connection table.
+  std::uint32_t churn_connections{0};
+  /// Gap between successive churn opens.
+  SimTime churn_interval{0};
 
   std::vector<ChaosHop> hops{ChaosHop{}};
 
@@ -129,7 +138,8 @@ struct ChaosScenario {
   /// (demux + governor + optional flow control) instead of the
   /// single-connection pipeline.
   bool overloaded() const {
-    return connections > 1 || governor_budget != 0 || flow_control;
+    return connections > 1 || governor_budget != 0 || flow_control ||
+           churn_connections > 0;
   }
 
   std::size_t stream_bytes() const {

@@ -1,0 +1,275 @@
+// Open-addressed flat hash map for million-flow tables.
+//
+// The connection plane (demux shards, receiver TPDU contexts, reorder
+// queues) keeps one entry per live flow or in-flight TPDU. At 1M+
+// flows a `std::map` costs a heap node and ~3 cache misses per lookup;
+// this map is a single contiguous slab probed linearly — robin-hood
+// insertion keeps probe sequences short at high load, and erase does a
+// tombstone-free BACKWARD SHIFT (displaced entries slide one slot back
+// toward their home bucket), so lookup cost never degrades under
+// insert/erase churn the way tombstone schemes do.
+//
+// Deliberate properties:
+//   - lazy allocation: a default-constructed map owns NO memory, so a
+//     million idle receivers cost nothing until their first entry;
+//   - power-of-two capacity, max load factor 7/8;
+//   - iterators/pointers are invalidated by insert (rehash) AND by
+//     erase (the backward shift moves neighbours) — callers re-find by
+//     key after any mutation, which the flow tables do anyway since
+//     connection/TPDU ids are the durable handles;
+//   - iteration order is unspecified (hash order).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <utility>
+
+namespace chunknet {
+
+/// Mixing finalizer (splitmix64 / murmur3 style): flow ids are often
+/// small and sequential, which would pile every entry into the low
+/// buckets of a power-of-two table without this.
+inline std::uint64_t flat_hash_mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+template <typename K>
+struct FlatHash {
+  std::uint64_t operator()(const K& k) const {
+    return flat_hash_mix(static_cast<std::uint64_t>(k));
+  }
+};
+
+template <typename K, typename V, typename Hash = FlatHash<K>>
+class FlatMap {
+ public:
+  struct Entry {
+    K key;
+    V value;
+  };
+
+  FlatMap() = default;
+  FlatMap(const FlatMap&) = delete;
+  FlatMap& operator=(const FlatMap&) = delete;
+  FlatMap(FlatMap&& other) noexcept { swap(other); }
+  FlatMap& operator=(FlatMap&& other) noexcept {
+    if (this != &other) {
+      clear_and_free();
+      swap(other);
+    }
+    return *this;
+  }
+  ~FlatMap() { clear_and_free(); }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return cap_; }
+
+  /// Bytes owned by the table itself (bench memory accounting); the
+  /// values' own heap allocations are not visible from here.
+  std::size_t memory_bytes() const {
+    return cap_ * (sizeof(Entry) + sizeof(std::uint8_t));
+  }
+
+  V* find(const K& key) {
+    const std::size_t idx = find_index(key);
+    return idx == kNpos ? nullptr : &slot(idx)->value;
+  }
+  const V* find(const K& key) const {
+    const std::size_t idx = find_index(key);
+    return idx == kNpos ? nullptr : &slot(idx)->value;
+  }
+  bool contains(const K& key) const { return find_index(key) != kNpos; }
+
+  /// Inserts a default-constructed value if absent. Returns the value
+  /// and whether it was inserted. Inserting may rehash: every
+  /// previously obtained pointer is invalidated.
+  std::pair<V*, bool> try_emplace(const K& key) {
+    if (const std::size_t idx = find_index(key); idx != kNpos) {
+      return {&slot(idx)->value, false};
+    }
+    reserve(size_ + 1);
+    insert_entry(Entry{key, V()});
+    ++size_;
+    return {&slot(find_index(key))->value, true};
+  }
+
+  V& operator[](const K& key) { return *try_emplace(key).first; }
+
+  std::pair<V*, bool> insert_or_assign(const K& key, V value) {
+    if (const std::size_t idx = find_index(key); idx != kNpos) {
+      slot(idx)->value = std::move(value);
+      return {&slot(idx)->value, false};
+    }
+    reserve(size_ + 1);
+    insert_entry(Entry{key, std::move(value)});
+    ++size_;
+    return {&slot(find_index(key))->value, true};
+  }
+
+  /// Tombstone-free erase: the probe chain after the hole shifts one
+  /// slot backward until a home-positioned entry (or empty slot) stops
+  /// it. Returns true when the key was present.
+  bool erase(const K& key) {
+    std::size_t idx = find_index(key);
+    if (idx == kNpos) return false;
+    slot(idx)->~Entry();
+    std::size_t next = (idx + 1) & (cap_ - 1);
+    while (dist_[next] != kEmpty && dist_[next] > 0) {
+      ::new (static_cast<void*>(slot(idx))) Entry(std::move(*slot(next)));
+      dist_[idx] = static_cast<std::uint8_t>(dist_[next] - 1);
+      slot(next)->~Entry();
+      dist_[next] = kEmpty;
+      idx = next;
+      next = (next + 1) & (cap_ - 1);
+    }
+    dist_[idx] = kEmpty;
+    --size_;
+    return true;
+  }
+
+  void clear() {
+    for (std::size_t i = 0; i < cap_; ++i) {
+      if (dist_[i] != kEmpty) {
+        slot(i)->~Entry();
+        dist_[i] = kEmpty;
+      }
+    }
+    size_ = 0;
+  }
+
+  /// Ensures capacity for `n` entries without rehashing mid-batch.
+  void reserve(std::size_t n) {
+    if (cap_ > 0 && n * 8 <= cap_ * 7) return;  // load factor 7/8
+    std::size_t want = 8;
+    while (want * 7 < n * 8) want <<= 1;
+    if (want > cap_) rehash(want);
+  }
+
+  /// Unordered iteration. Valid only while the map is not mutated.
+  class iterator {
+   public:
+    iterator(FlatMap* m, std::size_t i) : m_(m), i_(i) { skip(); }
+    Entry& operator*() const { return *m_->slot(i_); }
+    Entry* operator->() const { return m_->slot(i_); }
+    iterator& operator++() {
+      ++i_;
+      skip();
+      return *this;
+    }
+    bool operator==(const iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const iterator& o) const { return i_ != o.i_; }
+
+   private:
+    void skip() {
+      while (i_ < m_->cap_ && m_->dist_[i_] == kEmpty) ++i_;
+    }
+    FlatMap* m_;
+    std::size_t i_;
+  };
+
+  iterator begin() { return iterator(this, 0); }
+  iterator end() { return iterator(this, cap_); }
+
+ private:
+  static constexpr std::size_t kNpos = ~static_cast<std::size_t>(0);
+  static constexpr std::uint8_t kEmpty = 0xff;
+  static constexpr std::uint8_t kMaxDist = 0xfe;
+
+  Entry* slot(std::size_t i) { return reinterpret_cast<Entry*>(mem_) + i; }
+  const Entry* slot(std::size_t i) const {
+    return reinterpret_cast<const Entry*>(mem_) + i;
+  }
+
+  std::size_t find_index(const K& key) const {
+    if (cap_ == 0) return kNpos;
+    std::size_t idx = Hash{}(key) & (cap_ - 1);
+    std::uint8_t d = 0;
+    while (true) {
+      if (dist_[idx] == kEmpty || dist_[idx] < d) return kNpos;
+      if (slot(idx)->key == key) return idx;
+      idx = (idx + 1) & (cap_ - 1);
+      ++d;
+    }
+  }
+
+  /// Robin-hood insert of an entry whose key is known to be absent.
+  /// If a probe chain ever reaches the uint8 distance ceiling
+  /// (pathological clustering), the table doubles and the pending
+  /// entry retries — correctness never depends on the ceiling.
+  void insert_entry(Entry e) {
+    while (true) {
+      std::size_t idx = Hash{}(e.key) & (cap_ - 1);
+      std::uint8_t d = 0;
+      bool overflow = false;
+      while (true) {
+        if (dist_[idx] == kEmpty) {
+          ::new (static_cast<void*>(slot(idx))) Entry(std::move(e));
+          dist_[idx] = d;
+          return;
+        }
+        if (dist_[idx] < d) {
+          std::swap(e, *slot(idx));
+          std::swap(d, dist_[idx]);
+        }
+        idx = (idx + 1) & (cap_ - 1);
+        ++d;
+        if (d >= kMaxDist) {
+          overflow = true;
+          break;
+        }
+      }
+      if (overflow) rehash(cap_ * 2);  // e still pending; retry
+    }
+  }
+
+  void rehash(std::size_t new_cap) {
+    unsigned char* old_mem = mem_;
+    std::uint8_t* old_dist = dist_;
+    const std::size_t old_cap = cap_;
+    mem_ = static_cast<unsigned char*>(::operator new(
+        new_cap * sizeof(Entry), std::align_val_t{alignof(Entry)}));
+    dist_ = new std::uint8_t[new_cap];
+    cap_ = new_cap;
+    for (std::size_t i = 0; i < new_cap; ++i) dist_[i] = kEmpty;
+    if (old_mem != nullptr) {
+      Entry* old_slots = reinterpret_cast<Entry*>(old_mem);
+      for (std::size_t i = 0; i < old_cap; ++i) {
+        if (old_dist[i] != kEmpty) {
+          insert_entry(std::move(old_slots[i]));
+          old_slots[i].~Entry();
+        }
+      }
+      ::operator delete(old_mem, std::align_val_t{alignof(Entry)});
+      delete[] old_dist;
+    }
+  }
+
+  void clear_and_free() {
+    if (mem_ == nullptr) return;
+    clear();
+    ::operator delete(mem_, std::align_val_t{alignof(Entry)});
+    delete[] dist_;
+    mem_ = nullptr;
+    dist_ = nullptr;
+    cap_ = 0;
+  }
+
+  void swap(FlatMap& o) {
+    std::swap(mem_, o.mem_);
+    std::swap(dist_, o.dist_);
+    std::swap(cap_, o.cap_);
+    std::swap(size_, o.size_);
+  }
+
+  unsigned char* mem_{nullptr};
+  std::uint8_t* dist_{nullptr};  ///< probe distance per slot; 0xff = empty
+  std::size_t cap_{0};
+  std::size_t size_{0};
+};
+
+}  // namespace chunknet

@@ -1,0 +1,105 @@
+// Pickable intrusive queue (the yaf "picq" idiom): a doubly-linked
+// FIFO over a slab of nodes, where any node can be removed ("picked")
+// from the middle in O(1) by handle. The flow tables use these for
+// age/idle/holder ordering so eviction and idle scans touch ONLY the
+// entries they evict — O(evicted), never O(live) — and re-touching a
+// flow (move-to-back) is two link splices.
+//
+// Nodes carry one uint32 payload (a connection or TPDU id); the owner
+// stores the returned handle next to its flow state. Handles are slab
+// indices: stable across other nodes' insertion/removal, recycled via
+// a free list after removal.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace chunknet {
+
+class PickQueue {
+ public:
+  static constexpr std::int32_t kNil = -1;
+
+  /// Appends `value`; returns the node handle.
+  std::int32_t push_back(std::uint32_t value) {
+    std::int32_t n;
+    if (free_ != kNil) {
+      n = free_;
+      free_ = slab_[static_cast<std::size_t>(n)].next;
+    } else {
+      n = static_cast<std::int32_t>(slab_.size());
+      slab_.push_back(Node{});
+    }
+    Node& node = slab_[static_cast<std::size_t>(n)];
+    node.value = value;
+    node.prev = tail_;
+    node.next = kNil;
+    node.linked = true;
+    if (tail_ != kNil) {
+      slab_[static_cast<std::size_t>(tail_)].next = n;
+    } else {
+      head_ = n;
+    }
+    tail_ = n;
+    ++size_;
+    return n;
+  }
+
+  /// Unlinks a node anywhere in the queue. The handle is recycled —
+  /// the caller must forget it.
+  void remove(std::int32_t n) {
+    Node& node = slab_[static_cast<std::size_t>(n)];
+    if (!node.linked) return;
+    if (node.prev != kNil) {
+      slab_[static_cast<std::size_t>(node.prev)].next = node.next;
+    } else {
+      head_ = node.next;
+    }
+    if (node.next != kNil) {
+      slab_[static_cast<std::size_t>(node.next)].prev = node.prev;
+    } else {
+      tail_ = node.prev;
+    }
+    node.linked = false;
+    node.next = free_;
+    free_ = n;
+    --size_;
+  }
+
+  /// Move-to-back in place (idle LRU touch); the handle stays valid.
+  void touch(std::int32_t n) {
+    if (tail_ == n) return;
+    const std::uint32_t v = value(n);
+    remove(n);
+    // remove() recycled n to the free-list head, so push_back reuses
+    // the same slot: the caller's handle stays correct.
+    push_back(v);
+  }
+
+  std::int32_t front() const { return head_; }
+  std::int32_t next(std::int32_t n) const {
+    return slab_[static_cast<std::size_t>(n)].next;
+  }
+  std::uint32_t value(std::int32_t n) const {
+    return slab_[static_cast<std::size_t>(n)].value;
+  }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t memory_bytes() const { return slab_.capacity() * sizeof(Node); }
+
+ private:
+  struct Node {
+    std::uint32_t value{0};
+    std::int32_t prev{kNil};
+    std::int32_t next{kNil};
+    bool linked{false};
+  };
+  std::vector<Node> slab_;
+  std::int32_t head_{kNil};
+  std::int32_t tail_{kNil};
+  std::int32_t free_{kNil};
+  std::size_t size_{0};
+};
+
+}  // namespace chunknet

@@ -82,6 +82,34 @@ bool ResourceGovernor::try_admit(std::uint32_t client,
   return true;
 }
 
+bool ResourceGovernor::acquire_admission_lease(std::uint32_t lease_id,
+                                               std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (charged_ + reserved_ + bytes > cfg_.hard_watermark_bytes) {
+    ++stats_.admission_refused;
+    obs_add(c_admission_refused_);
+    return false;
+  }
+  Client& c = entry_locked(lease_id);
+  c.reserve += bytes;
+  reserved_ += bytes;
+  ++stats_.admissions;
+  obs_add(c_admissions_);
+  publish_locked();
+  return true;
+}
+
+void ResourceGovernor::release_admission_lease(std::uint32_t lease_id,
+                                               std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = clients_.find(lease_id);
+  if (it == clients_.end()) return;
+  const std::uint64_t give = std::min(it->second.reserve, bytes);
+  it->second.reserve -= give;
+  reserved_ -= std::min(reserved_, give);
+  publish_locked();
+}
+
 void ResourceGovernor::charge(std::uint32_t client, ResourceClass cls,
                               std::uint64_t bytes) {
   if (bytes == 0) return;

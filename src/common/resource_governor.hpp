@@ -90,6 +90,16 @@ class ResourceGovernor {
   bool try_admit(std::uint32_t client, std::uint64_t reserve_bytes,
                  int priority = 1);
 
+  /// Batched admission for sharded demultiplexers: reserves `bytes`
+  /// of headroom under `lease_id` in ONE governor transaction so the
+  /// holder can admit many connections against the lease locally,
+  /// without per-connection governor traffic on the admit path.
+  /// Unlike `try_admit`, acquiring again ADDS to the lease's reserve.
+  bool acquire_admission_lease(std::uint32_t lease_id, std::uint64_t bytes);
+  /// Hands back `bytes` of a lease's reserve (clamped to what the
+  /// lease still holds).
+  void release_admission_lease(std::uint32_t lease_id, std::uint64_t bytes);
+
   /// Accounts `bytes` to the client. Callers gate on `fits()` /
   /// `make_room()` first; charge itself never refuses, so accounting
   /// stays exact even for memory that is already live.

@@ -37,6 +37,8 @@ enum class SpanEventKind : std::uint8_t {
                       ///< 1 = governor hard-watermark abort)
   kGovernorShed,      ///< governor shed hook ran (aux = bytes freed,
                       ///< connection_id = victim)
+  kConnIdleEvicted,   ///< demux evicted an idle connection (aux =
+                      ///< idle time in ns at eviction)
 };
 
 const char* to_string(SpanEventKind k);

@@ -98,8 +98,8 @@ void ChunkTransportReceiver::abort_for_governor(std::uint32_t tpdu_id,
                                                 std::size_t incoming_bytes) {
   ++stats_.governor_refusals;
   obs_add(m_.governor_refusals);
-  if (auto it = tpdus_.find(tpdu_id); it != tpdus_.end()) {
-    for (const HeldChunk& hc : it->second.held) {
+  if (TpduState* st = tpdus_.find(tpdu_id)) {
+    for (const HeldChunk& hc : st->held) {
       drop_unplaced(hc.chunk.payload.size(), /*was_held=*/true);
       ++stats_.held_chunks_evicted;
       stats_.held_bytes_evicted += hc.chunk.payload.size();
@@ -108,7 +108,7 @@ void ChunkTransportReceiver::abort_for_governor(std::uint32_t tpdu_id,
     }
     ++stats_.tpdus_evicted;
     obs_add(m_.tpdus_evicted);
-    tpdus_.erase(it);
+    erase_tpdu_entry(tpdu_id, *st);
   }
   span(SpanEventKind::kTpduEvicted, tpdu_id, 1);
   drop_unplaced(incoming_bytes, /*was_held=*/false);
@@ -276,10 +276,12 @@ void ChunkTransportReceiver::handle_data_chunk(const ChunkView& v,
   }
 
   if (cfg_.max_open_tpdus > 0 && tpdus_.size() >= cfg_.max_open_tpdus &&
-      tpdus_.find(v.h.tpdu.id) == tpdus_.end()) {
+      tpdus_.find(v.h.tpdu.id) == nullptr) {
     evict_for_open_cap();
   }
-  TpduState& st = tpdus_[v.h.tpdu.id];
+  const auto [stp, inserted] = tpdus_.try_emplace(v.h.tpdu.id);
+  TpduState& st = *stp;
+  if (inserted) st.order_node = active_.push_back(v.h.tpdu.id);
   if (st.elements == 0 && st.first_chunk_at == 0) {
     st.first_chunk_at = sim_.now();
     span(SpanEventKind::kTpduFirstChunk, v.h.tpdu.id);
@@ -382,15 +384,17 @@ void ChunkTransportReceiver::handle_data_chunk(const ChunkView& v,
         // superseded copy is dropped unplaced — and its bytes un-held —
         // so both hold accounting and the conservation balance close.
         trace_chunk(TraceEventKind::kChunkHeld, v.h, packet_id);
-        if (const auto it = reorder_queue_.find(off);
-            it != reorder_queue_.end()) {
-          drop_unplaced(it->second.chunk.payload.size(), /*was_held=*/true);
-          it->second = HeldChunk{v.to_chunk(), packet_created_at, packet_id};
-          hold_bytes(it->second.chunk.payload.size());
+        if (HeldChunk* hc = reorder_queue_.find(off)) {
+          drop_unplaced(hc->chunk.payload.size(), /*was_held=*/true);
+          *hc = HeldChunk{v.to_chunk(), packet_created_at, packet_id};
+          hold_bytes(hc->chunk.payload.size());
         } else {
-          const auto [ins, _] = reorder_queue_.emplace(
+          const auto [ins, _] = reorder_queue_.insert_or_assign(
               off, HeldChunk{v.to_chunk(), packet_created_at, packet_id});
-          hold_bytes(ins->second.chunk.payload.size());
+          hold_bytes(ins->chunk.payload.size());
+          reorder_heap_.push_back(off);
+          std::push_heap(reorder_heap_.begin(), reorder_heap_.end(),
+                         std::greater<>{});
         }
       }
       break;
@@ -432,41 +436,66 @@ void ChunkTransportReceiver::handle_data_chunk(const ChunkView& v,
           return;
         }
       }
-      hold_bytes(v.payload.size());
-      trace_chunk(TraceEventKind::kChunkHeld, v.h, packet_id);
-      st.held.push_back(HeldChunk{v.to_chunk(), packet_created_at,
-                                  packet_id});
+      {
+        // The eviction/shedding paths above may have erased entries
+        // (including, via the governor's shed hooks, this very TPDU) and
+        // the flat table moves entries on erase — re-resolve the state
+        // before appending the hold.
+        TpduState* hst = tpdus_.find(tpdu_id);
+        if (hst == nullptr) {
+          drop_unplaced(v.payload.size(), /*was_held=*/false);
+          return;
+        }
+        hold_bytes(v.payload.size());
+        trace_chunk(TraceEventKind::kChunkHeld, v.h, packet_id);
+        if (hst->held.empty()) {
+          hst->holder_node = holders_.push_back(tpdu_id);
+        }
+        hst->held.push_back(HeldChunk{v.to_chunk(), packet_created_at,
+                                      packet_id});
+      }
       break;
   }
 
-  try_finish(tpdu_id, tpdus_[tpdu_id]);
+  if (TpduState* fst = tpdus_.find(tpdu_id)) try_finish(tpdu_id, *fst);
+}
+
+void ChunkTransportReceiver::prune_reorder_heap() {
+  while (!reorder_heap_.empty() &&
+         reorder_queue_.find(reorder_heap_.front()) == nullptr) {
+    std::pop_heap(reorder_heap_.begin(), reorder_heap_.end(),
+                  std::greater<>{});
+    reorder_heap_.pop_back();
+  }
 }
 
 void ChunkTransportReceiver::release_in_order() {
-  auto it = reorder_queue_.begin();
-  while (it != reorder_queue_.end()) {
-    const std::uint64_t off = it->first;
-    const std::uint64_t end = off + it->second.chunk.h.len;
+  // The queue's flat table is unordered; the min-heap supplies offset
+  // order. Offsets erased behind the heap's back (abort purges, full
+  // flushes) surface as stale heap tops and are skipped by the prune.
+  for (prune_reorder_heap(); !reorder_heap_.empty(); prune_reorder_heap()) {
+    const std::uint64_t off = reorder_heap_.front();
+    HeldChunk* hc = reorder_queue_.find(off);
+    const std::uint64_t end = off + hc->chunk.h.len;
     if (end <= next_release_off_) {
       // Fully covered by data already placed: a larger retransmitted
       // chunk (or a direct re-placement) advanced the release point
       // past this entry, e.g. a GapNak slice queued alongside the
       // original. Without this branch the entry sits below the release
       // point forever — a held-state leak.
-      drop_unplaced(it->second.chunk.payload.size(), /*was_held=*/true);
-      it = reorder_queue_.erase(it);
+      drop_unplaced(hc->chunk.payload.size(), /*was_held=*/true);
+      reorder_queue_.erase(off);
       continue;
     }
     if (off > next_release_off_) break;
     // off ≤ next_release_off_ < end: due (a partial overlap re-writes
     // the already-placed prefix with identical bytes — placement is
     // position-keyed).
-    unhold_bytes(it->second.chunk.payload.size());
-    place_chunk(it->second.chunk.h, it->second.chunk.payload,
-                it->second.packet_created_at,
-                /*was_held=*/true, it->second.packet_id);
+    unhold_bytes(hc->chunk.payload.size());
+    place_chunk(hc->chunk.h, hc->chunk.payload, hc->packet_created_at,
+                /*was_held=*/true, hc->packet_id);
     next_release_off_ = end;
-    it = reorder_queue_.erase(it);
+    reorder_queue_.erase(off);
   }
 }
 
@@ -499,8 +528,10 @@ void ChunkTransportReceiver::place_chunk(
   const double latency =
       static_cast<double>(sim_.now() - packet_created_at);
   obs_observe(m_.delivery_latency, latency, h.len);
-  for (std::uint32_t i = 0; i < h.len; ++i) {
-    stats_.delivery_latency_ns.push_back(latency);
+  if (cfg_.record_latency_samples) {
+    for (std::uint32_t i = 0; i < h.len; ++i) {
+      stats_.delivery_latency_ns.push_back(latency);
+    }
   }
 }
 
@@ -508,10 +539,12 @@ void ChunkTransportReceiver::handle_ed_chunk(const ChunkView& v) {
   ++stats_.ed_chunks;
   obs_add(m_.ed_chunks);
   if (cfg_.max_open_tpdus > 0 && tpdus_.size() >= cfg_.max_open_tpdus &&
-      tpdus_.find(v.h.tpdu.id) == tpdus_.end()) {
+      tpdus_.find(v.h.tpdu.id) == nullptr) {
     evict_for_open_cap();
   }
-  TpduState& st = tpdus_[v.h.tpdu.id];
+  const auto [stp, inserted] = tpdus_.try_emplace(v.h.tpdu.id);
+  TpduState& st = *stp;
+  if (inserted) st.order_node = active_.push_back(v.h.tpdu.id);
   if (st.finished) {
     // Finished tombstones exist only for ACCEPTED TPDUs (rejected state
     // is erased). A re-arriving ED chunk means our positive ACK was
@@ -570,6 +603,17 @@ void ChunkTransportReceiver::try_finish(std::uint32_t tpdu_id, TpduState& st) {
   }
 
   st.finished = true;
+  // Queue upkeep: finished TPDUs hold nothing, and only ACCEPTED ones
+  // keep a tombstone (in finish order); rejected state is erased below,
+  // so its creation-order node is simply unlinked.
+  if (st.holder_node != PickQueue::kNil) {
+    holders_.remove(st.holder_node);
+    st.holder_node = PickQueue::kNil;
+  }
+  if (st.order_node != PickQueue::kNil) active_.remove(st.order_node);
+  st.order_node = verdict == TpduVerdict::kAccepted
+                      ? tombstones_.push_back(tpdu_id)
+                      : PickQueue::kNil;
   if (verdict == TpduVerdict::kAccepted) {
     ++stats_.tpdus_accepted;
     obs_add(m_.tpdus_accepted);
@@ -627,14 +671,21 @@ void ChunkTransportReceiver::arm_gap_nak_timer(std::uint32_t tpdu_id,
     return;
   }
   st.nak_timer_armed = true;
-  sim_.schedule_in(cfg_.gap_nak_delay,
-                   [this, tpdu_id] { fire_gap_nak(tpdu_id); });
+  if (cfg_.timers != nullptr) {
+    // Shared-wheel path: O(1) arm, one pump event for the whole
+    // endpoint instead of one simulator heap node per pending NAK.
+    cfg_.timers->arm_in(cfg_.gap_nak_delay,
+                        [this, tpdu_id] { fire_gap_nak(tpdu_id); });
+  } else {
+    sim_.schedule_in(cfg_.gap_nak_delay,
+                     [this, tpdu_id] { fire_gap_nak(tpdu_id); });
+  }
 }
 
 void ChunkTransportReceiver::fire_gap_nak(std::uint32_t tpdu_id) {
-  const auto it = tpdus_.find(tpdu_id);
-  if (it == tpdus_.end()) return;  // rejected & erased meanwhile
-  TpduState& st = it->second;
+  TpduState* stp = tpdus_.find(tpdu_id);
+  if (stp == nullptr) return;  // rejected & erased meanwhile
+  TpduState& st = *stp;
   st.nak_timer_armed = false;
   if (st.finished) return;
 
@@ -657,7 +708,10 @@ void ChunkTransportReceiver::fire_gap_nak(std::uint32_t tpdu_id) {
 }
 
 void ChunkTransportReceiver::flush_reorder_queue() {
-  for (auto& [off, hc] : reorder_queue_) {
+  // Placement is position-keyed, so the flat table's unordered walk is
+  // fine here: every queued chunk force-places to its own offset.
+  for (auto& e : reorder_queue_) {
+    HeldChunk& hc = e.value;
     unhold_bytes(hc.chunk.payload.size());
     ++stats_.held_chunks_evicted;
     stats_.held_bytes_evicted += hc.chunk.payload.size();
@@ -666,23 +720,22 @@ void ChunkTransportReceiver::flush_reorder_queue() {
     trace_chunk(TraceEventKind::kChunkEvicted, hc.chunk.h, hc.packet_id, 1);
     place_chunk(hc.chunk.h, hc.chunk.payload, hc.packet_created_at,
                 /*was_held=*/true, hc.packet_id);
-    next_release_off_ = std::max(next_release_off_, off + hc.chunk.h.len);
+    next_release_off_ =
+        std::max(next_release_off_, e.key + hc.chunk.h.len);
   }
   reorder_queue_.clear();
+  reorder_heap_.clear();
 }
 
 std::optional<std::uint32_t> ChunkTransportReceiver::evict_oldest_holder() {
-  auto victim = tpdus_.end();
-  for (auto it = tpdus_.begin(); it != tpdus_.end(); ++it) {
-    if (it->second.finished || it->second.held.empty()) continue;
-    if (victim == tpdus_.end() ||
-        it->second.first_chunk_at < victim->second.first_chunk_at) {
-      victim = it;
-    }
-  }
-  if (victim == tpdus_.end()) return std::nullopt;
-  const std::uint32_t id = victim->first;
-  for (const HeldChunk& hc : victim->second.held) {
+  // holders_ is first-hold order, and a TPDU's first hold happens at
+  // its first chunk (reassemble mode holds every accepted chunk), so
+  // the queue head IS the oldest holder: O(1), no table scan.
+  if (holders_.empty()) return std::nullopt;
+  ++stats_.evict_scan_steps;
+  const std::uint32_t id = holders_.value(holders_.front());
+  TpduState& st = *tpdus_.find(id);
+  for (const HeldChunk& hc : st.held) {
     drop_unplaced(hc.chunk.payload.size(), /*was_held=*/true);
     ++stats_.held_chunks_evicted;
     stats_.held_bytes_evicted += hc.chunk.payload.size();
@@ -693,7 +746,7 @@ std::optional<std::uint32_t> ChunkTransportReceiver::evict_oldest_holder() {
   ++stats_.tpdus_evicted;
   obs_add(m_.tpdus_evicted);
   span(SpanEventKind::kTpduEvicted, id, 0);
-  tpdus_.erase(victim);
+  erase_tpdu_entry(id, st);
   return id;
 }
 
@@ -703,24 +756,34 @@ void ChunkTransportReceiver::evict_for_open_cap() {
   // complete-but-not-yet-delivered TPDU (all data arrived, ED chunk
   // still in flight) is the worst possible victim — evicting it throws
   // away a full retransmission's worth of progress — so it goes last.
-  // Among equals, oldest first chunk.
-  const auto rank = [](const TpduState& st) {
-    if (st.finished) return 0;
-    return st.tracker.complete() ? 2 : 1;
-  };
-  auto victim = tpdus_.end();
-  int victim_rank = 3;
-  for (auto it = tpdus_.begin(); it != tpdus_.end(); ++it) {
-    const int r = rank(it->second);
-    if (victim == tpdus_.end() || r < victim_rank ||
-        (r == victim_rank &&
-         it->second.first_chunk_at < victim->second.first_chunk_at)) {
-      victim = it;
-      victim_rank = r;
+  // Among equals, oldest first chunk. Tombstones pop from their queue
+  // head in O(1); otherwise the creation-order walk (== first-chunk
+  // order; sim time is monotonic) stops at the FIRST incomplete TPDU,
+  // so under a TPDU flood — where the oldest entries are incomplete —
+  // shedding is O(evicted), not O(live table).
+  std::uint32_t victim_id = 0;
+  if (!tombstones_.empty()) {
+    ++stats_.evict_scan_steps;
+    victim_id = tombstones_.value(tombstones_.front());
+  } else {
+    std::int32_t complete_fallback = PickQueue::kNil;
+    std::int32_t chosen = PickQueue::kNil;
+    for (std::int32_t n = active_.front(); n != PickQueue::kNil;
+         n = active_.next(n)) {
+      ++stats_.evict_scan_steps;
+      const TpduState& st = *tpdus_.find(active_.value(n));
+      if (!st.tracker.complete()) {
+        chosen = n;
+        break;
+      }
+      if (complete_fallback == PickQueue::kNil) complete_fallback = n;
     }
+    if (chosen == PickQueue::kNil) chosen = complete_fallback;
+    if (chosen == PickQueue::kNil) return;
+    victim_id = active_.value(chosen);
   }
-  if (victim == tpdus_.end()) return;
-  for (const HeldChunk& hc : victim->second.held) {
+  TpduState& st = *tpdus_.find(victim_id);
+  for (const HeldChunk& hc : st.held) {
     drop_unplaced(hc.chunk.payload.size(), /*was_held=*/true);
     ++stats_.held_chunks_evicted;
     stats_.held_bytes_evicted += hc.chunk.payload.size();
@@ -730,19 +793,28 @@ void ChunkTransportReceiver::evict_for_open_cap() {
   }
   ++stats_.tpdus_evicted;
   obs_add(m_.tpdus_evicted);
-  span(SpanEventKind::kTpduEvicted, victim->first, 0);
-  tpdus_.erase(victim);
+  span(SpanEventKind::kTpduEvicted, victim_id, 0);
+  erase_tpdu_entry(victim_id, st);
+}
+
+void ChunkTransportReceiver::erase_tpdu_entry(std::uint32_t tpdu_id,
+                                              TpduState& st) {
+  if (st.holder_node != PickQueue::kNil) holders_.remove(st.holder_node);
+  if (st.order_node != PickQueue::kNil) {
+    (st.finished ? tombstones_ : active_).remove(st.order_node);
+  }
+  tpdus_.erase(tpdu_id);
 }
 
 void ChunkTransportReceiver::abort_tpdu(std::uint32_t tpdu_id) {
   // No early-out on a missing context entry: a rejected-then-abandoned
   // TPDU was already erased by try_finish, but its chunks may still sit
   // in the reorder queue below.
-  if (auto it = tpdus_.find(tpdu_id); it != tpdus_.end()) {
-    for (const HeldChunk& hc : it->second.held) {
+  if (TpduState* st = tpdus_.find(tpdu_id)) {
+    for (const HeldChunk& hc : st->held) {
       drop_unplaced(hc.chunk.payload.size(), /*was_held=*/true);
     }
-    tpdus_.erase(it);
+    erase_tpdu_entry(tpdu_id, *st);
   }
   if (cfg_.mode != DeliveryMode::kReorder) return;
   // Purge the aborted TPDU's queued chunks (they can never be released
@@ -751,36 +823,44 @@ void ChunkTransportReceiver::abort_tpdu(std::uint32_t tpdu_id) {
   // it would otherwise wait forever (held-state leak). Placement is
   // position-keyed, so releasing past the hole keeps bytes exact — the
   // same ordering-degradation contract as flush_reorder_queue().
-  for (auto q = reorder_queue_.begin(); q != reorder_queue_.end();) {
-    if (q->second.chunk.h.tpdu.id == tpdu_id) {
-      drop_unplaced(q->second.chunk.payload.size(), /*was_held=*/true);
-      q = reorder_queue_.erase(q);
-    } else {
-      ++q;
-    }
+  // Collect first: FlatMap::erase backward-shifts entries, which would
+  // derail an in-place iteration.
+  std::vector<std::uint64_t> purge;
+  for (const auto& e : reorder_queue_) {
+    if (e.value.chunk.h.tpdu.id == tpdu_id) purge.push_back(e.key);
   }
-  if (!reorder_queue_.empty() &&
-      next_release_off_ < reorder_queue_.begin()->first) {
-    next_release_off_ = reorder_queue_.begin()->first;
+  for (const std::uint64_t off : purge) {
+    HeldChunk* hc = reorder_queue_.find(off);
+    drop_unplaced(hc->chunk.payload.size(), /*was_held=*/true);
+    reorder_queue_.erase(off);
+  }
+  prune_reorder_heap();  // the purged offsets may include the heap top
+  if (!reorder_heap_.empty() && next_release_off_ < reorder_heap_.front()) {
+    next_release_off_ = reorder_heap_.front();
     release_in_order();
   }
 }
 
 std::size_t ChunkTransportReceiver::unfinished_tpdus() const {
-  std::size_t n = 0;
-  for (const auto& [id, st] : tpdus_) {
-    if (!st.finished) ++n;
-  }
-  return n;
+  return active_.size();
 }
 
 std::vector<std::uint32_t> ChunkTransportReceiver::unfinished_tpdu_ids()
     const {
   std::vector<std::uint32_t> ids;
-  for (const auto& [id, st] : tpdus_) {
-    if (!st.finished) ids.push_back(id);
+  ids.reserve(active_.size());
+  for (std::int32_t n = active_.front(); n != PickQueue::kNil;
+       n = active_.next(n)) {
+    ids.push_back(active_.value(n));
   }
   return ids;
+}
+
+std::size_t ChunkTransportReceiver::state_bytes() const {
+  return tpdus_.memory_bytes() + reorder_queue_.memory_bytes() +
+         reorder_heap_.capacity() * sizeof(std::uint64_t) +
+         active_.memory_bytes() + tombstones_.memory_bytes() +
+         holders_.memory_bytes();
 }
 
 }  // namespace chunknet

@@ -19,7 +19,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <optional>
 #include <span>
 #include <vector>
@@ -28,8 +27,11 @@
 #include "src/chunk/compress.hpp"
 #include "src/chunk/types.hpp"
 #include "src/common/buffer_pool.hpp"
+#include "src/common/flat_map.hpp"
 #include "src/common/interval_set.hpp"
+#include "src/common/pick_queue.hpp"
 #include "src/common/resource_governor.hpp"
+#include "src/common/timer_wheel.hpp"
 #include "src/netsim/simulator.hpp"
 #include "src/obs/obs.hpp"
 #include "src/reassembly/virtual_reassembly.hpp"
@@ -82,6 +84,11 @@ struct ReceiverConfig {
   /// recovery). Re-armed after each NAK, up to max_gap_naks times.
   SimTime gap_nak_delay{0};
   int max_gap_naks{6};
+  /// When set, gap-NAK deadlines are armed on this shared timer wheel
+  /// instead of as individual simulator events — at million-flow scale
+  /// one pump event replaces one heap node per pending deadline. The
+  /// wheel must outlive the receiver.
+  SimTimerWheel* timers{nullptr};
   /// When set, packets in the compact Appendix-A syntax (magic 0xC5)
   /// are accepted under this (signalled) profile, alongside canonical
   /// ones — "chunk headers can have different formats in different
@@ -119,6 +126,11 @@ struct ReceiverConfig {
   bool grant_credit{false};
   std::uint64_t credit_window_bytes{64 * 1024};
   std::uint16_t credit_tpdu_slots{4};
+  /// Per-element delivery-latency samples are appended to
+  /// stats().delivery_latency_ns when true. Benches that sweep very
+  /// large flow counts turn this off: the histogram (obs) keeps
+  /// recording, but per-element vectors would dominate memory.
+  bool record_latency_samples{true};
   /// Observability (optional). Metric names are prefixed with
   /// "receiver.<mode>." so runs in different delivery modes stay
   /// distinguishable in one registry.
@@ -204,6 +216,11 @@ class ChunkTransportReceiver final : public PacketSink {
     /// credit grants advertised to the sender.
     std::uint64_t governor_refusals{0};
     std::uint64_t credit_grants_sent{0};
+    /// Entries examined by eviction passes (holder eviction is queue-
+    /// head pops, open-cap eviction walks the age order only until the
+    /// first incomplete TPDU): the bounded-shed tests assert this stays
+    /// O(evicted), never O(live table).
+    std::uint64_t evict_scan_steps{0};
     /// Per-element delivery latency samples (ns), packet creation to
     /// placement in application memory.
     std::vector<double> delivery_latency_ns;
@@ -221,6 +238,12 @@ class ChunkTransportReceiver final : public PacketSink {
   std::size_t unfinished_tpdus() const;
   std::vector<std::uint32_t> unfinished_tpdu_ids() const;
   std::size_t reorder_queue_chunks() const { return reorder_queue_.size(); }
+
+  /// Structural bytes of the per-connection tables (TPDU contexts,
+  /// reorder queue, eviction queues) — the footprint the flow-scale
+  /// bench tracks per connection. Excludes the app buffer and the
+  /// variable-size per-TPDU internals (held vectors, tracker runs).
+  std::size_t state_bytes() const;
 
  private:
   struct HeldChunk {
@@ -242,6 +265,12 @@ class ChunkTransportReceiver final : public PacketSink {
     int gap_naks_sent{0};
     bool nak_timer_armed{false};
     std::vector<HeldChunk> held;  ///< kReassemble mode only
+    /// Intrusive handles into the eviction queues (PickQueue::kNil when
+    /// not enqueued): creation-order node (active_ while unfinished,
+    /// tombstones_ once accepted) and first-hold-order node (holders_,
+    /// kReassemble mode while held is non-empty).
+    std::int32_t order_node{PickQueue::kNil};
+    std::int32_t holder_node{PickQueue::kNil};
   };
 
   void handle_data_chunk(const ChunkView& v, SimTime packet_created_at,
@@ -265,6 +294,12 @@ class ChunkTransportReceiver final : public PacketSink {
   /// max_open_tpdus pressure: drops one context entry (finished
   /// tombstones first, oldest first; else the oldest unfinished TPDU).
   void evict_for_open_cap();
+  /// Unlinks the TPDU's eviction-queue nodes and erases its table
+  /// entry. Any TpduState pointers are invalid afterwards.
+  void erase_tpdu_entry(std::uint32_t tpdu_id, TpduState& st);
+  /// Drops stale (already-erased) offsets from the top of the reorder
+  /// min-heap so front() is the smallest live queued offset.
+  void prune_reorder_heap();
   void hold_bytes(std::uint64_t n);
   void unhold_bytes(std::uint64_t n);
   /// Governor shed hook: frees one round of holdings (reorder: flush
@@ -323,13 +358,25 @@ class ChunkTransportReceiver final : public PacketSink {
   std::vector<ChunkView> view_scratch_;
   std::vector<std::uint8_t> app_buffer_;
   IntervalSet app_coverage_;  ///< element-granular, relative to first_conn_sn
-  std::map<std::uint32_t, TpduState> tpdus_;
+  FlatMap<std::uint32_t, TpduState> tpdus_;
+  /// Eviction bookkeeping over tpdus_, all O(1) per update: unfinished
+  /// TPDUs in creation order (== first-chunk order; sim time is
+  /// monotonic), accepted tombstones in finish order, and reassemble-
+  /// mode holders in first-hold order. Eviction pops queue heads
+  /// instead of scanning the table, so shedding a few entries from a
+  /// 100k-flow table is O(evicted), not O(live).
+  PickQueue active_;
+  PickQueue tombstones_;
+  PickQueue holders_;
   /// kReorder mode: chunks waiting for their turn, keyed by the
   /// chunk's stream offset — the wrapping 32-bit distance from
   /// first_conn_sn, widened to 64 bits. Ordering in offset space stays
   /// correct when C.SN wraps past 2^32 mid-connection; ordering in raw
-  /// C.SN space does not.
-  std::map<std::uint64_t, HeldChunk> reorder_queue_;
+  /// C.SN space does not. The flat map is unordered, so release order
+  /// comes from a lazy-deletion min-heap of offsets: entries erased
+  /// behind the heap's back (aborts) are skipped when they surface.
+  FlatMap<std::uint64_t, HeldChunk> reorder_queue_;
+  std::vector<std::uint64_t> reorder_heap_;
   std::uint64_t next_release_off_{0};
   /// Stream offset of a data chunk: wrapping distance from the
   /// connection's first C.SN.

@@ -155,11 +155,20 @@ void ChunkTransportSender::pump_queue() {
   publish_flow_gauges();
 }
 
+void ChunkTransportSender::schedule_after(SimTime delay,
+                                          std::function<void()> cb) {
+  if (cfg_.timers != nullptr) {
+    cfg_.timers->arm_in(delay, std::move(cb));
+  } else {
+    sim_.schedule_in(delay, std::move(cb));
+  }
+}
+
 void ChunkTransportSender::arm_probe() {
   if (probe_armed_) return;
   probe_armed_ = true;
   const std::uint64_t epoch = admit_epoch_;
-  sim_.schedule_in(cfg_.flow.probe_timeout, [this, epoch] {
+  schedule_after(cfg_.flow.probe_timeout, [this, epoch] {
     probe_armed_ = false;
     if (send_queue_.empty()) return;
     if (admit_epoch_ != epoch) {
@@ -254,7 +263,7 @@ void ChunkTransportSender::arm_timer(std::uint32_t tpdu_id) {
   const SimTime armed_at = sim_.now();
   const SimTime timeout =
       cfg_.rto.adaptive ? rto_.rto() : cfg_.retransmit_timeout;
-  sim_.schedule_in(timeout, [this, tpdu_id, armed_at] {
+  schedule_after(timeout, [this, tpdu_id, armed_at] {
     auto it = outstanding_.find(tpdu_id);
     if (it == outstanding_.end()) return;          // acked meanwhile
     if (it->second.last_sent > armed_at) return;   // newer timer pending

@@ -24,6 +24,7 @@
 #include "src/chunk/compress.hpp"
 #include "src/chunk/gather.hpp"
 #include "src/chunk/packetizer.hpp"
+#include "src/common/timer_wheel.hpp"
 #include "src/netsim/simulator.hpp"
 #include "src/obs/obs.hpp"
 #include "src/transport/invariant.hpp"
@@ -42,6 +43,11 @@ struct SenderConfig {
   /// retransmission timer tracks measured RTT instead of the fixed
   /// `retransmit_timeout` (which then only seeds the estimator).
   RtoConfig rto{};
+  /// When set, retransmission and zero-credit-probe deadlines are armed
+  /// on this shared timer wheel instead of as individual simulator heap
+  /// events — at million-flow scale one pump event replaces one heap
+  /// node per armed deadline. The wheel must outlive the sender.
+  SimTimerWheel* timers{nullptr};
   /// Selective retransmission (extension): honour GapNak signal chunks
   /// by resending ONLY the missing element runs (chunks are cut to the
   /// exact gap boundaries with the Appendix-C split, so the receiver's
@@ -176,6 +182,9 @@ class ChunkTransportSender final : public PacketSink {
 
   void transmit_tpdu(std::uint32_t tpdu_id, PendingTpdu& p);
   void arm_timer(std::uint32_t tpdu_id);
+  /// Routes a deadline to the shared wheel when configured, else to the
+  /// simulator's event heap.
+  void schedule_after(SimTime delay, std::function<void()> cb);
   void handle_gap_nak(const Chunk& signal);
   void handle_credit_grant(const Chunk& signal);
   /// Admits queued TPDUs while credit and slots allow; arms the

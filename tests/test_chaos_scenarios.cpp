@@ -63,6 +63,45 @@ TEST(ChaosScenario, GeneratorRespectsModeSafetyConstraints) {
   EXPECT_GT(corrupting, 50);  // the distribution actually exercises faults
 }
 
+TEST(ChaosScenario, ChurnIsDrawnOnlyIntoOverloadRuns) {
+  int churning = 0;
+  for (std::uint64_t seed = 1; seed <= 300; ++seed) {
+    const ChaosScenario sc = make_scenario(seed);
+    if (sc.churn_connections == 0) continue;
+    ++churning;
+    EXPECT_TRUE(sc.overloaded()) << "seed " << seed;
+    EXPECT_GT(sc.churn_interval, 0u) << "seed " << seed;
+  }
+  // Roughly an eighth of seeds (overload 1/4 × churn 1/2) churn; the
+  // distribution must actually reach the dimension.
+  EXPECT_GT(churning, 15);
+}
+
+TEST(ChaosScenario, ConnectionChurnRunHoldsEveryOracle) {
+  // A hand-built churn scenario sized so the governor MUST refuse some
+  // churn admissions: three live transfers reserve 24 KiB of the 48 KiB
+  // budget, churn opens arrive five-concurrent at 8 KiB apiece, so the
+  // headroom runs out mid-churn. The run exercises admission, TTL'd
+  // refusal memory, and close/release against the sharded
+  // demultiplexer, and every oracle still holds.
+  ChaosScenario sc;
+  sc.seed = 99;
+  sc.connections = 3;
+  sc.offered_load = 1.5;
+  sc.governor_budget = 48 * 1024;
+  sc.flow_control = true;
+  sc.mode = DeliveryMode::kReassemble;
+  sc.churn_connections = 32;
+  sc.churn_interval = 2 * kMillisecond;
+  ASSERT_TRUE(sc.overloaded());
+  const ChaosResult r = run_chaos(sc);
+  EXPECT_TRUE(r.ok) << (r.failures.empty() ? "?" : r.failures.front());
+  // The admission tally covers the churn decisions, not just the three
+  // long-lived connections.
+  EXPECT_GT(r.connections_admitted + r.connections_refused, 3u);
+  EXPECT_GT(r.connections_refused, 0u);
+}
+
 /// The documented-unsafe configuration: header bit-flips with
 /// immediate-mode delivery. A flipped low-order C.SN byte redirects a
 /// chunk's placement into a neighbouring TPDU's already-delivered

@@ -272,5 +272,52 @@ TEST(Eviction, OpenTpduCapBoundsStateUnderTpduFlood) {
   EXPECT_EQ(rx.elements_delivered(), 32u * 4u);
 }
 
+TEST(Eviction, HundredThousandFlowTableShedsInBoundedWork) {
+  // Scale regression for the flat-table refactor: with 100k open TPDUs
+  // at the cap, each further arrival evicts exactly one victim, and the
+  // work done to FIND victims must be O(evicted) — queue-head pops and
+  // a walk that stops at the first incomplete entry — never a scan of
+  // the 100k live entries. The old std::map implementation scanned the
+  // whole table per eviction (O(live × evicted) here, ~10^7 steps).
+  constexpr std::uint32_t kLive = 100'000;
+  constexpr std::uint32_t kExtra = 100;
+  Simulator sim;
+  ReceiverConfig rc = base_config(16, DeliveryMode::kImmediate);
+  rc.max_open_tpdus = kLive;
+  ChunkTransportReceiver rx(sim, std::move(rc));
+
+  auto open_chunk = [](std::uint32_t id) {
+    Chunk c;
+    c.h.type = ChunkType::kData;
+    c.h.size = 4;
+    c.h.len = 4;
+    // Every TPDU maps to the same (tiny) app range: this test is about
+    // table work, not placement.
+    c.h.conn = {1, 0, false};
+    c.h.tpdu = {id, 0, false};  // no stop: stays open and incomplete
+    c.h.xpdu = {1, 0, false};
+    c.payload.assign(16, static_cast<std::uint8_t>(id));
+    return c;
+  };
+
+  for (std::uint32_t id = 1; id <= kLive; ++id) {
+    rx.on_chunk(open_chunk(id), 0);
+  }
+  ASSERT_EQ(rx.open_tpdus(), kLive);
+  EXPECT_EQ(rx.stats().evict_scan_steps, 0u);
+
+  for (std::uint32_t id = kLive + 1; id <= kLive + kExtra; ++id) {
+    rx.on_chunk(open_chunk(id), 0);
+  }
+  EXPECT_EQ(rx.open_tpdus(), kLive);
+  EXPECT_EQ(rx.stats().tpdus_evicted, kExtra);
+  // One step per eviction: the creation-order walk's head entry is
+  // itself incomplete, so every victim search terminates immediately.
+  EXPECT_EQ(rx.stats().evict_scan_steps, kExtra);
+  // Structural footprint stays flat-table sized (tens of bytes per
+  // TPDU entry), nowhere near node-per-entry map territory.
+  EXPECT_LT(rx.state_bytes(), kLive * 512u);
+}
+
 }  // namespace
 }  // namespace chunknet

@@ -9,6 +9,7 @@
 
 #include <memory>
 
+#include "src/chunk/builder.hpp"
 #include "src/chunk/codec.hpp"
 #include "src/common/interval_set.hpp"
 #include "src/netsim/link.hpp"
@@ -96,6 +97,115 @@ TEST(Wraparound, PduTrackerRejectsRunsProjectingPastU32) {
   EXPECT_EQ(t.add(0xFFFFFF00u, 16, false), PieceVerdict::kDuplicate);
 }
 
+// ---------------------------------------------- reorder queue + wrap
+
+std::vector<std::uint8_t> pattern(std::size_t n) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::uint8_t>((i * 2654435761u) >> 13);
+  }
+  return v;
+}
+
+/// One 4-element data chunk of connection 7 / TPDU `tpdu_id` at raw
+/// connection SN `conn_sn` (which may have wrapped past 2^32) and TPDU
+/// SN `tpdu_sn`, payload sliced from `stream` at the element offset.
+Chunk wrap_data_chunk(const std::vector<std::uint8_t>& stream,
+                      std::uint32_t tpdu_id, std::uint32_t conn_sn,
+                      std::uint32_t tpdu_sn, std::uint64_t element_off,
+                      bool stop) {
+  Chunk c;
+  c.h.type = ChunkType::kData;
+  c.h.size = 4;
+  c.h.len = 4;
+  c.h.conn = {7, conn_sn, false};
+  c.h.tpdu = {tpdu_id, tpdu_sn, stop};
+  c.h.xpdu = {tpdu_id, tpdu_sn, false};
+  c.payload.assign(stream.begin() + static_cast<std::ptrdiff_t>(element_off * 4),
+                   stream.begin() + static_cast<std::ptrdiff_t>((element_off + 4) * 4));
+  return c;
+}
+
+TEST(Wraparound, ReorderQueueHoldsAndReleasesInOrderAcrossTheWrap) {
+  // Reorder mode, first_conn_sn eight elements below 2^32: the queued
+  // chunks' raw C.SNs wrap to tiny values mid-TPDU. Keys and release
+  // ordering live in stream-offset space, so the post-wrap chunks must
+  // be HELD (not mistaken for already-released data, which is what raw
+  // C.SN comparison would conclude: 0 < release point) and then
+  // released strictly in order once the head-of-line chunk lands.
+  const auto stream = pattern(16 * 4);  // 16 elements
+  const std::uint32_t first = 0xFFFFFFFFu - 7u;  // elements 8..15 wrap
+  Simulator sim;
+  ReceiverConfig rc;
+  rc.connection_id = 7;
+  rc.element_size = 4;
+  rc.first_conn_sn = first;
+  rc.mode = DeliveryMode::kReorder;
+  rc.app_buffer_bytes = stream.size();
+  ChunkTransportReceiver rx(sim, std::move(rc));
+
+  std::vector<Chunk> chunks;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    chunks.push_back(wrap_data_chunk(stream, 1, first + i * 4, i * 4,
+                                     i * 4, /*stop=*/i == 3));
+  }
+  TpduInvariant inv;
+  for (const Chunk& c : chunks) inv.absorb(c);
+
+  // Everything but the head arrives first — including both chunks whose
+  // C.SN wrapped (raw SNs 0 and 4, far "below" first).
+  rx.on_chunk(chunks[2], 0);
+  rx.on_chunk(chunks[3], 0);
+  rx.on_chunk(chunks[1], 0);
+  EXPECT_EQ(rx.reorder_queue_chunks(), 3u);
+  EXPECT_EQ(rx.stats().held_bytes_now, 48u);
+  EXPECT_EQ(rx.stats().chunks_placed, 0u);
+
+  // The head releases the whole run in offset order; nothing is
+  // force-flushed and nothing lands out of bounds.
+  rx.on_chunk(chunks[0], 0);
+  rx.on_chunk(make_ed_chunk(7, 1, first, inv.value()), 0);
+  EXPECT_EQ(rx.reorder_queue_chunks(), 0u);
+  EXPECT_EQ(rx.stats().held_bytes_now, 0u);
+  EXPECT_EQ(rx.stats().held_chunks_evicted, 0u);
+  EXPECT_EQ(rx.stats().oob_chunks, 0u);
+  EXPECT_EQ(rx.stats().tpdus_accepted, 1u);
+  EXPECT_TRUE(rx.stream_complete(16));
+  EXPECT_TRUE(
+      std::equal(stream.begin(), stream.end(), rx.app_data().begin()));
+}
+
+TEST(Wraparound, AbortedTpduHoleIsSkippedAcrossTheWrap) {
+  // TPDU 1 owns the pre-wrap half of the stream and is aborted before
+  // any of its chunks arrive; TPDU 2's post-wrap chunks are already
+  // queued. The abort must advance the release point past the hole —
+  // comparing offsets, not raw (wrapped) C.SNs — so the queued post-
+  // wrap data drains instead of leaking as held state.
+  const auto stream = pattern(16 * 4);
+  const std::uint32_t first = 0xFFFFFFFFu - 7u;
+  Simulator sim;
+  ReceiverConfig rc;
+  rc.connection_id = 7;
+  rc.element_size = 4;
+  rc.first_conn_sn = first;
+  rc.mode = DeliveryMode::kReorder;
+  rc.app_buffer_bytes = stream.size();
+  ChunkTransportReceiver rx(sim, std::move(rc));
+
+  // TPDU 2: elements 8..15 (both chunks' raw C.SNs have wrapped).
+  rx.on_chunk(wrap_data_chunk(stream, 2, first + 8, 0, 8, false), 0);
+  rx.on_chunk(wrap_data_chunk(stream, 2, first + 12, 4, 12, true), 0);
+  EXPECT_EQ(rx.reorder_queue_chunks(), 2u);
+
+  rx.abort_tpdu(1);
+  EXPECT_EQ(rx.reorder_queue_chunks(), 0u);
+  EXPECT_EQ(rx.stats().held_bytes_now, 0u);
+  EXPECT_EQ(rx.stats().oob_chunks, 0u);
+  EXPECT_EQ(rx.elements_delivered(), 8u);
+  EXPECT_TRUE(std::equal(stream.begin() + 32, stream.end(),
+                         rx.app_data().begin() + 32));
+}
+
 // ------------------------------------------------------ full transport
 
 struct WrapHarness {
@@ -152,14 +262,6 @@ struct WrapHarness {
     reverse = std::make_unique<Link>(sim, rev_cfg, *sender, rng);
   }
 };
-
-std::vector<std::uint8_t> pattern(std::size_t n) {
-  std::vector<std::uint8_t> v(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    v[i] = static_cast<std::uint8_t>((i * 2654435761u) >> 13);
-  }
-  return v;
-}
 
 class WrapTransfer : public ::testing::TestWithParam<DeliveryMode> {};
 
