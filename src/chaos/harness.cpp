@@ -10,6 +10,7 @@
 #include "src/chunk/codec.hpp"
 #include "src/common/resource_governor.hpp"
 #include "src/common/rng.hpp"
+#include "src/netsim/multipath.hpp"
 #include "src/netsim/router.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/spans.hpp"
@@ -121,6 +122,8 @@ struct CaptureRig {
     sampler->track_counter("sender.retransmissions");
     sampler->track_counter("sender.gave_up");
     sampler->track_counter("sender.tpdus_acked");
+    sampler->track_counter("mpath.failovers");
+    sampler->track_counter("mpath.failbacks");
     sampler->track_gauge("governor.charged_bytes");
     sampler->track_counter("governor.sheds");
     sampler->track_counter("flow.grants_sent");
@@ -219,8 +222,40 @@ ChaosResult run_chaos(const ChaosScenario& sc, ChaosCapture* capture) {
   fc.obs = &obs;
   FaultInjector injector(sim, fc, *downstream, rng);
 
-  links[0] = std::make_unique<Link>(
-      sim, to_link_config(sc.hops[0], &obs, 0), injector, rng);
+  // Hop 0 is either one link or a multipath plane spraying across
+  // mp_paths skewed copies of it (aggregate rate preserved), feeding
+  // the same fault injector either way.
+  std::unique_ptr<MultipathScheduler> mpath;
+  if (sc.multipath()) {
+    MultipathConfig mc;
+    mc.mode = static_cast<SprayMode>(sc.mp_mode);
+    mc.obs = &obs;
+    std::vector<MultipathPathConfig> mpc(sc.mp_paths);
+    for (std::uint32_t i = 0; i < sc.mp_paths; ++i) {
+      mpc[i].link = to_link_config(sc.hops[0], nullptr, 0);
+      mpc[i].link.rate_bps /= sc.mp_paths;
+      mpc[i].link.prop_delay += i * sc.mp_skew;
+      if (sc.mp_loss > 0.0) {
+        mpc[i].faults =
+            GilbertElliottConfig::with_mean_loss(sc.mp_loss, 4.0);
+      }
+    }
+    mpath = std::make_unique<MultipathScheduler>(sim, mc, std::move(mpc),
+                                                 injector, rng);
+    if (sc.mp_kill_at > 0) {
+      MultipathScheduler* mp = mpath.get();
+      const std::size_t victim = sc.mp_kill_path % sc.mp_paths;
+      sim.schedule_at(sc.mp_kill_at,
+                      [mp, victim] { mp->kill_path(victim); });
+      if (sc.mp_revive_at > sc.mp_kill_at) {
+        sim.schedule_at(sc.mp_revive_at,
+                        [mp, victim] { mp->revive_path(victim); });
+      }
+    }
+  } else {
+    links[0] = std::make_unique<Link>(
+        sim, to_link_config(sc.hops[0], &obs, 0), injector, rng);
+  }
 
   // ---- sender
   SenderConfig sd;
@@ -236,12 +271,16 @@ ChaosResult run_chaos(const ChaosScenario& sc, ChaosCapture* capture) {
   sd.rto.adaptive = sc.adaptive_rto;
   sd.selective_retransmit = sc.selective_retransmit;
   sd.obs = &obs;
-  sd.send_packet = [&sim, &links](std::vector<std::uint8_t> bytes) {
+  sd.send_packet = [&sim, &links, &mpath](std::vector<std::uint8_t> bytes) {
     SimPacket sp;
     sp.bytes = std::move(bytes);
     sp.id = sim.next_packet_id();
     sp.created_at = sim.now();
-    links[0]->send(std::move(sp));
+    if (mpath != nullptr) {
+      mpath->send(std::move(sp));
+    } else {
+      links[0]->send(std::move(sp));
+    }
   };
   auto sender = std::make_unique<ChunkTransportSender>(sim, std::move(sd));
 
@@ -463,6 +502,62 @@ ChaosResult run_chaos(const ChaosScenario& sc, ChaosCapture* capture) {
     if (ss.naks != 0) {
       res.fail(fmt("oracle-5: %llu NAKs in a corruption-free scenario",
                    ss.naks));
+    }
+  }
+
+  // ---- oracle 7: no stranded packets on a dead path. Every packet
+  // the spray plane transmitted is accounted as delivered or as loss
+  // evidence (dead-path drops included), nothing is still tracked in
+  // flight at quiescence, a killed path never carried traffic while a
+  // live one existed, and the kill itself surfaced as a failover. The
+  // registry's per-path counters must agree with the scheduler.
+  if (mpath != nullptr) {
+    const auto& ms = mpath->stats();
+    res.mp_failovers = ms.failovers;
+    res.mp_failbacks = ms.failbacks;
+    if (mpath->inflight() != 0) {
+      res.fail(fmt("oracle-7: %llu packets still tracked in flight on "
+                   "the multipath plane after quiescence",
+                   mpath->inflight()));
+    }
+    std::uint64_t sprayed_sum = 0;
+    for (std::size_t i = 0; i < mpath->path_count(); ++i) {
+      const auto& ps = mpath->path_stats(i);
+      sprayed_sum += ps.tx_packets;
+      res.mp_lost += ps.lost;
+      if (ps.tx_packets != ps.delivered + ps.lost) {
+        res.fail(fmt((std::string("oracle-7: path ") + std::to_string(i) +
+                      " conservation does not close: %llu tx != %llu "
+                      "delivered+lost")
+                         .c_str(),
+                     ps.tx_packets, ps.delivered + ps.lost));
+      }
+      const std::string mp =
+          "mpath.path" + std::to_string(i) + ".tx_packets";
+      if (reg.counter(mp).value() != ps.tx_packets) {
+        res.fail(fmt((std::string("oracle-7: registry ") + mp +
+                      " = %llu but scheduler stats say %llu")
+                         .c_str(),
+                     reg.counter(mp).value(), ps.tx_packets));
+      }
+    }
+    if (sprayed_sum != ms.sprayed) {
+      res.fail(fmt("oracle-7: %llu sprayed packets but per-path tx sums "
+                   "to %llu",
+                   ms.sprayed, sprayed_sum));
+    }
+    if (ms.killed_path_sends != 0) {
+      res.fail(fmt("oracle-7: %llu packets were routed onto a killed "
+                   "path while a live path existed",
+                   ms.killed_path_sends));
+    }
+    if (sc.mp_kill_at > 0 && ms.failovers == 0) {
+      res.fail("oracle-7: a path was killed mid-run but no failover was "
+               "ever recorded");
+    }
+    if (reg.counter("mpath.failovers").value() != ms.failovers) {
+      res.fail(fmt("oracle-7: registry mpath.failovers %llu != stats %llu",
+                   reg.counter("mpath.failovers").value(), ms.failovers));
     }
   }
 
@@ -1004,6 +1099,28 @@ ChaosScenario minimize_scenario(const ChaosScenario& sc, int steps) {
         if (s.churn_connections == 0) return false;
         s.churn_connections = 0;
         s.churn_interval = 0;
+        return true;
+      },
+      [](ChaosScenario& s) {
+        // Shed the whole multipath plane back to a single first hop.
+        if (!s.multipath()) return false;
+        s.mp_paths = 0;
+        s.mp_mode = 0;
+        s.mp_skew = 0;
+        s.mp_loss = 0.0;
+        s.mp_kill_at = s.mp_revive_at = 0;
+        s.mp_kill_path = 0;
+        return true;
+      },
+      [](ChaosScenario& s) {
+        if (s.mp_kill_at == 0) return false;
+        s.mp_kill_at = s.mp_revive_at = 0;
+        return true;
+      },
+      [](ChaosScenario& s) {
+        if (s.mp_loss == 0.0 && s.mp_skew == 0) return false;
+        s.mp_loss = 0.0;
+        s.mp_skew = 0;
         return true;
       },
       [](ChaosScenario& s) {

@@ -25,6 +25,12 @@
 //      (admitted + refused = offered), and no admitted connection
 //      starves — each one either accepts at least one TPDU or has its
 //      whole stream truthfully reported given-up by its sender.
+//   7. No stranded packets on a dead path — multipath scenarios only:
+//      the spray plane's per-path conservation closes exactly
+//      (tx == delivered + loss evidence once nothing is in flight),
+//      a killed path never receives traffic while a live path exists,
+//      an administrative kill always surfaces as a failover, and the
+//      registry's per-path counters agree with the scheduler's stats.
 #pragma once
 
 #include <cstdint>
@@ -54,6 +60,11 @@ struct ChaosResult {
   std::uint64_t connections_refused{0};
   std::uint64_t governor_charged_peak{0};
   std::uint64_t governor_sheds{0};
+
+  // Multipath summary (zero when the scenario sprays no paths).
+  std::uint64_t mp_failovers{0};
+  std::uint64_t mp_failbacks{0};
+  std::uint64_t mp_lost{0};
 
   void fail(std::string msg) {
     ok = false;

@@ -222,6 +222,30 @@ ChaosScenario make_scenario(std::uint64_t seed) {
     sc.churn_connections = static_cast<std::uint32_t>(g.range(8, 48));
     sc.churn_interval = g.range(2, 20) * kMillisecond;
   }
+
+  // ---- multipath dimension, drawn after churn (appended-last again,
+  // so every earlier seed replays bit-for-bit): a fifth of the
+  // single-connection seeds spray the first hop across 2–4 skewed
+  // paths, half with per-path bursty loss, half with a mid-run
+  // administrative path kill (mostly revived later so the hysteresis
+  // failback runs too). Overload runs keep their shared bottleneck —
+  // resource arbitration and path failover probe different planes.
+  if (!sc.overloaded() && g.chance(0.2)) {
+    sc.mp_paths = static_cast<std::uint32_t>(g.range(2, 4));
+    sc.mp_mode = static_cast<std::uint8_t>(g.below(3));
+    sc.mp_skew = g.range(0, 2000) * kMicrosecond;
+    if (g.chance(0.5)) sc.mp_loss = 0.05 * g.uniform();
+    if (g.chance(0.5)) {
+      sc.mp_kill_at = g.range(30, 250) * kMillisecond;
+      sc.mp_kill_path = static_cast<std::uint32_t>(g.below(sc.mp_paths));
+      if (g.chance(0.7)) {
+        sc.mp_revive_at = sc.mp_kill_at + g.range(50, 400) * kMillisecond;
+      }
+    }
+    // Losing a path's worth of in-flight packets leans on the retry
+    // budget the same way overload eviction does.
+    sc.max_retransmits = std::max(sc.max_retransmits, 12);
+  }
   return sc;
 }
 
@@ -276,6 +300,13 @@ std::string to_text(const ChaosScenario& sc) {
   put(os, "flow_control", static_cast<std::uint64_t>(sc.flow_control));
   put(os, "churn_connections", sc.churn_connections);
   put(os, "churn_interval", sc.churn_interval);
+  put(os, "mp_paths", sc.mp_paths);
+  put(os, "mp_mode", sc.mp_mode);
+  put(os, "mp_skew", sc.mp_skew);
+  put(os, "mp_loss", sc.mp_loss);
+  put(os, "mp_kill_at", sc.mp_kill_at);
+  put(os, "mp_revive_at", sc.mp_revive_at);
+  put(os, "mp_kill_path", sc.mp_kill_path);
   put(os, "watchdog", sc.watchdog);
   put(os, "hops", sc.hops.size());
   for (std::size_t i = 0; i < sc.hops.size(); ++i) {
@@ -407,6 +438,17 @@ std::optional<ChaosScenario> parse_scenario_text(const std::string& text) {
       sc.churn_connections = static_cast<std::uint32_t>(num);
     else if (key == "churn_interval")
       sc.churn_interval = static_cast<SimTime>(num);
+    else if (key == "mp_paths")
+      sc.mp_paths = static_cast<std::uint32_t>(num);
+    else if (key == "mp_mode") sc.mp_mode = static_cast<std::uint8_t>(num);
+    else if (key == "mp_skew") sc.mp_skew = static_cast<SimTime>(num);
+    else if (key == "mp_loss") sc.mp_loss = num;
+    else if (key == "mp_kill_at")
+      sc.mp_kill_at = static_cast<SimTime>(num);
+    else if (key == "mp_revive_at")
+      sc.mp_revive_at = static_cast<SimTime>(num);
+    else if (key == "mp_kill_path")
+      sc.mp_kill_path = static_cast<std::uint32_t>(num);
     else if (key == "watchdog") sc.watchdog = static_cast<SimTime>(num);
     else if (key == "hops") {
       sc.hops.resize(static_cast<std::size_t>(num));

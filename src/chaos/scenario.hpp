@@ -117,6 +117,22 @@ struct ChaosScenario {
   /// Gap between successive churn opens.
   SimTime churn_interval{0};
 
+  // ---- multipath dimension (drawn after the churn block under the
+  // same appended-last contract): the first hop is replaced by a
+  // MultipathScheduler spraying across `mp_paths` copies of hop 0,
+  // each at rate/mp_paths with `i * mp_skew` extra propagation delay
+  // and an optional private Gilbert–Elliott loss process, plus an
+  // optional mid-run administrative path kill (and revival). Only
+  // drawn into single-connection runs; checked by oracle 7 (no
+  // stranded packets on a dead path).
+  std::uint32_t mp_paths{0};   ///< 0/1 = off; >= 2 sprays hop 0
+  std::uint8_t mp_mode{0};     ///< SprayMode numeric value
+  SimTime mp_skew{0};          ///< extra prop delay per path index
+  double mp_loss{0.0};         ///< per-path GE mean loss rate
+  SimTime mp_kill_at{0};       ///< 0 = never kill a path
+  SimTime mp_revive_at{0};     ///< 0 = killed path stays dead
+  std::uint32_t mp_kill_path{0};
+
   std::vector<ChaosHop> hops{ChaosHop{}};
 
   /// Simulator watchdog: a run still holding events at this simulated
@@ -141,6 +157,9 @@ struct ChaosScenario {
     return connections > 1 || governor_budget != 0 || flow_control ||
            churn_connections > 0;
   }
+
+  /// True when the first hop is sprayed across a multipath plane.
+  bool multipath() const { return mp_paths >= 2; }
 
   std::size_t stream_bytes() const {
     return static_cast<std::size_t>(stream_elements) * element_size;

@@ -16,7 +16,8 @@ constexpr const char* kKindNames[] = {
     "credit_grant",   "tpdu_framed",     "tpdu_admitted",
     "tpdu_acked",     "tpdu_gave_up",    "tpdu_first_chunk",
     "tpdu_delivered", "tpdu_rejected",   "tpdu_evicted",
-    "governor_shed",  "conn_idle_evicted",
+    "governor_shed",  "conn_idle_evicted", "path_failover",
+    "path_failback",
 };
 constexpr std::size_t kKindCount =
     sizeof(kKindNames) / sizeof(kKindNames[0]);

@@ -39,6 +39,11 @@ enum class SpanEventKind : std::uint8_t {
                       ///< connection_id = victim)
   kConnIdleEvicted,   ///< demux evicted an idle connection (aux =
                       ///< idle time in ns at eviction)
+  kPathFailover,      ///< multipath health marked a path down
+                      ///< (aux = path index; renders as an instant, so
+                      ///< Perfetto timelines show path flaps)
+  kPathFailback,      ///< hysteresis probes brought the path back
+                      ///< (aux = path index)
 };
 
 const char* to_string(SpanEventKind k);

@@ -17,7 +17,8 @@ constexpr const char* kKindNames[] = {
     "chunk_held",         "invariant_absorbed", "duplicate_rejected",
     "overlap_rejected",   "framing_rejected",  "tpdu_accepted",
     "tpdu_rejected",      "chunk_skipped",     "chunk_evicted",
-    "queue_dropped",
+    "queue_dropped",      "path_selected",     "path_failover",
+    "path_failback",      "path_dead_drop",
 };
 constexpr std::size_t kKindCount =
     sizeof(kKindNames) / sizeof(kKindNames[0]);

@@ -45,6 +45,12 @@ enum class TraceEventKind : std::uint8_t {
                         ///< 0 = dropped with its TPDU state)
   kQueueDropped,        ///< drop-tail: the link's bounded queue was
                         ///< full (aux = backlog bytes at arrival)
+  kPathSelected,        ///< multipath scheduler routed the packet
+                        ///< (site = path site, aux = path index)
+  kPathFailover,        ///< path health marked a path down (aux = path)
+  kPathFailback,        ///< hysteresis probes brought it back (aux = path)
+  kPathDeadDrop,        ///< packet arrived on a killed path's egress and
+                        ///< was discarded (aux = path index)
 };
 
 const char* to_string(TraceEventKind k);

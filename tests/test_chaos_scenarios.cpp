@@ -102,6 +102,113 @@ TEST(ChaosScenario, ConnectionChurnRunHoldsEveryOracle) {
   EXPECT_GT(r.connections_refused, 0u);
 }
 
+TEST(ChaosMultipath, DrawnOnlyIntoSingleConnectionRuns) {
+  int multipath = 0;
+  for (std::uint64_t seed = 1; seed <= 300; ++seed) {
+    const ChaosScenario sc = make_scenario(seed);
+    if (!sc.multipath()) continue;
+    ++multipath;
+    EXPECT_FALSE(sc.overloaded()) << "seed " << seed;
+    EXPECT_GE(sc.mp_paths, 2u) << "seed " << seed;
+    EXPECT_LE(sc.mp_paths, 4u) << "seed " << seed;
+    EXPECT_LT(sc.mp_mode, 3u) << "seed " << seed;
+    if (sc.mp_revive_at != 0) {
+      EXPECT_GT(sc.mp_revive_at, sc.mp_kill_at) << "seed " << seed;
+    }
+  }
+  // ~15% of seeds (non-overload 3/4 × multipath 1/5) spray; the
+  // distribution must actually reach the dimension.
+  EXPECT_GT(multipath, 20);
+}
+
+TEST(ChaosMultipath, SprayedRunWithKillAndReviveHoldsEveryOracle) {
+  // Hand-built worst case for the spray plane: three skewed paths,
+  // bursty per-path loss, and a mid-run administrative kill of path 1
+  // followed by a revival — oracle 7 must see the failover, the
+  // failback probes, and an exactly-closed per-path conservation.
+  ChaosScenario sc;
+  sc.seed = 4242;
+  sc.mode = DeliveryMode::kReassemble;
+  sc.stream_elements = 16384;        // 64 KiB so the transfer...
+  sc.hops[0].rate_bps = 8e6;         // ...spans the kill window
+  sc.mp_paths = 3;
+  sc.mp_mode = 0;  // per-packet spray: maximum reordering
+  sc.mp_skew = 1500 * kMicrosecond;
+  sc.mp_loss = 0.1;
+  sc.mp_kill_at = 60 * kMillisecond;
+  sc.mp_kill_path = 1;
+  sc.mp_revive_at = 200 * kMillisecond;
+  sc.max_retransmits = 16;
+  ASSERT_TRUE(sc.multipath());
+  ASSERT_FALSE(sc.overloaded());
+  const ChaosResult r = run_chaos(sc);
+  EXPECT_TRUE(r.ok) << (r.failures.empty() ? "?" : r.failures.front());
+  EXPECT_GE(r.mp_failovers, 1u);  // the kill surfaced
+  EXPECT_GT(r.mp_lost, 0u);      // loss evidence flowed
+  EXPECT_GT(r.tpdus_accepted, 0u);
+}
+
+TEST(ChaosMultipath, KillWithoutReviveStillHoldsEveryOracle) {
+  // The degraded endgame: one of two paths dies and stays dead, so the
+  // transport finishes the stream on the survivor alone.
+  ChaosScenario sc;
+  sc.seed = 4243;
+  sc.mode = DeliveryMode::kReassemble;
+  sc.mp_paths = 2;
+  sc.mp_mode = 1;  // weighted round-robin
+  sc.mp_skew = 500 * kMicrosecond;
+  sc.mp_kill_at = 40 * kMillisecond;
+  sc.mp_kill_path = 0;
+  sc.max_retransmits = 16;
+  const ChaosResult r = run_chaos(sc);
+  EXPECT_TRUE(r.ok) << (r.failures.empty() ? "?" : r.failures.front());
+  EXPECT_GE(r.mp_failovers, 1u);
+  EXPECT_EQ(r.mp_failbacks, 0u);  // nothing ever proved the dead path
+  EXPECT_GT(r.tpdus_accepted, 0u);
+}
+
+TEST(ChaosMultipath, SprayedRunReplaysBitForBit) {
+  ChaosScenario sc;
+  sc.seed = 4244;
+  sc.mode = DeliveryMode::kReassemble;
+  sc.mp_paths = 4;
+  sc.mp_mode = 2;  // flowlet
+  sc.mp_skew = 800 * kMicrosecond;
+  sc.mp_loss = 0.03;
+  const ChaosResult a = run_chaos(sc);
+  const ChaosResult b = run_chaos(sc);
+  EXPECT_TRUE(a.ok) << (a.failures.empty() ? "?" : a.failures.front());
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.tpdus_accepted, b.tpdus_accepted);
+  EXPECT_EQ(a.retransmissions, b.retransmissions);
+  EXPECT_EQ(a.mp_failovers, b.mp_failovers);
+  EXPECT_EQ(a.mp_failbacks, b.mp_failbacks);
+  EXPECT_EQ(a.mp_lost, b.mp_lost);
+  EXPECT_EQ(a.sim_end, b.sim_end);
+}
+
+TEST(ChaosMultipath, FieldsRoundTripThroughText) {
+  ChaosScenario sc;
+  sc.seed = 4245;
+  sc.mp_paths = 3;
+  sc.mp_mode = 2;
+  sc.mp_skew = 750 * kMicrosecond;
+  sc.mp_loss = 0.0125;
+  sc.mp_kill_at = 80 * kMillisecond;
+  sc.mp_revive_at = 160 * kMillisecond;
+  sc.mp_kill_path = 2;
+  const auto parsed = parse_scenario_text(to_text(sc));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->mp_paths, 3u);
+  EXPECT_EQ(parsed->mp_mode, 2u);
+  EXPECT_EQ(parsed->mp_skew, 750 * kMicrosecond);
+  EXPECT_EQ(parsed->mp_loss, 0.0125);
+  EXPECT_EQ(parsed->mp_kill_at, 80 * kMillisecond);
+  EXPECT_EQ(parsed->mp_revive_at, 160 * kMillisecond);
+  EXPECT_EQ(parsed->mp_kill_path, 2u);
+  EXPECT_EQ(to_text(*parsed), to_text(sc));
+}
+
 /// The documented-unsafe configuration: header bit-flips with
 /// immediate-mode delivery. A flipped low-order C.SN byte redirects a
 /// chunk's placement into a neighbouring TPDU's already-delivered

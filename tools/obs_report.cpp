@@ -21,6 +21,7 @@
 // bundle cut short by a crash must not silently report zero events.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <optional>
@@ -187,6 +188,84 @@ void lifecycle_counts(const std::vector<TraceEvent>& events) {
   }
 }
 
+void multipath_breakdown(const std::vector<TraceEvent>& events) {
+  // Per-path view of the spray plane: kPathSelected carries the path
+  // index in `aux`, so the table shows how the sprayer actually split
+  // traffic, and where failovers/failbacks/dead drops landed.
+  struct PerPath {
+    std::uint64_t selected{0};
+    std::uint64_t failovers{0};
+    std::uint64_t failbacks{0};
+    std::uint64_t dead_drops{0};
+  };
+  std::map<std::uint64_t, PerPath> per_path;
+  for (const TraceEvent& e : events) {
+    switch (e.kind) {
+      case TraceEventKind::kPathSelected: ++per_path[e.aux].selected; break;
+      case TraceEventKind::kPathFailover: ++per_path[e.aux].failovers; break;
+      case TraceEventKind::kPathFailback: ++per_path[e.aux].failbacks; break;
+      case TraceEventKind::kPathDeadDrop: ++per_path[e.aux].dead_drops; break;
+      default: break;
+    }
+  }
+  if (per_path.empty()) return;  // no multipath plane in this trace
+  std::printf("\nmultipath spray breakdown (per path):\n");
+  TextTable t({"path", "selected", "failovers", "failbacks", "dead drops"});
+  for (const auto& [path, p] : per_path) {
+    t.add_row({TextTable::num(path), TextTable::num(p.selected),
+               TextTable::num(p.failovers), TextTable::num(p.failbacks),
+               TextTable::num(p.dead_drops)});
+  }
+  std::printf("%s", t.render().c_str());
+}
+
+void multipath_metrics(const JsonValue& metrics) {
+  // The registry view of the same plane: mpath.path<i>.* counters
+  // (packets, delivered, losses, probes) survive even when the trace
+  // ring overwrote the packet-level events.
+  const JsonValue* counters = metrics.find("counters");
+  if (counters == nullptr || counters->kind != JsonValue::Kind::kObject) {
+    return;
+  }
+  struct PerPath {
+    std::uint64_t tx{0}, delivered{0}, lost{0}, probes{0}, dead{0};
+  };
+  std::map<unsigned long, PerPath> per_path;
+  for (const auto& [name, v] : counters->obj) {
+    if (name.rfind("mpath.path", 0) != 0) continue;
+    const char* rest = name.c_str() + 10;
+    char* after = nullptr;
+    const unsigned long idx = std::strtoul(rest, &after, 10);
+    if (after == rest || *after != '.') continue;
+    const std::string field(after + 1);
+    auto& p = per_path[idx];
+    const auto n = static_cast<std::uint64_t>(v.number);
+    if (field == "tx_packets") p.tx = n;
+    else if (field == "delivered") p.delivered = n;
+    else if (field == "lost") p.lost = n;
+    else if (field == "probes") p.probes = n;
+    else if (field == "dead_drops") p.dead = n;
+  }
+  if (per_path.empty()) return;
+  std::printf("\nmultipath path health (registry counters):\n");
+  TextTable t({"path", "tx packets", "delivered", "lost", "probes",
+               "dead drops"});
+  for (const auto& [idx, p] : per_path) {
+    t.add_row({TextTable::num(static_cast<std::uint64_t>(idx)),
+               TextTable::num(p.tx), TextTable::num(p.delivered),
+               TextTable::num(p.lost), TextTable::num(p.probes),
+               TextTable::num(p.dead)});
+  }
+  std::printf("%s", t.render().c_str());
+  const JsonValue* fo = counters->find("mpath.failovers");
+  const JsonValue* fb = counters->find("mpath.failbacks");
+  std::printf("  failovers: %llu  failbacks: %llu\n",
+              static_cast<unsigned long long>(
+                  fo != nullptr ? fo->number : 0.0),
+              static_cast<unsigned long long>(
+                  fb != nullptr ? fb->number : 0.0));
+}
+
 void bus_crossings(const JsonValue& metrics) {
   const JsonValue* counters = metrics.find("counters");
   if (counters == nullptr || counters->kind != JsonValue::Kind::kObject) {
@@ -315,6 +394,7 @@ int main(int argc, char** argv) {
   per_hop_latency(events);
   drop_attribution(events);
   reorder_attribution(events);
+  multipath_breakdown(events);
   lifecycle_counts(events);
 
   if (argc > 2) {
@@ -328,6 +408,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s: not valid JSON\n", argv[2]);
       return 2;
     }
+    multipath_metrics(*mdoc);
     bus_crossings(*mdoc);
   }
   return 0;
