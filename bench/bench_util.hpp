@@ -68,6 +68,18 @@ inline BenchSection& bench_section() {
   return sections.back();
 }
 
+/// Real-I/O benches (loopback UDP through the kernel) call this once
+/// before write_bench_json: it stamps `"realio": true` into the meta
+/// block, which tells tools/bench_check that the absolute numbers
+/// belong to the host network stack as much as to chunknet and only
+/// ratio metrics + claims are comparable across runs.
+inline bool& bench_realio_flag() {
+  static bool realio = false;
+  return realio;
+}
+
+inline void mark_bench_realio() { bench_realio_flag() = true; }
+
 /// CI perf-smoke mode: CHUNKNET_BENCH_QUICK=1 makes benches shrink
 /// their iteration counts / sizes so the job finishes in seconds. The
 /// JSON still records real (just noisier) measurements.
@@ -173,6 +185,7 @@ inline std::string write_bench_json(
       << "\", \"wsc2_kernel\": \""
       << detail::json_escape(wsc2_kernels::selected_kernel_name())
       << "\", \"force_scalar\": " << (force_scalar() ? "true" : "false")
+      << ", \"realio\": " << (bench_realio_flag() ? "true" : "false")
       << "},\n  \"sections\": [";
   for (std::size_t s = 0; s < rows.size(); ++s) {
     const BenchSection& sec = rows[s];

@@ -10,6 +10,7 @@
 #include "src/edc/wsc2.hpp"
 #include "src/edc/wsc2_kernels.hpp"
 #include "src/gf/gf32.hpp"
+#include "src/transport/signalling.hpp"
 
 namespace chunknet {
 
@@ -42,6 +43,62 @@ Chunk random_chunk(Rng& rng) {
   c.payload.resize(c.payload_bytes());
   for (auto& b : c.payload) b = static_cast<std::uint8_t>(rng.u32());
   return c;
+}
+
+/// A well-formed signal chunk with fuzz-chosen field values, so the
+/// mutation ladder starts from deep inside the signal parsers' accept
+/// path rather than relying on garbage to stumble into kind bytes.
+Chunk random_signal_chunk(Rng& rng) {
+  switch (rng.below(5)) {
+    case 0: {
+      ConnectionOpen o;
+      o.connection_id = rng.u32();
+      o.first_conn_sn = rng.u32();
+      o.profile.elide_size = rng.chance(0.5);
+      o.profile.implicit_tid = rng.chance(0.5);
+      o.profile.implicit_xid = rng.chance(0.5);
+      o.profile.intra_packet_continuation = rng.chance(0.5);
+      for (auto& s : o.profile.size_by_type) {
+        s = static_cast<std::uint16_t>(rng.below(1 << 16));
+      }
+      return make_signal_chunk(o);
+    }
+    case 1: {
+      ConnectionClose cl;
+      cl.connection_id = rng.u32();
+      cl.final_conn_sn = rng.u32();
+      return make_signal_chunk(cl);
+    }
+    case 2: {
+      GapNak nak;
+      nak.connection_id = rng.u32();
+      nak.tpdu_id = rng.u32();
+      nak.need_ed_chunk = rng.chance(0.3);
+      nak.need_tail = rng.chance(0.3);
+      nak.tail_from = rng.u32();
+      const std::size_t n = rng.below(6);
+      for (std::size_t i = 0; i < n; ++i) {
+        nak.gaps.push_back({rng.u32(), 1 + static_cast<std::uint32_t>(
+                                               rng.below(1 << 10))});
+      }
+      return make_signal_chunk(nak);
+    }
+    case 3: {
+      CreditGrant g;
+      g.connection_id = rng.u32();
+      g.grant_seq = rng.u32();
+      g.credit_limit_bytes =
+          (static_cast<std::uint64_t>(rng.u32()) << 32) | rng.u32();
+      g.tpdu_slots = static_cast<std::uint16_t>(rng.below(1 << 16));
+      return make_signal_chunk(g);
+    }
+    default: {
+      ConnectionRefused rf;
+      rf.connection_id = rng.u32();
+      rf.retry_hint_bytes = rng.u32();
+      return make_signal_chunk(rf);
+    }
+  }
 }
 
 void put_u16(std::vector<std::uint8_t>& bytes, std::size_t off,
@@ -77,7 +134,10 @@ std::vector<std::uint8_t> random_fuzz_packet(Rng& rng) {
   }
   std::vector<Chunk> chunks;
   const std::size_t n = 1 + rng.below(4);
-  for (std::size_t i = 0; i < n; ++i) chunks.push_back(random_chunk(rng));
+  for (std::size_t i = 0; i < n; ++i) {
+    chunks.push_back(rng.chance(0.2) ? random_signal_chunk(rng)
+                                     : random_chunk(rng));
+  }
   auto bytes = encode_packet(chunks, 1 << 16);
   if (bytes.empty()) bytes = encode_packet({}, 64);  // degenerate but valid
   return bytes;
@@ -275,6 +335,74 @@ std::optional<std::string> compress_roundtrip(
   return std::nullopt;
 }
 
+std::optional<std::string> signal_roundtrip(
+    std::span<const std::uint8_t> bytes) {
+  const ParsedPacket p = decode_packet(bytes);
+  if (!p.ok) return std::nullopt;
+  for (const Chunk& c : p.chunks) {
+    // Hostile input does not announce itself as signal-typed, so every
+    // chunk goes to every parser; the parsers own the refusal.
+    const auto kind = signal_kind(c);
+    const auto open = parse_connection_open(c);
+    const auto close = parse_connection_close(c);
+    const auto nak = parse_gap_nak(c);
+    const auto grant = parse_credit_grant(c);
+    const auto refused = parse_connection_refused(c);
+    const int accepted = (open ? 1 : 0) + (close ? 1 : 0) + (nak ? 1 : 0) +
+                         (grant ? 1 : 0) + (refused ? 1 : 0);
+    if (accepted > 1) {
+      return std::string(
+          "signal: one chunk parsed as two different message kinds");
+    }
+    if (accepted == 1 && !kind.has_value()) {
+      return std::string(
+          "signal: a parser accepted a chunk signal_kind refuses");
+    }
+    if (open) {
+      if (kind != SignalKind::kConnectionOpen ||
+          parse_connection_open(make_signal_chunk(*open)) != *open) {
+        return std::string("signal: ConnectionOpen does not round-trip");
+      }
+    }
+    if (close) {
+      if (kind != SignalKind::kConnectionClose ||
+          parse_connection_close(make_signal_chunk(*close)) != *close) {
+        return std::string("signal: ConnectionClose does not round-trip");
+      }
+    }
+    if (nak) {
+      if (nak->gaps.size() > kMaxGapRanges) {
+        return std::string(
+            "signal: GapNak accepted more ranges than the wire can carry");
+      }
+      // The accepted count must be exactly what the payload holds —
+      // the no-claimed-count-allocation property made real.
+      if (c.payload.size() != 16 + nak->gaps.size() * 8) {
+        return std::string(
+            "signal: GapNak range count disagrees with the payload bytes");
+      }
+      if (kind != SignalKind::kGapNak ||
+          parse_gap_nak(make_signal_chunk(*nak)) != *nak) {
+        return std::string("signal: GapNak does not round-trip");
+      }
+    }
+    if (grant) {
+      if (kind != SignalKind::kCreditGrant ||
+          parse_credit_grant(make_signal_chunk(*grant)) != *grant) {
+        return std::string("signal: CreditGrant does not round-trip");
+      }
+    }
+    if (refused) {
+      if (kind != SignalKind::kConnectionRefused ||
+          parse_connection_refused(make_signal_chunk(*refused)) !=
+              *refused) {
+        return std::string("signal: ConnectionRefused does not round-trip");
+      }
+    }
+  }
+  return std::nullopt;
+}
+
 std::optional<std::string> simd_differential(
     std::span<const std::uint8_t> bytes, Rng& rng) {
   // Bare kernels over a fuzz-chosen word range: varying the start and
@@ -341,6 +469,7 @@ std::optional<std::string> simd_differential(
 std::optional<std::string> fuzz_one(std::span<const std::uint8_t> bytes,
                                     Rng& rng) {
   if (auto d = differential_decode(bytes)) return d;
+  if (auto d = signal_roundtrip(bytes)) return d;
   if (auto d = fragment_roundtrip(bytes, rng)) return d;
   if (auto d = compress_roundtrip(bytes, rng)) return d;
   if (auto d = simd_differential(bytes, rng)) return d;

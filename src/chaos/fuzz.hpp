@@ -61,6 +61,16 @@ std::optional<std::string> fragment_roundtrip(
 std::optional<std::string> compress_roundtrip(
     std::span<const std::uint8_t> bytes, Rng& rng);
 
+/// Signalling oracle: every decoded chunk — signal-typed or not — is
+/// fed to all five signal parsers. A parser may only accept when
+/// signal_kind matches its kind; an accepted message must re-encode
+/// via make_signal_chunk and re-parse to an equal message (bijection
+/// on the accept set); an accepted GapNak's range count must be
+/// exactly what the payload bytes can hold (no claimed-count
+/// allocation). nullopt = holds (or input not decodable).
+std::optional<std::string> signal_roundtrip(
+    std::span<const std::uint8_t> bytes);
+
 /// SIMD-vs-scalar differential oracle: treats the input as raw symbol
 /// data and checks every registered WSC-2 kernel (slice-by-4/8, AVX2+
 /// PCLMUL 16-word) against the scalar Horner reference — both the bare

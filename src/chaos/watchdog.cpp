@@ -1,0 +1,77 @@
+#include "src/chaos/watchdog.hpp"
+
+#include <cstdlib>
+
+namespace chunknet {
+
+WallClockWatchdog::WallClockWatchdog(Config cfg) : cfg_(std::move(cfg)) {
+  thread_ = std::thread([this] { run(); });
+}
+
+WallClockWatchdog::~WallClockWatchdog() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void WallClockWatchdog::arm(std::string label) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    armed_ = true;
+    ++generation_;
+    label_ = std::move(label);
+    deadline_ = std::chrono::steady_clock::now() + cfg_.limit;
+  }
+  cv_.notify_all();
+}
+
+void WallClockWatchdog::disarm() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    armed_ = false;
+    ++generation_;
+  }
+  cv_.notify_all();
+}
+
+bool WallClockWatchdog::expired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return expired_;
+}
+
+void WallClockWatchdog::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (stopping_) return;
+    if (!armed_) {
+      cv_.wait(lock, [this] { return armed_ || stopping_; });
+      continue;
+    }
+    const std::uint64_t gen = generation_;
+    // Woken early by arm/disarm/stop: loop and re-evaluate. A timeout
+    // only counts if the SAME armed generation is still running.
+    if (cv_.wait_until(lock, deadline_, [this, gen] {
+          return stopping_ || generation_ != gen;
+        })) {
+      continue;
+    }
+    expired_ = true;
+    const std::string label = label_;
+    lock.unlock();
+    if (cfg_.on_expire) cfg_.on_expire(label, cfg_.limit);
+    if (cfg_.exit_fn) {
+      cfg_.exit_fn();
+      lock.lock();  // test seam returned: keep watching
+      armed_ = false;
+      continue;
+    }
+    // The watched thread is stuck mid-scenario; there is nothing to
+    // unwind to. Flush what the expiry callback printed and go.
+    std::_Exit(3);
+  }
+}
+
+}  // namespace chunknet

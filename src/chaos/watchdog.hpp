@@ -1,0 +1,74 @@
+// WallClockWatchdog — turns a hung scenario into a loud failure.
+//
+// The chaos harness is single-threaded and cooperative: if a bug ever
+// makes the simulator spin (an event that re-arms itself at the same
+// timestamp, a run() that never reaches its deadline), run_chaos()
+// simply never returns and the soak — and the CI job around it — hangs
+// until the job-level timeout kills it with zero diagnostics.
+//
+// The watchdog is a second thread holding a wall-clock deadline. The
+// soak arms it with a label just before each scenario and disarms it
+// right after; if a scenario is still running when the deadline
+// passes, the expiry callback fires ON THE WATCHDOG THREAD with that
+// label (seed, mode) so it can write a repro/diagnostic for the run
+// that will never finish — and then the process must exit, because
+// the hung thread cannot be recovered.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace chunknet {
+
+class WallClockWatchdog {
+ public:
+  /// Called on expiry with the armed label and the configured limit.
+  /// Runs on the watchdog thread while the watched thread is still
+  /// stuck; after it returns the caller-supplied exit handler (or the
+  /// default `std::_Exit(3)`) ends the process.
+  using ExpiryFn =
+      std::function<void(const std::string& label, std::chrono::milliseconds)>;
+
+  struct Config {
+    std::chrono::milliseconds limit{std::chrono::minutes(5)};
+    ExpiryFn on_expire;
+    /// Test seam: replaces the default `std::_Exit(3)` after expiry.
+    std::function<void()> exit_fn;
+  };
+
+  explicit WallClockWatchdog(Config cfg);
+  ~WallClockWatchdog();
+
+  WallClockWatchdog(const WallClockWatchdog&) = delete;
+  WallClockWatchdog& operator=(const WallClockWatchdog&) = delete;
+
+  /// Starts (or restarts) the countdown for one watched unit of work.
+  void arm(std::string label);
+  /// Stops the countdown: the unit finished in time.
+  void disarm();
+
+  /// Whether the deadline ever fired (visible after the expiry
+  /// callback has run; only observable in tests that override exit_fn).
+  bool expired() const;
+
+ private:
+  void run();
+
+  Config cfg_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool armed_{false};
+  bool stopping_{false};
+  bool expired_{false};
+  std::uint64_t generation_{0};
+  std::string label_;
+  std::chrono::steady_clock::time_point deadline_{};
+  std::thread thread_;
+};
+
+}  // namespace chunknet

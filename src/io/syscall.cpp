@@ -1,0 +1,203 @@
+#include "src/io/syscall.hpp"
+
+#include <errno.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+namespace chunknet {
+
+const char* to_string(IoCall c) {
+  switch (c) {
+    case IoCall::kSocket: return "socket";
+    case IoCall::kBind: return "bind";
+    case IoCall::kConnect: return "connect";
+    case IoCall::kClose: return "close";
+    case IoCall::kEpollCreate: return "epoll_create1";
+    case IoCall::kEpollCtl: return "epoll_ctl";
+    case IoCall::kEpollWait: return "epoll_wait";
+    case IoCall::kRecvmmsg: return "recvmmsg";
+    case IoCall::kSendmmsg: return "sendmmsg";
+    case IoCall::kCallCount: break;
+  }
+  return "?";
+}
+
+int SyscallShim::sys_socket(int domain, int type, int protocol) {
+  return ::socket(domain, type, protocol);
+}
+
+int SyscallShim::sys_bind(int fd, const sockaddr* addr, socklen_t len) {
+  return ::bind(fd, addr, len);
+}
+
+int SyscallShim::sys_connect(int fd, const sockaddr* addr, socklen_t len) {
+  return ::connect(fd, addr, len);
+}
+
+int SyscallShim::sys_getsockname(int fd, sockaddr* addr, socklen_t* len) {
+  return ::getsockname(fd, addr, len);
+}
+
+int SyscallShim::sys_setsockopt(int fd, int level, int optname,
+                                const void* optval, socklen_t optlen) {
+  return ::setsockopt(fd, level, optname, optval, optlen);
+}
+
+int SyscallShim::sys_close(int fd) { return ::close(fd); }
+
+int SyscallShim::sys_epoll_create1(int flags) {
+  return ::epoll_create1(flags);
+}
+
+int SyscallShim::sys_epoll_ctl(int epfd, int op, int fd, epoll_event* ev) {
+  return ::epoll_ctl(epfd, op, fd, ev);
+}
+
+int SyscallShim::sys_epoll_wait(int epfd, epoll_event* evs, int maxevents,
+                                int timeout_ms) {
+  return ::epoll_wait(epfd, evs, maxevents, timeout_ms);
+}
+
+int SyscallShim::sys_recvmmsg(int fd, mmsghdr* msgs, unsigned n, int flags) {
+  return ::recvmmsg(fd, msgs, n, flags, nullptr);
+}
+
+int SyscallShim::sys_sendmmsg(int fd, mmsghdr* msgs, unsigned n, int flags) {
+  return ::sendmmsg(fd, msgs, n, flags);
+}
+
+std::uint64_t SyscallShim::sys_monotonic_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+SyscallShim& real_syscalls() {
+  static SyscallShim shim;
+  return shim;
+}
+
+void FaultInjectingSyscalls::inject(InjectedFault f) {
+  faults_[static_cast<int>(f.call)].push_back(f);
+}
+
+void FaultInjectingSyscalls::fail_next(IoCall call, int err,
+                                       std::uint32_t count) {
+  for (std::uint32_t i = 0; i < count; ++i) {
+    inject(InjectedFault{call, 0, err, -1, 0});
+  }
+}
+
+std::size_t FaultInjectingSyscalls::pending() const {
+  std::size_t n = 0;
+  for (const auto& q : faults_) n += q.size();
+  return n;
+}
+
+bool FaultInjectingSyscalls::take(IoCall call, InjectedFault& out) {
+  auto& q = faults_[static_cast<int>(call)];
+  if (q.empty()) return false;
+  if (q.front().after > 0) {
+    --q.front().after;
+    return false;
+  }
+  out = q.front();
+  q.pop_front();
+  ++stats_.injected[static_cast<int>(call)];
+  return true;
+}
+
+namespace {
+int fail(int err) {
+  errno = err;
+  return -1;
+}
+}  // namespace
+
+int FaultInjectingSyscalls::sys_socket(int domain, int type, int protocol) {
+  InjectedFault f;
+  if (take(IoCall::kSocket, f) && f.err != 0) return fail(f.err);
+  return inner_.sys_socket(domain, type, protocol);
+}
+
+int FaultInjectingSyscalls::sys_bind(int fd, const sockaddr* addr,
+                                     socklen_t len) {
+  InjectedFault f;
+  if (take(IoCall::kBind, f) && f.err != 0) return fail(f.err);
+  return inner_.sys_bind(fd, addr, len);
+}
+
+int FaultInjectingSyscalls::sys_connect(int fd, const sockaddr* addr,
+                                        socklen_t len) {
+  InjectedFault f;
+  if (take(IoCall::kConnect, f) && f.err != 0) return fail(f.err);
+  return inner_.sys_connect(fd, addr, len);
+}
+
+int FaultInjectingSyscalls::sys_close(int fd) {
+  InjectedFault f;
+  if (take(IoCall::kClose, f) && f.err != 0) {
+    // Even a failing close(2) releases the descriptor on Linux; do the
+    // real close so the fd does not leak, then report the error.
+    (void)inner_.sys_close(fd);
+    return fail(f.err);
+  }
+  return inner_.sys_close(fd);
+}
+
+int FaultInjectingSyscalls::sys_epoll_create1(int flags) {
+  InjectedFault f;
+  if (take(IoCall::kEpollCreate, f) && f.err != 0) return fail(f.err);
+  return inner_.sys_epoll_create1(flags);
+}
+
+int FaultInjectingSyscalls::sys_epoll_ctl(int epfd, int op, int fd,
+                                          epoll_event* ev) {
+  InjectedFault f;
+  if (take(IoCall::kEpollCtl, f) && f.err != 0) return fail(f.err);
+  return inner_.sys_epoll_ctl(epfd, op, fd, ev);
+}
+
+int FaultInjectingSyscalls::sys_epoll_wait(int epfd, epoll_event* evs,
+                                           int maxevents, int timeout_ms) {
+  InjectedFault f;
+  if (take(IoCall::kEpollWait, f) && f.err != 0) return fail(f.err);
+  return inner_.sys_epoll_wait(epfd, evs, maxevents, timeout_ms);
+}
+
+int FaultInjectingSyscalls::sys_recvmmsg(int fd, mmsghdr* msgs, unsigned n,
+                                         int flags) {
+  InjectedFault f;
+  if (take(IoCall::kRecvmmsg, f)) {
+    if (f.err != 0) return fail(f.err);
+    const int got = inner_.sys_recvmmsg(fd, msgs, n, flags);
+    if (got > 0 && f.truncate_by > 0) {
+      // Short read: the reported length lies low. The strict decoder
+      // downstream must reject the truncated envelope.
+      auto& len = msgs[0].msg_len;
+      len -= std::min(len, f.truncate_by);
+    }
+    return got;
+  }
+  return inner_.sys_recvmmsg(fd, msgs, n, flags);
+}
+
+int FaultInjectingSyscalls::sys_sendmmsg(int fd, mmsghdr* msgs, unsigned n,
+                                         int flags) {
+  InjectedFault f;
+  if (take(IoCall::kSendmmsg, f)) {
+    if (f.err != 0) return fail(f.err);
+    if (f.partial >= 0) {
+      const unsigned k =
+          std::min(n, static_cast<unsigned>(f.partial));
+      if (k == 0) return 0;  // kernel made no progress at all
+      return inner_.sys_sendmmsg(fd, msgs, k, flags);
+    }
+  }
+  return inner_.sys_sendmmsg(fd, msgs, n, flags);
+}
+
+}  // namespace chunknet

@@ -1,0 +1,141 @@
+// The syscall seam between the real-I/O runtime and the kernel.
+//
+// Everything in src/io/ that touches the operating system goes through
+// a SyscallShim, for two reasons:
+//
+//  1. determinism under test — FaultInjectingSyscalls wraps the real
+//     shim and injects the failures a hostile world actually produces
+//     (EINTR, EAGAIN, ENOBUFS, EMSGSIZE, ECONNREFUSED, partial
+//     sendmmsg batches, short reads) on a seeded schedule, so the
+//     chaos oracles can run against the REAL event loop and sockets
+//     and still replay bit-for-bit;
+//  2. honesty — every error path in the runtime exists because the
+//     shim can produce it. There is no errno the endpoint handles that
+//     a test cannot trigger on demand.
+//
+// The shim is deliberately thin: same signatures as the kernel calls
+// (errno-returning, -1 on failure), so RealSyscalls is a transparent
+// passthrough and reading the endpoint against `man 2 sendmmsg` works.
+#pragma once
+
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace chunknet {
+
+/// Call sites the fault injector can target.
+enum class IoCall : std::uint8_t {
+  kSocket = 0,
+  kBind,
+  kConnect,
+  kClose,
+  kEpollCreate,
+  kEpollCtl,
+  kEpollWait,
+  kRecvmmsg,
+  kSendmmsg,
+  kCallCount,  // sentinel
+};
+
+const char* to_string(IoCall c);
+
+class SyscallShim {
+ public:
+  virtual ~SyscallShim() = default;
+
+  virtual int sys_socket(int domain, int type, int protocol);
+  virtual int sys_bind(int fd, const sockaddr* addr, socklen_t len);
+  virtual int sys_connect(int fd, const sockaddr* addr, socklen_t len);
+  virtual int sys_getsockname(int fd, sockaddr* addr, socklen_t* len);
+  virtual int sys_setsockopt(int fd, int level, int optname,
+                             const void* optval, socklen_t optlen);
+  virtual int sys_close(int fd);
+  virtual int sys_epoll_create1(int flags);
+  virtual int sys_epoll_ctl(int epfd, int op, int fd, epoll_event* ev);
+  virtual int sys_epoll_wait(int epfd, epoll_event* evs, int maxevents,
+                             int timeout_ms);
+  virtual int sys_recvmmsg(int fd, mmsghdr* msgs, unsigned n, int flags);
+  virtual int sys_sendmmsg(int fd, mmsghdr* msgs, unsigned n, int flags);
+  /// CLOCK_MONOTONIC in nanoseconds — the time base every io deadline
+  /// (RTO, idle, backoff, drain) runs on. Never wall-clock: a clock
+  /// step must not fire every timer in the process.
+  virtual std::uint64_t sys_monotonic_ns();
+};
+
+/// The passthrough shim production code runs on.
+using RealSyscalls = SyscallShim;
+
+/// Returns the process-wide RealSyscalls instance.
+SyscallShim& real_syscalls();
+
+/// One scripted fault: the `after`-th upcoming call to `call` (0 = the
+/// very next one) behaves per `err`/`partial` instead of reaching the
+/// kernel.
+struct InjectedFault {
+  IoCall call{IoCall::kSendmmsg};
+  std::uint32_t after{0};     ///< matching calls to let through first
+  int err{0};                 ///< errno to fail with (0 = no errno fault)
+  /// kSendmmsg: when >= 0 and err == 0, let the kernel send only the
+  /// first `partial` datagrams of the batch and report a short count —
+  /// the partial-batch path of sendmmsg(2).
+  int partial{-1};
+  /// kRecvmmsg: when > 0 and err == 0, chop `truncate_to` bytes off the
+  /// FIRST received datagram's reported length after the real call — a
+  /// short read. The wire bytes are intact; the length lies, which is
+  /// exactly what the strict decoder must survive.
+  std::uint32_t truncate_by{0};
+};
+
+/// Deterministic fault-injection decorator. Faults are consumed in the
+/// order scripted per call site; unmatched calls pass through to the
+/// inner shim. Counts every injection so tests can assert the fault
+/// actually fired.
+class FaultInjectingSyscalls final : public SyscallShim {
+ public:
+  explicit FaultInjectingSyscalls(SyscallShim& inner) : inner_(inner) {}
+
+  /// Scripts one fault (FIFO per call site).
+  void inject(InjectedFault f);
+  /// Convenience: fail the next `count` calls to `call` with `err`.
+  void fail_next(IoCall call, int err, std::uint32_t count = 1);
+
+  struct Stats {
+    std::uint64_t injected[static_cast<int>(IoCall::kCallCount)]{};
+    std::uint64_t total() const {
+      std::uint64_t t = 0;
+      for (const std::uint64_t v : injected) t += v;
+      return t;
+    }
+  };
+  const Stats& stats() const { return stats_; }
+  /// Faults scripted but not yet consumed.
+  std::size_t pending() const;
+
+  int sys_socket(int domain, int type, int protocol) override;
+  int sys_bind(int fd, const sockaddr* addr, socklen_t len) override;
+  int sys_connect(int fd, const sockaddr* addr, socklen_t len) override;
+  int sys_close(int fd) override;
+  int sys_epoll_create1(int flags) override;
+  int sys_epoll_ctl(int epfd, int op, int fd, epoll_event* ev) override;
+  int sys_epoll_wait(int epfd, epoll_event* evs, int maxevents,
+                     int timeout_ms) override;
+  int sys_recvmmsg(int fd, mmsghdr* msgs, unsigned n, int flags) override;
+  int sys_sendmmsg(int fd, mmsghdr* msgs, unsigned n, int flags) override;
+  std::uint64_t sys_monotonic_ns() override { return inner_.sys_monotonic_ns(); }
+
+ private:
+  /// Pops the front fault for `call` if its `after` gate has been
+  /// reached; otherwise decrements the gate and returns false.
+  bool take(IoCall call, InjectedFault& out);
+
+  SyscallShim& inner_;
+  std::deque<InjectedFault> faults_[static_cast<int>(IoCall::kCallCount)];
+  Stats stats_;
+};
+
+}  // namespace chunknet

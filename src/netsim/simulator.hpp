@@ -53,6 +53,21 @@ class Simulator {
   /// True if any event remains.
   bool pending() const { return !events_.empty(); }
 
+  /// Timestamp of the earliest pending event (the wake-up bound a
+  /// real-time pump needs to turn into an epoll timeout). Meaningless
+  /// when nothing is pending — check pending() first.
+  SimTime next_event_at() const {
+    return events_.empty() ? ~SimTime{0} : events_.top().t;
+  }
+
+  /// Advances the clock without executing anything — how a real-time
+  /// pump tells the simulator "wall clock moved" so that schedule_in /
+  /// arm_in callers see fresh time even when no event fired. Call only
+  /// after run(t) has drained every event <= t; never moves backwards.
+  void advance_to(SimTime t) {
+    if (t > now_) now_ = t;
+  }
+
   std::uint64_t next_packet_id() { return ++packet_counter_; }
 
  private:

@@ -217,6 +217,28 @@ BenchCheckReport check_bench(const JsonValue& baseline,
              "\": absolute metrics skipped, comparing claims and ratio "
              "metrics only"});
   }
+  // Real-I/O benches push datagrams through the kernel's loopback
+  // stack, so their absolute numbers measure the host (scheduler,
+  // socket buffers, background load) as much as chunknet. When either
+  // record is marked realio, absolute metrics are skipped the same way
+  // a cross-ISA comparison skips them.
+  {
+    const JsonValue* bmeta = baseline.find("meta");
+    const JsonValue* fmeta = fresh.find("meta");
+    const JsonValue* br =
+        bmeta != nullptr ? bmeta->find("realio") : nullptr;
+    const JsonValue* fr = fmeta != nullptr ? fmeta->find("realio") : nullptr;
+    if ((br != nullptr && br->boolean) || (fr != nullptr && fr->boolean)) {
+      rep.realio = true;
+      if (!opt.ratio_metrics_only) {
+        opt.ratio_metrics_only = true;
+        rep.issues.push_back(
+            {false, "meta/realio",
+             "record measures real kernel I/O: absolute metrics skipped, "
+             "comparing claims and ratio metrics only"});
+      }
+    }
+  }
   // A CHUNKNET_FORCE_SCALAR mismatch pins kernel dispatch on one side
   // only: dispatch-dependent claims ("dispatched kernel is >= Nx") and
   // even the ratio metrics measure a deliberately different

@@ -74,6 +74,11 @@ struct BenchCheckReport {
   /// refused and only claims + ratio metrics were compared (the bench
   /// was measured on a different CPU architecture than the baseline).
   bool cross_isa{false};
+  /// Either record carries `meta.realio: true` — it measured real
+  /// kernel I/O (loopback sockets), so absolute numbers include host
+  /// scheduler/network-stack noise and only claims + ratio metrics
+  /// were compared.
+  bool realio{false};
   bool ok() const {
     for (const BenchIssue& i : issues) {
       if (i.fatal) return false;

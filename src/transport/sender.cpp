@@ -259,6 +259,25 @@ void ChunkTransportSender::transmit_tpdu(std::uint32_t tpdu_id,
   arm_timer(tpdu_id);
 }
 
+std::size_t ChunkTransportSender::abandon_outstanding() {
+  std::size_t n = 0;
+  while (!outstanding_.empty()) {
+    auto it = outstanding_.begin();
+    ++stats_.gave_up;
+    obs_add(m_.gave_up);
+    span(SpanEventKind::kTpduGaveUp, it->first);
+    gave_up_ids_.push_back(it->first);
+    on_tpdu_retired(it->second);
+    outstanding_.erase(it);
+    ++n;
+  }
+  // Flow-queued ids point into outstanding_, so the loop above already
+  // abandoned them; just clear the queue so no timer re-admits a ghost.
+  send_queue_.clear();
+  if (cfg_.flow.enabled) publish_flow_gauges();
+  return n;
+}
+
 void ChunkTransportSender::arm_timer(std::uint32_t tpdu_id) {
   const SimTime armed_at = sim_.now();
   const SimTime timeout =

@@ -119,6 +119,14 @@ class ChunkTransportSender final : public PacketSink {
 
   const RtoEstimator& rto() const { return rto_; }
 
+  /// Gives up on EVERY still-outstanding TPDU right now (drain path:
+  /// the runtime is shutting down and will not wait out more RTO
+  /// cycles). Each abandoned TPDU is accounted exactly like a
+  /// max-retransmits give-up — stats().gave_up, the kTpduGaveUp span,
+  /// gave_up_tpdus() — so delivery accounting stays truthful. Returns
+  /// the number abandoned.
+  std::size_t abandon_outstanding();
+
   /// TPDU ids abandoned after max_retransmits, in give-up order. The
   /// chaos conservation/leak oracles use this to tell the receiver to
   /// abort matching held state and to exclude these TPDUs from the

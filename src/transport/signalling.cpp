@@ -1,5 +1,7 @@
 #include "src/transport/signalling.hpp"
 
+#include <algorithm>
+
 #include "src/common/bytes.hpp"
 
 namespace chunknet {
@@ -52,6 +54,10 @@ Chunk make_signal_chunk(const ConnectionClose& close) {
 }
 
 Chunk make_signal_chunk(const GapNak& nak) {
+  // More ranges than the 16-bit SIZE field can carry would silently
+  // truncate the chunk header; clamp instead — a NAK is advisory, and
+  // runs past the clamp are re-requested by the next one.
+  const std::size_t n = std::min(nak.gaps.size(), kMaxGapRanges);
   std::vector<std::uint8_t> p;
   ByteWriter w(p);
   w.u8(static_cast<std::uint8_t>(SignalKind::kGapNak));
@@ -60,10 +66,10 @@ Chunk make_signal_chunk(const GapNak& nak) {
   w.u8(static_cast<std::uint8_t>((nak.need_ed_chunk ? 1 : 0) |
                                  (nak.need_tail ? 2 : 0)));
   w.u32(nak.tail_from);
-  w.u16(static_cast<std::uint16_t>(nak.gaps.size()));
-  for (const GapRange& g : nak.gaps) {
-    w.u32(g.first_sn);
-    w.u32(g.length);
+  w.u16(static_cast<std::uint16_t>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    w.u32(nak.gaps[i].first_sn);
+    w.u32(nak.gaps[i].length);
   }
   return wrap(nak.connection_id, std::move(p));
 }
@@ -90,6 +96,10 @@ Chunk make_signal_chunk(const ConnectionRefused& refused) {
 
 std::optional<SignalKind> signal_kind(const Chunk& c) {
   if (c.h.type != ChunkType::kSignal || c.payload.empty()) return std::nullopt;
+  // Control information is indivisible (§2): every signal travels as
+  // exactly one element. A multi-element "signal" never came from
+  // make_signal_chunk, so refuse it before any payload parse.
+  if (c.h.len != 1) return std::nullopt;
   const std::uint8_t k = c.payload[0];
   if (k < 1 || k > 5) return std::nullopt;
   return static_cast<SignalKind>(k);
@@ -135,6 +145,13 @@ std::optional<GapNak> parse_gap_nak(const Chunk& c) {
   nak.need_tail = (flags & 2) != 0;
   nak.tail_from = r.u32();
   const std::uint16_t n = r.u16();
+  // The count is attacker-controlled; size the allocation from the
+  // bytes that are actually THERE, not from the claim. A 15-byte
+  // datagram claiming 65535 ranges must not reserve 512 KB before the
+  // truncation check finally fails.
+  if (!r.ok() || r.remaining() != static_cast<std::size_t>(n) * 8) {
+    return std::nullopt;
+  }
   nak.gaps.reserve(n);
   for (std::uint16_t i = 0; i < n; ++i) {
     GapRange g;

@@ -83,6 +83,14 @@ struct GapNak {
   friend bool operator==(const GapNak&, const GapNak&) = default;
 };
 
+/// The most gap ranges one GapNak can carry on the wire: the signal
+/// payload's byte budget is the chunk header's 16-bit SIZE field, and
+/// the fixed GapNak fields take 16 of those bytes. make_signal_chunk
+/// clamps to this (the NAK is advisory — runs past the clamp are
+/// simply re-requested next round) and parse_gap_nak refuses counts
+/// the payload cannot actually contain.
+inline constexpr std::size_t kMaxGapRanges = (65535 - 16) / 8;
+
 /// A flow-control credit advertisement (receiver → sender). The limit
 /// is CUMULATIVE — "you may have admitted up to `credit_limit_bytes` of
 /// stream payload since the connection opened" — so a lost grant is

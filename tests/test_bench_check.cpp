@@ -151,6 +151,77 @@ TEST(BenchCheck, RecordsWithoutMetaCompareAsSameIsa) {
   EXPECT_FALSE(check_bench(base, fresh).cross_isa);
 }
 
+// Stamps `"realio": <flag>` into a with_meta() record, the way
+// bench_util writes records for benches that call mark_bench_realio().
+std::string with_realio(std::string record, bool flag) {
+  record.replace(record.find("\"force_scalar\": false"), 21,
+                 std::string("\"force_scalar\": false, \"realio\": ") +
+                     (flag ? "true" : "false"));
+  return record;
+}
+
+TEST(BenchCheck, RealioRecordSkipsAbsoluteMetrics) {
+  // A real-I/O bench (loopback UDP through the kernel) re-measured on
+  // a differently loaded host: the 10x absolute collapse belongs to
+  // the machine, not the code, and must not gate. The refusal is
+  // reported, not silent.
+  const JsonValue base =
+      parse_or_die(with_realio(with_meta("x86-64", "clmul16", 100.0), true));
+  const JsonValue fresh =
+      parse_or_die(with_realio(with_meta("x86-64", "clmul16", 10.0), true));
+  const BenchCheckReport rep = check_bench(base, fresh);
+  EXPECT_TRUE(rep.ok());
+  EXPECT_TRUE(rep.realio);
+  EXPECT_EQ(rep.metrics_compared, 1u);  // the ratio metric only
+  EXPECT_EQ(rep.metrics_skipped, 1u);   // goodput refused
+  ASSERT_FALSE(rep.issues.empty());
+  EXPECT_EQ(rep.issues[0].where, "meta/realio");
+  EXPECT_NE(rep.issues[0].message.find("real kernel I/O"),
+            std::string::npos);
+}
+
+TEST(BenchCheck, RealioOnEitherSideIsEnough) {
+  // A realio fresh record against a baseline that predates the flag
+  // (or vice versa) still demotes: one kernel-I/O measurement in the
+  // pair poisons absolute comparability.
+  const JsonValue base = parse_or_die(with_meta("x86-64", "clmul16", 100.0));
+  const JsonValue fresh =
+      parse_or_die(with_realio(with_meta("x86-64", "clmul16", 10.0), true));
+  const BenchCheckReport rep = check_bench(base, fresh);
+  EXPECT_TRUE(rep.ok());
+  EXPECT_TRUE(rep.realio);
+  EXPECT_EQ(rep.metrics_skipped, 1u);
+}
+
+TEST(BenchCheck, RealioStillGatesClaimsAndRatios) {
+  // Demotion is not amnesty: a claim flip or a collapsed ratio metric
+  // inside a realio record stays fatal.
+  const JsonValue base =
+      parse_or_die(with_realio(with_meta("x86-64", "clmul16", 100.0), true));
+  std::string ratio_worse =
+      with_realio(with_meta("x86-64", "clmul16", 100.0), true);
+  ratio_worse.replace(ratio_worse.find("\"value\": 3.0"), 12,
+                      "\"value\": 1.0");
+  EXPECT_FALSE(check_bench(base, parse_or_die(ratio_worse)).ok());
+
+  std::string claim_flip =
+      with_realio(with_meta("x86-64", "clmul16", 100.0), true);
+  claim_flip.replace(claim_flip.find("\"ok\": true"), 10, "\"ok\": false");
+  EXPECT_FALSE(check_bench(base, parse_or_die(claim_flip)).ok());
+}
+
+TEST(BenchCheck, RealioFalseKeepsAbsoluteGating) {
+  // Simulator benches write `"realio": false`; their absolute metrics
+  // keep gating exactly as before the flag existed.
+  const JsonValue base =
+      parse_or_die(with_realio(with_meta("x86-64", "clmul16", 100.0), false));
+  const JsonValue fresh =
+      parse_or_die(with_realio(with_meta("x86-64", "clmul16", 10.0), false));
+  const BenchCheckReport rep = check_bench(base, fresh);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_FALSE(rep.realio);
+}
+
 TEST(BenchCheck, DirectionAwareRegressionIsFatal) {
   const JsonValue base = parse_or_die(kRecord);
   std::string worse = kRecord;
@@ -290,6 +361,9 @@ TEST(BenchCheck, CommittedBaselinesSelfCompare) {
     const BenchCheckReport rep = check_bench(*doc, *doc);
     EXPECT_TRUE(rep.ok()) << e.path();
     for (const BenchIssue& i : rep.issues) {
+      // Real-I/O baselines (BENCH_e15) demote themselves to ratio-only
+      // even against themselves; that note is by design, not a defect.
+      if (!i.fatal && i.where == "meta/realio") continue;
       ADD_FAILURE() << e.path() << ": " << i.where << ": " << i.message;
     }
     ++checked;

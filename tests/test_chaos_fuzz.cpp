@@ -33,6 +33,23 @@ TEST(ChaosFuzz, CorpusReplaysClean) {
   }
 }
 
+TEST(ChaosFuzz, SignalCorpusReplaysClean) {
+  // The signalling-hardening corpus: claimed-count lies, truncations,
+  // trailing junk, hostile kind bytes, multi-element signals — plus a
+  // well-formed message of every kind to keep the accept path honest.
+  const std::string path =
+      std::string(CHUNKNET_SOURCE_DIR) + "/tests/fuzz_corpus/signals.hex";
+  const auto corpus = load_corpus(path);
+  ASSERT_GE(corpus.size(), 15u) << "corpus missing or unreadable: " << path;
+  Rng rng(20260808);
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const auto why = fuzz_one(corpus[i], rng);
+    EXPECT_FALSE(why.has_value())
+        << "signal corpus entry " << i << ": " << *why
+        << "\n  input: " << to_hex(corpus[i]);
+  }
+}
+
 TEST(ChaosFuzz, LenTimesSizeOverflowIsRejectedByBothDecoders) {
   // SIZE=0xFFFF, LEN=0xFFFF claims a ~4 GiB extent from a 34-byte
   // header; the naive 32-bit product is small enough to slip past an

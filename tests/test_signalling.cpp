@@ -125,6 +125,74 @@ TEST(Signalling, TrailingGarbageRejected) {
   EXPECT_FALSE(parse_connection_close(c).has_value());
 }
 
+TEST(Signalling, ClaimedGapCountMustMatchBytesPresent) {
+  // A 15-byte payload claiming 65535 ranges: the parser must refuse
+  // from the bytes that are there, not allocate for the claim.
+  Chunk c = make_signal_chunk(GapNak{7, 1, false, false, 0, {}});
+  ASSERT_EQ(c.payload.size(), 16u);
+  c.payload[14] = 0xFF;  // overwrite the u16 range count...
+  c.payload[15] = 0xFF;  // ...with 65535; zero ranges follow
+  EXPECT_FALSE(parse_gap_nak(c).has_value());
+
+  // Claiming fewer ranges than are present is just as malformed.
+  c = make_signal_chunk(GapNak{7, 1, false, false, 0, {{3, 4}, {9, 2}}});
+  c.payload[15] = 1;  // claims 1, carries 2
+  EXPECT_FALSE(parse_gap_nak(c).has_value());
+}
+
+TEST(Signalling, GapNakTruncatedMidRangeRejected) {
+  Chunk c = make_signal_chunk(GapNak{7, 2, false, false, 0, {{10, 4}, {99, 1}}});
+  c.payload.resize(c.payload.size() - 4);  // cut the last range in half
+  c.h.size = static_cast<std::uint16_t>(c.payload.size());
+  EXPECT_FALSE(parse_gap_nak(c).has_value());
+}
+
+TEST(Signalling, GapNakTrailingJunkRejected) {
+  Chunk c = make_signal_chunk(GapNak{7, 3, false, false, 0, {{5, 8}}});
+  c.payload.push_back(0xDE);
+  c.payload.push_back(0xAD);
+  c.h.size = static_cast<std::uint16_t>(c.payload.size());
+  EXPECT_FALSE(parse_gap_nak(c).has_value());
+}
+
+TEST(Signalling, EncoderClampsGapListToWireBudget) {
+  // More ranges than the u16 SIZE field can carry: the encoder clamps
+  // to kMaxGapRanges and the result still parses.
+  GapNak nak;
+  nak.connection_id = 7;
+  nak.tpdu_id = 4;
+  nak.gaps.resize(kMaxGapRanges + 100);
+  for (std::size_t i = 0; i < nak.gaps.size(); ++i) {
+    nak.gaps[i] = {static_cast<std::uint32_t>(2 * i), 1};
+  }
+  const Chunk c = make_signal_chunk(nak);
+  EXPECT_EQ(c.payload.size(), 16u + kMaxGapRanges * 8);
+  EXPECT_EQ(c.h.size, c.payload.size());
+  const auto parsed = parse_gap_nak(c);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->gaps.size(), kMaxGapRanges);
+  EXPECT_EQ(parsed->gaps.front(), nak.gaps.front());
+  EXPECT_EQ(parsed->gaps.back(), nak.gaps[kMaxGapRanges - 1]);
+}
+
+TEST(Signalling, MultiElementSignalChunkRejected) {
+  // Control information is indivisible (§2): LEN must be 1 even when
+  // the first element would parse on its own.
+  Chunk c = make_signal_chunk(ConnectionClose{7, 41});
+  c.h.len = 2;
+  c.payload.resize(c.payload.size() * 2, 0);
+  EXPECT_FALSE(signal_kind(c).has_value());
+  EXPECT_FALSE(parse_connection_close(c).has_value());
+}
+
+TEST(Signalling, OutOfRangeKindByteRejected) {
+  Chunk c = make_signal_chunk(ConnectionClose{7, 1});
+  c.payload[0] = 0;
+  EXPECT_FALSE(signal_kind(c).has_value());
+  c.payload[0] = 6;
+  EXPECT_FALSE(signal_kind(c).has_value());
+}
+
 TEST(Signalling, FuzzedPayloadsNeverCrash) {
   Rng rng(3);
   for (int trial = 0; trial < 3000; ++trial) {

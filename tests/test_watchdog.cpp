@@ -1,0 +1,82 @@
+// WallClockWatchdog (src/chaos/watchdog.hpp): the soak's defense
+// against a hung scenario. These tests override the exit seam — the
+// real watchdog ends the process, which a unit test cannot observe.
+#include "src/chaos/watchdog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace chunknet {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct Probe {
+  std::atomic<int> fired{0};
+  std::string last_label;
+  WallClockWatchdog::Config config(std::chrono::milliseconds limit) {
+    WallClockWatchdog::Config cfg;
+    cfg.limit = limit;
+    cfg.on_expire = [this](const std::string& label,
+                           std::chrono::milliseconds) {
+      last_label = label;
+      ++fired;
+    };
+    cfg.exit_fn = [] {};  // unit test: do not end the process
+    return cfg;
+  }
+};
+
+TEST(WallClockWatchdog, FiresWhenArmedPastTheLimit) {
+  Probe probe;
+  WallClockWatchdog dog(probe.config(30ms));
+  dog.arm("scenario seed 42");
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (probe.fired.load() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_EQ(probe.fired.load(), 1);
+  EXPECT_TRUE(dog.expired());
+  EXPECT_EQ(probe.last_label, "scenario seed 42");
+}
+
+TEST(WallClockWatchdog, DisarmInTimeNeverFires) {
+  Probe probe;
+  WallClockWatchdog dog(probe.config(80ms));
+  dog.arm("fast scenario");
+  dog.disarm();
+  std::this_thread::sleep_for(200ms);
+  EXPECT_EQ(probe.fired.load(), 0);
+  EXPECT_FALSE(dog.expired());
+}
+
+TEST(WallClockWatchdog, RearmRestartsTheCountdown) {
+  Probe probe;
+  WallClockWatchdog dog(probe.config(150ms));
+  // Re-arm faster than the limit: each arm() starts a fresh deadline,
+  // so none of them may expire.
+  for (int i = 0; i < 4; ++i) {
+    dog.arm("unit " + std::to_string(i));
+    std::this_thread::sleep_for(40ms);
+    dog.disarm();
+  }
+  EXPECT_EQ(probe.fired.load(), 0);
+  // And the countdown is still live after all that churn.
+  dog.arm("the slow one");
+  std::this_thread::sleep_for(400ms);
+  EXPECT_EQ(probe.fired.load(), 1);
+  EXPECT_EQ(probe.last_label, "the slow one");
+}
+
+TEST(WallClockWatchdog, IdleConstructionAndDestructionIsClean) {
+  Probe probe;
+  { WallClockWatchdog dog(probe.config(10ms)); }  // never armed
+  EXPECT_EQ(probe.fired.load(), 0);
+}
+
+}  // namespace
+}  // namespace chunknet

@@ -11,15 +11,22 @@
 //                      before fuzzing (repeatable)
 //   --repro-dir DIR    where failing repros are written
 //                      (default tests/chaos_repros)
+//   --watchdog-sec N   wall-clock limit per scenario/fuzz pass; a run
+//                      still going after N seconds fails LOUDLY — the
+//                      hung unit's replay command and scenario text are
+//                      written before the process exits 3 — instead of
+//                      hanging the CI job (default 300, 0 disables)
 //
 // Every failure prints a one-line replay command; scenario failures are
 // additionally minimized and written to the repro dir as a text file
 // that replays via --replay-file long after the generator changes.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -27,6 +34,7 @@
 #include "src/chaos/fuzz.hpp"
 #include "src/chaos/harness.hpp"
 #include "src/chaos/scenario.hpp"
+#include "src/chaos/watchdog.hpp"
 
 namespace {
 
@@ -42,7 +50,70 @@ struct Options {
   std::vector<std::string> replay_files;
   std::vector<std::string> corpus_paths;
   std::string repro_dir = "tests/chaos_repros";
+  std::uint64_t watchdog_sec = 300;
 };
+
+/// Armed around every scenario / fuzz pass; nullptr when disabled.
+std::unique_ptr<WallClockWatchdog> g_watchdog;
+
+/// The scenario currently on the watched thread, for the expiry
+/// diagnostic (the run itself will never produce a result to print).
+ChaosScenario g_watched_scenario;
+bool g_watched_is_scenario = false;
+
+void start_watchdog(const Options& opt) {
+  if (opt.watchdog_sec == 0) return;
+  WallClockWatchdog::Config cfg;
+  cfg.limit = std::chrono::seconds(opt.watchdog_sec);
+  cfg.on_expire = [&opt](const std::string& label,
+                         std::chrono::milliseconds limit) {
+    std::fprintf(stderr,
+                 "\nWATCHDOG: %s still running after %lld s — hung, "
+                 "failing the soak\n",
+                 label.c_str(),
+                 static_cast<long long>(limit.count() / 1000));
+    if (g_watched_is_scenario) {
+      // The run never returns, so minimization and the instrumented
+      // re-run are off the table — write the scenario text as-is so
+      // the hang replays exactly.
+      std::error_code ec;
+      std::filesystem::create_directories(opt.repro_dir, ec);
+      const std::string path =
+          opt.repro_dir + "/hung_seed_" +
+          std::to_string(g_watched_scenario.seed) + ".txt";
+      std::ofstream out(path);
+      if (out) {
+        out << to_text(g_watched_scenario);
+        out.flush();
+        std::fprintf(stderr,
+                     "scenario text written to %s (replay with: "
+                     "chaos_soak --replay-file %s)\n",
+                     path.c_str(), path.c_str());
+      }
+      std::fprintf(stderr, "reproduce with: chaos_soak --replay %llu\n",
+                   static_cast<unsigned long long>(g_watched_scenario.seed));
+    }
+    std::fflush(nullptr);
+  };
+  g_watchdog = std::make_unique<WallClockWatchdog>(std::move(cfg));
+}
+
+void watch_scenario(const ChaosScenario& sc) {
+  if (!g_watchdog) return;
+  g_watched_scenario = sc;
+  g_watched_is_scenario = true;
+  g_watchdog->arm("scenario seed " + std::to_string(sc.seed));
+}
+
+void watch_fuzz(const std::string& what) {
+  if (!g_watchdog) return;
+  g_watched_is_scenario = false;
+  g_watchdog->arm(what);
+}
+
+void unwatch() {
+  if (g_watchdog) g_watchdog->disarm();
+}
 
 void print_result(std::uint64_t seed, const ChaosResult& r) {
   std::printf(
@@ -114,7 +185,9 @@ std::string write_bundle(const ChaosScenario& sc, const Options& opt) {
 /// minimized repro plus a flight-recorder bundle. Returns true when
 /// every oracle held.
 bool run_one(const ChaosScenario& sc, const Options& opt, bool verbose) {
+  watch_scenario(sc);
   const ChaosResult r = run_chaos(sc);
+  unwatch();
   if (verbose || !r.ok) print_result(sc.seed, r);
   if (!r.ok) {
     std::printf("reproduce with: chaos_soak --replay %llu\n",
@@ -187,15 +260,18 @@ int fuzz_codecs(const Options& opt) {
   // Replay the checked-in corpus first: every past regression, forever.
   std::uint64_t corpus_inputs = 0;
   for (const std::string& path : opt.corpus_paths) {
+    watch_fuzz("corpus replay of " + path);
     for (const auto& bytes : load_corpus_path(path)) {
       ++corpus_inputs;
       if (auto why = fuzz_one(bytes, rng)) {
         report(bytes, *why, path.c_str());
       }
     }
+    unwatch();
   }
 
   // Then the generative loop: fresh packets, then mutation chains.
+  watch_fuzz("fuzz pass (seed " + std::to_string(opt.fuzz_seed) + ")");
   for (std::uint64_t i = 0; i < opt.fuzz_iters; ++i) {
     std::vector<std::uint8_t> bytes = random_fuzz_packet(rng);
     if (auto why = fuzz_one(bytes, rng)) {
@@ -211,6 +287,7 @@ int fuzz_codecs(const Options& opt) {
       }
     }
   }
+  unwatch();
   std::printf("fuzz: %llu corpus inputs + %llu generated, %d failing\n",
               static_cast<unsigned long long>(corpus_inputs),
               static_cast<unsigned long long>(opt.fuzz_iters), failures);
@@ -250,12 +327,14 @@ int main(int argc, char** argv) {
       opt.corpus_paths.push_back(next());
       opt.soak = false;
     } else if (a == "--repro-dir") opt.repro_dir = next();
+    else if (a == "--watchdog-sec") opt.watchdog_sec = parse_u64(next());
     else {
       std::fprintf(stderr, "unknown option %s\n", a.c_str());
       return 2;
     }
   }
 
+  start_watchdog(opt);
   int rc = 0;
   for (const std::uint64_t seed : opt.replay_seeds) {
     if (!run_one(make_scenario(seed), opt, /*verbose=*/true)) rc = 1;
